@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures (built once per session)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon import default_dictionary, toy_dictionary
+from repro.ontology.domains import default_ontology
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    return default_ontology()
+
+
+@pytest.fixture(scope="session")
+def dictionary():
+    return default_dictionary()
+
+
+@pytest.fixture(scope="session")
+def parser(dictionary):
+    return Parser(dictionary)
+
+
+@pytest.fixture(scope="session")
+def toy_parser():
+    return Parser(toy_dictionary(), ParseOptions(use_wall=False))

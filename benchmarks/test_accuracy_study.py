@@ -1,0 +1,57 @@
+"""Experiment A2 — the accuracy study the paper defers to future work.
+
+Section 5: "In the future, we will focus on ... evaluating the accuracy of
+the proposed Semantic Agent."  This benchmark runs that evaluation:
+seeded classroom sessions at increasing error rates, scoring syntax and
+semantic supervision against the injected ground truth.
+
+Expected shape: detection quality stays high and roughly flat across
+error rates (the supervisors judge sentences independently), and the QA
+answer rate is unaffected by learner error rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import run_accuracy_study
+
+
+@pytest.mark.parametrize("rates", [(0.1, 0.05), (0.25, 0.15), (0.4, 0.3)])
+def test_accuracy_across_error_rates(benchmark, rates):
+    syntax_rate, semantic_rate = rates
+
+    def study():
+        return run_accuracy_study(
+            error_rates=[(syntax_rate, semantic_rate)],
+            seeds=[1, 2],
+            learners=4,
+            rounds=5,
+        )
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    for row in rows:
+        assert row.syntax.recall >= 0.8, row.render()
+        assert row.syntax.precision >= 0.8, row.render()
+        assert row.semantic.recall >= 0.7, row.render()
+        assert row.semantic.precision >= 0.7, row.render()
+        assert row.questions_answer_rate >= 0.9, row.render()
+
+
+def test_study_report_rows(benchmark):
+    """Produces the EXPERIMENTS.md table (printed for the record)."""
+
+    def study():
+        return run_accuracy_study(
+            error_rates=[(0.0, 0.0), (0.2, 0.1)],
+            seeds=[3],
+            learners=4,
+            rounds=5,
+        )
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    clean_row = rows[0]
+    assert clean_row.syntax.false_negatives == 0
+    assert clean_row.semantic.true_positives == 0
+    for row in rows:
+        print(row.render())

@@ -1,0 +1,65 @@
+"""Experiment F1 — Figure 1: words and connectors.
+
+Reproduces the paper's toy dictionary exactly: the linking requirements
+drawn in Fig. 1 (``a/the: D+``, ``cat/mouse: D- & (S+ or O-)``, ``John:
+S+ or O-``, ``ran: S-``, ``chased: S- & O+``), their disjunctive form
+(section 2.1's translation), and benchmarks dictionary construction and
+formula-to-disjunct expansion.
+"""
+
+from __future__ import annotations
+
+from repro.linkgrammar.disjunct import expand
+from repro.linkgrammar.formula import parse_formula
+from repro.linkgrammar.lexicon.toy import toy_dictionary
+
+# The connector boxes of Fig. 1, as (word, formula-order connector labels).
+FIGURE1_REQUIREMENTS = {
+    "a": [["D+"]],
+    "the": [["D+"]],
+    "cat": [["D-", "S+"], ["O-", "D-"]],
+    "mouse": [["D-", "S+"], ["O-", "D-"]],
+    "john": [["S+"], ["O-"]],
+    "ran": [["S-"]],
+    "chased": [["S-", "O+"]],
+}
+
+
+def _disjunct_shapes(dictionary, word):
+    entry = dictionary.lookup_exact(word)
+    shapes = []
+    for disjunct in entry.disjuncts:
+        left = [str(c) for c in disjunct.left]
+        right = [str(c) for c in reversed(disjunct.right)]
+        shapes.append(left + right)
+    return sorted(shapes)
+
+
+def test_figure1_connector_boxes(benchmark):
+    """Every Fig. 1 word exposes exactly the drawn connectors."""
+    dictionary = benchmark(toy_dictionary)
+    for word, expected in FIGURE1_REQUIREMENTS.items():
+        shapes = _disjunct_shapes(dictionary, word)
+        assert shapes == sorted(expected), word
+
+
+def test_disjunctive_form_translation(benchmark):
+    """Section 2.1: formula -> disjunct enumeration, on the noun formula."""
+    formula = parse_formula("D- & (S+ or O-)")
+    disjuncts = benchmark(expand, formula)
+    assert len(disjuncts) == 2
+
+
+def test_formula_parsing_throughput(benchmark):
+    """Dictionary-formula parsing speed on a realistic noun frame."""
+    source = "{@AN-} & {@A-} & (Ds- or [()]) & {M+} & {R+} & (({Wd-} & Ss+) or SIs- or O- or J-)"
+    expr = benchmark(parse_formula, source)
+    assert expand(expr)
+
+
+def test_full_lexicon_construction(benchmark):
+    """Cost of building the complete chat-room dictionary from specs."""
+    from repro.linkgrammar.lexicon import build_domain_dictionary
+
+    dictionary = benchmark.pedantic(build_domain_dictionary, rounds=3, iterations=1)
+    assert len(dictionary) > 800

@@ -1,0 +1,60 @@
+"""Experiment F2 — Figure 2: "The cat chased a mouse" and parser throughput.
+
+The paper's linkage D(the,cat) S(cat,chased) O(chased,mouse) D(a,mouse)
+must be the *unique* parse in the toy grammar, satisfy all four meta-rules,
+and the same sentence must parse in the full lexicon.  Parser speed is
+benchmarked on the toy grammar, the full lexicon, and a null-tolerant
+(error) parse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+FIGURE2_SENTENCE = "The cat chased a mouse"
+FIGURE2_LINKAGE = "D(the,cat) S(cat,chased) O(chased,mouse) D(a,mouse)"
+
+DOMAIN_SENTENCES = [
+    "A stack is a data structure.",
+    "We push an element onto the stack.",
+    "The tree doesn't have pop method.",
+    "Does the queue have a dequeue method?",
+    "The top of the stack holds the last element.",
+    "Which data structure has the method push?",
+    "Insert the key into the binary search tree.",
+    "The keys are stored in the table.",
+]
+
+
+def test_figure2_unique_linkage(toy_parser, benchmark):
+    result = benchmark(toy_parser.parse, FIGURE2_SENTENCE)
+    assert result.total_count == 1
+    assert result.best.link_summary() == FIGURE2_LINKAGE
+    assert result.best.validate() == []
+
+
+def test_figure2_in_full_lexicon(parser, benchmark):
+    result = benchmark(parser.parse, FIGURE2_SENTENCE)
+    assert result.null_count == 0
+    summary = result.best.link_summary()
+    for fragment in ["Ds(the,cat)", "Ss(cat,chased)", "O(chased,mouse)", "Ds(a,mouse)"]:
+        assert fragment in summary
+
+
+@pytest.mark.parametrize("sentence", DOMAIN_SENTENCES)
+def test_domain_sentence_parse(parser, benchmark, sentence):
+    """Per-sentence parse latency over representative classroom English."""
+    result = benchmark(parser.parse, sentence)
+    assert result.null_count == 0, sentence
+
+
+def test_null_tolerant_parse_cost(parser, benchmark):
+    """Fault-tolerant parsing of a broken sentence (null-word search)."""
+    result = benchmark(parser.parse, "The stack holds quickly data the.")
+    assert result.null_count > 0
+
+
+def test_meta_rules_validation_speed(toy_parser, benchmark):
+    result = toy_parser.parse(FIGURE2_SENTENCE)
+    violations = benchmark(result.best.validate)
+    assert violations == []

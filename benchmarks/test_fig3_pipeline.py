@@ -1,0 +1,82 @@
+"""Experiment F3 — Figure 3: the end-to-end supervised chat-room flow.
+
+Measures the full operation flow of the architecture diagram: a user
+message entering the Augmentative Chat Room, passing Learning_Angel,
+the Semantic Agent or the QA subsystem, and updating the corpus, FAQ and
+profile databases.  Latency is reported per message class, and a whole
+simulated classroom round is timed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ELearningSystem
+from repro.simulation import ClassroomSession, LearnerProfile
+
+
+def _fresh_room():
+    system = ELearningSystem.with_defaults()
+    system.open_room("bench", topic="data structures")
+    system.join("bench", "user")
+    return system
+
+
+@pytest.mark.parametrize(
+    "label, text",
+    [
+        ("clean-statement", "We push an element onto the stack."),
+        ("semantic-violation", "I push the data into a tree."),
+        ("syntax-error", "stack the holds data quickly the."),
+        ("question-definition", "What is Stack?"),
+        ("question-capability", "Does the queue have a dequeue method?"),
+    ],
+)
+def test_message_supervision_latency(benchmark, label, text):
+    """Per-message cost of the full Fig. 3 flow, by message class."""
+    system = _fresh_room()
+
+    def supervise():
+        return system.say("bench", "user", text)
+
+    message = benchmark(supervise)
+    assert message.text == text
+    assert system.stats.messages > 0
+
+
+def test_classroom_round_throughput(benchmark):
+    """One full classroom round: 6 learners, teacher, mixed traffic."""
+
+    def run_session():
+        system = ELearningSystem.with_defaults()
+        session = ClassroomSession(
+            system,
+            learners=6,
+            profile=LearnerProfile(question_rate=0.2, syntax_error_rate=0.15,
+                                   semantic_error_rate=0.1),
+            seed=42,
+        )
+        return system, session.run(rounds=2)
+
+    system, result = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    assert len(result.supervised) == 12
+    assert system.stats.messages >= 12
+    # Every database of Fig. 3's right-hand side was exercised.
+    assert len(system.corpus) > 100        # seeded + recorded
+    assert len(system.profiles) >= 6
+    assert system.stats.questions_answered > 0
+
+
+def test_supervision_is_deterministic(benchmark):
+    """Same seed, same transcript — byte for byte (required by F3)."""
+
+    def transcript():
+        system = ELearningSystem.with_defaults()
+        session = ClassroomSession(system, learners=4, seed=9)
+        session.run(rounds=2)
+        return [
+            (m.sender, m.text) for m in system.server.get_room("classroom").transcript
+        ]
+
+    first = benchmark.pedantic(transcript, rounds=2, iterations=1)
+    assert first == transcript()

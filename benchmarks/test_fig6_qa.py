@@ -1,0 +1,109 @@
+"""Experiment F6 — Figure 6: the Questions and Answers workflow.
+
+Reproduces the QA flow of section 4.4: template matching, ontology-backed
+answering (the "What is Stack?" walkthrough), FAQ accumulation with
+frequency statistics, mining QA pairs out of dialogue, and answer-rate /
+latency over a generated question workload (Zipf-shaped topics, so the FAQ
+cache matters).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.nlp import KeywordFilter
+from repro.ontology.domains import default_ontology
+from repro.ontology.domains.data_structures import STACK_DESCRIPTION
+from repro.qa import FAQDatabase, QAMiner, QASystem, TranscriptLine
+from repro.simulation import SentenceGenerator
+
+
+def test_paper_walkthrough(benchmark, ontology):
+    """"What is Stack?" returns the stored definition and lands in FAQ."""
+    qa = QASystem(ontology)
+    answer = benchmark(qa.answer, "What is Stack?")
+    assert answer.text == STACK_DESCRIPTION
+    assert len(qa.faq) >= 1
+
+
+def _question_workload(n: int, seed: int = 0) -> list[str]:
+    """Zipf-ish question stream: few popular questions, long tail."""
+    generator = SentenceGenerator(default_ontology(), seed=seed)
+    distinct = [generator.question().text for _ in range(max(10, n // 5))]
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        rank = min(int(rng.paretovariate(1.2)), len(distinct))
+        stream.append(distinct[rank - 1])
+    return stream
+
+
+def test_answer_rate_and_throughput(benchmark, ontology):
+    """Answer rate over 200 generated template questions."""
+    questions = _question_workload(200, seed=5)
+
+    def answer_all():
+        qa = QASystem(ontology)
+        return qa, [qa.answer(q, now=float(i)) for i, q in enumerate(questions)]
+
+    qa, answers = benchmark.pedantic(answer_all, rounds=2, iterations=1)
+    answered = sum(1 for a in answers if a.answered)
+    assert answered / len(answers) >= 0.95
+    # The popular head of the stream must be served from the FAQ cache.
+    faq_hits = sum(1 for a in answers if a.source == "faq")
+    assert faq_hits > len(answers) / 4
+    assert qa.faq.total_questions() == answered
+
+
+def test_faq_convergence(benchmark, ontology):
+    """The top-k most-frequent pairs stabilise as questions accumulate —
+    the paper's 'powerful learning tool' claim."""
+    questions = _question_workload(400, seed=11)
+
+    def converge():
+        qa = QASystem(ontology)
+        half = len(questions) // 2
+        for q in questions[:half]:
+            qa.answer(q)
+        top_half = [pair.key for pair in qa.faq.top(5)]
+        for q in questions[half:]:
+            qa.answer(q)
+        top_full = [pair.key for pair in qa.faq.top(5)]
+        return top_half, top_full
+
+    top_half, top_full = benchmark.pedantic(converge, rounds=2, iterations=1)
+    overlap = len(set(top_half) & set(top_full))
+    assert overlap >= 3, (top_half, top_full)
+
+
+def test_mining_throughput(benchmark, ontology):
+    """QA-pair mining over a 200-line transcript."""
+    generator = SentenceGenerator(ontology, seed=13)
+    transcript = []
+    t = 0.0
+    for i in range(100):
+        question = generator.question()
+        transcript.append(TranscriptLine(f"student-{i % 5}", question.text, t))
+        t += 1.0
+        concept = question.concept or "stack"
+        item = ontology.find(concept)
+        if item is not None and item.definition.description:
+            transcript.append(TranscriptLine("teacher", item.definition.description, t, role="teacher"))
+            t += 1.0
+
+    miner = QAMiner(KeywordFilter(ontology))
+
+    def mine():
+        faq = FAQDatabase()
+        return miner.feed_faq(transcript, faq), faq
+
+    added, faq = benchmark.pedantic(mine, rounds=2, iterations=1)
+    assert added > 50
+    assert faq.pairs()[0].count >= 2
+
+
+def test_faq_lookup_latency(benchmark, ontology):
+    qa = QASystem(ontology)
+    qa.answer("What is Stack?")
+    answer = benchmark(qa.answer, "What is Stack?")
+    assert answer.source == "faq"

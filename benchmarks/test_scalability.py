@@ -1,0 +1,105 @@
+"""Experiment A3 — scalability of the always-online supervisors.
+
+The paper's motivation (section 1) is that instructors cannot supervise
+every learner at once; the agents must keep up as the class grows.  This
+benchmark sweeps class size and measures supervision throughput, plus the
+FAQ hit-rate growth over session length (the "powerful learning
+assistant" claim: the longer the class runs, the more questions are
+answered from accumulated pairs).
+
+Expected shape: per-message supervision cost is flat in class size
+(supervision is per-message work), so total session time grows linearly;
+FAQ hit-rate rises with session length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ELearningSystem
+from repro.simulation import ClassroomSession, LearnerProfile
+
+
+@pytest.mark.parametrize("learners", [2, 8, 16])
+def test_session_cost_vs_class_size(benchmark, learners):
+    """Total cost of a 2-round session at increasing class sizes."""
+
+    def session():
+        system = ELearningSystem.with_defaults()
+        run = ClassroomSession(system, learners=learners, seed=21).run(rounds=2)
+        return system, run
+
+    system, result = benchmark.pedantic(session, rounds=2, iterations=1)
+    assert len(result.supervised) == learners * 2
+    assert system.stats.messages >= learners * 2
+
+
+def test_per_message_cost_flat_in_class_size(benchmark):
+    """Messages/second does not degrade as the room fills.
+
+    Total message count is held constant (32) while the class size
+    varies, isolating class size from corpus growth: suggestion search
+    scales with *accumulated messages*, not with how many learners sit
+    in the room.
+    """
+    import time
+
+    def throughput(learners: int, rounds: int) -> float:
+        system = ELearningSystem.with_defaults()
+        session = ClassroomSession(system, learners=learners, seed=33)
+        start = time.perf_counter()
+        result = session.run(rounds=rounds)
+        elapsed = time.perf_counter() - start
+        return len(result.supervised) / elapsed
+
+    def compare():
+        return throughput(2, 16), throughput(16, 2)
+
+    small, large = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # Flat within generous tolerance (same per-message work).
+    assert large > small * 0.4, (small, large)
+
+
+def test_faq_hit_rate_grows_with_session_length(benchmark):
+    """The longer the class, the more questions served from the FAQ."""
+
+    def hit_rates():
+        system = ELearningSystem.with_defaults()
+        profile = LearnerProfile(question_rate=0.6, syntax_error_rate=0.05,
+                                 semantic_error_rate=0.05)
+        session = ClassroomSession(system, learners=6, profile=profile, seed=8)
+        session.run(rounds=2)
+        early_questions = system.stats.questions
+        early_hits = system.stats.faq_hits
+        session.run(rounds=6)
+        late_questions = system.stats.questions - early_questions
+        late_hits = system.stats.faq_hits - early_hits
+        early_rate = early_hits / early_questions if early_questions else 0.0
+        late_rate = late_hits / late_questions if late_questions else 0.0
+        return early_rate, late_rate
+
+    early_rate, late_rate = benchmark.pedantic(hit_rates, rounds=1, iterations=1)
+    assert late_rate > early_rate
+
+
+def test_supervision_throughput_baseline(benchmark):
+    """Headline number: supervised messages per second, mixed traffic."""
+    system = ELearningSystem.with_defaults()
+    system.open_room("tput", topic="t")
+    system.join("tput", "u")
+    messages = [
+        "We push an element onto the stack.",
+        "What is a queue?",
+        "The tree doesn't have pop method.",
+        "I push the data into a tree.",
+    ]
+    index = 0
+
+    def one_message():
+        nonlocal index
+        message = system.say("tput", "u", messages[index % len(messages)])
+        index += 1
+        return message
+
+    result = benchmark(one_message)
+    assert result is not None

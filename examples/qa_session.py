@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The QA subsystem and FAQ database, interactively exercised.
+
+Walks every template family of section 4.4 (including the learner-English
+"Is stack has push method?"), demonstrates FAQ caching and frequency
+statistics, persists the FAQ to disk, and mines QA pairs from a raw
+transcript.
+
+Run:  python examples/qa_session.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.corpus import CorporaGenerator, LearnerCorpus
+from repro.nlp import KeywordFilter
+from repro.ontology.domains import default_ontology
+from repro.qa import FAQDatabase, QAMiner, QASystem, TranscriptLine
+
+
+def template_walkthrough(qa: QASystem) -> None:
+    print("=" * 64)
+    print("Template families (section 4.4)")
+    print("=" * 64)
+    questions = [
+        "What is Stack?",
+        "The relations of stack?",
+        "Does stack have pop method?",
+        "Is stack has push method?",
+        "Which data structure has the method push?",
+        "What operations does the heap support?",
+        "Is the stack lifo?",
+        "Is a stack a data structure?",
+        "Does the tree have a pop method?",
+    ]
+    for question in questions:
+        answer = qa.answer(question)
+        print(f"\nQ [{answer.kind.value}]: {question}")
+        print(f"A ({answer.source}): {answer.text[:100]}")
+
+
+def faq_statistics(qa: QASystem) -> None:
+    print()
+    print("=" * 64)
+    print("FAQ accumulation and statistics")
+    print("=" * 64)
+    for _ in range(4):
+        qa.answer("What is Stack?")
+    for _ in range(2):
+        qa.answer("what is a stack")  # paraphrase hits the same pair
+    qa.answer("Which structure has the pop operation?")
+
+    print(f"\ndistinct QA pairs: {len(qa.faq)}")
+    print(f"questions served : {qa.faq.total_questions()}")
+    print("\nmost frequent pairs:")
+    for pair in qa.faq.top(3):
+        print(f"  [{pair.count}x, {pair.source}] {pair.question}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "faq.jsonl"
+        qa.faq.save(path)
+        reloaded = FAQDatabase.load(path)
+        print(f"\npersisted and reloaded: {len(reloaded)} pairs from {path.name}")
+
+
+def mining_demo() -> None:
+    print()
+    print("=" * 64)
+    print("Mining QA pairs from a raw transcript (section 4.4)")
+    print("=" * 64)
+    transcript = [
+        TranscriptLine("mei", "What is a heap?", 1.0),
+        TranscriptLine("prof", "A heap is a complete binary tree kept in heap order.", 2.0, role="teacher"),
+        TranscriptLine("joe", "Does the queue have a push method?", 3.0),
+        TranscriptLine("ana", "No, the queue uses enqueue, not push.", 4.0),
+        TranscriptLine("mei", "What is a heap?", 5.0),
+        TranscriptLine("prof", "A heap is a complete binary tree kept in heap order.", 6.0, role="teacher"),
+    ]
+    miner = QAMiner(KeywordFilter(default_ontology()))
+    faq = FAQDatabase()
+    added = miner.feed_faq(transcript, faq)
+    print(f"\nmined {added} QA pairs:")
+    for pair in faq.pairs():
+        print(f"  [{pair.count}x] {pair.question}")
+        print(f"        -> {pair.answer}")
+
+
+def main() -> None:
+    ontology = default_ontology()
+    corpus = LearnerCorpus()
+    CorporaGenerator(ontology).populate(corpus)
+    qa = QASystem(ontology, corpus=corpus)
+    template_walkthrough(qa)
+    faq_statistics(qa)
+    mining_demo()
+
+
+if __name__ == "__main__":
+    main()

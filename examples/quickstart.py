@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: a supervised chat room in a dozen lines.
+
+Opens a room, lets two learners talk, and shows the three supervision
+behaviours of the paper: QA answering, semantic correction, and the
+negation example that correctly passes.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ELearningSystem
+
+
+def main() -> None:
+    system = ELearningSystem.with_defaults()
+    system.open_room("ds-101", topic="stacks and queues")
+    system.join("ds-101", "alice")
+    system.join("ds-101", "bob")
+
+    conversation = [
+        ("alice", "What is Stack?"),
+        ("bob", "I push the data into a tree."),
+        ("alice", "The tree doesn't have pop method."),
+        ("bob", "We push an element onto the stack."),
+        ("alice", "Does the queue have a dequeue method?"),
+    ]
+
+    for user, text in conversation:
+        message = system.say("ds-101", user, text)
+        print(f"{user}: {text}")
+        for reply in system.agent_replies_to(message):
+            print(f"    [{reply.sender}] {reply.text}")
+        print()
+
+    stats = system.stats
+    print("--- supervision summary ---")
+    print(f"messages supervised : {stats.messages}")
+    print(f"questions answered  : {stats.questions_answered}/{stats.questions}")
+    print(f"semantic violations : {stats.semantic_violations}")
+    print(f"agent replies posted: {stats.agent_replies}")
+
+
+if __name__ == "__main__":
+    main()

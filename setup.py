@@ -1,0 +1,14 @@
+"""Setup shim: legacy editable installs in offline environments."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'An Intelligent Semantic Agent for Supervising "
+        "Chat Rooms in e-Learning System' (ICDCSW'05)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,26 @@
+"""repro — reproduction of "An Intelligent Semantic Agent for Supervising
+Chat Rooms in e-Learning System" (Wang, Wang & Huang, ICDCSW'05).
+
+The package implements the paper's complete system from scratch: a link
+grammar parser with fault tolerance (Learning_Angel), an ontology-based
+Semantic Agent with sentence-distance evaluation, a template-driven QA
+subsystem with FAQ accumulation, the learner corpus and user-profile
+databases, and a deterministic supervised chat-room substrate.
+
+Quickstart::
+
+    from repro import ELearningSystem
+
+    system = ELearningSystem.with_defaults()
+    system.open_room("ds-101", topic="stacks")
+    system.join("ds-101", "alice")
+    message = system.say("ds-101", "alice", "What is Stack?")
+    for reply in system.agent_replies_to(message):
+        print(f"{reply.sender}: {reply.text}")
+"""
+
+from .core.system import ELearningSystem, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["ELearningSystem", "SystemConfig", "__version__"]

@@ -1,0 +1,31 @@
+"""Supervising agents: Learning_Angel, Semantic Agent, and the ablation
+baseline Semantic Link Grammar agent."""
+
+from .learning_angel import LearningAngelAgent
+from .recommender import Material, Recommendation, TeachingMaterialRecommender
+from .reports import (
+    AgentReply,
+    PairEvaluation,
+    SemanticReview,
+    SemanticVerdict,
+    Severity,
+    SyntaxReview,
+)
+from .semantic_agent import SemanticAgent
+from .semantic_lg import SemanticLGReview, SemanticLinkGrammarAgent
+
+__all__ = [
+    "AgentReply",
+    "LearningAngelAgent",
+    "Material",
+    "Recommendation",
+    "TeachingMaterialRecommender",
+    "PairEvaluation",
+    "SemanticAgent",
+    "SemanticLGReview",
+    "SemanticLinkGrammarAgent",
+    "SemanticReview",
+    "SemanticVerdict",
+    "Severity",
+    "SyntaxReview",
+]

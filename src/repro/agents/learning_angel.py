@@ -1,0 +1,108 @@
+"""The Learning_Angel agent (paper section 4.2, Figure 4).
+
+Workflow, exactly as Figure 4 draws it: a chat-room sentence is forwarded
+to the Enhanced Link Grammar Parser; Label analysis & filter checks the
+linkage against the meta-rules, localises mistakes, searches the Learner
+Corpus for suitable correct sentences to convey to the learner, and
+records the tagged sentence back into the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.dictionary import Dictionary
+from repro.linkgrammar.parser import ParseOptions
+from repro.linkgrammar.repair import SentenceRepairer
+from repro.linkgrammar.robust import RobustAnalyzer
+from repro.nlp.keywords import KeywordFilter
+from repro.nlp.patterns import classify
+
+from .reports import SyntaxReview
+
+AGENT_NAME = "Learning_Angel"
+
+
+class LearningAngelAgent:
+    """Syntax supervisor: parse, diagnose, suggest, record.
+
+    Args:
+        dictionary: the chat-room link-grammar dictionary.
+        corpus: the learner corpus used both for suggestion search and for
+            recording reviewed sentences; optional (agents can run
+            stateless in benchmarks).
+        keyword_filter: ontology keyword extractor used to find
+            topic-matched suggestions; optional.
+        options: parser options (null tolerance, linkage caps).
+        repair: also propose single-edit corrections of the learner's
+            own sentence (on by default).
+    """
+
+    name = AGENT_NAME
+
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        corpus: LearnerCorpus | None = None,
+        keyword_filter: KeywordFilter | None = None,
+        options: ParseOptions | None = None,
+        repair: bool = True,
+    ) -> None:
+        self.analyzer = RobustAnalyzer(dictionary, options)
+        self.corpus = corpus
+        self.search = SuggestionSearch(corpus) if corpus is not None else None
+        self.keyword_filter = keyword_filter
+        self.repairer = SentenceRepairer(dictionary) if repair else None
+
+    def review(self, text: str) -> SyntaxReview:
+        """Run the Figure-4 pipeline on one sentence."""
+        diagnosis = self.analyzer.analyze(text)
+        keywords = tuple(self.keyword_filter.extract(text)) if self.keyword_filter else ()
+        suggestion = None
+        repairs = ()
+        if not diagnosis.is_correct:
+            if self.search is not None:
+                suggestion = self.search.best_sentence(
+                    text, keywords=[match.name for match in keywords]
+                )
+            if self.repairer is not None:
+                repairs = tuple(self.repairer.repair(text))
+        return SyntaxReview(
+            diagnosis=diagnosis,
+            suggestion=suggestion,
+            repairs=repairs,
+            keywords=keywords,
+        )
+
+    def record(
+        self,
+        review: SyntaxReview,
+        user: str,
+        room: str,
+        timestamp: float,
+        verdict: Correctness | None = None,
+        semantic_issues: list[str] | None = None,
+    ) -> CorpusRecord | None:
+        """File the reviewed sentence into the learner corpus."""
+        if self.corpus is None:
+            return None
+        diagnosis = review.diagnosis
+        if verdict is None:
+            verdict = Correctness.CORRECT if diagnosis.is_correct else Correctness.SYNTAX_ERROR
+        best = diagnosis.result.best
+        record = CorpusRecord(
+            record_id=self.corpus.next_id(),
+            user=user,
+            room=room,
+            text=diagnosis.result.sentence.raw,
+            timestamp=timestamp,
+            pattern=classify(diagnosis.result.sentence).pattern.value,
+            verdict=verdict,
+            syntax_issues=[(issue.kind.value, issue.word) for issue in diagnosis.issues],
+            semantic_issues=list(semantic_issues or []),
+            keywords=[match.name for match in review.keywords],
+            links=best.link_summary() if best else "",
+            cost=best.cost if best else 0,
+        )
+        return self.corpus.add(record)

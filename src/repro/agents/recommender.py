@@ -1,0 +1,133 @@
+"""Teaching Material Recommendation (Figure 3's response arrow).
+
+The architecture diagram shows a "Teaching Material Recommendation"
+response flowing back to the chat room.  The recommender watches a
+learner's profile: topics where the learner keeps making mistakes get
+scaffolding material pulled from the knowledge ontology — the concept's
+definition, its symbols, the operations it supports, and any attached
+algorithm texts (the Fig.-5 ``type="c"`` snippets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ontology.model import Item, ItemKind, Ontology
+from repro.profiles.store import UserProfile
+
+AGENT_NAME = "Material_Recommender"
+
+
+@dataclass(frozen=True, slots=True)
+class Material:
+    """One piece of recommended teaching material."""
+
+    topic: str
+    kind: str            # "definition" | "symbol" | "operations" | "algorithm"
+    title: str
+    body: str
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """Materials recommended to one learner, with the trigger reason."""
+
+    user: str
+    reason: str
+    materials: tuple[Material, ...] = field(default_factory=tuple)
+
+    def as_text(self) -> str:
+        lines = [f"Study suggestions for {self.user} ({self.reason}):"]
+        for material in self.materials:
+            lines.append(f"- [{material.kind}] {material.title}: {material.body}")
+        return "\n".join(lines)
+
+
+class TeachingMaterialRecommender:
+    """Recommends ontology material for a learner's weak topics."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        error_threshold: int = 2,
+        max_topics: int = 2,
+        max_materials: int = 4,
+    ) -> None:
+        self.ontology = ontology
+        self.error_threshold = error_threshold
+        self.max_topics = max_topics
+        self.max_materials = max_materials
+
+    # ----------------------------------------------------------------- API
+
+    def weak_topics(self, profile: UserProfile) -> list[str]:
+        """Topics the learner discusses while making repeated errors.
+
+        Heuristic: a learner with at least ``error_threshold`` total
+        errors gets their most-frequent topics flagged for scaffolding.
+        """
+        total_errors = profile.syntax_errors + profile.semantic_errors
+        if total_errors < self.error_threshold:
+            return []
+        topics = []
+        for topic, _count in profile.topic_counts.most_common():
+            item = self.ontology.find(topic)
+            if item is not None and item.kind in (ItemKind.CONCEPT, ItemKind.ALGORITHM):
+                topics.append(topic)
+            if len(topics) >= self.max_topics:
+                break
+        return topics
+
+    def recommend(self, profile: UserProfile) -> Recommendation | None:
+        """A recommendation for the learner, or None when not warranted."""
+        topics = self.weak_topics(profile)
+        if not topics:
+            return None
+        materials: list[Material] = []
+        for topic in topics:
+            item = self.ontology.find(topic)
+            if item is None:
+                continue
+            materials.extend(self.materials_for(item))
+            if len(materials) >= self.max_materials:
+                break
+        if not materials:
+            return None
+        total_errors = profile.syntax_errors + profile.semantic_errors
+        return Recommendation(
+            user=profile.name,
+            reason=f"{total_errors} errors across {profile.messages} messages",
+            materials=tuple(materials[: self.max_materials]),
+        )
+
+    def materials_for(self, item: Item) -> list[Material]:
+        """All scaffolding material the ontology holds for one item."""
+        materials: list[Material] = []
+        if item.definition.description:
+            materials.append(
+                Material(item.name, "definition", item.name, item.definition.description)
+            )
+        for symbol, text in item.definition.symbols.items():
+            materials.append(Material(item.name, "symbol", f"{item.name}.{symbol}", text))
+        if item.kind == ItemKind.CONCEPT:
+            operations = self.ontology.operations_of(item.item_id)
+            if operations:
+                names = ", ".join(sorted(op.name for op in operations))
+                materials.append(
+                    Material(
+                        item.name,
+                        "operations",
+                        f"operations of {item.name}",
+                        names,
+                    )
+                )
+        for algorithm in item.algorithms:
+            materials.append(
+                Material(
+                    item.name,
+                    "algorithm",
+                    f"{algorithm.name} ({algorithm.type})",
+                    algorithm.body,
+                )
+            )
+        return materials

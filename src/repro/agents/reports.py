@@ -1,0 +1,133 @@
+"""Structured review reports produced by the supervising agents.
+
+Both agents return data, not prose: the chat-room supervisor renders
+replies for learners, benchmarks score verdicts against injected ground
+truth, and the corpus stores the tags.  Prose rendering lives in
+``as_replies`` helpers so the data stays inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.linkgrammar.repair import Repair
+from repro.linkgrammar.robust import GrammarDiagnosis
+from repro.nlp.keywords import KeywordMatch
+from repro.nlp.patterns import PatternAnalysis
+
+
+class Severity(Enum):
+    INFO = "info"
+    WARNING = "warning"
+    CORRECTION = "correction"
+
+
+@dataclass(frozen=True, slots=True)
+class AgentReply:
+    """One message an agent would post into the chat room."""
+
+    agent: str
+    severity: Severity
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class SyntaxReview:
+    """Learning_Angel's review of one sentence.
+
+    Attributes:
+        diagnosis: the grammar diagnosis (issues, parse result).
+        suggestion: a model sentence from the learner corpus, if found.
+        repairs: concrete single-edit corrections of the learner's own
+            sentence, best first.
+        keywords: ontology keywords (reused by later stages).
+    """
+
+    diagnosis: GrammarDiagnosis
+    suggestion: str | None = None
+    repairs: tuple[Repair, ...] = ()
+    keywords: tuple[KeywordMatch, ...] = ()
+
+    @property
+    def is_correct(self) -> bool:
+        return self.diagnosis.is_correct
+
+    def as_replies(self, agent: str = "Learning_Angel") -> list[AgentReply]:
+        if self.is_correct:
+            return []
+        replies = [AgentReply(agent, Severity.WARNING, self.diagnosis.summary())]
+        if self.repairs:
+            best = self.repairs[0]
+            replies.append(
+                AgentReply(
+                    agent,
+                    Severity.CORRECTION,
+                    f"Did you mean: {best.text} ({best.edit})",
+                )
+            )
+        if self.suggestion:
+            replies.append(
+                AgentReply(
+                    agent,
+                    Severity.CORRECTION,
+                    f"A similar correct sentence: {self.suggestion}",
+                )
+            )
+        return replies
+
+
+class SemanticVerdict(Enum):
+    """Outcome of the Semantic Agent's three-stage pipeline."""
+
+    OK = "ok"
+    VIOLATION = "violation"            # affirmative claim, unrelated pair
+    MISCONCEPTION = "misconception"    # negated claim, but the pair holds
+    QUESTION = "question"              # routed to the QA subsystem
+    SYNTAX_SKIPPED = "syntax-skipped"  # ignored: Learning_Angel's case
+    NO_KEYWORDS = "no-keywords"        # nothing to evaluate
+
+
+@dataclass(frozen=True, slots=True)
+class PairEvaluation:
+    """One evaluated keyword pair with its ontology evidence."""
+
+    left: str
+    right: str
+    left_id: int
+    right_id: int
+    distance: float
+    related: bool
+    capability: bool | None
+    holds: bool  # did the sentence's claim match the ontology?
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticReview:
+    """The Semantic Agent's review of one sentence."""
+
+    verdict: SemanticVerdict
+    pattern: PatternAnalysis
+    keywords: tuple[KeywordMatch, ...] = ()
+    pairs: tuple[PairEvaluation, ...] = ()
+    suggestions: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_anomalous(self) -> bool:
+        """True for the paper's 'Interrogative Sentence': syntactically
+        fine but semantically wrong in the domain."""
+        return self.verdict in (SemanticVerdict.VIOLATION, SemanticVerdict.MISCONCEPTION)
+
+    def as_replies(self, agent: str = "Semantic_Agent") -> list[AgentReply]:
+        if not self.is_anomalous:
+            return []
+        failing = [pair for pair in self.pairs if not pair.holds]
+        fragments = ", ".join(f"'{pair.left}' with '{pair.right}'" for pair in failing)
+        if self.verdict == SemanticVerdict.VIOLATION:
+            lead = f"That doesn't sound right for this course: {fragments}."
+        else:
+            lead = f"Actually, that negative statement contradicts the course material: {fragments}."
+        replies = [AgentReply(agent, Severity.WARNING, lead)]
+        for suggestion in self.suggestions:
+            replies.append(AgentReply(agent, Severity.CORRECTION, suggestion))
+        return replies

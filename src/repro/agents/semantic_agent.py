@@ -1,0 +1,188 @@
+"""The Semantic Agent, ontology methodology (paper section 4.3).
+
+The paper weighs two designs and picks "Semantic Relation of Knowledge
+Ontology"; this module implements it with the three branching stages:
+
+1. **Sentence Pattern Classification** — questions are routed to the QA
+   subsystem (the agent "doesn't deal with the semantic problems" of a
+   question); syntactically broken sentences are ignored here because
+   Learning_Angel already reported them.
+2. **Semantic Keywords Filter** — ontology terms are extracted with their
+   ids (tree=4, pop=33 in the paper's example).
+3. **Sentence Distance Evaluation** — concept/operation pairs are judged
+   by capability (with IS-A inheritance), other pairs by weighted graph
+   distance; *negation flips the expected polarity*, so "The tree doesn't
+   have pop method" is accepted while "I push the data into a tree" is a
+   violation with correction suggestions.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.keywords import KeywordFilter, KeywordMatch
+from repro.nlp.patterns import PatternAnalysis, classify
+from repro.ontology.distance import SemanticDistanceEvaluator
+from repro.ontology.model import ItemKind, Ontology
+
+from .reports import PairEvaluation, SemanticReview, SemanticVerdict
+
+AGENT_NAME = "Semantic_Agent"
+
+# Concept categories that denote operands rather than operated containers.
+_OPERAND_CATEGORIES = frozenset({"part"})
+
+
+class SemanticAgent:
+    """Semantic supervisor over a knowledge ontology."""
+
+    name = AGENT_NAME
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        keyword_filter: KeywordFilter | None = None,
+        related_threshold: float = 2.0,
+        max_suggestions: int = 2,
+    ) -> None:
+        self.ontology = ontology
+        self.keyword_filter = keyword_filter or KeywordFilter(ontology)
+        self.evaluator = SemanticDistanceEvaluator(ontology, related_threshold)
+        self.max_suggestions = max_suggestions
+
+    # ----------------------------------------------------------------- API
+
+    def review(self, text: str, syntactically_ok: bool = True) -> SemanticReview:
+        """Run the three-stage pipeline on one sentence."""
+        pattern = classify(text)
+        if not syntactically_ok:
+            return SemanticReview(SemanticVerdict.SYNTAX_SKIPPED, pattern)
+        if pattern.is_question:
+            return SemanticReview(SemanticVerdict.QUESTION, pattern)
+        keywords = tuple(self.keyword_filter.extract(text))
+        if len(keywords) == 0:
+            return SemanticReview(SemanticVerdict.NO_KEYWORDS, pattern, keywords)
+        pairs = self._evaluate_pairs(keywords, pattern)
+        if not pairs:
+            return SemanticReview(SemanticVerdict.OK, pattern, keywords)
+        failing = [pair for pair in pairs if not pair.holds]
+        if not failing:
+            return SemanticReview(SemanticVerdict.OK, pattern, keywords, tuple(pairs))
+        verdict = (
+            SemanticVerdict.VIOLATION if pattern.affirmative else SemanticVerdict.MISCONCEPTION
+        )
+        suggestions = self._suggestions(failing, pattern)
+        return SemanticReview(verdict, pattern, keywords, tuple(pairs), tuple(suggestions))
+
+    # ------------------------------------------------------------ internal
+
+    def _evaluate_pairs(
+        self, keywords: tuple[KeywordMatch, ...], pattern: PatternAnalysis
+    ) -> list[PairEvaluation]:
+        """Build and judge the keyword pairs of stage 3.
+
+        Operations are judged against the best concept in the sentence (a
+        sentence is fine if *some* mentioned container supports the
+        operation); with no operations present, consecutive item pairs are
+        judged by graph distance (is-a and property claims).
+        """
+        concepts = [k for k in keywords if k.item.kind == ItemKind.CONCEPT]
+        operations = [k for k in keywords if k.item.kind == ItemKind.OPERATION]
+        others = [
+            k
+            for k in keywords
+            if k.item.kind in (ItemKind.PROPERTY, ItemKind.ALGORITHM)
+        ]
+        pairs: list[PairEvaluation] = []
+        expected = pattern.affirmative
+        if operations and concepts:
+            containers = [c for c in concepts if c.item.category not in _OPERAND_CATEGORIES]
+            anchors = containers or concepts
+            for operation in operations:
+                pairs.append(self._judge_operation(operation, anchors, expected))
+        elif operations and others:
+            for operation in operations:
+                pairs.append(self._judge_by_distance(others[0], operation, expected))
+        if not operations and len(concepts) + len(others) >= 2:
+            items = concepts + others
+            items.sort(key=lambda match: match.start)
+            for left, right in zip(items, items[1:]):
+                pairs.append(self._judge_by_distance(left, right, expected))
+        return pairs
+
+    def _judge_operation(
+        self,
+        operation: KeywordMatch,
+        anchors: list[KeywordMatch],
+        expected: bool,
+    ) -> PairEvaluation:
+        """Judge an operation against the closest-supporting anchor."""
+        best: PairEvaluation | None = None
+        for anchor in anchors:
+            verdict = self.evaluator.evaluate_pair(anchor.item_id, operation.item_id)
+            evaluation = PairEvaluation(
+                left=anchor.name,
+                right=operation.name,
+                left_id=anchor.item_id,
+                right_id=operation.item_id,
+                distance=verdict.distance,
+                related=verdict.related,
+                capability=verdict.capability,
+                holds=(verdict.related == expected),
+            )
+            if verdict.related:
+                # Some mentioned container supports the operation; the
+                # claim holds iff the sentence was affirmative.
+                return evaluation
+            if best is None or evaluation.distance < best.distance:
+                best = evaluation
+        assert best is not None
+        return best
+
+    def _judge_by_distance(
+        self, left: KeywordMatch, right: KeywordMatch, expected: bool
+    ) -> PairEvaluation:
+        verdict = self.evaluator.evaluate_pair(left.item_id, right.item_id)
+        return PairEvaluation(
+            left=left.name,
+            right=right.name,
+            left_id=left.item_id,
+            right_id=right.item_id,
+            distance=verdict.distance,
+            related=verdict.related,
+            capability=verdict.capability,
+            holds=(verdict.related == expected),
+        )
+
+    def _suggestions(
+        self, failing: list[PairEvaluation], pattern: PatternAnalysis
+    ) -> list[str]:
+        """Correction hints for the failing pairs."""
+        suggestions: list[str] = []
+        for pair in failing[: self.max_suggestions]:
+            right_item = self.ontology.get(pair.right_id)
+            left_item = self.ontology.get(pair.left_id)
+            if pattern.affirmative and right_item.kind == ItemKind.OPERATION:
+                supporters = self.evaluator.concepts_supporting(
+                    right_item.item_id, near=left_item.item_id
+                )
+                if supporters:
+                    names = " or ".join(f"a {item.name}" for item in supporters[:2])
+                    suggestions.append(
+                        f"'{right_item.name}' works on {names}, not on a {left_item.name}."
+                    )
+                available = self.evaluator.operations_available(left_item.item_id)
+                if available:
+                    names = ", ".join(item.name for item in available[:4])
+                    suggestions.append(
+                        f"A {left_item.name} supports: {names}."
+                    )
+            elif not pattern.affirmative:
+                suggestions.append(
+                    f"In fact, {left_item.name} and {right_item.name} do go "
+                    f"together in this course."
+                )
+            else:
+                suggestions.append(
+                    f"'{left_item.name}' and '{right_item.name}' are not "
+                    f"related in the course ontology."
+                )
+        return suggestions

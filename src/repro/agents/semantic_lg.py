@@ -1,0 +1,206 @@
+"""The Semantic Link Grammar methodology — the paper's rejected design.
+
+Section 4.3 proposes two ways to build the Semantic Agent and argues
+against the first: "Semantic Link Grammar can use the algorithm from link
+grammar to parse sentences.  However, it is quite difficult to modify the
+dictionary ... It will take a lot of cost and time for linguistic
+classification and the performance is not very well."
+
+We implement it anyway, as the ablation baseline (experiment A1): semantic
+selectional restrictions are compiled *into the dictionary connectors* —
+each operation gets a subscript class letter, every concept noun carries
+the classes of the operations it supports, and operation verbs demand a
+matching class on their objects and oblique (preposition) targets.  A
+sentence is semantically acceptable iff it parses with zero null words in
+this semantic dictionary.
+
+The cost the paper predicts is measurable: adding a concept requires
+touching the noun's class list *and* every typed preposition entry, and
+the dictionary's disjunct count grows multiplicatively (reported by the
+A1 benchmark), whereas the ontology methodology adds a handful of graph
+edges.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+
+from repro.linkgrammar.dictionary import Dictionary
+from repro.linkgrammar.parser import ParseOptions, Parser
+from repro.nlp.patterns import classify
+from repro.ontology.model import ItemKind, Ontology
+
+from .reports import SemanticVerdict
+
+AGENT_NAME = "Semantic_LG"
+
+
+@dataclass(frozen=True, slots=True)
+class SemanticLGReview:
+    """Verdict of the link-grammar-based semantic check."""
+
+    verdict: SemanticVerdict
+    null_count: int = 0
+    parse_count: int = 0
+
+
+class SemanticLinkGrammarAgent:
+    """Semantic checking by parsing against a semantically-typed grammar.
+
+    The dictionary is *generated* from the ontology (the linguistic
+    classification the paper says is so costly), so the two methodologies
+    stay comparable on the same knowledge.
+    """
+
+    name = AGENT_NAME
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+        self.class_letters = self._assign_class_letters()
+        self.dictionary = self._build_dictionary()
+        self.parser = Parser(self.dictionary, ParseOptions(max_null_count=None, max_linkages=8))
+
+    # ------------------------------------------------------------ assembly
+
+    def _assign_class_letters(self) -> dict[int, str]:
+        """One lower-case subscript letter per operation item."""
+        letters: dict[int, str] = {}
+        operations = self.ontology.items_of_kind(ItemKind.OPERATION)
+        alphabet = string.ascii_lowercase
+        if len(operations) > len(alphabet):
+            raise ValueError("too many operations for single-letter classes")
+        for letter, operation in zip(alphabet, operations):
+            letters[operation.item_id] = letter
+        return letters
+
+    def _classes_of(self, concept_id: int) -> str:
+        """The class letters of every operation a concept supports."""
+        return "".join(
+            sorted(
+                self.class_letters[op.item_id]
+                for op in self.ontology.operations_of(concept_id)
+                if op.item_id in self.class_letters
+            )
+        )
+
+    def _build_dictionary(self) -> Dictionary:
+        """Compile the ontology into a semantically-typed dictionary.
+
+        Selection is enforced three ways, each typed by operation class:
+
+        * oblique targets: ``push ... into X`` needs ``X`` to carry the
+          ``J``-class of *push* (``Ja-``), i.e. to support push;
+        * passives: ``X is pushed in Y`` types the participle's ``MV``;
+        * capability chains: ``X has/supports push`` runs a typed subject
+          link ``SC`` through do-support (``doesn't``) into a typed
+          ``SV`` object, so both ends must agree with the ontology.
+        """
+        d = Dictionary(name="semantic-link-grammar")
+        letters = sorted(set(self.class_letters.values()))
+        d.define("<WALL>", "Wd+ or Wi+")
+        d.define("a an the this that my your its one", "D+")
+        d.define("i you we they", "{Wd-} & Sp+")
+        d.define("he she it", "{Wd-} & Ss+")
+        # Generic operands: things one may push/insert/etc. anywhere.
+        d.define(
+            "data element elements item items key keys value values node nodes",
+            "{D-} & (O- or ({Wd-} & S+))",
+        )
+        d.define("not", "N-")
+
+        # Concept nouns: generic roles, plus typed roles for each
+        # operation class the concept supports.
+        for concept in self.ontology.items_of_kind(ItemKind.CONCEPT):
+            classes = self._classes_of(concept.item_id)
+            words = {name for name in concept.all_names() if " " not in name}
+            if not words:
+                continue
+            alternatives = ["{D-} & ({Wd-} & S+ or O-)"]
+            for letter in classes:
+                alternatives.append(f"{{D-}} & J{letter}-")
+                alternatives.append(f"{{D-}} & {{Wd-}} & SC{letter}+")
+            formula = " or ".join(f"({alt})" for alt in alternatives)
+            d.define(sorted(words), formula)
+
+        # Operation verbs: objects are free, oblique targets are typed;
+        # the bare operation name doubles as the SV object of capability
+        # statements ("has push").
+        from repro.linkgrammar.lexicon.builder import verb_forms
+
+        for operation in self.ontology.items_of_kind(ItemKind.OPERATION):
+            letter = self.class_letters[operation.item_id]
+            base = operation.name
+            if " " in base:
+                continue
+            third, past, _participle, gerund = verb_forms(base)
+            frames = {
+                base: (
+                    f"({{@E-}} & (Sp- or Wi- or I-) & {{O+}} & {{MV{letter}+}})"
+                    f" or (SV{letter}- & {{APm+}})"
+                ),
+                third: f"{{@E-}} & Ss- & {{O+}} & {{MV{letter}+}}",
+                past: (
+                    f"({{@E-}} & S- & {{O+}} & {{MV{letter}+}})"
+                    f" or (Pv- & {{MV{letter}+}})"
+                ),
+                gerund: f"Pg- & {{O+}} & {{MV{letter}+}}",
+            }
+            for word, formula in frames.items():
+                d.define(word, formula)
+
+        # Copula for passives: "the data is pushed in this heap".
+        d.define("is was", "Ss- & {N+} & Pv+")
+        d.define("are were", "Sp- & {N+} & Pv+")
+
+        # Typed prepositions: one entry per (preposition, class) pairing —
+        # exactly the maintenance blow-up the paper warns about.
+        prepositions = ["into", "onto", "in", "on", "from", "at", "to"]
+        for preposition in prepositions:
+            variants = [f"(MV{letter}- & J{letter}+)" for letter in letters]
+            d.define(preposition, " or ".join(variants))
+
+        # Capability chains, typed end to end: SCx- ... (Ix+) ... SVx+.
+        has_variants = [f"(SC{letter}- & SV{letter}+)" for letter in letters]
+        d.define("has supports", " or ".join(has_variants))
+        infinitive_variants = [f"(SC{letter}- & IC{letter}+)" for letter in letters]
+        d.define("doesn't don't does do", " or ".join(infinitive_variants))
+        have_variants = [f"(IC{letter}- & SV{letter}+)" for letter in letters]
+        d.define("have support", " or ".join(have_variants))
+        d.define("method operation", "APm-")
+        return d
+
+    # ----------------------------------------------------------------- API
+
+    def review(self, text: str, syntactically_ok: bool = True) -> SemanticLGReview:
+        """Judge a sentence by parsing it with the semantic dictionary."""
+        pattern = classify(text)
+        if not syntactically_ok:
+            return SemanticLGReview(SemanticVerdict.SYNTAX_SKIPPED)
+        if pattern.is_question:
+            return SemanticLGReview(SemanticVerdict.QUESTION)
+        result = self.parser.parse(text)
+        acceptable = result.null_count == 0 and bool(result.linkages)
+        if pattern.is_negative:
+            # The typed grammar cannot represent negation semantics; the
+            # paper's point about the methodology's limits.  Negated
+            # sentences about *unsupported* pairings fail to parse, which
+            # this methodology must treat as acceptable claims.
+            verdict = SemanticVerdict.OK if not acceptable else SemanticVerdict.MISCONCEPTION
+        else:
+            verdict = SemanticVerdict.OK if acceptable else SemanticVerdict.VIOLATION
+        return SemanticLGReview(
+            verdict=verdict,
+            null_count=result.null_count,
+            parse_count=result.total_count,
+        )
+
+    # ------------------------------------------------------------- metrics
+
+    def maintenance_cost(self) -> dict[str, int]:
+        """Size metrics for the A1 ablation benchmark."""
+        return {
+            "words": len(self.dictionary),
+            "disjuncts": self.dictionary.disjunct_count(),
+            "operation_classes": len(self.class_letters),
+        }

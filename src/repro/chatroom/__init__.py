@@ -1,0 +1,41 @@
+"""Augmentative chat room substrate: deterministic rooms + supervision."""
+
+from .clock import SimulatedClock
+from .events import (
+    AgentIntervened,
+    Event,
+    EventBus,
+    MessageDelivered,
+    UserJoined,
+    UserLeft,
+)
+from .messages import ChatMessage, MessageKind, Participant, Role
+from .room import ChatRoom, ChatRoomError
+from .server import ChatServer
+from .supervisor import (
+    QA_AGENT_NAME,
+    SupervisionPipeline,
+    SupervisionPolicy,
+    SupervisionStats,
+)
+
+__all__ = [
+    "AgentIntervened",
+    "ChatMessage",
+    "ChatRoom",
+    "ChatRoomError",
+    "ChatServer",
+    "Event",
+    "EventBus",
+    "MessageDelivered",
+    "MessageKind",
+    "Participant",
+    "QA_AGENT_NAME",
+    "Role",
+    "SimulatedClock",
+    "SupervisionPipeline",
+    "SupervisionPolicy",
+    "SupervisionStats",
+    "UserJoined",
+    "UserLeft",
+]

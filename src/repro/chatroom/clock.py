@@ -1,0 +1,28 @@
+"""Simulated wall clock.
+
+All timestamps in the system come from this clock, which only moves when
+told to: runs are deterministic and replayable, so every experiment in
+EXPERIMENTS.md is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A manually advanced clock measured in (simulated) seconds."""
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, seconds: float | None = None) -> float:
+        """Move time forward by ``seconds`` (default: one tick)."""
+        step = self.tick if seconds is None else float(seconds)
+        if step < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += step
+        return self._now

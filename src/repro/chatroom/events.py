@@ -1,0 +1,72 @@
+"""A tiny synchronous event bus.
+
+Room activity (joins, leaves, deliveries, agent interventions) is
+published as events; the statistic analyzer, benchmarks and examples
+subscribe without coupling to the server internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .messages import ChatMessage
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class for bus events."""
+
+
+@dataclass(frozen=True, slots=True)
+class UserJoined(Event):
+    room: str
+    user: str
+    role: str
+    timestamp: float
+
+
+@dataclass(frozen=True, slots=True)
+class UserLeft(Event):
+    room: str
+    user: str
+    timestamp: float
+
+
+@dataclass(frozen=True, slots=True)
+class MessageDelivered(Event):
+    message: ChatMessage
+
+
+@dataclass(frozen=True, slots=True)
+class AgentIntervened(Event):
+    room: str
+    agent: str
+    severity: str
+    in_reply_to: int
+    timestamp: float
+
+
+Handler = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe, by event type."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[type, list[Handler]] = {}
+        self._any_handlers: list[Handler] = []
+
+    def subscribe(self, event_type: type | None, handler: Handler) -> None:
+        """Register ``handler`` for an event type (None = all events)."""
+        if event_type is None:
+            self._any_handlers.append(handler)
+        else:
+            self._handlers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: Event) -> None:
+        """Deliver an event to all matching handlers, in order."""
+        for handler in self._handlers.get(type(event), ()):  # exact type
+            handler(event)
+        for handler in self._any_handlers:
+            handler(event)

@@ -1,0 +1,57 @@
+"""Chat messages and participants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """Who (functionally) produced a message."""
+
+    USER = "user"
+    AGENT = "agent"
+    SYSTEM = "system"
+
+
+class Role(Enum):
+    """Participant roles in the e-learning chat room."""
+
+    STUDENT = "student"
+    TEACHER = "teacher"
+    AGENT = "agent"
+
+
+@dataclass(frozen=True, slots=True)
+class ChatMessage:
+    """One delivered chat-room message.
+
+    Attributes:
+        seq: global delivery sequence number — the total order every
+            participant observes (deterministic substrate for the
+            distributed chat room).
+        room: room name.
+        sender: participant name.
+        kind: user / agent / system.
+        text: message body.
+        timestamp: simulated-clock time of delivery.
+        reply_to: seq of the message this one responds to, if any.
+    """
+
+    seq: int
+    room: str
+    sender: str
+    kind: MessageKind
+    text: str
+    timestamp: float
+    reply_to: int | None = None
+
+
+@dataclass(slots=True)
+class Participant:
+    """A chat-room participant."""
+
+    name: str
+    role: Role = Role.STUDENT
+    joined_at: float = 0.0
+    messages_sent: int = field(default=0)

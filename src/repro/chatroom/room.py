@@ -1,0 +1,60 @@
+"""Chat rooms: membership, topic, transcript."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .messages import ChatMessage, Participant, Role
+
+
+class ChatRoomError(ValueError):
+    """Raised for invalid room operations (posting while absent, etc.)."""
+
+
+@dataclass(slots=True)
+class ChatRoom:
+    """One room of the augmentative chat system.
+
+    Attributes:
+        name: unique room name.
+        topic: the discussing topic the instructor set up (section 1:
+            "do learners talk about the indicated issues?").
+        participants: present members by name.
+        transcript: all delivered messages, in delivery order.
+    """
+
+    name: str
+    topic: str = ""
+    participants: dict[str, Participant] = field(default_factory=dict)
+    transcript: list[ChatMessage] = field(default_factory=list)
+
+    def join(self, name: str, role: Role, now: float) -> Participant:
+        participant = self.participants.get(name)
+        if participant is None:
+            participant = Participant(name=name, role=role, joined_at=now)
+            self.participants[name] = participant
+        return participant
+
+    def leave(self, name: str) -> None:
+        self.participants.pop(name, None)
+
+    def is_member(self, name: str) -> bool:
+        return name in self.participants
+
+    def members(self) -> list[Participant]:
+        return [self.participants[name] for name in sorted(self.participants)]
+
+    def deliver(self, message: ChatMessage) -> None:
+        """Append a message to the transcript (delivery order = seq order)."""
+        if self.transcript and message.seq <= self.transcript[-1].seq:
+            raise ChatRoomError(
+                f"out-of-order delivery in {self.name}: "
+                f"{message.seq} after {self.transcript[-1].seq}"
+            )
+        self.transcript.append(message)
+
+    def messages_from(self, sender: str) -> list[ChatMessage]:
+        return [message for message in self.transcript if message.sender == sender]
+
+    def last_messages(self, count: int) -> list[ChatMessage]:
+        return self.transcript[-count:]

@@ -1,0 +1,133 @@
+"""The chat server: rooms, ordered delivery, supervision hooks.
+
+A deterministic, in-process stand-in for the paper's networked chat
+service.  Delivery order is a single global sequence (total order), the
+clock is simulated, and *supervisors* — the paper's always-online agents —
+observe every user message after delivery and may post replies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .clock import SimulatedClock
+from .events import AgentIntervened, EventBus, MessageDelivered, UserJoined, UserLeft
+from .messages import ChatMessage, MessageKind, Role
+from .room import ChatRoom, ChatRoomError
+
+
+class Supervisor(Protocol):
+    """A supervision hook: sees each delivered user message."""
+
+    def on_message(self, server: "ChatServer", message: ChatMessage) -> None:
+        """React to a delivered user message (may post agent replies)."""
+
+
+class ChatServer:
+    """Rooms + total-order delivery + supervisor fan-out."""
+
+    def __init__(self, clock: SimulatedClock | None = None, bus: EventBus | None = None) -> None:
+        self.clock = clock or SimulatedClock()
+        self.bus = bus or EventBus()
+        self.rooms: dict[str, ChatRoom] = {}
+        self.supervisors: list[Supervisor] = []
+        self._next_seq = 0
+
+    # --------------------------------------------------------------- rooms
+
+    def create_room(self, name: str, topic: str = "") -> ChatRoom:
+        if name in self.rooms:
+            raise ChatRoomError(f"room {name!r} already exists")
+        room = ChatRoom(name=name, topic=topic)
+        self.rooms[name] = room
+        return room
+
+    def get_room(self, name: str) -> ChatRoom:
+        room = self.rooms.get(name)
+        if room is None:
+            raise ChatRoomError(f"no room named {name!r}")
+        return room
+
+    def join(self, room_name: str, user: str, role: Role = Role.STUDENT) -> None:
+        room = self.get_room(room_name)
+        room.join(user, role, self.clock.now())
+        self.bus.publish(UserJoined(room_name, user, role.value, self.clock.now()))
+
+    def leave(self, room_name: str, user: str) -> None:
+        room = self.get_room(room_name)
+        room.leave(user)
+        self.bus.publish(UserLeft(room_name, user, self.clock.now()))
+
+    # ------------------------------------------------------------ delivery
+
+    def add_supervisor(self, supervisor: Supervisor) -> None:
+        self.supervisors.append(supervisor)
+
+    def post(
+        self,
+        room_name: str,
+        sender: str,
+        text: str,
+        kind: MessageKind = MessageKind.USER,
+        reply_to: int | None = None,
+    ) -> ChatMessage:
+        """Deliver a message to a room and run supervision on it.
+
+        User messages require membership; agent/system messages do not
+        (the agents are "constantly online" fixtures of every room).
+        """
+        room = self.get_room(room_name)
+        if kind == MessageKind.USER and not room.is_member(sender):
+            raise ChatRoomError(f"{sender!r} is not in room {room_name!r}")
+        message = ChatMessage(
+            seq=self._next_seq,
+            room=room_name,
+            sender=sender,
+            kind=kind,
+            text=text,
+            timestamp=self.clock.now(),
+            reply_to=reply_to,
+        )
+        self._next_seq += 1
+        room.deliver(message)
+        if kind == MessageKind.USER:
+            participant = room.participants.get(sender)
+            if participant is not None:
+                participant.messages_sent += 1
+        self.bus.publish(MessageDelivered(message))
+        if kind == MessageKind.USER:
+            for supervisor in self.supervisors:
+                supervisor.on_message(self, message)
+        return message
+
+    def post_agent_reply(
+        self,
+        room_name: str,
+        agent: str,
+        text: str,
+        in_reply_to: ChatMessage,
+        severity: str = "info",
+    ) -> ChatMessage:
+        """Post a supervising agent's reply (published as an intervention)."""
+        message = self.post(
+            room_name, agent, text, kind=MessageKind.AGENT, reply_to=in_reply_to.seq
+        )
+        self.bus.publish(
+            AgentIntervened(
+                room=room_name,
+                agent=agent,
+                severity=severity,
+                in_reply_to=in_reply_to.seq,
+                timestamp=self.clock.now(),
+            )
+        )
+        return message
+
+    # ------------------------------------------------------------- utility
+
+    def role_of(self, room_name: str, user: str) -> Role | None:
+        participant = self.get_room(room_name).participants.get(user)
+        return participant.role if participant else None
+
+    def total_messages(self) -> int:
+        return self._next_seq

@@ -1,0 +1,230 @@
+"""The supervision pipeline: Figure 3's operation flow, wired.
+
+Every user message is split into sentences and each sentence runs the
+paper's flow: Learning_Angel (syntax) → pattern classification → either
+the QA subsystem (questions) or the Semantic Agent (statements); analysed
+sentences are recorded into the Learner Corpus and the User Profile
+database, and agent replies are posted back into the room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.learning_angel import LearningAngelAgent
+from repro.agents.reports import SemanticVerdict
+from repro.agents.semantic_agent import SemanticAgent
+from repro.corpus.records import Correctness
+from repro.linkgrammar.tokenizer import split_sentences
+from repro.nlp.patterns import classify
+from repro.profiles.store import UserProfileStore
+from repro.qa.engine import QASystem
+
+from .messages import ChatMessage, MessageKind, Role
+from .server import ChatServer
+
+QA_AGENT_NAME = "QA_System"
+
+
+@dataclass(slots=True)
+class SupervisionStats:
+    """Running counters kept by the pipeline (benchmarked in F3)."""
+
+    messages: int = 0
+    sentences: int = 0
+    syntax_errors: int = 0
+    semantic_violations: int = 0
+    misconceptions: int = 0
+    questions: int = 0
+    questions_answered: int = 0
+    faq_hits: int = 0
+    agent_replies: int = 0
+    corrections_suggested: int = 0
+
+
+@dataclass(slots=True)
+class SupervisionPolicy:
+    """Behaviour knobs for the pipeline.
+
+    Attributes:
+        reply_to_errors: post agent replies on detected problems.
+        reply_to_questions: post QA answers into the room.
+        reply_when_unanswered: apologise when QA finds nothing.
+        max_replies_per_message: cap agent chatter per user message.
+        supervise_teachers: also review teacher messages (off by
+            default — the paper's agents supervise *learners*, and
+            instructor material is often outside the learner grammar).
+    """
+
+    reply_to_errors: bool = True
+    reply_to_questions: bool = True
+    reply_when_unanswered: bool = True
+    max_replies_per_message: int = 4
+    supervise_teachers: bool = False
+
+
+class SupervisionPipeline:
+    """Binds the agents, QA system, corpus and profiles to a server."""
+
+    def __init__(
+        self,
+        learning_angel: LearningAngelAgent,
+        semantic_agent: SemanticAgent,
+        qa_system: QASystem,
+        profiles: UserProfileStore,
+        policy: SupervisionPolicy | None = None,
+    ) -> None:
+        self.learning_angel = learning_angel
+        self.semantic_agent = semantic_agent
+        self.qa_system = qa_system
+        self.profiles = profiles
+        self.policy = policy or SupervisionPolicy()
+        self.stats = SupervisionStats()
+
+    # ------------------------------------------------------------ pipeline
+
+    def on_message(self, server: ChatServer, message: ChatMessage) -> None:
+        """Supervise one delivered user message."""
+        if message.kind != MessageKind.USER:
+            return
+        if not self.policy.supervise_teachers:
+            participant = server.get_room(message.room).participants.get(message.sender)
+            if participant is not None and participant.role == Role.TEACHER:
+                return
+        self.stats.messages += 1
+        replies_posted = 0
+        for sentence in split_sentences(message.text):
+            replies_posted += self._supervise_sentence(server, message, sentence, replies_posted)
+
+    def _supervise_sentence(
+        self,
+        server: ChatServer,
+        message: ChatMessage,
+        sentence: str,
+        already_posted: int,
+    ) -> int:
+        self.stats.sentences += 1
+        now = server.clock.now()
+        pattern = classify(sentence)
+        review = self.learning_angel.review(sentence)
+        posted = 0
+
+        if pattern.is_question:
+            posted += self._handle_question(server, message, sentence, review, now, already_posted)
+            return posted
+
+        mistake_kinds: list[str] = []
+        semantic_notes: list[str] = []
+        verdict = Correctness.CORRECT
+
+        if not review.is_correct:
+            self.stats.syntax_errors += 1
+            verdict = Correctness.SYNTAX_ERROR
+            mistake_kinds = [issue.kind.value for issue in review.diagnosis.issues]
+            if self.policy.reply_to_errors:
+                for reply in review.as_replies():
+                    if already_posted + posted >= self.policy.max_replies_per_message:
+                        break
+                    server.post_agent_reply(
+                        message.room, reply.agent, reply.text, message, reply.severity.value
+                    )
+                    posted += 1
+                    self.stats.agent_replies += 1
+                    if reply.severity.value == "correction":
+                        self.stats.corrections_suggested += 1
+        else:
+            semantic = self.semantic_agent.review(sentence, syntactically_ok=True)
+            if semantic.verdict == SemanticVerdict.VIOLATION:
+                self.stats.semantic_violations += 1
+                verdict = Correctness.SEMANTIC_ERROR
+            elif semantic.verdict == SemanticVerdict.MISCONCEPTION:
+                self.stats.misconceptions += 1
+                verdict = Correctness.SEMANTIC_ERROR
+            if semantic.is_anomalous:
+                semantic_notes = [
+                    f"{pair.left}~{pair.right}" for pair in semantic.pairs if not pair.holds
+                ]
+                if self.policy.reply_to_errors:
+                    for reply in semantic.as_replies():
+                        if already_posted + posted >= self.policy.max_replies_per_message:
+                            break
+                        server.post_agent_reply(
+                            message.room, reply.agent, reply.text, message, reply.severity.value
+                        )
+                        posted += 1
+                        self.stats.agent_replies += 1
+                        if reply.severity.value == "correction":
+                            self.stats.corrections_suggested += 1
+
+        self.learning_angel.record(
+            review,
+            user=message.sender,
+            room=message.room,
+            timestamp=now,
+            verdict=verdict,
+            semantic_issues=semantic_notes,
+        )
+        self.profiles.record_activity(
+            message.sender,
+            now,
+            syntax_error=(verdict == Correctness.SYNTAX_ERROR),
+            semantic_error=(verdict == Correctness.SEMANTIC_ERROR),
+            question=False,
+            mistake_kinds=tuple(mistake_kinds),
+            topics=tuple(match.name for match in review.keywords),
+        )
+        return posted
+
+    def _handle_question(
+        self,
+        server: ChatServer,
+        message: ChatMessage,
+        sentence: str,
+        review,
+        now: float,
+        already_posted: int,
+    ) -> int:
+        self.stats.questions += 1
+        answer = self.qa_system.answer(sentence, now=now)
+        posted = 0
+        if answer.answered:
+            self.stats.questions_answered += 1
+            if answer.is_faq_hit:
+                self.stats.faq_hits += 1
+            if (
+                self.policy.reply_to_questions
+                and already_posted < self.policy.max_replies_per_message
+            ):
+                server.post_agent_reply(
+                    message.room, QA_AGENT_NAME, answer.text, message, "info"
+                )
+                posted += 1
+                self.stats.agent_replies += 1
+        elif (
+            self.policy.reply_when_unanswered
+            and already_posted < self.policy.max_replies_per_message
+        ):
+            server.post_agent_reply(
+                message.room,
+                QA_AGENT_NAME,
+                "I could not find an answer to that in the course material.",
+                message,
+                "info",
+            )
+            posted += 1
+            self.stats.agent_replies += 1
+
+        self.learning_angel.record(
+            review,
+            user=message.sender,
+            room=message.room,
+            timestamp=now,
+            verdict=Correctness.QUESTION,
+        )
+        self.profiles.record_activity(
+            message.sender,
+            now,
+            question=True,
+            topics=tuple(match.name for match in review.keywords),
+        )
+        return posted

@@ -1,0 +1,84 @@
+"""Transcript persistence: save and replay supervised sessions.
+
+Rooms serialise to JSON lines (one message per line), so sessions can be
+archived, diffed across runs (determinism checks), mined offline by the
+QA miner, or replayed through a fresh system for regression analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.qa.mining import TranscriptLine
+
+from .messages import ChatMessage, MessageKind
+from .room import ChatRoom
+
+
+def save_transcript(room: ChatRoom, path: str | Path) -> int:
+    """Write a room's transcript as JSON lines; returns the line count."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for message in room.transcript:
+            handle.write(
+                json.dumps(
+                    {
+                        "seq": message.seq,
+                        "room": message.room,
+                        "sender": message.sender,
+                        "kind": message.kind.value,
+                        "text": message.text,
+                        "timestamp": message.timestamp,
+                        "reply_to": message.reply_to,
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    return len(room.transcript)
+
+
+def load_transcript(path: str | Path) -> list[ChatMessage]:
+    """Read messages previously written by :func:`save_transcript`."""
+    messages: list[ChatMessage] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            messages.append(
+                ChatMessage(
+                    seq=data["seq"],
+                    room=data["room"],
+                    sender=data["sender"],
+                    kind=MessageKind(data["kind"]),
+                    text=data["text"],
+                    timestamp=data["timestamp"],
+                    reply_to=data.get("reply_to"),
+                )
+            )
+    return messages
+
+
+def as_mining_lines(
+    messages: list[ChatMessage],
+    teacher_names: frozenset[str] = frozenset({"teacher"}),
+) -> list[TranscriptLine]:
+    """Adapt an archived transcript for the QA miner (user messages only)."""
+    lines: list[TranscriptLine] = []
+    for message in messages:
+        if message.kind != MessageKind.USER:
+            continue
+        role = "teacher" if message.sender in teacher_names else "student"
+        lines.append(
+            TranscriptLine(
+                user=message.sender,
+                text=message.text,
+                timestamp=message.timestamp,
+                role=role,
+            )
+        )
+    return lines

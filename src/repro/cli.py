@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``parse "sentence"``        — link-grammar parse with an ASCII diagram;
+* ``check "sentence"``        — full supervision verdict (syntax + semantics);
+* ``ask "question"``          — the QA subsystem's answer;
+* ``repair "sentence"``       — suggested corrections;
+* ``simulate [--rounds N]``   — run a seeded classroom and print reports;
+* ``export-scorm DIR``        — write the SCORM content package;
+* ``ontology [--format x]``   — dump the knowledge body (xml or ddl).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.agents import SemanticAgent
+from repro.linkgrammar import Parser, SentenceRepairer
+from repro.linkgrammar.diagram import render
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.linkgrammar.robust import RobustAnalyzer
+from repro.ontology import render_script, to_xml, translate
+from repro.ontology.domains import default_ontology
+from repro.qa import QASystem
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    parser = Parser(default_dictionary())
+    result = parser.parse(args.text)
+    print(f"linkages: {result.total_count}   nulls: {result.null_count}   "
+          f"cost: {result.best.cost if result.best else '-'}")
+    if result.unknown_words:
+        print(f"unknown words: {', '.join(result.unknown_words)}")
+    if result.best is not None and result.best.links:
+        print(render(result.best, show_wall=args.wall))
+    return 0 if result.null_count == 0 else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    analyzer = RobustAnalyzer(default_dictionary())
+    diagnosis = analyzer.analyze(args.text)
+    print(f"syntax : {'OK' if diagnosis.is_correct else 'PROBLEMS'}")
+    for issue in diagnosis.issues:
+        print(f"  [{issue.kind.value}] {issue.message}")
+    if diagnosis.is_correct:
+        agent = SemanticAgent(default_ontology())
+        review = agent.review(args.text)
+        print(f"semantic: {review.verdict.value}")
+        for pair in review.pairs:
+            status = "ok" if pair.holds else "PROBLEM"
+            print(f"  {pair.left} ~ {pair.right}: distance={pair.distance} [{status}]")
+        for suggestion in review.suggestions:
+            print(f"  hint: {suggestion}")
+        return 0 if not review.is_anomalous else 1
+    return 1
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    qa = QASystem(default_ontology())
+    answer = qa.answer(args.text)
+    print(f"[{answer.kind.value} via {answer.source}]")
+    print(answer.text if answer.answered else "(no answer found)")
+    return 0 if answer.answered else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    repairer = SentenceRepairer(default_dictionary())
+    repairs = repairer.repair(args.text)
+    if not repairs:
+        print("no repair needed (or none found)")
+        return 0
+    for repair in repairs:
+        print(f"{repair.text}   <- {repair.edit}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.system import ELearningSystem
+    from repro.corpus import StatisticAnalyzer
+    from repro.simulation import ClassroomSession
+
+    system = ELearningSystem.with_defaults()
+    session = ClassroomSession(system, learners=args.learners, seed=args.seed)
+    session.run(rounds=args.rounds)
+    stats = system.stats
+    print(f"messages={stats.messages} sentences={stats.sentences} "
+          f"syntax_errors={stats.syntax_errors} "
+          f"semantic={stats.semantic_violations + stats.misconceptions} "
+          f"questions={stats.questions_answered}/{stats.questions}")
+    for kind, count in StatisticAnalyzer(system.corpus).most_common_mistakes(5):
+        print(f"  mistake {kind}: {count}")
+    for pair in system.faq_top(3):
+        print(f"  faq [{pair.count}x] {pair.question}")
+    return 0
+
+
+def _cmd_export_scorm(args: argparse.Namespace) -> int:
+    from repro.standards import write_package
+
+    package = write_package(default_ontology(), args.directory)
+    files = len(list(package.iterdir()))
+    print(f"wrote {files} files to {package}")
+    return 0
+
+
+def _cmd_ontology(args: argparse.Namespace) -> int:
+    ontology = default_ontology()
+    if args.format == "xml":
+        print(to_xml(ontology))
+    else:
+        print(render_script(translate(ontology)), end="")
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic chat-room supervision (ICDCSW'05 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p = commands.add_parser("parse", help="link-grammar parse with diagram")
+    p.add_argument("text")
+    p.add_argument("--wall", action="store_true", help="show the virtual wall")
+    p.set_defaults(func=_cmd_parse)
+
+    p = commands.add_parser("check", help="syntax + semantic supervision verdict")
+    p.add_argument("text")
+    p.set_defaults(func=_cmd_check)
+
+    p = commands.add_parser("ask", help="answer a question from the ontology")
+    p.add_argument("text")
+    p.set_defaults(func=_cmd_ask)
+
+    p = commands.add_parser("repair", help="suggest corrections for a sentence")
+    p.add_argument("text")
+    p.set_defaults(func=_cmd_repair)
+
+    p = commands.add_parser("simulate", help="run a seeded classroom session")
+    p.add_argument("--rounds", type=int, default=5)
+    p.add_argument("--learners", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = commands.add_parser("export-scorm", help="write the SCORM content package")
+    p.add_argument("directory")
+    p.set_defaults(func=_cmd_export_scorm)
+
+    p = commands.add_parser("ontology", help="dump the knowledge body")
+    p.add_argument("--format", choices=["xml", "ddl"], default="xml")
+    p.set_defaults(func=_cmd_ontology)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

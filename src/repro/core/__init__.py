@@ -1,0 +1,5 @@
+"""Core facade: the assembled e-learning chat system of Figure 3."""
+
+from .system import ELearningSystem, SystemConfig
+
+__all__ = ["ELearningSystem", "SystemConfig"]

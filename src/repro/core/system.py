@@ -1,0 +1,174 @@
+"""The e-learning chat system facade (Figure 3, assembled).
+
+``ELearningSystem`` wires every subsystem the paper's architecture diagram
+shows: the augmentative chat room with its supervision flow
+(Learning_Angel → Semantic Agent → QA), the Distance Learning Ontology,
+the Learner Corpus, the User Profile database and the FAQ database.  This
+is the public entry point a downstream user starts from::
+
+    from repro import ELearningSystem
+
+    system = ELearningSystem.with_defaults()
+    room = system.open_room("ds-101", topic="stacks")
+    system.join("ds-101", "alice")
+    system.say("ds-101", "alice", "What is Stack?")
+    print(room.transcript[-1].text)   # the QA system's answer
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.learning_angel import LearningAngelAgent
+from repro.agents.recommender import Recommendation, TeachingMaterialRecommender
+from repro.agents.semantic_agent import SemanticAgent
+from repro.chatroom.clock import SimulatedClock
+from repro.chatroom.events import EventBus
+from repro.chatroom.messages import ChatMessage, Role
+from repro.chatroom.room import ChatRoom
+from repro.chatroom.server import ChatServer
+from repro.chatroom.supervisor import SupervisionPipeline, SupervisionPolicy, SupervisionStats
+from repro.corpus.generator import CorporaGenerator
+from repro.corpus.statistics import CorpusReport, StatisticAnalyzer
+from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.dictionary import Dictionary
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.linkgrammar.parser import ParseOptions
+from repro.nlp.keywords import KeywordFilter
+from repro.ontology.model import Ontology
+from repro.ontology.domains import default_ontology
+from repro.profiles.store import UserProfileStore
+from repro.qa.engine import QASystem
+from repro.qa.faq import FAQDatabase
+from repro.qa.mining import QAMiner
+
+
+@dataclass(slots=True)
+class SystemConfig:
+    """Construction knobs for :class:`ELearningSystem`.
+
+    Attributes:
+        seed_corpus: pre-populate the learner corpus from the ontology
+            (the Corpora Generator step of Figure 3).
+        policy: supervision reply policy.
+        parse_options: link-grammar parser options.
+        related_threshold: semantic distance threshold (section 4.3).
+        clock_tick: seconds the clock advances per posted message.
+    """
+
+    seed_corpus: bool = True
+    policy: SupervisionPolicy = field(default_factory=SupervisionPolicy)
+    parse_options: ParseOptions = field(default_factory=ParseOptions)
+    related_threshold: float = 2.0
+    clock_tick: float = 1.0
+
+
+class ELearningSystem:
+    """Everything in Figure 3, wired together and ready to chat."""
+
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        ontology: Ontology,
+        config: SystemConfig | None = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.dictionary = dictionary
+        self.ontology = ontology
+
+        # Databases (right-hand side of Fig. 3).
+        self.corpus = LearnerCorpus()
+        self.profiles = UserProfileStore()
+        self.faq = FAQDatabase()
+        if self.config.seed_corpus:
+            CorporaGenerator(ontology).populate(self.corpus)
+
+        # Shared NLP stages.
+        self.keyword_filter = KeywordFilter(ontology)
+
+        # Agents and QA (left-hand side of Fig. 3).
+        self.learning_angel = LearningAngelAgent(
+            dictionary,
+            corpus=self.corpus,
+            keyword_filter=self.keyword_filter,
+            options=self.config.parse_options,
+        )
+        self.semantic_agent = SemanticAgent(
+            ontology,
+            keyword_filter=self.keyword_filter,
+            related_threshold=self.config.related_threshold,
+        )
+        self.qa = QASystem(
+            ontology,
+            faq=self.faq,
+            corpus=self.corpus,
+            keyword_filter=self.keyword_filter,
+        )
+        self.miner = QAMiner(self.keyword_filter)
+        self.recommender = TeachingMaterialRecommender(ontology)
+
+        # Chat substrate.
+        self.clock = SimulatedClock(tick=self.config.clock_tick)
+        self.bus = EventBus()
+        self.server = ChatServer(self.clock, self.bus)
+        self.pipeline = SupervisionPipeline(
+            self.learning_angel,
+            self.semantic_agent,
+            self.qa,
+            self.profiles,
+            self.config.policy,
+        )
+        self.server.add_supervisor(self.pipeline)
+
+    # ----------------------------------------------------------- factories
+
+    @classmethod
+    def with_defaults(cls, config: SystemConfig | None = None) -> "ELearningSystem":
+        """The full system over the built-in lexicon and ontology."""
+        return cls(default_dictionary(), default_ontology(), config)
+
+    # ------------------------------------------------------------- actions
+
+    def open_room(self, name: str, topic: str = "") -> ChatRoom:
+        """Create a supervised chat room."""
+        return self.server.create_room(name, topic)
+
+    def join(self, room: str, user: str, role: Role = Role.STUDENT) -> None:
+        self.server.join(room, user, role)
+
+    def say(self, room: str, user: str, text: str) -> ChatMessage:
+        """Post a user message; supervision runs synchronously."""
+        message = self.server.post(room, user, text)
+        self.clock.advance()
+        return message
+
+    def agent_replies_to(self, message: ChatMessage) -> list[ChatMessage]:
+        """Agent messages posted in response to ``message``."""
+        room = self.server.get_room(message.room)
+        return [
+            m
+            for m in room.transcript
+            if m.reply_to == message.seq and m.kind.value == "agent"
+        ]
+
+    # ------------------------------------------------------------- reports
+
+    @property
+    def stats(self) -> SupervisionStats:
+        return self.pipeline.stats
+
+    def corpus_report(self) -> CorpusReport:
+        """The Learning Statistic Analyzer's aggregate report."""
+        return StatisticAnalyzer(self.corpus).report()
+
+    def faq_top(self, limit: int = 10):
+        """The most frequent QA pairs (the learner-facing FAQ)."""
+        return self.faq.top(limit)
+
+    def recommend_for(self, user: str) -> Recommendation | None:
+        """Teaching-material recommendation for a struggling learner
+        (Figure 3's "Teaching Material Recommendation" response)."""
+        profile = self.profiles.get(user)
+        if profile is None:
+            return None
+        return self.recommender.recommend(profile)

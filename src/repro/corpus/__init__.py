@@ -1,0 +1,20 @@
+"""Learner Corpus database, suggestion search, statistics, generation."""
+
+from .generator import GENERATOR_USER, CorporaGenerator
+from .records import Correctness, CorpusRecord
+from .search import SuggestionHit, SuggestionSearch
+from .statistics import CorpusReport, StatisticAnalyzer, UserReport
+from .store import LearnerCorpus
+
+__all__ = [
+    "GENERATOR_USER",
+    "CorporaGenerator",
+    "Correctness",
+    "CorpusRecord",
+    "CorpusReport",
+    "LearnerCorpus",
+    "StatisticAnalyzer",
+    "SuggestionHit",
+    "SuggestionSearch",
+    "UserReport",
+]

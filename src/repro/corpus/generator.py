@@ -1,0 +1,81 @@
+"""The Corpora Generator (Figure 3).
+
+The DDL/DML Interpreter "can interpret ontology and then send the data to
+Corpora Generator, which records the data to Distance Learning Ontology
+and Learner Corpus databases" — i.e. the knowledge body seeds the corpus
+with known-correct model sentences before any learner speaks.  These seed
+sentences are what the suggestion search offers to early learners, and
+they double as grammar regression data (every generated sentence must
+parse cleanly).
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import ItemKind, Ontology, RelationKind
+
+from .records import Correctness, CorpusRecord
+from .store import LearnerCorpus
+
+GENERATOR_USER = "<corpora-generator>"
+
+
+def _article(noun: str) -> str:
+    return "an" if noun[0] in "aeiou" else "a"
+
+
+class CorporaGenerator:
+    """Generates model sentences about an ontology into a corpus."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+
+    def seed_sentences(self) -> list[tuple[str, list[str]]]:
+        """(sentence, keywords) pairs derived from the knowledge body."""
+        sentences: list[tuple[str, list[str]]] = []
+        for item in self.ontology.items_of_kind(ItemKind.CONCEPT):
+            if item.definition.description:
+                sentences.append((item.definition.description, [item.name]))
+            for relation in self.ontology.relations_from(item.item_id, RelationKind.HAS_OPERATION):
+                operation = self.ontology.get(relation.target)
+                sentences.append(
+                    (
+                        f"The {item.name} supports the {operation.name} operation.",
+                        [item.name, operation.name],
+                    )
+                )
+            for parent in self.ontology.parents(item.item_id):
+                sentences.append(
+                    (
+                        f"{_article(item.name).capitalize()} {item.name} is "
+                        f"{_article(parent.name)} {parent.name}.",
+                        [item.name, parent.name],
+                    )
+                )
+            for relation in self.ontology.relations_from(item.item_id, RelationKind.HAS_PROPERTY):
+                prop = self.ontology.get(relation.target)
+                sentences.append(
+                    (
+                        f"The {item.name} is {prop.name}.",
+                        [item.name, prop.name],
+                    )
+                )
+        return sentences
+
+    def populate(self, corpus: LearnerCorpus, room: str = "seed") -> int:
+        """Write all seed sentences into ``corpus``; returns the count."""
+        added = 0
+        for sentence, keywords in self.seed_sentences():
+            corpus.add(
+                CorpusRecord(
+                    record_id=corpus.next_id(),
+                    user=GENERATOR_USER,
+                    room=room,
+                    text=sentence,
+                    timestamp=0.0,
+                    pattern="simple",
+                    verdict=Correctness.CORRECT,
+                    keywords=list(keywords),
+                )
+            )
+            added += 1
+        return added

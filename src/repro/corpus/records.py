@@ -1,0 +1,84 @@
+"""Learner-corpus records.
+
+The Learner Corpus Database (Fig. 3) stores every supervised utterance
+with its analysis tags: who said it, the sentence pattern, the syntax and
+semantic verdicts, ontology keywords and the linkage summary.  Records are
+what the Label analysis & filter files away ("if the input words'
+sequences have particular tag from Learning_Angel, the Label analysis &
+filter can record it in Learning Corpus") and what the Learning Statistic
+Analyzer later aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+
+
+class Correctness(Enum):
+    """Overall verdict tags attached to a corpus record."""
+
+    CORRECT = "correct"
+    SYNTAX_ERROR = "syntax-error"
+    SEMANTIC_ERROR = "semantic-error"
+    QUESTION = "question"
+
+
+@dataclass(slots=True)
+class CorpusRecord:
+    """One analysed utterance in the learner corpus.
+
+    Attributes:
+        record_id: sequential id within the corpus.
+        user: learner (or agent) name.
+        room: chat room name.
+        text: the raw sentence.
+        timestamp: simulated-clock time of the utterance.
+        pattern: sentence pattern name (one of the paper's five).
+        verdict: overall correctness tag.
+        syntax_issues: (kind, word) pairs from the grammar diagnosis.
+        semantic_issues: human-readable semantic violation notes.
+        keywords: ontology term names found in the sentence.
+        links: linkage summary of the best parse ("D(the,cat) ...").
+        cost: parse cost of the best linkage (missing articles etc.).
+    """
+
+    record_id: int
+    user: str
+    room: str
+    text: str
+    timestamp: float
+    pattern: str
+    verdict: Correctness
+    syntax_issues: list[tuple[str, str]] = field(default_factory=list)
+    semantic_issues: list[str] = field(default_factory=list)
+    keywords: list[str] = field(default_factory=list)
+    links: str = ""
+    cost: int = 0
+
+    @property
+    def is_correct(self) -> bool:
+        return self.verdict == Correctness.CORRECT
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["verdict"] = self.verdict.value
+        data["syntax_issues"] = [list(pair) for pair in self.syntax_issues]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusRecord":
+        return cls(
+            record_id=data["record_id"],
+            user=data["user"],
+            room=data["room"],
+            text=data["text"],
+            timestamp=data["timestamp"],
+            pattern=data["pattern"],
+            verdict=Correctness(data["verdict"]),
+            syntax_issues=[tuple(pair) for pair in data.get("syntax_issues", [])],
+            semantic_issues=list(data.get("semantic_issues", [])),
+            keywords=list(data.get("keywords", [])),
+            links=data.get("links", ""),
+            cost=data.get("cost", 0),
+        )

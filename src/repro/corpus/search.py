@@ -1,0 +1,83 @@
+"""Suggestion search over the learner corpus.
+
+Section 4.2: when a grammar error is detected, the Label analysis & filter
+"can also detect them and search for the suitable sentences from Learner
+Corpus and convey them to the online learners".  We rank known-correct
+corpus sentences by ontology-keyword overlap with the faulty sentence,
+breaking ties by token overlap, so the learner sees a well-formed sentence
+about the same topic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linkgrammar.tokenizer import tokenize
+
+from .records import CorpusRecord
+from .store import LearnerCorpus
+
+
+@dataclass(frozen=True, slots=True)
+class SuggestionHit:
+    """A candidate model sentence with its similarity scores."""
+
+    record: CorpusRecord
+    keyword_overlap: float
+    token_overlap: float
+
+    @property
+    def score(self) -> tuple[float, float]:
+        return (self.keyword_overlap, self.token_overlap)
+
+
+def _jaccard(a: set[str], b: set[str]) -> float:
+    if not a and not b:
+        return 0.0
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+class SuggestionSearch:
+    """Finds model sentences similar to a (possibly faulty) input."""
+
+    def __init__(self, corpus: LearnerCorpus) -> None:
+        self.corpus = corpus
+
+    def find(
+        self,
+        text: str,
+        keywords: list[str] | None = None,
+        limit: int = 3,
+        min_keyword_overlap: float = 0.0,
+    ) -> list[SuggestionHit]:
+        """Rank correct corpus sentences by similarity to ``text``.
+
+        Args:
+            text: the learner's sentence.
+            keywords: ontology terms found in the sentence (optional; when
+                omitted only token overlap ranks the results).
+            limit: maximum number of hits.
+            min_keyword_overlap: drop hits below this keyword similarity.
+        """
+        query_tokens = set(tokenize(text).words)
+        query_keywords = {k.lower() for k in (keywords or [])}
+        hits: list[SuggestionHit] = []
+        for record in self.corpus.correct_records():
+            if record.text.strip().lower() == text.strip().lower():
+                continue  # never suggest the sentence back to its author
+            record_keywords = {k.lower() for k in record.keywords}
+            keyword_overlap = _jaccard(query_keywords, record_keywords)
+            token_overlap = _jaccard(query_tokens, set(tokenize(record.text).words))
+            if query_keywords and keyword_overlap < min_keyword_overlap:
+                continue
+            if keyword_overlap == 0.0 and token_overlap == 0.0:
+                continue
+            hits.append(SuggestionHit(record, keyword_overlap, token_overlap))
+        hits.sort(key=lambda hit: (-hit.keyword_overlap, -hit.token_overlap, hit.record.record_id))
+        return hits[:limit]
+
+    def best_sentence(self, text: str, keywords: list[str] | None = None) -> str | None:
+        """The single best model sentence, or None."""
+        hits = self.find(text, keywords=keywords, limit=1)
+        return hits[0].record.text if hits else None

@@ -1,0 +1,125 @@
+"""The Learning Statistic Analyzer (Figure 3).
+
+"The statistical analyzer then records, classifies, analyzes the learners'
+dialogue" — so instructors can see the route of mistakes students make
+(section 5) and "revise or enhance their content of teaching materials".
+Aggregations are per user, per error class, and per ontology topic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .records import Correctness, CorpusRecord
+from .store import LearnerCorpus
+
+
+@dataclass(frozen=True, slots=True)
+class UserReport:
+    """Per-learner activity and mistake profile."""
+
+    user: str
+    messages: int
+    correct: int
+    syntax_errors: int
+    semantic_errors: int
+    questions: int
+    common_mistakes: tuple[tuple[str, int], ...]
+    topics: tuple[tuple[str, int], ...]
+
+    @property
+    def accuracy(self) -> float:
+        """Share of non-question messages that were fully correct."""
+        statements = self.messages - self.questions
+        return self.correct / statements if statements else 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusReport:
+    """Whole-corpus aggregation for the instructor."""
+
+    messages: int
+    verdict_counts: tuple[tuple[str, int], ...]
+    error_kind_counts: tuple[tuple[str, int], ...]
+    topic_counts: tuple[tuple[str, int], ...]
+    pattern_counts: tuple[tuple[str, int], ...]
+    users: tuple[UserReport, ...] = field(default_factory=tuple)
+
+
+class StatisticAnalyzer:
+    """Aggregates a :class:`LearnerCorpus` into instructor reports."""
+
+    def __init__(self, corpus: LearnerCorpus) -> None:
+        self.corpus = corpus
+
+    def user_report(self, user: str) -> UserReport:
+        records = self.corpus.by_user(user)
+        return _build_user_report(user, records)
+
+    def report(self) -> CorpusReport:
+        records = self.corpus.records()
+        verdicts = Counter(record.verdict.value for record in records)
+        error_kinds: Counter[str] = Counter()
+        topics: Counter[str] = Counter()
+        patterns = Counter(record.pattern for record in records)
+        for record in records:
+            for kind, _word in record.syntax_issues:
+                error_kinds[kind] += 1
+            if record.semantic_issues:
+                error_kinds["semantic-violation"] += len(record.semantic_issues)
+            for keyword in record.keywords:
+                topics[keyword] += 1
+        users = sorted({record.user for record in records})
+        return CorpusReport(
+            messages=len(records),
+            verdict_counts=tuple(sorted(verdicts.items())),
+            error_kind_counts=tuple(error_kinds.most_common()),
+            topic_counts=tuple(topics.most_common()),
+            pattern_counts=tuple(sorted(patterns.items())),
+            users=tuple(
+                _build_user_report(user, self.corpus.by_user(user)) for user in users
+            ),
+        )
+
+    def most_common_mistakes(self, limit: int = 5) -> list[tuple[str, int]]:
+        """The most frequent (error kind, count) pairs across the corpus."""
+        counts: Counter[str] = Counter()
+        for record in self.corpus.records():
+            for kind, _word in record.syntax_issues:
+                counts[kind] += 1
+            for _note in record.semantic_issues:
+                counts["semantic-violation"] += 1
+        return counts.most_common(limit)
+
+    def struggling_users(self, minimum_messages: int = 3) -> list[UserReport]:
+        """Learners sorted by ascending accuracy (worst first)."""
+        reports = [
+            report
+            for report in self.report().users
+            if report.messages >= minimum_messages
+        ]
+        reports.sort(key=lambda r: (r.accuracy, r.user))
+        return reports
+
+
+def _build_user_report(user: str, records: list[CorpusRecord]) -> UserReport:
+    mistakes: Counter[str] = Counter()
+    topics: Counter[str] = Counter()
+    for record in records:
+        for kind, _word in record.syntax_issues:
+            mistakes[kind] += 1
+        for _note in record.semantic_issues:
+            mistakes["semantic-violation"] += 1
+        for keyword in record.keywords:
+            topics[keyword] += 1
+    return UserReport(
+        user=user,
+        messages=len(records),
+        correct=sum(1 for r in records if r.verdict == Correctness.CORRECT),
+        syntax_errors=sum(1 for r in records if r.verdict == Correctness.SYNTAX_ERROR),
+        semantic_errors=sum(1 for r in records if r.verdict == Correctness.SEMANTIC_ERROR),
+        questions=sum(1 for r in records if r.verdict == Correctness.QUESTION),
+        common_mistakes=tuple(mistakes.most_common(5)),
+        topics=tuple(topics.most_common(5)),
+    )

@@ -1,0 +1,79 @@
+"""The Learner Corpus store: append, query, persist.
+
+A deliberately simple in-memory store with JSON-lines persistence — the
+paper's corpus is a database of analysed utterances, and every consumer
+(statistic analyzer, suggestion search, QA mining) works off these query
+primitives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .records import Correctness, CorpusRecord
+
+
+class LearnerCorpus:
+    """Append-only collection of :class:`CorpusRecord`."""
+
+    def __init__(self) -> None:
+        self._records: list[CorpusRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------- writing
+
+    def next_id(self) -> int:
+        return len(self._records)
+
+    def add(self, record: CorpusRecord) -> CorpusRecord:
+        """Append a record (ids must be monotonic; use :meth:`next_id`)."""
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------- queries
+
+    def records(self) -> list[CorpusRecord]:
+        return list(self._records)
+
+    def filter(self, predicate: Callable[[CorpusRecord], bool]) -> list[CorpusRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    def by_user(self, user: str) -> list[CorpusRecord]:
+        return self.filter(lambda r: r.user == user)
+
+    def by_verdict(self, verdict: Correctness) -> list[CorpusRecord]:
+        return self.filter(lambda r: r.verdict == verdict)
+
+    def correct_records(self) -> list[CorpusRecord]:
+        return self.by_verdict(Correctness.CORRECT)
+
+    def with_keyword(self, keyword: str) -> list[CorpusRecord]:
+        needle = keyword.lower()
+        return self.filter(lambda r: needle in (k.lower() for k in r.keywords))
+
+    # --------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the corpus as JSON lines."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict(), ensure_ascii=False) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LearnerCorpus":
+        """Read a corpus previously written by :meth:`save`."""
+        corpus = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    corpus.add(CorpusRecord.from_dict(json.loads(line)))
+        return corpus

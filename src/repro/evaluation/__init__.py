@@ -1,0 +1,14 @@
+"""Evaluation harness: detection metrics, latency summaries, accuracy study."""
+
+from .harness import AccuracyRow, run_accuracy_study, score_session
+from .metrics import BinaryMetrics, LatencySummary, score_binary, summarize_latencies
+
+__all__ = [
+    "AccuracyRow",
+    "BinaryMetrics",
+    "LatencySummary",
+    "run_accuracy_study",
+    "score_binary",
+    "score_session",
+    "summarize_latencies",
+]

@@ -1,0 +1,95 @@
+"""The accuracy-study harness (experiment A2: the paper's future work).
+
+Runs seeded classroom sessions at varying error rates and scores the
+supervisors against the injected ground truth, producing the table rows
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import ELearningSystem
+from repro.simulation.learners import LearnerProfile
+from repro.simulation.workload import ClassroomResult, ClassroomSession
+
+from .metrics import BinaryMetrics, score_binary
+
+
+@dataclass(frozen=True, slots=True)
+class AccuracyRow:
+    """One row of the accuracy study."""
+
+    syntax_error_rate: float
+    semantic_error_rate: float
+    seed: int
+    sentences: int
+    syntax: BinaryMetrics
+    semantic: BinaryMetrics
+    questions_answer_rate: float
+
+    def render(self) -> str:
+        return (
+            f"rate(syn={self.syntax_error_rate:.2f}, sem={self.semantic_error_rate:.2f}) "
+            f"seed={self.seed} n={self.sentences} | syntax {self.syntax.row()} | "
+            f"semantic {self.semantic.row()} | QA answer-rate={self.questions_answer_rate:.2f}"
+        )
+
+
+def score_session(result: ClassroomResult) -> tuple[BinaryMetrics, BinaryMetrics, float]:
+    """Score one classroom result: (syntax metrics, semantic metrics, QA rate).
+
+    Questions are excluded from detection scoring (they are routed to QA);
+    syntax scoring treats any injected syntax class as positive; semantic
+    scoring runs over syntactically clean statements only, mirroring the
+    paper's staging (the Semantic Agent only sees parseable sentences).
+    """
+    statements = [s for s in result.supervised if not s.utterance.is_question]
+    syntax_pairs = [(s.truth_syntax_error, s.flagged_syntax) for s in statements]
+    semantic_pairs = [
+        (s.truth_semantic_error, s.flagged_semantic)
+        for s in statements
+        if not s.truth_syntax_error
+    ]
+    answer_rate = (
+        result.questions_answered / result.questions_asked
+        if result.questions_asked
+        else 1.0
+    )
+    return score_binary(syntax_pairs), score_binary(semantic_pairs), answer_rate
+
+
+def run_accuracy_study(
+    error_rates: list[tuple[float, float]],
+    seeds: list[int],
+    learners: int = 6,
+    rounds: int = 10,
+) -> list[AccuracyRow]:
+    """Sweep error rates × seeds; one fresh system per cell."""
+    rows: list[AccuracyRow] = []
+    for syntax_rate, semantic_rate in error_rates:
+        for seed in seeds:
+            system = ELearningSystem.with_defaults()
+            profile = LearnerProfile(
+                question_rate=0.15,
+                syntax_error_rate=syntax_rate,
+                semantic_error_rate=semantic_rate,
+                chitchat_rate=0.05,
+            )
+            session = ClassroomSession(
+                system, learners=learners, profile=profile, seed=seed
+            )
+            result = session.run(rounds=rounds)
+            syntax_metrics, semantic_metrics, answer_rate = score_session(result)
+            rows.append(
+                AccuracyRow(
+                    syntax_error_rate=syntax_rate,
+                    semantic_error_rate=semantic_rate,
+                    seed=seed,
+                    sentences=len(result.supervised),
+                    syntax=syntax_metrics,
+                    semantic=semantic_metrics,
+                    questions_answer_rate=answer_rate,
+                )
+            )
+    return rows

@@ -1,0 +1,109 @@
+"""Detection metrics and latency summaries.
+
+The paper leaves "evaluating the accuracy of the proposed Semantic Agent"
+to future work (section 5); this module provides the scoring the study
+needs: binary precision/recall/F1 against injected ground truth, per-class
+breakdowns, and latency percentile summaries for the throughput benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryMetrics:
+    """Precision / recall / F1 over binary detections."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+    def row(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} "
+            f"F1={self.f1:.3f} acc={self.accuracy:.3f} "
+            f"(tp={self.true_positives} fp={self.false_positives} "
+            f"fn={self.false_negatives} tn={self.true_negatives})"
+        )
+
+
+def score_binary(pairs: Iterable[tuple[bool, bool]]) -> BinaryMetrics:
+    """Score (truth, predicted) pairs."""
+    tp = fp = fn = tn = 0
+    for truth, predicted in pairs:
+        if truth and predicted:
+            tp += 1
+        elif not truth and predicted:
+            fp += 1
+        elif truth and not predicted:
+            fn += 1
+        else:
+            tn += 1
+    return BinaryMetrics(tp, fp, fn, tn)
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Percentile summary of a latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def row(self, unit: float = 1e3, label: str = "ms") -> str:
+        return (
+            f"n={self.count} mean={self.mean * unit:.2f}{label} "
+            f"p50={self.p50 * unit:.2f}{label} p90={self.p90 * unit:.2f}{label} "
+            f"p99={self.p99 * unit:.2f}{label} max={self.maximum * unit:.2f}{label}"
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Percentiles by nearest-rank over a latency sample."""
+    if not samples:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(samples)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile(0.50),
+        p90=percentile(0.90),
+        p99=percentile(0.99),
+        maximum=ordered[-1],
+    )

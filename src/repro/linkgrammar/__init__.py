@@ -1,0 +1,41 @@
+"""Link-grammar substrate: dictionary, parser, linkages, diagnostics.
+
+This package is a from-scratch Python implementation of the link grammar
+formalism (Sleator & Temperley, CMU-CS-91-196) that the paper's
+Learning_Angel agent builds on, extended with the fault tolerance the paper
+calls for: null-word parsing, unknown-word handling and error localisation.
+"""
+
+from .connector import Connector, connectors_match, link_label
+from .dictionary import Dictionary, DictionaryError, UNKNOWN_WORD, WALL_WORD, WordEntry
+from .disjunct import Disjunct, expand
+from .formula import FormulaError, parse_formula
+from .linkage import Link, Linkage
+from .parser import ParseOptions, ParseResult, Parser
+from .repair import Repair, SentenceRepairer
+from .tokenizer import TokenizedSentence, split_sentences, tokenize
+
+__all__ = [
+    "Connector",
+    "connectors_match",
+    "link_label",
+    "Dictionary",
+    "DictionaryError",
+    "UNKNOWN_WORD",
+    "WALL_WORD",
+    "WordEntry",
+    "Disjunct",
+    "expand",
+    "FormulaError",
+    "parse_formula",
+    "Link",
+    "Linkage",
+    "ParseOptions",
+    "ParseResult",
+    "Parser",
+    "Repair",
+    "SentenceRepairer",
+    "TokenizedSentence",
+    "split_sentences",
+    "tokenize",
+]

@@ -1,0 +1,120 @@
+"""Connectors: the atomic linking requirements of link grammar.
+
+A connector is written, in dictionary formulas, as an optional multi-marker
+``@``, an upper-case *head* naming the link type (``S``, ``O``, ``D`` ...),
+an optional lower-case/star *subscript* refining it (``Ss``, ``D*u`` ...),
+and a mandatory direction suffix: ``+`` (links rightward) or ``-`` (links
+leftward).
+
+Two connectors can join to form a link when they point at each other
+(one ``+``, one ``-``), their heads are equal, and their subscripts are
+compatible position by position, where ``*`` (and an absent position)
+matches anything.  This is the matching rule of Sleator & Temperley's
+link grammar (CMU-CS-91-196), which the paper builds on (section 2.1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+RIGHT = "+"
+LEFT = "-"
+
+_CONNECTOR_RE = re.compile(r"^(@?)([A-Z]+)([a-z*]*)([+-])$")
+
+
+class ConnectorError(ValueError):
+    """Raised when a connector expression cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Connector:
+    """A single linking requirement of a word.
+
+    Attributes:
+        head: upper-case link type, e.g. ``"S"`` or ``"MV"``.
+        subscript: lower-case/``*`` refinement, e.g. ``"s"`` in ``Ss+``.
+        direction: ``"+"`` if the link partner lies to the right of the
+            word carrying this connector, ``"-"`` if to the left.
+        multi: True for ``@``-connectors, which may participate in any
+            number (>= 1) of links instead of exactly one.
+    """
+
+    head: str
+    subscript: str = ""
+    direction: str = RIGHT
+    multi: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.head or not self.head.isupper():
+            raise ConnectorError(f"connector head must be upper-case: {self.head!r}")
+        if self.direction not in (LEFT, RIGHT):
+            raise ConnectorError(f"connector direction must be + or -: {self.direction!r}")
+        for ch in self.subscript:
+            if not (ch.islower() or ch == "*"):
+                raise ConnectorError(f"bad subscript character {ch!r} in {self.head}{self.subscript}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Connector":
+        """Parse a connector expression such as ``"Ss+"`` or ``"@A-"``."""
+        match = _CONNECTOR_RE.match(text.strip())
+        if match is None:
+            raise ConnectorError(f"not a connector: {text!r}")
+        multi, head, subscript, direction = match.groups()
+        return cls(head=head, subscript=subscript, direction=direction, multi=bool(multi))
+
+    @property
+    def label(self) -> str:
+        """The link label contributed by this connector (head + subscript)."""
+        return self.head + self.subscript
+
+    def __str__(self) -> str:
+        return ("@" if self.multi else "") + self.head + self.subscript + self.direction
+
+    def matches(self, other: "Connector") -> bool:
+        """True if this connector and ``other`` can join into a link.
+
+        The caller is responsible for orientation (this must be the ``+``
+        connector of the pair); see :func:`connectors_match` for the
+        orientation-checked form.
+        """
+        return connectors_match(self, other)
+
+
+def subscripts_match(left: str, right: str) -> bool:
+    """Position-wise subscript compatibility with ``*``/absence wildcards."""
+    length = max(len(left), len(right))
+    padded_left = left.ljust(length, "*")
+    padded_right = right.ljust(length, "*")
+    for a, b in zip(padded_left, padded_right):
+        if a != b and a != "*" and b != "*":
+            return False
+    return True
+
+
+def connectors_match(plus: Connector, minus: Connector) -> bool:
+    """True if ``plus`` (a ``+`` connector) can link with ``minus`` (a ``-``).
+
+    Returns False (rather than raising) when the orientation is wrong, so
+    the parser can probe candidate pairs freely.
+    """
+    if plus.direction != RIGHT or minus.direction != LEFT:
+        return False
+    if plus.head != minus.head:
+        return False
+    return subscripts_match(plus.subscript, minus.subscript)
+
+
+def link_label(plus: Connector, minus: Connector) -> str:
+    """Label for the link formed by a matched pair.
+
+    Following link-grammar convention, the label is the shared head plus
+    the position-wise intersection of the subscripts, preferring concrete
+    letters over ``*`` wildcards (``Ss+`` joined with ``S-`` yields ``Ss``).
+    """
+    length = max(len(plus.subscript), len(minus.subscript))
+    merged = []
+    for a, b in zip(plus.subscript.ljust(length, "*"), minus.subscript.ljust(length, "*")):
+        merged.append(a if b == "*" else b)
+    return plus.head + "".join(merged).rstrip("*")

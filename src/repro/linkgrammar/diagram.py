@@ -1,0 +1,112 @@
+"""ASCII rendering of linkages, in the style of the paper's Figure 2.
+
+Links are drawn as labelled arcs above the sentence::
+
+        +------O------+
+    +-D-+--S--+   +-D-+
+    |   |     |   |   |
+   the cat chased a mouse
+
+Planarity guarantees arcs can always be stacked without crossing; shorter
+links sit lower.
+"""
+
+from __future__ import annotations
+
+from .linkage import Linkage
+
+
+def render(linkage: Linkage, show_wall: bool = False) -> str:
+    """Render a linkage as a multi-line ASCII diagram.
+
+    Args:
+        linkage: the linkage to draw.
+        show_wall: include the virtual wall word and its links.
+
+    Returns:
+        The diagram text (no trailing newline).
+    """
+    words = list(linkage.words)
+    links = list(linkage.links)
+    offset = 0
+    if not show_wall and words and words[0].startswith("<"):
+        offset = 1
+        links = [link for link in links if link.left >= 1]
+    visible = words[offset:]
+    if not visible:
+        return "(empty)"
+
+    # Column center for each word in the rendered line.
+    starts: list[int] = []
+    cursor = 0
+    for word in visible:
+        starts.append(cursor)
+        cursor += len(word) + 1
+    centers = [start + max(len(word) // 2, 0) for start, word in zip(starts, visible)]
+    width = cursor - 1 if cursor else 0
+
+    def col(index: int) -> int:
+        return centers[index - offset]
+
+    # Assign each link a height: shorter spans lower, nested inside longer.
+    ordered = sorted(links, key=lambda l: (l.right - l.left, l.left))
+    heights: dict[tuple[int, int], int] = {}
+    for link in ordered:
+        needed = 1
+        for other in ordered:
+            if other is link:
+                continue
+            key = (other.left, other.right)
+            if key not in heights:
+                continue
+            if link.left <= other.left and other.right <= link.right:
+                needed = max(needed, heights[key] + 1)
+        heights[(link.left, link.right)] = needed
+
+    max_height = max(heights.values(), default=0)
+    rows = [[" "] * max(width, 1) for _ in range(max_height + 1)]
+
+    def put(row: int, column: int, text: str) -> None:
+        for i, ch in enumerate(text):
+            position = column + i
+            if 0 <= position < len(rows[row]):
+                rows[row][position] = ch
+
+    for link in ordered:
+        height = heights[(link.left, link.right)]
+        row = max_height - height
+        left_col, right_col = col(link.left), col(link.right)
+        put(row, left_col, "+")
+        put(row, right_col, "+")
+        for column in range(left_col + 1, right_col):
+            if rows[row][column] == " ":
+                rows[row][column] = "-"
+        label = link.label
+        label_start = left_col + 1 + max((right_col - left_col - 1 - len(label)) // 2, 0)
+        put(row, label_start, label)
+        # Verticals dropping to the word row.
+        for below in range(row + 1, max_height + 1):
+            for column in (left_col, right_col):
+                if rows[below][column] == " ":
+                    rows[below][column] = "|"
+                elif rows[below][column] == "-":
+                    rows[below][column] = "|"
+
+    word_line = [" "] * max(width, 1)
+    for start, word in zip(starts, visible):
+        for i, ch in enumerate(word):
+            word_line[start + i] = ch
+
+    null_marks = [" "] * max(width, 1)
+    for index in sorted(linkage.null_words):
+        if index < offset:
+            continue
+        center = col(index)
+        if center < len(null_marks):
+            null_marks[center] = "^"
+
+    lines = ["".join(row).rstrip() for row in rows]
+    lines.append("".join(word_line).rstrip())
+    if any(mark != " " for mark in null_marks):
+        lines.append("".join(null_marks).rstrip() + "  (^ = unlinked word)")
+    return "\n".join(line for line in lines if line.strip() or line is lines[-1])

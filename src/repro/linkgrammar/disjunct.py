@@ -1,0 +1,112 @@
+"""Disjunctive form of link-grammar formulas.
+
+The paper (section 2.1) describes the alternate representation used by the
+parsing algorithm: each word carries a set of *disjuncts*
+
+    ``((L1, L2, ..., Lm)(Rn, R(n-1), ..., R1))``
+
+where the ``Li`` connect leftward and the ``Rj`` rightward.  Within one
+disjunct the connectors of each side are ordered by partner distance; we
+store both tuples **farthest-partner-first**, which lets the parser consume
+the head of each tuple when linking a word to the far boundary of a region.
+
+A formula is converted to disjuncts by enumerating all the ways it can be
+satisfied (the paper: "Enumerating all ways that the formula can be
+satisfied translates a formula into a set of disjuncts").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from .connector import Connector, LEFT, RIGHT
+from .formula import And, Cost, Empty, Expr, Leaf, Opt, Or
+
+
+@dataclass(frozen=True, slots=True)
+class Disjunct:
+    """One way a word's linking requirements may be satisfied.
+
+    Attributes:
+        left: connectors linking leftward, farthest partner first.
+        right: connectors linking rightward, farthest partner first.
+        cost: total cost collected from ``[...]`` brackets on the
+            satisfied branches; low-cost parses are preferred.
+    """
+
+    left: tuple[Connector, ...] = field(default_factory=tuple)
+    right: tuple[Connector, ...] = field(default_factory=tuple)
+    cost: int = 0
+
+    def __str__(self) -> str:
+        lefts = ", ".join(str(c) for c in reversed(self.left))
+        rights = ", ".join(str(c) for c in self.right)
+        suffix = f" [cost={self.cost}]" if self.cost else ""
+        return f"(({lefts})({rights})){suffix}"
+
+    @property
+    def connector_count(self) -> int:
+        """Total number of connectors in this disjunct."""
+        return len(self.left) + len(self.right)
+
+    def in_formula_order(self) -> tuple[Connector, ...]:
+        """All connectors in formula (near-to-far, lefts then rights) order."""
+        return tuple(reversed(self.left)) + tuple(reversed(self.right))
+
+
+def _satisfactions(expr: Expr) -> list[tuple[tuple[Connector, ...], int]]:
+    """All (ordered connector sequence, cost) ways of satisfying ``expr``.
+
+    Sequences are in formula order: near partners before far partners,
+    reading the formula left to right (the "ordering" meta-rule).
+    """
+    if isinstance(expr, Empty):
+        return [((), 0)]
+    if isinstance(expr, Leaf):
+        return [((expr.connector,), 0)]
+    if isinstance(expr, Opt):
+        return [((), 0)] + _satisfactions(expr.inner)
+    if isinstance(expr, Cost):
+        return [(seq, cost + 1) for seq, cost in _satisfactions(expr.inner)]
+    if isinstance(expr, Or):
+        result: list[tuple[tuple[Connector, ...], int]] = []
+        for part in expr.parts:
+            result.extend(_satisfactions(part))
+        return result
+    if isinstance(expr, And):
+        combined: list[tuple[tuple[Connector, ...], int]] = [((), 0)]
+        for part in expr.parts:
+            part_ways = _satisfactions(part)
+            combined = [
+                (seq + part_seq, cost + part_cost)
+                for seq, cost in combined
+                for part_seq, part_cost in part_ways
+            ]
+        return combined
+    raise TypeError(f"unknown formula node: {expr!r}")
+
+
+def expand(expr: Expr) -> tuple[Disjunct, ...]:
+    """Expand a formula into its set of disjuncts.
+
+    Duplicate satisfactions keep only the cheapest cost.  The result is
+    sorted by (cost, connector count, text) so parse enumeration is
+    deterministic.
+    """
+    best: dict[tuple[tuple[Connector, ...], tuple[Connector, ...]], int] = {}
+    for sequence, cost in _satisfactions(expr):
+        lefts_near_first = tuple(c for c in sequence if c.direction == LEFT)
+        rights_near_first = tuple(c for c in sequence if c.direction == RIGHT)
+        key = (tuple(reversed(lefts_near_first)), tuple(reversed(rights_near_first)))
+        if key not in best or cost < best[key]:
+            best[key] = cost
+    disjuncts = [Disjunct(left=left, right=right, cost=cost) for (left, right), cost in best.items()]
+    disjuncts.sort(key=lambda d: (d.cost, d.connector_count, str(d)))
+    return tuple(disjuncts)
+
+
+@lru_cache(maxsize=4096)
+def expand_cached(expr: Expr) -> tuple[Disjunct, ...]:
+    """Memoised :func:`expand`; formula ASTs are immutable and hashable."""
+    return expand(expr)

@@ -1,0 +1,230 @@
+"""The formula language of link-grammar dictionaries.
+
+A word's linking requirement is a boolean-like expression over connectors:
+
+* ``&`` — both sides must be satisfied, in order (near links first);
+* ``or`` — exactly one side is satisfied;
+* ``(...)`` — grouping, or the empty formula ``()``;
+* ``{...}`` — optional sub-formula (equivalent to ``(... or ())``);
+* ``[...]`` — cost bracket: satisfying the bracketed formula adds 1 to the
+  disjunct cost, demoting unlikely usages when ranking parses.
+
+``&`` binds tighter than ``or``, as in the CMU dictionaries.  The paper
+(section 2.1) uses exactly this notation, e.g. ``D- & (S+ or O-)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .connector import Connector, ConnectorError
+
+
+class FormulaError(ValueError):
+    """Raised when a formula expression cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class for formula AST nodes."""
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf(Expr):
+    """A single connector requirement."""
+
+    connector: Connector
+
+    def __str__(self) -> str:
+        return str(self.connector)
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Expr):
+    """The empty formula ``()``: satisfied by linking nothing."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Expr):
+    """Conjunction: every operand must be satisfied, left to right."""
+
+    parts: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(p) for p in self.parts) + ")"
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for part in self.parts:
+            yield from part.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Expr):
+    """Disjunction: exactly one operand is satisfied."""
+
+    parts: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(p) for p in self.parts) + ")"
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for part in self.parts:
+            yield from part.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Opt(Expr):
+    """Optional sub-formula ``{...}``."""
+
+    inner: Expr
+
+    def __str__(self) -> str:
+        return "{" + str(self.inner) + "}"
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.inner.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Cost(Expr):
+    """Cost bracket ``[...]``: adds 1 to the cost of any satisfaction."""
+
+    inner: Expr
+
+    def __str__(self) -> str:
+        return "[" + str(self.inner) + "]"
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.inner.walk()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<connector>@?[A-Z]+[a-z*]*[+-])
+  | (?P<or>\bor\b)
+  | (?P<and>&)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise FormulaError(f"unexpected character {text[pos]!r} at offset {pos} in formula {text!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the formula language."""
+
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index][0]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        if self._index >= len(self._tokens):
+            raise FormulaError(f"unexpected end of formula: {self._source!r}")
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> None:
+        got, text = self._next()
+        if got != kind:
+            raise FormulaError(f"expected {kind}, got {text!r} in formula {self._source!r}")
+
+    def parse(self) -> Expr:
+        expr = self._parse_or()
+        if self._index != len(self._tokens):
+            leftover = self._tokens[self._index][1]
+            raise FormulaError(f"trailing input {leftover!r} in formula {self._source!r}")
+        return expr
+
+    def _parse_or(self) -> Expr:
+        parts = [self._parse_and()]
+        while self._peek() == "or":
+            self._next()
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _parse_and(self) -> Expr:
+        parts = [self._parse_unit()]
+        while self._peek() == "and":
+            self._next()
+            parts.append(self._parse_unit())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def _parse_unit(self) -> Expr:
+        kind, text = self._next()
+        if kind == "connector":
+            try:
+                return Leaf(Connector.parse(text))
+            except ConnectorError as exc:
+                raise FormulaError(str(exc)) from exc
+        if kind == "lparen":
+            if self._peek() == "rparen":
+                self._next()
+                return Empty()
+            inner = self._parse_or()
+            self._expect("rparen")
+            return inner
+        if kind == "lbrace":
+            inner = self._parse_or()
+            self._expect("rbrace")
+            return Opt(inner)
+        if kind == "lbracket":
+            inner = self._parse_or()
+            self._expect("rbracket")
+            return Cost(inner)
+        raise FormulaError(f"unexpected token {text!r} in formula {self._source!r}")
+
+
+def parse_formula(text: str) -> Expr:
+    """Parse a dictionary formula into its AST.
+
+    >>> str(parse_formula("{@A-} & D- & (S+ or O-)"))
+    '({@A-} & D- & (S+ or O-))'
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FormulaError("empty formula")
+    return _Parser(tokens, text).parse()

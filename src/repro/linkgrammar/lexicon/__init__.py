@@ -1,0 +1,23 @@
+"""Lexicons: the Figure-1 toy dictionary and the full chat-room dictionary."""
+
+from functools import lru_cache
+
+from ..dictionary import Dictionary
+from .domain import build_domain_dictionary
+from .english import build_english_dictionary
+from .toy import TOY_DICTIONARY_TEXT, toy_dictionary
+
+__all__ = [
+    "Dictionary",
+    "TOY_DICTIONARY_TEXT",
+    "toy_dictionary",
+    "build_english_dictionary",
+    "build_domain_dictionary",
+    "default_dictionary",
+]
+
+
+@lru_cache(maxsize=1)
+def default_dictionary() -> Dictionary:
+    """The shared full dictionary (built once per process)."""
+    return build_domain_dictionary()

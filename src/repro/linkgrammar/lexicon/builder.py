@@ -1,0 +1,292 @@
+"""Lexicon construction helpers: morphology and grammar frames.
+
+The paper restricts discourse to domain-specific sentences (section 4.1:
+"Vocabulary set is limited; word usage has patterns"), which makes a
+generated lexicon practical: content words are declared once with a part
+of speech and frame, and this module derives inflected forms and their
+link-grammar formulas.
+
+Connector inventory (see DESIGN.md section 6):
+
+==========  ==========================================================
+``W*``      wall to sentence head: ``Wd`` declarative subject, ``Wq``
+            yes/no-question auxiliary, ``Ws`` WH-subject/determiner,
+            ``Wh`` WH-adverb, ``Wi`` imperative verb
+``S``       subject noun to finite verb (``Ss``/``Sp`` agreement)
+``SI``      inverted subject: auxiliary to subject in questions
+``O``       verb to object noun
+``D``       determiner to noun (``Ds``/``Dp`` agreement)
+``A``       attributive adjective to noun
+``AN``      noun modifier to head noun ("pop method", "method push")
+``M``       noun to prepositional modifier ("top of the stack")
+``MV``      verb to prepositional/adverbial modifier
+``J``       preposition to its object noun
+``I``       auxiliary/modal to infinitive verb
+``TO``      verb to "to"-infinitive
+``P*``      copula complements: ``Pa`` adjective, ``Pg`` gerund,
+            ``Pv`` passive participle
+``N``       auxiliary to "not"
+``E``       adverb to following verb
+``EA``      intensifier to adjective
+``Q``       WH-adverb to auxiliary ("how do ...")
+``R``       noun to relative pronoun
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Morphology
+# --------------------------------------------------------------------------
+
+_IRREGULAR_PLURALS = {
+    "child": "children",
+    "datum": "data",
+    "vertex": "vertices",
+    "index": "indices",
+    "matrix": "matrices",
+    "analysis": "analyses",
+    "leaf": "leaves",
+    "half": "halves",
+    "foot": "feet",
+    "man": "men",
+    "woman": "women",
+    "person": "people",
+}
+
+# base -> (third person singular, past, past participle, gerund)
+_IRREGULAR_VERBS = {
+    "be": ("is", "was", "been", "being"),
+    "have": ("has", "had", "had", "having"),
+    "do": ("does", "did", "done", "doing"),
+    "go": ("goes", "went", "gone", "going"),
+    "hold": ("holds", "held", "held", "holding"),
+    "keep": ("keeps", "kept", "kept", "keeping"),
+    "put": ("puts", "put", "put", "putting"),
+    "take": ("takes", "took", "taken", "taking"),
+    "give": ("gives", "gave", "given", "giving"),
+    "get": ("gets", "got", "got", "getting"),
+    "make": ("makes", "made", "made", "making"),
+    "find": ("finds", "found", "found", "finding"),
+    "build": ("builds", "built", "built", "building"),
+    "grow": ("grows", "grew", "grown", "growing"),
+    "know": ("knows", "knew", "known", "knowing"),
+    "run": ("runs", "ran", "run", "running"),
+    "see": ("sees", "saw", "seen", "seeing"),
+    "say": ("says", "said", "said", "saying"),
+    "set": ("sets", "set", "set", "setting"),
+    "mean": ("means", "meant", "meant", "meaning"),
+    "begin": ("begins", "began", "begun", "beginning"),
+    "swap": ("swaps", "swapped", "swapped", "swapping"),
+    "pop": ("pops", "popped", "popped", "popping"),
+    "map": ("maps", "mapped", "mapped", "mapping"),
+    "drop": ("drops", "dropped", "dropped", "dropping"),
+    "split": ("splits", "split", "split", "splitting"),
+    "chase": ("chases", "chased", "chased", "chasing"),
+    "store": ("stores", "stored", "stored", "storing"),
+    "write": ("writes", "wrote", "written", "writing"),
+    "read": ("reads", "read", "read", "reading"),
+    "understand": ("understands", "understood", "understood", "understanding"),
+}
+
+_VOWELS = "aeiou"
+
+
+def pluralize(noun: str) -> str:
+    """The regular (or known-irregular) plural of a noun."""
+    irregular = _IRREGULAR_PLURALS.get(noun)
+    if irregular is not None:
+        return irregular
+    if noun.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    if noun.endswith("y") and len(noun) > 1 and noun[-2] not in _VOWELS:
+        return noun[:-1] + "ies"
+    return noun + "s"
+
+
+def verb_forms(base: str) -> tuple[str, str, str, str]:
+    """(third-singular, past, past-participle, gerund) forms of ``base``."""
+    irregular = _IRREGULAR_VERBS.get(base)
+    if irregular is not None:
+        return irregular
+    if base.endswith(("s", "x", "z", "ch", "sh", "o")):
+        third = base + "es"
+    elif base.endswith("y") and len(base) > 1 and base[-2] not in _VOWELS:
+        third = base[:-1] + "ies"
+    else:
+        third = base + "s"
+    if base.endswith("e"):
+        past = base + "d"
+        gerund = base[:-1] + "ing"
+    elif base.endswith("y") and len(base) > 1 and base[-2] not in _VOWELS:
+        past = base[:-1] + "ied"
+        gerund = base + "ing"
+    else:
+        past = base + "ed"
+        gerund = base + "ing"
+    return third, past, past, gerund
+
+
+# --------------------------------------------------------------------------
+# Grammar frames
+# --------------------------------------------------------------------------
+
+_NOUN_LEFT = "{@AN-} & {@A-}"
+_NOUN_RIGHT = "{M+} & {R+}"
+
+
+def _noun_roles(number: str) -> str:
+    """Role alternatives for a head noun: subject, inverted subject,
+    object, prepositional object, or fronted object of a WH question
+    ("What operations does the deque support?" — the noun carries the
+    wall link via its WH determiner and a ``Bf`` link to the verb)."""
+    return f"(({{Wd-}} & S{number}+) or SI{number}- or O- or J- or Bf+)"
+
+
+# Nouns acting as modifiers are bare: no determiner of their own.  Both
+# compound orders are covered by AN ("the pop method" and "the method
+# push" — in each, the final noun is the parse head).
+_MODIFIER_READING = "({@A-} & AN+)"
+
+
+def singular_count_noun() -> str:
+    """Frame for a singular count noun.
+
+    As a head noun the determiner is *preferred but not required*:
+    learners drop articles ("The tree doesn't have pop method"), and the
+    paper routes such sentences to the Semantic Agent rather than
+    rejecting them.  A missing determiner costs 1, so correctly-articled
+    parses win ranking.  As a modifier or apposed name the noun is bare.
+    """
+    head = f"{_NOUN_LEFT} & (Ds- or [()]) & {_NOUN_RIGHT} & {_noun_roles('s')}"
+    return f"({head}) or {_MODIFIER_READING}"
+
+
+def plural_count_noun() -> str:
+    """Frame for a plural count noun (determiner optional, no cost)."""
+    return f"{_NOUN_LEFT} & {{Dp-}} & {_NOUN_RIGHT} & {_noun_roles('p')}"
+
+
+def mass_noun() -> str:
+    """Frame for a mass or proper-like noun ("data", "memory", "LIFO")."""
+    head = f"{_NOUN_LEFT} & {{Ds-}} & {_NOUN_RIGHT} & {_noun_roles('s')}"
+    return f"({head}) or {_MODIFIER_READING}"
+
+
+def proper_noun() -> str:
+    """Frame for a proper noun (also usable as a bare modifier:
+    "the dijkstra algorithm")."""
+    return f"({_noun_roles('s')}) or {_MODIFIER_READING}"
+
+
+def transitive_verb_entries(base: str) -> dict[str, str]:
+    """Dictionary formulas for all forms of a transitive verb."""
+    third, past, participle, gerund = verb_forms(base)
+    entries = {
+        base: (
+            "{@E-} & ((Sp- & O+ & {@MV+}) or (Wi- & O+ & {@MV+}) "
+            "or (I- & O+ & {@MV+}) or (I- & Bf-))"
+        ),
+        third: "{@E-} & Ss- & O+ & {@MV+}",
+        past: "{@E-} & S- & O+ & {@MV+}",
+        gerund: "Pg- & O+ & {@MV+}",
+    }
+    # Past participle doubles as passive complement ("the data is pushed").
+    passive = "Pv- & {@MV+}"
+    if participle == past:
+        entries[past] = f"({entries[past]}) or ({passive})"
+    else:
+        entries[participle] = passive
+    return entries
+
+
+def intransitive_verb_entries(base: str) -> dict[str, str]:
+    """Dictionary formulas for all forms of an intransitive verb."""
+    third, past, participle, gerund = verb_forms(base)
+    entries = {
+        base: "{@E-} & ((Sp- & {@MV+}) or (Wi- & {@MV+}) or (I- & {@MV+}))",
+        third: "{@E-} & Ss- & {@MV+}",
+        past: "{@E-} & S- & {@MV+}",
+        gerund: "Pg- & {@MV+}",
+    }
+    if participle != past and participle not in entries:
+        entries[participle] = "Pv- & {@MV+}"
+    return entries
+
+
+def optionally_transitive_verb_entries(base: str) -> dict[str, str]:
+    """Verb that may take an object ("the stack overflows / pop the item")."""
+    third, past, participle, gerund = verb_forms(base)
+    entries = {
+        base: (
+            "{@E-} & ((Sp- & {O+} & {@MV+}) or (Wi- & {O+} & {@MV+}) "
+            "or (I- & {O+} & {@MV+}) or (I- & Bf-))"
+        ),
+        third: "{@E-} & Ss- & {O+} & {@MV+}",
+        past: "{@E-} & S- & {O+} & {@MV+}",
+        gerund: "Pg- & {O+} & {@MV+}",
+    }
+    passive = "Pv- & {@MV+}"
+    if participle == past:
+        entries[past] = f"({entries[past]}) or ({passive})"
+    else:
+        entries[participle] = passive
+    return entries
+
+
+def adjective_entry() -> str:
+    """Frame for an adjective: attributive or predicative."""
+    return "{EA-} & (A+ or Pa-)"
+
+
+def preposition_entry() -> str:
+    """Frame for a preposition attaching to nouns or verbs."""
+    return "(M- or MV-) & J+"
+
+
+@dataclass(slots=True)
+class LexiconSpec:
+    """Declarative lexicon: content words by class, expanded on demand."""
+
+    count_nouns: list[str] = field(default_factory=list)
+    mass_nouns: list[str] = field(default_factory=list)
+    proper_nouns: list[str] = field(default_factory=list)
+    transitive_verbs: list[str] = field(default_factory=list)
+    intransitive_verbs: list[str] = field(default_factory=list)
+    optional_verbs: list[str] = field(default_factory=list)
+    adjectives: list[str] = field(default_factory=list)
+    prepositions: list[str] = field(default_factory=list)
+
+    def entries(self) -> dict[str, str]:
+        """Expand the spec to word -> formula text."""
+        out: dict[str, str] = {}
+
+        def _add(word: str, formula: str) -> None:
+            if word in out:
+                out[word] = f"({out[word]}) or ({formula})"
+            else:
+                out[word] = formula
+
+        for noun in self.count_nouns:
+            _add(noun, singular_count_noun())
+            _add(pluralize(noun), plural_count_noun())
+        for noun in self.mass_nouns:
+            _add(noun, mass_noun())
+        for noun in self.proper_nouns:
+            _add(noun, proper_noun())
+        for verb in self.transitive_verbs:
+            for word, formula in transitive_verb_entries(verb).items():
+                _add(word, formula)
+        for verb in self.intransitive_verbs:
+            for word, formula in intransitive_verb_entries(verb).items():
+                _add(word, formula)
+        for verb in self.optional_verbs:
+            for word, formula in optionally_transitive_verb_entries(verb).items():
+                _add(word, formula)
+        for adjective in self.adjectives:
+            _add(adjective, adjective_entry())
+        for preposition in self.prepositions:
+            _add(preposition, preposition_entry())
+        return out

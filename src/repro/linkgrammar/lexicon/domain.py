@@ -1,0 +1,71 @@
+"""Data-Structure domain vocabulary (the paper's restricted domain).
+
+Section 4.1 restricts the chat room to the "Data Structure" course: the
+vocabulary is limited, usage is patterned, and the terms are pre-defined
+in the system ontology.  This module is the lexical side of that
+restriction; :mod:`repro.ontology.domains.data_structures` is the
+conceptual side.  Tests assert that every ontology term is parseable with
+this lexicon.
+"""
+
+from __future__ import annotations
+
+from ..dictionary import Dictionary
+from .builder import LexiconSpec
+from .english import build_english_dictionary
+
+DOMAIN_SPEC = LexiconSpec(
+    count_nouns=[
+        # Container concepts.
+        "stack", "queue", "tree", "heap", "array", "list", "graph",
+        "table", "deque", "set", "structure", "buffer", "string",
+        # Parts and positions.
+        "node", "element", "item", "pointer", "index", "key", "root",
+        "leaf", "child", "parent", "edge", "vertex", "bucket", "cell",
+        "level", "slot", "entry", "record", "field", "branch", "subtree",
+        "path", "cycle", "link", "top", "bottom", "front", "rear",
+        "head", "tail", "side", "position", "label", "weight",
+        # Operations and measures as nouns.
+        "method", "operation", "algorithm", "definition", "relation",
+        "insertion", "deletion", "traversal", "search", "sort", "order",
+        "size", "length", "capacity", "priority", "degree", "depth",
+        "height", "complexity", "collision", "rotation", "partition",
+        "comparison", "iteration", "recursion", "implementation",
+        "application", "property", "symbol", "value",
+        # Operation names usable as nouns ("the push method", "a pop").
+        "push", "pop", "peek", "enqueue", "dequeue", "lookup", "insert",
+        "delete", "update", "append", "merge", "split", "swap", "hash",
+        "traverse", "prepend", "rotate", "balance", "access", "store",
+    ],
+    mass_nouns=["data", "lifo", "fifo", "storage", "hashing", "overflow", "underflow"],
+    proper_nouns=["dijkstra", "kruskal", "prim", "huffman"],
+    transitive_verbs=[
+        "push", "insert", "delete", "remove", "add", "enqueue", "dequeue",
+        "store", "access", "implement", "contain", "hold", "support",
+        "allocate", "free", "visit", "append", "prepend", "merge",
+        "swap", "compare", "sort", "search", "traverse", "link", "hash",
+        "index", "balance", "rotate", "update", "extend", "reverse",
+        "partition", "restrict", "connect", "retrieve",
+    ],
+    intransitive_verbs=["overflow", "underflow", "recurse", "terminate"],
+    optional_verbs=["pop", "peek", "grow", "shrink", "split", "return", "point", "iterate"],
+    adjectives=[
+        "linked", "binary", "balanced", "sorted", "unsorted", "ordered",
+        "unordered", "dynamic", "static", "linear", "circular",
+        "complete", "perfect", "abstract", "recursive", "iterative",
+        "empty", "full", "constant", "logarithmic", "amortized",
+        "contiguous", "adjacent", "directed", "undirected", "weighted",
+        "rooted", "minimum", "maximum", "internal", "external", "doubly",
+        "singly", "efficient", "leftmost", "rightmost", "hierarchical",
+        "quick", "priority",
+    ],
+)
+
+
+def build_domain_dictionary() -> Dictionary:
+    """The full chat-room dictionary: English core + Data Structure domain."""
+    dictionary = build_english_dictionary()
+    dictionary.name = "english+data-structures"
+    for word, formula in DOMAIN_SPEC.entries().items():
+        dictionary.define(word, formula)
+    return dictionary

@@ -1,0 +1,163 @@
+"""Core English lexicon: function words and general classroom vocabulary.
+
+Together with :mod:`repro.linkgrammar.lexicon.domain` this gives the
+restricted, domain-specific English the paper assumes (section 4.1).  The
+function words are written out by hand (their grammar is idiosyncratic);
+content words go through the frames in
+:mod:`repro.linkgrammar.lexicon.builder`.
+
+The lexicon also contains the Figure 1 words (cat, mouse, John, ran,
+chased) and the vocabulary of every worked example in the paper, so each
+quoted sentence parses against the full dictionary.
+"""
+
+from __future__ import annotations
+
+from ..dictionary import Dictionary, UNKNOWN_WORD, WALL_WORD
+from .builder import LexiconSpec
+
+# --------------------------------------------------------------------------
+# Hand-written function words
+# --------------------------------------------------------------------------
+
+FUNCTION_WORDS: dict[str, str] = {
+    WALL_WORD: "Wd+ or Wq+ or Ws+ or Wh+ or Wi+",
+    UNKNOWN_WORD: (
+        # Out-of-vocabulary tokens behave like a determinerless noun, at a
+        # cost; the analyzer flags them, but the parse survives around them.
+        "[[{@AN-} & {@A-} & {D-} & ({Wd-} & S+ or SI- or O- or J- or AN+)]]"
+    ),
+    # Determiners.
+    "a an": "Ds+",
+    "the": "D+",
+    "this that": "Ds+",
+    "these those": "Dp+",
+    "my your our their its his her": "D+",
+    "every each one another": "Ds+",
+    "some any no more most all enough": "D+",
+    "many few several both": "Dp+",
+    "two three four five six seven eight nine ten": "Dp+ or A+",
+    # Pronouns.
+    "i you we they": "({Wd-} & Sp+) or SIp- or O- or J-",
+    "he she": "({Wd-} & Ss+) or SIs- or O- or J-",
+    "it": "({Wd-} & Ss+) or SIs- or O- or J-",
+    "me him us them": "O- or J-",
+    "there": "({Wd-} & S+) or SI-",
+    "something anything nothing everything": "({Wd-} & Ss+) or O- or J-",
+    "someone anyone everyone": "({Wd-} & Ss+) or O- or J-",
+    # WH words.
+    "what": "({Ws-} & S+) or O- or (Ws- & D+)",
+    "which": "(Ws- & D+) or (R- & S+)",
+    "who": "({Ws-} & Ss+) or (R- & S+)",
+    "how why when where": "Wh- & Q+",
+    # Relative pronoun reading of "that" merges with the determiner above.
+    "that_rel": "R- & S+",
+    # Negation.
+    "not": "N-",
+    # Do-support.
+    "do": "(Wq- & SIp+ & I+) or (Sp- & {N+} & I+) or (Q- & SIp+ & I+) or [SIp+ & I+]",
+    "does": "(Wq- & SIs+ & I+) or (Ss- & {N+} & I+) or (Q- & SIs+ & I+) or [SIs+ & I+]",
+    "did": "(Wq- & SI+ & I+) or (S- & {N+} & I+) or (Q- & SI+ & I+) or [SI+ & I+]",
+    "don't": "(Sp- & I+) or (Wq- & SIp+ & I+) or (Wi- & I+)",
+    "doesn't": "(Ss- & I+) or (Wq- & SIs+ & I+)",
+    "didn't": "(S- & I+) or (Wq- & SI+ & I+)",
+    # Modals.
+    "can could will would should must may might shall": (
+        "(S- & {N+} & I+) or (Wq- & SI+ & I+) or (Q- & SI+ & I+) or [SI+ & I+]"
+    ),
+    "can't cannot won't wouldn't shouldn't couldn't mustn't": (
+        "(S- & I+) or (Wq- & SI+ & I+)"
+    ),
+    # Copula.
+    "is": (
+        "(Ss- & {N+} & (Pa+ or Pg+ or Pv+ or O+ or MV+))"
+        " or (Wq- & SIs+ & (Pa+ or Pg+ or Pv+ or O+))"
+        " or (Q- & SIs+ & {Pa+ or Pg+ or Pv+ or O+ or MV+})"
+    ),
+    "are": (
+        "(Sp- & {N+} & (Pa+ or Pg+ or Pv+ or O+ or MV+))"
+        " or (Wq- & SIp+ & (Pa+ or Pg+ or Pv+ or O+))"
+        " or (Q- & SIp+ & {Pa+ or Pg+ or Pv+ or O+ or MV+})"
+    ),
+    "was": "Ss- & {N+} & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "were": "Sp- & {N+} & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "isn't": "Ss- & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "aren't": "Sp- & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "wasn't": "Ss- & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "weren't": "Sp- & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    "be": "I- & (Pa+ or Pg+ or Pv+ or O+ or MV+)",
+    # Possession / the QA template "Does X have Y".
+    "have": "{@E-} & ((Sp- & O+ & {@MV+}) or (I- & O+ & {@MV+}) or (I- & Bf-))",
+    "has": "{@E-} & Ss- & O+ & {@MV+}",
+    "had": "{@E-} & S- & O+ & {@MV+}",
+    # Infinitival and prepositional "to".
+    "to": "(TO- & I+) or ((M- or MV-) & J+)",
+    # Verbs taking to-infinitives.
+    "want need": "Sp- & (O+ or TO+)",
+    "wants needs": "Ss- & (O+ or TO+)",
+    "wanted needed": "S- & (O+ or TO+)",
+    "try tries tried": "S- & (O+ or TO+)",
+    # Adverbs.
+    "always never usually often sometimes also just only then next now here soon": (
+        "E+ or MV-"
+    ),
+    "quickly slowly correctly carefully efficiently easily first again too": (
+        "E+ or MV-"
+    ),
+    "very really quite": "EA+",
+    # Discourse words: stand alone as complete utterances.
+    "yes okay ok hello hi thanks right sure exactly": "Wd-",
+    "please": "E+ or Wd-",
+}
+
+# --------------------------------------------------------------------------
+# General classroom vocabulary (content words, via frames)
+# --------------------------------------------------------------------------
+
+GENERAL_SPEC = LexiconSpec(
+    count_nouns=[
+        "question", "answer", "example", "problem", "course", "lesson",
+        "exercise", "teacher", "student", "classmate", "way", "thing",
+        "part", "end", "side", "number", "name", "kind", "type", "case",
+        "step", "result", "reason", "idea", "point", "word", "sentence",
+        "program", "function", "loop", "variable", "computer", "class",
+        "book", "page", "chapter", "cat", "mouse", "car", "dog", "cup",
+    ],
+    mass_nouns=["time", "water", "cola", "homework", "code", "memory", "space"],
+    proper_nouns=["john", "mary", "alice", "bob"],
+    transitive_verbs=[
+        "use", "make", "take", "give", "see", "know", "understand",
+        "explain", "show", "tell", "help", "learn", "study", "teach",
+        "ask", "solve", "check", "test", "move", "copy", "create",
+        "define", "describe", "compare", "choose", "drink", "chase",
+        "read", "write", "get",
+    ],
+    intransitive_verbs=["work", "happen", "go", "come", "wait", "listen"],
+    optional_verbs=["run", "start", "begin", "finish", "look", "answer", "say"],
+    adjectives=[
+        "good", "bad", "big", "small", "new", "old", "easy", "hard",
+        "difficult", "simple", "complex", "correct", "wrong", "important",
+        "useful", "fast", "slow", "long", "short", "high", "low", "last",
+        "same", "different", "ready", "clear", "basic", "main", "common",
+        "special", "similar", "possible", "sure",
+    ],
+    prepositions=[
+        "of", "in", "on", "at", "into", "onto", "from", "with", "by",
+        "for", "about", "over", "under", "inside", "outside", "between",
+        "before", "after", "during", "through", "without", "near",
+        "behind", "above", "below", "like",
+    ],
+)
+
+
+def build_english_dictionary() -> Dictionary:
+    """Assemble the function words plus general vocabulary."""
+    dictionary = Dictionary(name="english-core")
+    for words, formula in FUNCTION_WORDS.items():
+        if words == "that_rel":
+            dictionary.define("that", formula)
+            continue
+        dictionary.define(words, formula)
+    for word, formula in GENERAL_SPEC.entries().items():
+        dictionary.define(word, formula)
+    return dictionary

@@ -1,0 +1,28 @@
+"""The paper's Figure 1 toy dictionary.
+
+Defines exactly the words of Fig. 1 — ``a``, ``the``, ``cat``, ``mouse``,
+``John``, ``ran``, ``chased`` — with the linking requirements drawn there:
+determiners offer ``D+``; common nouns require a determiner and then act as
+subject or object; the proper noun ``John`` needs no determiner; ``ran`` is
+intransitive and ``chased`` transitive.  Figure 2's sentence "The cat
+chased a mouse" must parse to exactly the linkage shown in the paper:
+``D(the,cat) S(cat,chased) O(chased,mouse) D(a,mouse)``.
+"""
+
+from __future__ import annotations
+
+from ..dictionary import Dictionary
+
+TOY_DICTIONARY_TEXT = """
+% Figure 1 of the paper: words and connectors.
+a the: D+;
+cat mouse: D- & (S+ or O-);
+John: S+ or O-;
+ran: S-;
+chased: S- & O+;
+"""
+
+
+def toy_dictionary() -> Dictionary:
+    """Build the Figure 1 dictionary (no wall; pure paper semantics)."""
+    return Dictionary.from_text(TOY_DICTIONARY_TEXT, name="fig1-toy")

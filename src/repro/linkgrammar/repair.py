@@ -1,0 +1,214 @@
+"""Concrete sentence repair: from diagnosis to suggested corrections.
+
+The paper's abstract promises that the system "can thus give some
+correction suggestions to users"; beyond pointing at corpus model
+sentences, this module proposes *edits to the learner's own sentence*:
+
+* delete an unlinkable word;
+* insert a determiner before a bare singular noun;
+* replace a word with another inflection of the same base (fixing
+  subject-verb agreement and number errors);
+* swap adjacent words (fixing local word-order slips).
+
+Candidates are generated around the diagnosed trouble spots, re-parsed,
+and only candidates that parse strictly better (fewer nulls, then lower
+cost) are offered, best first.  The search is bounded, so repair stays
+interactive-fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dictionary import Dictionary
+from .lexicon.builder import pluralize, verb_forms
+from .parser import ParseOptions, Parser
+from .tokenizer import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class Repair:
+    """One suggested correction.
+
+    Attributes:
+        text: the repaired sentence.
+        edit: human-readable description of the edit.
+        null_count: nulls of the repaired parse (0 = fully grammatical).
+        cost: parse cost of the repaired parse.
+    """
+
+    text: str
+    edit: str
+    null_count: int
+    cost: int
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (self.null_count, self.cost, len(self.text))
+
+
+class SentenceRepairer:
+    """Bounded search over single-edit repairs of a faulty sentence."""
+
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        max_candidates: int = 60,
+        max_results: int = 3,
+    ) -> None:
+        self.dictionary = dictionary
+        self.parser = Parser(dictionary, ParseOptions(max_linkages=8))
+        self.max_candidates = max_candidates
+        self.max_results = max_results
+        self._variant_cache: dict[str, tuple[str, ...]] = {}
+
+    # ----------------------------------------------------------------- API
+
+    def repair(self, text: str) -> list[Repair]:
+        """Suggest up to ``max_results`` single-edit corrections.
+
+        Returns an empty list when the sentence is already fully
+        grammatical or nothing parses better.
+        """
+        baseline = self.parser.parse(text)
+        base_cost = baseline.best.cost if baseline.best else 0
+        base_key = (baseline.null_count, base_cost)
+        if baseline.null_count == 0 and not baseline.unknown_words and base_cost == 0:
+            return []
+        words = list(tokenize(text).words)
+        terminator = tokenize(text).terminator
+        if not words:
+            return []
+        trouble = self._trouble_spots(baseline, len(words))
+        repairs: list[Repair] = []
+        seen: set[str] = set()
+        for candidate, edit in self._candidates(words, terminator, trouble):
+            if candidate in seen or candidate.lower() == text.lower():
+                continue
+            seen.add(candidate)
+            result = self.parser.parse(candidate)
+            if result.unknown_words:
+                continue
+            # A repair must be *fully* grammatical — a partial improvement
+            # would still draw a Learning_Angel warning.
+            key = (result.null_count, result.best.cost if result.best else 0)
+            if result.null_count == 0 and result.linkages and key < base_key:
+                repairs.append(
+                    Repair(
+                        text=candidate,
+                        edit=edit,
+                        null_count=0,
+                        cost=result.best.cost if result.best else 0,
+                    )
+                )
+            if len(seen) >= self.max_candidates:
+                break
+        repairs.sort(key=Repair.sort_key)
+        return repairs[: self.max_results]
+
+    # ------------------------------------------------------------ internal
+
+    def _trouble_spots(self, baseline, n_words: int) -> list[int]:
+        """Word positions to edit around: null words (or everywhere when
+        the parse collapsed)."""
+        best = baseline.best
+        offset = 1 if baseline.has_wall else 0
+        if best is None or len(best.null_words) > max(1, n_words // 2):
+            return list(range(n_words))
+        positions = sorted(
+            index - offset for index in best.null_words if index - offset >= 0
+        )
+        # Include neighbours: the unlinkable word is sometimes fine and its
+        # neighbour is the real problem (agreement).
+        expanded: list[int] = []
+        for position in positions:
+            for candidate in (position - 1, position, position + 1):
+                if 0 <= candidate < n_words and candidate not in expanded:
+                    expanded.append(candidate)
+        return expanded or list(range(n_words))
+
+    def _candidates(self, words: list[str], terminator: str, trouble: list[int]):
+        """Yield (candidate sentence, edit description) pairs."""
+
+        def render(tokens: list[str]) -> str:
+            sentence = " ".join(tokens)
+            return (sentence[:1].upper() + sentence[1:] + terminator) if sentence else ""
+
+        for position in trouble:
+            word = words[position]
+            # 1. Delete the word.
+            reduced = words[:position] + words[position + 1 :]
+            if reduced:
+                yield render(reduced), f"remove '{word}'"
+            # 2. Replace with an inflectional variant.
+            for variant in self._variants(word):
+                changed = list(words)
+                changed[position] = variant
+                yield render(changed), f"change '{word}' to '{variant}'"
+            # 3. Insert a determiner before the word.
+            if word not in ("a", "an", "the"):
+                for determiner in ("the", "a"):
+                    inserted = words[:position] + [determiner] + words[position:]
+                    yield render(inserted), f"insert '{determiner}' before '{word}'"
+            # 4. Swap with the next word.
+            if position + 1 < len(words):
+                swapped = list(words)
+                swapped[position], swapped[position + 1] = (
+                    swapped[position + 1],
+                    swapped[position],
+                )
+                yield render(swapped), f"swap '{word}' and '{words[position + 1]}'"
+
+    def _variants(self, word: str) -> tuple[str, ...]:
+        """Other known inflections sharing this word's base."""
+        cached = self._variant_cache.get(word)
+        if cached is not None:
+            return cached
+        variants: list[str] = []
+        lower = word.lower()
+        if lower in _CLOSED_CLASS_WORDS:
+            # Function words only swap via the explicit table below;
+            # morphology rules misfire on them ("the" -> "thing").
+            unique = tuple(
+                swap_to
+                for swap_from, swap_to in _CLOSED_CLASS_SWAPS
+                if lower == swap_from and self.dictionary.is_known(swap_to)
+            )
+            self._variant_cache[word] = unique
+            return unique
+        # Noun number: singular <-> plural.
+        plural = pluralize(lower)
+        if plural != lower and self.dictionary.is_known(plural):
+            variants.append(plural)
+        if lower.endswith("s"):
+            singular = lower[:-1]
+            if self.dictionary.is_known(singular) and pluralize(singular) == lower:
+                variants.append(singular)
+        # Verb forms of this word (as base) and bases this word inflects.
+        third, past, participle, gerund = verb_forms(lower)
+        for form in (third, past, participle, gerund):
+            if form != lower and self.dictionary.is_known(form):
+                variants.append(form)
+        for swap_from, swap_to in _CLOSED_CLASS_SWAPS:
+            if lower == swap_from and self.dictionary.is_known(swap_to):
+                variants.append(swap_to)
+        unique = tuple(dict.fromkeys(variants))
+        self._variant_cache[word] = unique
+        return unique
+
+
+_CLOSED_CLASS_WORDS = frozenset(
+    {
+        "a", "an", "the", "this", "that", "these", "those", "is", "are",
+        "was", "were", "has", "have", "does", "do", "did", "doesn't",
+        "don't", "not", "to", "of", "in", "on", "at", "into", "onto",
+        "from", "with", "by", "for", "and", "or", "we", "i", "you",
+        "they", "he", "she", "it",
+    }
+)
+
+_CLOSED_CLASS_SWAPS = [
+    ("is", "are"), ("are", "is"), ("was", "were"), ("were", "was"),
+    ("has", "have"), ("have", "has"), ("does", "do"), ("do", "does"),
+    ("doesn't", "don't"), ("don't", "doesn't"), ("a", "an"), ("an", "a"),
+    ("this", "these"), ("these", "this"), ("that", "those"), ("those", "that"),
+]

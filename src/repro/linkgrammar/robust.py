@@ -1,0 +1,223 @@
+"""Fault-tolerant grammar analysis on top of the core parser.
+
+The paper's Learning_Angel needs more than accept/reject: non-native
+learners produce noisy English, so the "enhanced" parser must localise
+problems and describe them (section 4.2's *Label analysis & filter*,
+section 5's fault-tolerance discussion).  This module turns raw
+:class:`~repro.linkgrammar.parser.ParseResult` objects into structured
+:class:`GrammarDiagnosis` reports:
+
+* unknown words (out of the restricted domain vocabulary, section 4.1);
+* null words — positions the best linkage could not incorporate;
+* meta-rule violations, if a candidate linkage breaks planarity,
+  connectivity, ordering or exclusion (should not happen for parser
+  output; checked as a safety net and exposed for adversarial tests);
+* heuristic repair hints (e.g. a bare singular noun missing a determiner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .dictionary import Dictionary
+from .parser import ParseOptions, ParseResult, Parser
+
+
+class ErrorKind(Enum):
+    """Categories of syntax problems the supervisor reports."""
+
+    UNKNOWN_WORD = "unknown-word"
+    UNLINKED_WORD = "unlinked-word"
+    NO_PARSE = "no-parse"
+    META_RULE = "meta-rule-violation"
+    EMPTY = "empty-sentence"
+    STYLE = "style"
+
+
+@dataclass(frozen=True, slots=True)
+class SyntaxIssue:
+    """One localised syntax problem.
+
+    Attributes:
+        kind: the issue category.
+        word: surface form involved, or "" for sentence-level issues.
+        position: index into the *sentence* tokens (wall excluded), or -1.
+        message: human-readable explanation for the learner.
+    """
+
+    kind: ErrorKind
+    word: str
+    position: int
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class GrammarDiagnosis:
+    """Full syntax report for one sentence.
+
+    Attributes:
+        result: the underlying parse result.
+        issues: localised problems, sentence order.
+        is_correct: True when the sentence parsed fully with known words.
+    """
+
+    result: ParseResult
+    issues: tuple[SyntaxIssue, ...] = field(default_factory=tuple)
+
+    @property
+    def is_correct(self) -> bool:
+        """True when nothing worse than a style hint was found."""
+        return all(issue.kind == ErrorKind.STYLE for issue in self.issues)
+
+    @property
+    def style_only(self) -> bool:
+        """True when the only findings are style hints (missing article)."""
+        return bool(self.issues) and self.is_correct
+
+    @property
+    def error_kinds(self) -> tuple[ErrorKind, ...]:
+        return tuple(dict.fromkeys(issue.kind for issue in self.issues))
+
+    def summary(self) -> str:
+        """One-line summary suitable for a chat-room agent reply."""
+        if self.is_correct:
+            return "No syntax problems found."
+        parts = [issue.message for issue in self.issues]
+        return " ".join(parts)
+
+
+class RobustAnalyzer:
+    """Parses sentences and produces :class:`GrammarDiagnosis` reports."""
+
+    def __init__(self, dictionary: Dictionary, options: ParseOptions | None = None) -> None:
+        self.dictionary = dictionary
+        self.parser = Parser(dictionary, options or ParseOptions())
+
+    def analyze(self, text: str) -> GrammarDiagnosis:
+        """Parse ``text`` and collect localised syntax issues."""
+        result = self.parser.parse(text)
+        issues: list[SyntaxIssue] = []
+        offset = 1 if result.has_wall else 0
+        tokens = result.sentence.words
+
+        if not tokens:
+            issues.append(
+                SyntaxIssue(ErrorKind.EMPTY, "", -1, "The sentence contains no words.")
+            )
+            return GrammarDiagnosis(result=result, issues=tuple(issues))
+
+        for position, token in enumerate(tokens):
+            if not self.dictionary.is_known(token):
+                issues.append(
+                    SyntaxIssue(
+                        ErrorKind.UNKNOWN_WORD,
+                        token,
+                        position,
+                        f"The word '{token}' is not in the course vocabulary.",
+                    )
+                )
+
+        best = result.best
+        if best is None:
+            issues.append(
+                SyntaxIssue(
+                    ErrorKind.NO_PARSE,
+                    "",
+                    -1,
+                    "The sentence could not be parsed at all.",
+                )
+            )
+            return GrammarDiagnosis(result=result, issues=tuple(issues))
+
+        if result.null_count > max(1, len(tokens) // 2):
+            # The parse collapsed: most words could not be linked, so
+            # per-word localisation would be noise.  Report once.
+            issues.append(
+                SyntaxIssue(
+                    ErrorKind.NO_PARSE,
+                    "",
+                    -1,
+                    "The sentence structure could not be understood; "
+                    "please try a simpler sentence.",
+                )
+            )
+            issues.sort(key=lambda issue: (issue.position, issue.kind.value))
+            return GrammarDiagnosis(result=result, issues=tuple(issues))
+
+        if result.null_count > 0:
+            for index in sorted(best.null_words):
+                position = index - offset
+                if position < 0:
+                    # The virtual wall went unlinked: the sentence has no
+                    # recognisable head (declarative, question, imperative).
+                    issues.append(
+                        SyntaxIssue(
+                            ErrorKind.UNLINKED_WORD,
+                            "",
+                            -1,
+                            "The sentence does not start like a statement, "
+                            "question, or instruction.",
+                        )
+                    )
+                    continue
+                word = tokens[position]
+                issues.append(
+                    SyntaxIssue(
+                        ErrorKind.UNLINKED_WORD,
+                        word,
+                        position,
+                        f"The word '{word}' does not fit the grammar of the "
+                        f"rest of the sentence{self._hint(word, position, tokens)}.",
+                    )
+                )
+
+        if not issues and result.null_count == 0 and best.cost > 0:
+            # Parsed cleanly but only by paying formula costs — typically a
+            # dropped article ("The tree doesn't have pop method").  The
+            # paper tolerates these (the Semantic Agent still runs), but
+            # the supervisor notes them as style hints.
+            issues.append(
+                SyntaxIssue(
+                    ErrorKind.STYLE,
+                    "",
+                    -1,
+                    "The sentence reads like learner English "
+                    "(an article such as 'a' or 'the' may be missing).",
+                )
+            )
+
+        violations = best.validate()
+        if violations:
+            issues.append(
+                SyntaxIssue(
+                    ErrorKind.META_RULE,
+                    "",
+                    -1,
+                    "Linkage violates meta-rules: " + ", ".join(violations) + ".",
+                )
+            )
+
+        issues.sort(key=lambda issue: (issue.position, issue.kind.value))
+        return GrammarDiagnosis(result=result, issues=tuple(issues))
+
+    def _hint(self, word: str, position: int, tokens: tuple[str, ...]) -> str:
+        """A short repair hint appended to an unlinked-word message."""
+        entry = self.dictionary.lookup_exact(word)
+        if entry is None:
+            return ""
+        heads_minus = {c.head for d in entry.disjuncts for c in d.left}
+        if "D" in heads_minus and (position == 0 or tokens[position - 1] not in _DETERMINERS):
+            return " (did you forget 'a' or 'the' before it?)"
+        heads_plus = {c.head for d in entry.disjuncts for c in d.right}
+        if "S" in heads_plus:
+            return " (check the verb that should follow it)"
+        if "S" in heads_minus:
+            return " (check subject-verb agreement)"
+        return ""
+
+
+_DETERMINERS = frozenset(
+    {"a", "an", "the", "this", "that", "these", "those", "my", "your", "its",
+     "our", "their", "every", "each", "some", "any", "no", "one", "two", "three"}
+)

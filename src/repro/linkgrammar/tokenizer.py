@@ -1,0 +1,69 @@
+"""Sentence tokenisation for the chat-room parser.
+
+Chat messages are informal: mixed case, contractions, stray punctuation.
+The tokenizer lower-cases tokens (dictionary lookups are case-insensitive),
+splits off sentence-final punctuation (which also signals the sentence
+pattern: ``?`` marks questions for the classifier), and keeps contractions
+such as ``doesn't`` as single tokens because the lexicon defines them
+directly — the paper's worked example "The tree doesn't have pop method."
+depends on this.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?(?:-[A-Za-z]+)*|\d+(?:\.\d+)?|[.?!,;:]")
+
+TERMINATORS = frozenset({".", "?", "!"})
+
+
+@dataclass(frozen=True, slots=True)
+class TokenizedSentence:
+    """A tokenised sentence.
+
+    Attributes:
+        words: lower-cased word tokens, punctuation removed.
+        terminator: final punctuation mark ("." / "?" / "!") or "" if none.
+        raw: the original text.
+    """
+
+    words: tuple[str, ...]
+    terminator: str
+    raw: str
+
+    @property
+    def is_question_marked(self) -> bool:
+        """True when the sentence ends in a question mark."""
+        return self.terminator == "?"
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def tokenize(text: str) -> TokenizedSentence:
+    """Tokenise one sentence of chat text.
+
+    >>> tokenize("The tree doesn't have pop method.").words
+    ('the', 'tree', "doesn't", 'have', 'pop', 'method')
+    >>> tokenize("What is Stack?").terminator
+    '?'
+    """
+    tokens = _TOKEN_RE.findall(text)
+    terminator = ""
+    while tokens and tokens[-1] in TERMINATORS:
+        terminator = tokens[-1]
+        tokens.pop()
+    words = tuple(token.lower() for token in tokens if token not in {",", ";", ":"} | TERMINATORS)
+    return TokenizedSentence(words=words, terminator=terminator, raw=text)
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split a chat message into sentences on terminal punctuation.
+
+    >>> split_sentences("I see. What is Stack?")
+    ['I see.', 'What is Stack?']
+    """
+    parts = re.split(r"(?<=[.?!])\s+", text.strip())
+    return [part for part in (p.strip() for p in parts) if part]

@@ -1,0 +1,25 @@
+"""NLP stages shared by the agents: patterns, keywords, normalisation."""
+
+from .keywords import KeywordFilter, KeywordMatch
+from .normalize import Lemmatizer, default_lemmatizer
+from .patterns import (
+    AUX_WORDS,
+    NEGATION_WORDS,
+    PatternAnalysis,
+    SentencePattern,
+    WH_WORDS,
+    classify,
+)
+
+__all__ = [
+    "AUX_WORDS",
+    "KeywordFilter",
+    "KeywordMatch",
+    "Lemmatizer",
+    "NEGATION_WORDS",
+    "PatternAnalysis",
+    "SentencePattern",
+    "WH_WORDS",
+    "classify",
+    "default_lemmatizer",
+]

@@ -1,0 +1,69 @@
+"""Morphological normalisation for keyword matching.
+
+The Semantic Keywords Filter must recognise ontology terms under
+inflection: "pushed" and "pushes" are the operation *push*; "stacks" is
+the concept *stack*.  Because the chat room is domain-restricted
+(section 4.1), we can build a closed-world lemma table from the same word
+lists that generate the lexicon — every content word the parser knows has
+its forms mapped back to the base here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.linkgrammar.lexicon.builder import pluralize, verb_forms
+from repro.linkgrammar.lexicon.domain import DOMAIN_SPEC
+from repro.linkgrammar.lexicon.english import GENERAL_SPEC
+
+
+class Lemmatizer:
+    """Maps inflected forms to their base form (lemma).
+
+    Unknown words are returned unchanged: lemmatisation never invents
+    vocabulary, it only folds known inflections.
+    """
+
+    def __init__(self, extra_specs: tuple = ()) -> None:
+        self._lemma: dict[str, str] = {}
+        specs = (GENERAL_SPEC, DOMAIN_SPEC) + tuple(extra_specs)
+        for spec in specs:
+            for noun in spec.count_nouns:
+                self._register(pluralize(noun), noun)
+            verb_lists = (
+                spec.transitive_verbs + spec.intransitive_verbs + spec.optional_verbs
+            )
+            for verb in verb_lists:
+                third, past, participle, gerund = verb_forms(verb)
+                for form in (third, past, participle, gerund):
+                    self._register(form, verb)
+        # A few closed-class irregulars worth folding.
+        for form, base in [
+            ("has", "have"), ("had", "have"), ("is", "be"), ("are", "be"),
+            ("was", "be"), ("were", "be"), ("does", "do"), ("did", "do"),
+            ("children", "child"), ("data", "data"),
+        ]:
+            self._register(form, base)
+
+    def _register(self, form: str, base: str) -> None:
+        if form != base:
+            # First registration wins: specs are ordered general -> domain,
+            # and collisions (e.g. "leaves") are rare and harmless.
+            self._lemma.setdefault(form.lower(), base.lower())
+
+    def lemma(self, word: str) -> str:
+        """Base form of ``word`` (identity for unknown words)."""
+        return self._lemma.get(word.lower(), word.lower())
+
+    def lemmas(self, words: tuple[str, ...]) -> tuple[str, ...]:
+        """Lemma of every token."""
+        return tuple(self.lemma(word) for word in words)
+
+    def __len__(self) -> int:
+        return len(self._lemma)
+
+
+@lru_cache(maxsize=1)
+def default_lemmatizer() -> Lemmatizer:
+    """Shared lemmatizer over the default lexicon specs."""
+    return Lemmatizer()

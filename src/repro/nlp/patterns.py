@@ -1,0 +1,126 @@
+"""Sentence Pattern Classification (paper section 4.3, stage 1-2).
+
+The Semantic Keyword Filter "will detect five different kinds of
+sentences' patterns: 1) the Pattern in Simple Sentences, 2) the Pattern in
+Negative Sentences, 3) the Pattern in Question Sentences, 4) the Pattern
+in Sentences having WH questions, 5) the Pattern in Imperative Sentence."
+
+Classification is lexical and positional, which the restricted domain
+makes reliable.  Questions are routed to the QA subsystem (the Semantic
+Agent "doesn't deal with the semantic problems" of questions); negation
+flips the distance verdict (section 4.3's "The tree doesn't have pop
+method" example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+from repro.linkgrammar.lexicon.builder import verb_forms
+from repro.linkgrammar.lexicon.domain import DOMAIN_SPEC
+from repro.linkgrammar.lexicon.english import GENERAL_SPEC
+from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
+
+
+class SentencePattern(Enum):
+    """The paper's five sentence patterns."""
+
+    SIMPLE = "simple"
+    NEGATIVE = "negative"
+    QUESTION = "question"            # yes/no question
+    WH_QUESTION = "wh-question"
+    IMPERATIVE = "imperative"
+
+
+WH_WORDS = frozenset({"what", "which", "who", "whom", "whose", "how", "why", "when", "where"})
+
+AUX_WORDS = frozenset(
+    {
+        "do", "does", "did", "is", "are", "was", "were", "can", "could",
+        "will", "would", "should", "must", "may", "might", "shall", "have",
+        "has", "had",
+    }
+)
+
+NEGATION_WORDS = frozenset(
+    {
+        "not", "never", "no", "none", "nothing", "cannot",
+        "don't", "doesn't", "didn't", "isn't", "aren't", "wasn't",
+        "weren't", "can't", "won't", "wouldn't", "shouldn't", "couldn't",
+        "mustn't",
+    }
+)
+
+
+@lru_cache(maxsize=1)
+def _imperative_verbs() -> frozenset[str]:
+    """Base verb forms that can head an imperative."""
+    bases = set()
+    for spec in (GENERAL_SPEC, DOMAIN_SPEC):
+        bases.update(spec.transitive_verbs)
+        bases.update(spec.intransitive_verbs)
+        bases.update(spec.optional_verbs)
+    return frozenset(bases)
+
+
+@dataclass(frozen=True, slots=True)
+class PatternAnalysis:
+    """Classification of one sentence.
+
+    Attributes:
+        pattern: the primary pattern (one of the paper's five).
+        is_question: True for both yes/no and WH questions.
+        is_negative: True when negation is present (may co-occur with
+            question patterns; the primary pattern prefers the question).
+        wh_word: the fronted WH word, if any.
+    """
+
+    pattern: SentencePattern
+    is_question: bool
+    is_negative: bool
+    wh_word: str | None = None
+
+    @property
+    def affirmative(self) -> bool:
+        """True when an affirmative claim is being made (for distance
+        evaluation: negation flips the expected relatedness)."""
+        return not self.is_negative
+
+
+def classify(text: str | TokenizedSentence) -> PatternAnalysis:
+    """Classify a sentence into the paper's five patterns.
+
+    >>> classify("The tree doesn't have pop method.").pattern.value
+    'negative'
+    >>> classify("What is Stack?").pattern.value
+    'wh-question'
+    >>> classify("Does stack have pop method?").pattern.value
+    'question'
+    >>> classify("Push the data onto the stack.").pattern.value
+    'imperative'
+    >>> classify("I push the data into a tree.").pattern.value
+    'simple'
+    """
+    sentence = tokenize(text) if isinstance(text, str) else text
+    words = sentence.words
+    if not words:
+        return PatternAnalysis(SentencePattern.SIMPLE, False, False)
+    negative = any(word in NEGATION_WORDS for word in words)
+    first = words[0]
+
+    if first in WH_WORDS:
+        return PatternAnalysis(SentencePattern.WH_QUESTION, True, negative, wh_word=first)
+    # WH word after a leading preposition ("In which structure ...?").
+    if len(words) >= 2 and words[1] in WH_WORDS:
+        return PatternAnalysis(SentencePattern.WH_QUESTION, True, negative, wh_word=words[1])
+    if first in AUX_WORDS or (first in NEGATION_WORDS and sentence.is_question_marked):
+        return PatternAnalysis(SentencePattern.QUESTION, True, negative)
+    if sentence.is_question_marked:
+        return PatternAnalysis(SentencePattern.QUESTION, True, negative)
+    if negative:
+        return PatternAnalysis(SentencePattern.NEGATIVE, False, True)
+    if first in _imperative_verbs() or (first == "please" and len(words) > 1 and words[1] in _imperative_verbs()):
+        return PatternAnalysis(SentencePattern.IMPERATIVE, False, False)
+    return PatternAnalysis(SentencePattern.SIMPLE, False, False)

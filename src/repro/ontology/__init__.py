@@ -1,0 +1,47 @@
+"""Knowledge ontology substrate (paper sections 2.2, 4.1, 4.3, Fig. 5).
+
+Object model, XML round-trip in the paper's format, the DDL/DML
+translation/interpretation pipeline of Figure 3, graph distances for the
+Sentence Distance Evaluation, and the built-in Data Structure domain.
+"""
+
+from .builder import OntologyBuilder
+from .ddl import Interpreter, Statement, interpret_script, parse_script, render_script, translate
+from .distance import DistanceVerdict, SemanticDistanceEvaluator
+from .graph import INFINITY, OntologyGraph, PathResult
+from .model import (
+    Algorithm,
+    Definition,
+    Item,
+    ItemKind,
+    Ontology,
+    OntologyError,
+    Relation,
+    RelationKind,
+)
+from .xml_io import from_xml, to_xml
+
+__all__ = [
+    "Algorithm",
+    "Definition",
+    "DistanceVerdict",
+    "INFINITY",
+    "Interpreter",
+    "Item",
+    "ItemKind",
+    "Ontology",
+    "OntologyBuilder",
+    "OntologyError",
+    "OntologyGraph",
+    "PathResult",
+    "Relation",
+    "RelationKind",
+    "SemanticDistanceEvaluator",
+    "Statement",
+    "from_xml",
+    "interpret_script",
+    "parse_script",
+    "render_script",
+    "to_xml",
+    "translate",
+]

@@ -1,0 +1,165 @@
+"""Programmatic ontology definition (the paper's Ontology Definition GUI).
+
+The paper initialises the system by loading pre-defined Data Structure
+terms "through the Ontology Definition GUI"; the GUI itself is an input
+surface, so this builder reproduces its function: a fluent API that
+assembles a knowledge body, which the DDL/DML pipeline
+(:mod:`repro.ontology.ddl`) then translates and interprets exactly as
+Figure 3 shows.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    Algorithm,
+    Definition,
+    Item,
+    ItemKind,
+    Ontology,
+    OntologyError,
+    RelationKind,
+)
+
+
+class OntologyBuilder:
+    """Fluent builder over :class:`~repro.ontology.model.Ontology`.
+
+    Ids may be assigned explicitly (the paper fixes stack=3, tree=4,
+    push=32, pop=33) or allocated automatically per kind: concepts from 1,
+    operations from 30, properties from 60, algorithms from 80.
+    """
+
+    _AUTO_BASE = {
+        ItemKind.CONCEPT: 1,
+        ItemKind.OPERATION: 30,
+        ItemKind.PROPERTY: 60,
+        ItemKind.ALGORITHM: 80,
+    }
+
+    def __init__(self, domain: str = "Data Structure") -> None:
+        self.ontology = Ontology(domain)
+        self._next_id = dict(self._AUTO_BASE)
+
+    # --------------------------------------------------------------- items
+
+    def _allocate(self, kind: ItemKind, item_id: int | None) -> int:
+        if item_id is not None:
+            return item_id
+        candidate = self._next_id[kind]
+        while candidate in self.ontology:
+            candidate += 1
+        self._next_id[kind] = candidate + 1
+        return candidate
+
+    def _add(
+        self,
+        kind: ItemKind,
+        name: str,
+        item_id: int | None,
+        category: str,
+        description: str,
+        aliases: tuple[str, ...],
+        symbols: dict[str, str] | None,
+    ) -> Item:
+        item = Item(
+            item_id=self._allocate(kind, item_id),
+            name=name.lower(),
+            kind=kind,
+            category=category,
+            definition=Definition(description=description, symbols=dict(symbols or {})),
+            aliases=tuple(alias.lower() for alias in aliases),
+        )
+        return self.ontology.add_item(item)
+
+    def concept(
+        self,
+        name: str,
+        item_id: int | None = None,
+        category: str = "",
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+        symbols: dict[str, str] | None = None,
+    ) -> Item:
+        """Add a KeyItem (concept)."""
+        return self._add(ItemKind.CONCEPT, name, item_id, category, description, aliases, symbols)
+
+    def operation(
+        self,
+        name: str,
+        item_id: int | None = None,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+    ) -> Item:
+        """Add a SubItem (operation/method)."""
+        return self._add(ItemKind.OPERATION, name, item_id, "operation", description, aliases, None)
+
+    def property(
+        self,
+        name: str,
+        item_id: int | None = None,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+    ) -> Item:
+        """Add a property item (LIFO, FIFO, balanced, ...)."""
+        return self._add(ItemKind.PROPERTY, name, item_id, "property", description, aliases, None)
+
+    def algorithm_item(
+        self,
+        name: str,
+        item_id: int | None = None,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+    ) -> Item:
+        """Add an algorithm as a first-class item (binary search, ...)."""
+        return self._add(ItemKind.ALGORITHM, name, item_id, "algorithm", description, aliases, None)
+
+    # ----------------------------------------------------------- relations
+
+    def is_a(self, child: str, parent: str) -> "OntologyBuilder":
+        self.ontology.add_relation(child, RelationKind.IS_A, parent)
+        return self
+
+    def supports(self, concept: str, *operations: str) -> "OntologyBuilder":
+        for operation in operations:
+            self.ontology.add_relation(concept, RelationKind.HAS_OPERATION, operation)
+        return self
+
+    def has_property(self, concept: str, *properties: str) -> "OntologyBuilder":
+        for prop in properties:
+            self.ontology.add_relation(concept, RelationKind.HAS_PROPERTY, prop)
+        return self
+
+    def part_of(self, part: str, whole: str) -> "OntologyBuilder":
+        self.ontology.add_relation(part, RelationKind.PART_OF, whole)
+        return self
+
+    def uses(self, user: str, used: str) -> "OntologyBuilder":
+        self.ontology.add_relation(user, RelationKind.USES, used)
+        return self
+
+    def implemented_with(self, concept: str, substrate: str) -> "OntologyBuilder":
+        self.ontology.add_relation(concept, RelationKind.IMPLEMENTED_WITH, substrate)
+        return self
+
+    def related(self, left: str, right: str) -> "OntologyBuilder":
+        self.ontology.add_relation(left, RelationKind.RELATED_TO, right)
+        return self
+
+    # --------------------------------------------------------- attachments
+
+    def attach_algorithm(self, concept: str, name: str, type: str, body: str) -> "OntologyBuilder":
+        """Attach a typed algorithm text to a concept (Fig. 5 type="c")."""
+        self.ontology.resolve(concept).algorithms.append(
+            Algorithm(name=name, type=type, body=body)
+        )
+        return self
+
+    # -------------------------------------------------------------- output
+
+    def build(self, validate: bool = True) -> Ontology:
+        """Finish and (optionally) validate the knowledge body."""
+        if validate:
+            problems = self.ontology.validate()
+            if problems:
+                raise OntologyError("; ".join(problems))
+        return self.ontology

@@ -1,0 +1,313 @@
+"""The DDL/DML pipeline of Figure 3.
+
+The paper's ontology-creation flow is: Ontology Definition (GUI) →
+"DDL and DML Translation" → "DDL and DML Interpreter" → Corpora Generator
+→ databases.  This module defines that intermediate language:
+
+DDL (schema)::
+
+    CREATE CONCEPT 'stack' ID 3 CATEGORY 'container' ALIASES 'pushdown list';
+    CREATE OPERATION 'push' ID 32;
+
+DML (content)::
+
+    INSERT DESCRIPTION INTO 'stack' VALUE 'A stack is ...';
+    INSERT SYMBOL 'top' INTO 'stack' VALUE 'A stack is a linear list ...';
+    INSERT RELATION 'stack' 'is-a' 'list';
+    INSERT ALGORITHM 'push' INTO 'stack' TYPE 'c' VALUE 'void push(...) {...}';
+
+``translate`` turns an :class:`Ontology` into a statement list and
+``Interpreter`` executes statements back into an ontology; the two are
+exact inverses, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .builder import OntologyBuilder
+from .model import ItemKind, Ontology, OntologyError, RelationKind
+
+
+class DDLError(ValueError):
+    """Raised for malformed DDL/DML statements."""
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """One parsed DDL/DML statement: a verb and its arguments."""
+
+    verb: str                      # CREATE or INSERT
+    kind: str                      # CONCEPT / OPERATION / ... / RELATION / ...
+    args: tuple[str, ...] = ()
+    options: tuple[tuple[str, str], ...] = ()
+
+    def option(self, name: str, default: str | None = None) -> str | None:
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def render(self) -> str:
+        """Serialise back to statement text."""
+        parts = [self.verb, self.kind]
+        if self.verb == "CREATE":
+            parts.append(_quote(self.args[0]))
+            for key, value in self.options:
+                parts.append(key)
+                parts.append(value if key == "ID" else _quote(value))
+        elif self.kind == "RELATION":
+            parts.extend(_quote(a) for a in self.args)
+        elif self.kind == "DESCRIPTION":
+            parts.extend(["INTO", _quote(self.args[0]), "VALUE", _quote(self.args[1])])
+        elif self.kind == "SYMBOL":
+            parts.extend(
+                [_quote(self.args[0]), "INTO", _quote(self.args[1]), "VALUE", _quote(self.args[2])]
+            )
+        elif self.kind == "ALGORITHM":
+            parts.extend(
+                [
+                    _quote(self.args[0]),
+                    "INTO",
+                    _quote(self.args[1]),
+                    "TYPE",
+                    _quote(self.option("TYPE", "text") or "text"),
+                    "VALUE",
+                    _quote(self.args[2]),
+                ]
+            )
+        else:
+            parts.extend(_quote(a) for a in self.args)
+        return " ".join(parts) + ";"
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+_ITEM_KINDS = {
+    "CONCEPT": ItemKind.CONCEPT,
+    "OPERATION": ItemKind.OPERATION,
+    "PROPERTY": ItemKind.PROPERTY,
+    "ALGORITHM": ItemKind.ALGORITHM,
+}
+
+
+# --------------------------------------------------------------------------
+# Translation: Ontology -> statements
+# --------------------------------------------------------------------------
+
+def translate(ontology: Ontology) -> list[Statement]:
+    """Translate a knowledge body to DDL/DML statements (Figure 3)."""
+    statements: list[Statement] = []
+    for item in ontology.items():
+        kind_word = item.kind.name
+        options: list[tuple[str, str]] = [("ID", str(item.item_id))]
+        if item.category and item.category not in ("operation", "property", "algorithm"):
+            options.append(("CATEGORY", item.category))
+        if item.aliases:
+            options.append(("ALIASES", ",".join(item.aliases)))
+        statements.append(Statement("CREATE", kind_word, (item.name,), tuple(options)))
+    for item in ontology.items():
+        if item.definition.description:
+            statements.append(
+                Statement("INSERT", "DESCRIPTION", (item.name, item.definition.description))
+            )
+        for symbol, text in item.definition.symbols.items():
+            statements.append(Statement("INSERT", "SYMBOL", (symbol, item.name, text)))
+        for algorithm in item.algorithms:
+            statements.append(
+                Statement(
+                    "INSERT",
+                    "ALGORITHM",
+                    (algorithm.name, item.name, algorithm.body),
+                    (("TYPE", algorithm.type),),
+                )
+            )
+    for relation in ontology.relations():
+        statements.append(
+            Statement(
+                "INSERT",
+                "RELATION",
+                (
+                    ontology.get(relation.source).name,
+                    relation.kind.value,
+                    ontology.get(relation.target).name,
+                ),
+            )
+        )
+    return statements
+
+
+def render_script(statements: Iterable[Statement]) -> str:
+    """Statements as a newline-separated script."""
+    return "\n".join(statement.render() for statement in statements) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Parsing: text -> statements
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'(?:[^']|'')*')
+  | (?P<word>[A-Za-z][A-Za-z0-9_-]*)
+  | (?P<number>\d+)
+  | (?P<semi>;)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DDLError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "string":
+            tokens.append(("string", value[1:-1].replace("''", "'")))
+        elif kind != "ws":
+            tokens.append((kind, value))
+        pos = match.end()
+    return tokens
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a DDL/DML script into statements."""
+    statements: list[Statement] = []
+    current: list[tuple[str, str]] = []
+    for token in _tokenize(text):
+        if token[0] == "semi":
+            if current:
+                statements.append(_parse_statement(current))
+                current = []
+        else:
+            current.append(token)
+    if current:
+        raise DDLError("unterminated statement (missing ';')")
+    return statements
+
+
+def _parse_statement(tokens: list[tuple[str, str]]) -> Statement:
+    if len(tokens) < 2 or tokens[0][0] != "word":
+        raise DDLError(f"malformed statement: {tokens!r}")
+    verb = tokens[0][1].upper()
+    kind = tokens[1][1].upper()
+    rest = tokens[2:]
+    if verb == "CREATE":
+        if kind not in _ITEM_KINDS:
+            raise DDLError(f"CREATE of unknown kind {kind!r}")
+        if not rest or rest[0][0] != "string":
+            raise DDLError(f"CREATE {kind} requires a quoted name")
+        name = rest[0][1]
+        options: list[tuple[str, str]] = []
+        index = 1
+        while index < len(rest):
+            token_kind, token_value = rest[index]
+            if token_kind != "word":
+                raise DDLError(f"expected option keyword, got {token_value!r}")
+            keyword = token_value.upper()
+            if index + 1 >= len(rest):
+                raise DDLError(f"option {keyword} missing a value")
+            options.append((keyword, rest[index + 1][1]))
+            index += 2
+        return Statement("CREATE", kind, (name,), tuple(options))
+    if verb == "INSERT":
+        values = [value for token_kind, value in rest if token_kind == "string"]
+        words = [value.upper() for token_kind, value in rest if token_kind == "word"]
+        if kind == "RELATION":
+            if len(values) != 3:
+                raise DDLError("INSERT RELATION requires three quoted arguments")
+            return Statement("INSERT", "RELATION", tuple(values))
+        if kind == "DESCRIPTION":
+            if len(values) != 2 or words != ["INTO", "VALUE"]:
+                raise DDLError("INSERT DESCRIPTION INTO 'x' VALUE 'y' expected")
+            return Statement("INSERT", "DESCRIPTION", tuple(values))
+        if kind == "SYMBOL":
+            if len(values) != 3 or words != ["INTO", "VALUE"]:
+                raise DDLError("INSERT SYMBOL 's' INTO 'x' VALUE 'y' expected")
+            return Statement("INSERT", "SYMBOL", tuple(values))
+        if kind == "ALGORITHM":
+            if len(values) != 4 or words != ["INTO", "TYPE", "VALUE"]:
+                raise DDLError("INSERT ALGORITHM 'a' INTO 'x' TYPE 't' VALUE 'v' expected")
+            name, into, type_, value = values
+            return Statement("INSERT", "ALGORITHM", (name, into, value), (("TYPE", type_),))
+        raise DDLError(f"INSERT of unknown kind {kind!r}")
+    raise DDLError(f"unknown statement verb {verb!r}")
+
+
+# --------------------------------------------------------------------------
+# Interpretation: statements -> Ontology
+# --------------------------------------------------------------------------
+
+class Interpreter:
+    """Executes DDL/DML statements into a fresh knowledge body."""
+
+    def __init__(self, domain: str = "Data Structure") -> None:
+        self.builder = OntologyBuilder(domain)
+
+    def execute(self, statement: Statement) -> None:
+        if statement.verb == "CREATE":
+            self._execute_create(statement)
+        elif statement.verb == "INSERT":
+            self._execute_insert(statement)
+        else:
+            raise DDLError(f"cannot execute verb {statement.verb!r}")
+
+    def _execute_create(self, statement: Statement) -> None:
+        kind = _ITEM_KINDS[statement.kind]
+        name = statement.args[0]
+        raw_id = statement.option("ID")
+        item_id = int(raw_id) if raw_id is not None else None
+        aliases_opt = statement.option("ALIASES", "") or ""
+        aliases = tuple(a for a in aliases_opt.split(",") if a)
+        category = statement.option("CATEGORY", "") or ""
+        if kind == ItemKind.CONCEPT:
+            self.builder.concept(name, item_id=item_id, category=category, aliases=aliases)
+        elif kind == ItemKind.OPERATION:
+            self.builder.operation(name, item_id=item_id, aliases=aliases)
+        elif kind == ItemKind.PROPERTY:
+            self.builder.property(name, item_id=item_id, aliases=aliases)
+        else:
+            self.builder.algorithm_item(name, item_id=item_id, aliases=aliases)
+
+    def _execute_insert(self, statement: Statement) -> None:
+        ontology = self.builder.ontology
+        if statement.kind == "DESCRIPTION":
+            name, text = statement.args
+            ontology.resolve(name).definition.description = text
+        elif statement.kind == "SYMBOL":
+            symbol, name, text = statement.args
+            ontology.resolve(name).definition.symbols[symbol] = text
+        elif statement.kind == "ALGORITHM":
+            algo_name, name, body = statement.args
+            self.builder.attach_algorithm(
+                name, algo_name, statement.option("TYPE", "text") or "text", body
+            )
+        elif statement.kind == "RELATION":
+            source, kind_text, target = statement.args
+            try:
+                kind = RelationKind(kind_text)
+            except ValueError as exc:
+                raise DDLError(f"unknown relation kind {kind_text!r}") from exc
+            ontology.add_relation(source, kind, target)
+        else:
+            raise DDLError(f"cannot INSERT {statement.kind!r}")
+
+    def run(self, statements: Iterable[Statement]) -> Ontology:
+        """Execute all statements and return the validated ontology."""
+        for statement in statements:
+            self.execute(statement)
+        return self.builder.build()
+
+
+def interpret_script(text: str, domain: str = "Data Structure") -> Ontology:
+    """Parse and execute a DDL/DML script."""
+    return Interpreter(domain).run(parse_script(text))

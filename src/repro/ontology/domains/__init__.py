@@ -1,0 +1,5 @@
+"""Built-in domain ontologies."""
+
+from .data_structures import build_data_structure_ontology, default_ontology
+
+__all__ = ["build_data_structure_ontology", "default_ontology"]

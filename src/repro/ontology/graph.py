@@ -1,0 +1,123 @@
+"""Weighted graph view of an ontology, with shortest-path distances.
+
+The Sentence Distance Evaluation (section 4.3) asks "how far apart are
+these two keywords in the knowledge ontology?".  We answer with weighted
+shortest paths over the relation graph, treating relations as undirected
+for distance purposes (being operated-on is as close as operating).
+
+The implementation is self-contained (binary-heap Dijkstra); ``networkx``
+is used only in the test suite as an oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .model import Ontology, RelationKind
+
+INFINITY = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class PathResult:
+    """A shortest path between two ontology items."""
+
+    distance: float
+    nodes: tuple[int, ...]
+
+    @property
+    def reachable(self) -> bool:
+        return self.distance != INFINITY
+
+
+class OntologyGraph:
+    """Adjacency view over an :class:`~repro.ontology.model.Ontology`.
+
+    Build once per ontology snapshot; rebuilding after mutation is the
+    caller's responsibility (the system facade rebuilds on ontology
+    reloads).
+    """
+
+    def __init__(self, ontology: Ontology, kinds: tuple[RelationKind, ...] | None = None) -> None:
+        self.ontology = ontology
+        self._adjacency: dict[int, list[tuple[int, float]]] = {}
+        for item in ontology.items():
+            self._adjacency[item.item_id] = []
+        for relation in ontology.relations():
+            if kinds is not None and relation.kind not in kinds:
+                continue
+            weight = relation.kind.weight
+            self._adjacency[relation.source].append((relation.target, weight))
+            self._adjacency[relation.target].append((relation.source, weight))
+
+    def neighbors(self, node: int) -> list[tuple[int, float]]:
+        return list(self._adjacency.get(node, ()))
+
+    def shortest_path(self, source: int, target: int) -> PathResult:
+        """Dijkstra shortest path; ``INFINITY`` when unreachable."""
+        if source not in self._adjacency or target not in self._adjacency:
+            return PathResult(INFINITY, ())
+        if source == target:
+            return PathResult(0.0, (source,))
+        best: dict[int, float] = {source: 0.0}
+        previous: dict[int, int] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if dist > best.get(node, INFINITY):
+                continue
+            if node == target:
+                break
+            for neighbor, weight in self._adjacency[node]:
+                candidate = dist + weight
+                if candidate < best.get(neighbor, INFINITY):
+                    best[neighbor] = candidate
+                    previous[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if target not in best:
+            return PathResult(INFINITY, ())
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return PathResult(best[target], tuple(path))
+
+    def distance(self, source: int, target: int) -> float:
+        return self.shortest_path(source, target).distance
+
+    def distances_from(self, source: int) -> dict[int, float]:
+        """Single-source distances to every reachable node."""
+        if source not in self._adjacency:
+            return {}
+        best: dict[int, float] = {source: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if dist > best.get(node, INFINITY):
+                continue
+            for neighbor, weight in self._adjacency[node]:
+                candidate = dist + weight
+                if candidate < best.get(neighbor, INFINITY):
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return best
+
+    def connected_components(self) -> list[set[int]]:
+        """Connected components of the (undirected) relation graph."""
+        seen: set[int] = set()
+        components: list[set[int]] = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            component = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor, _ in self._adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        stack.append(neighbor)
+            seen |= component
+            components.append(component)
+        return components

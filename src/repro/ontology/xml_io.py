@@ -1,0 +1,170 @@
+"""XML serialisation of the knowledge body, in the paper's format.
+
+Section 4.4 shows the concrete XML the system stores::
+
+    <KeyItem id="3" name="stack">
+      <Definition>
+        <Description>A stack is a Last In, First Out (LIFO) ...</Description>
+        <Symbol name="top">A stack is a linear list ...</Symbol>
+      </Definition>
+      ...
+
+We wrap items in a ``<KnowledgeBody domain="...">`` root (Fig. 5), encode
+operations as ``<Operation><SubItem id=.. name=../></Operation>`` blocks,
+algorithms as ``<Algorithm type=.. name=..>`` and relations as
+``<Relation kind=.. target=../>``.  Reading and writing round-trip.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from .model import (
+    Algorithm,
+    Definition,
+    Item,
+    ItemKind,
+    Ontology,
+    OntologyError,
+    Relation,
+    RelationKind,
+)
+
+_KIND_TAGS = {
+    ItemKind.CONCEPT: "KeyItem",
+    ItemKind.OPERATION: "SubItem",
+    ItemKind.PROPERTY: "PropertyItem",
+    ItemKind.ALGORITHM: "AlgorithmItem",
+}
+_TAG_KINDS = {tag: kind for kind, tag in _KIND_TAGS.items()}
+
+
+def to_xml(ontology: Ontology) -> str:
+    """Serialise a knowledge body to the paper's XML format."""
+    root = ET.Element("KnowledgeBody", {"domain": ontology.domain})
+    operation_owners = _operation_owners(ontology)
+    for item in ontology.items():
+        if item.kind == ItemKind.OPERATION and operation_owners.get(item.item_id):
+            continue  # rendered inline under its owning concepts
+        root.append(_item_element(ontology, item))
+    for relation in ontology.relations():
+        if relation.kind == RelationKind.HAS_OPERATION:
+            continue  # encoded structurally by the Operation blocks
+        element = ET.SubElement(root, "Relation")
+        element.set("source", ontology.get(relation.source).name)
+        element.set("kind", relation.kind.value)
+        element.set("target", ontology.get(relation.target).name)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _operation_owners(ontology: Ontology) -> dict[int, list[int]]:
+    owners: dict[int, list[int]] = {}
+    for relation in ontology.relations():
+        if relation.kind == RelationKind.HAS_OPERATION:
+            owners.setdefault(relation.target, []).append(relation.source)
+    return owners
+
+
+def _item_element(ontology: Ontology, item: Item) -> ET.Element:
+    element = ET.Element(_KIND_TAGS[item.kind])
+    element.set("id", str(item.item_id))
+    element.set("name", item.name)
+    if item.category:
+        element.set("category", item.category)
+    if item.aliases:
+        element.set("aliases", ",".join(item.aliases))
+    if not item.definition.is_empty():
+        definition = ET.SubElement(element, "Definition")
+        if item.definition.description:
+            description = ET.SubElement(definition, "Description")
+            description.text = item.definition.description
+        for name, text in item.definition.symbols.items():
+            symbol = ET.SubElement(definition, "Symbol", {"name": name})
+            symbol.text = text
+    if item.kind == ItemKind.CONCEPT:
+        operations = [
+            ontology.get(r.target)
+            for r in ontology.relations_from(item.item_id, RelationKind.HAS_OPERATION)
+        ]
+        if operations:
+            block = ET.SubElement(element, "Operation")
+            for operation in operations:
+                block.append(_item_element(ontology, operation))
+    for algorithm in item.algorithms:
+        algo = ET.SubElement(element, "Algorithm", {"type": algorithm.type, "name": algorithm.name})
+        algo.text = algorithm.body
+    return element
+
+
+def from_xml(text: str) -> Ontology:
+    """Parse the paper's XML format back into an :class:`Ontology`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise OntologyError(f"bad ontology XML: {exc}") from exc
+    if root.tag != "KnowledgeBody":
+        raise OntologyError(f"expected <KnowledgeBody>, got <{root.tag}>")
+    ontology = Ontology(domain=root.get("domain", ""))
+    pending_operations: list[tuple[str, str]] = []  # (concept name, op name)
+    for child in root:
+        if child.tag == "Relation":
+            continue
+        _read_item(ontology, child, pending_operations, owner=None)
+    for concept_name, operation_name in pending_operations:
+        ontology.add_relation(concept_name, RelationKind.HAS_OPERATION, operation_name)
+    for child in root:
+        if child.tag != "Relation":
+            continue
+        kind = RelationKind(child.get("kind", "related-to"))
+        ontology.add_relation(child.get("source", ""), kind, child.get("target", ""))
+    return ontology
+
+
+def _read_item(
+    ontology: Ontology,
+    element: ET.Element,
+    pending_operations: list[tuple[str, str]],
+    owner: str | None,
+) -> None:
+    kind = _TAG_KINDS.get(element.tag)
+    if kind is None:
+        raise OntologyError(f"unknown ontology element <{element.tag}>")
+    item_id = element.get("id")
+    name = element.get("name")
+    if item_id is None or name is None:
+        raise OntologyError(f"<{element.tag}> requires id and name")
+    aliases_attr = element.get("aliases", "")
+    aliases = tuple(a for a in aliases_attr.split(",") if a)
+    definition = Definition()
+    algorithms: list[Algorithm] = []
+    for child in element:
+        if child.tag == "Definition":
+            for part in child:
+                if part.tag == "Description":
+                    definition.description = part.text or ""
+                elif part.tag == "Symbol":
+                    definition.symbols[part.get("name", "")] = part.text or ""
+        elif child.tag == "Operation":
+            for sub in child:
+                if ontology.find(sub.get("name", "")) is None:
+                    _read_item(ontology, sub, pending_operations, owner=name)
+                pending_operations.append((name, sub.get("name", "")))
+        elif child.tag == "Algorithm":
+            algorithms.append(
+                Algorithm(
+                    name=child.get("name", ""),
+                    type=child.get("type", "text"),
+                    body=child.text or "",
+                )
+            )
+    item = Item(
+        item_id=int(item_id),
+        name=name,
+        kind=kind,
+        category=element.get("category", ""),
+        definition=definition,
+        aliases=aliases,
+    )
+    item.algorithms.extend(algorithms)
+    ontology.add_item(item)

@@ -1,0 +1,5 @@
+"""User Profile Database (Figure 3)."""
+
+from .store import UserProfile, UserProfileStore
+
+__all__ = ["UserProfile", "UserProfileStore"]

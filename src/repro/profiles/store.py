@@ -1,0 +1,150 @@
+"""The User Profile Database (Figure 3).
+
+Tracks each learner's activity so the QA system can analyse "the Corpus
+and user profile to collect frequent questions" and instructors can see
+who is falling behind the discussing courses (section 1's supervision
+questions: do learners understand the context / the indicated issues?).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(slots=True)
+class UserProfile:
+    """One learner's running profile.
+
+    Attributes:
+        name: the learner's handle.
+        role: "student", "teacher" or "agent".
+        messages: total supervised utterances.
+        syntax_errors / semantic_errors / questions: running tallies.
+        mistake_counts: error-kind histogram.
+        topic_counts: ontology-topic histogram (what they talk about).
+        joined_at / last_active: simulated-clock timestamps.
+    """
+
+    name: str
+    role: str = "student"
+    messages: int = 0
+    syntax_errors: int = 0
+    semantic_errors: int = 0
+    questions: int = 0
+    mistake_counts: Counter = field(default_factory=Counter)
+    topic_counts: Counter = field(default_factory=Counter)
+    joined_at: float = 0.0
+    last_active: float = 0.0
+
+    @property
+    def error_rate(self) -> float:
+        """Errors per supervised message."""
+        if self.messages == 0:
+            return 0.0
+        return (self.syntax_errors + self.semantic_errors) / self.messages
+
+    def favourite_topics(self, limit: int = 3) -> list[str]:
+        return [topic for topic, _count in self.topic_counts.most_common(limit)]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "role": self.role,
+            "messages": self.messages,
+            "syntax_errors": self.syntax_errors,
+            "semantic_errors": self.semantic_errors,
+            "questions": self.questions,
+            "mistake_counts": dict(self.mistake_counts),
+            "topic_counts": dict(self.topic_counts),
+            "joined_at": self.joined_at,
+            "last_active": self.last_active,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UserProfile":
+        profile = cls(
+            name=data["name"],
+            role=data.get("role", "student"),
+            messages=data.get("messages", 0),
+            syntax_errors=data.get("syntax_errors", 0),
+            semantic_errors=data.get("semantic_errors", 0),
+            questions=data.get("questions", 0),
+            joined_at=data.get("joined_at", 0.0),
+            last_active=data.get("last_active", 0.0),
+        )
+        profile.mistake_counts.update(data.get("mistake_counts", {}))
+        profile.topic_counts.update(data.get("topic_counts", {}))
+        return profile
+
+
+class UserProfileStore:
+    """All user profiles, keyed by name."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, UserProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._profiles
+
+    def get_or_create(self, name: str, role: str = "student", now: float = 0.0) -> UserProfile:
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = UserProfile(name=name, role=role, joined_at=now, last_active=now)
+            self._profiles[name] = profile
+        return profile
+
+    def get(self, name: str) -> UserProfile | None:
+        return self._profiles.get(name)
+
+    def all(self) -> list[UserProfile]:
+        return [self._profiles[name] for name in sorted(self._profiles)]
+
+    def record_activity(
+        self,
+        name: str,
+        now: float,
+        *,
+        syntax_error: bool = False,
+        semantic_error: bool = False,
+        question: bool = False,
+        mistake_kinds: tuple[str, ...] = (),
+        topics: tuple[str, ...] = (),
+    ) -> UserProfile:
+        """Fold one supervised utterance into the user's profile."""
+        profile = self.get_or_create(name, now=now)
+        profile.messages += 1
+        profile.last_active = now
+        if syntax_error:
+            profile.syntax_errors += 1
+        if semantic_error:
+            profile.semantic_errors += 1
+        if question:
+            profile.questions += 1
+        profile.mistake_counts.update(mistake_kinds)
+        profile.topic_counts.update(topics)
+        return profile
+
+    # --------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for profile in self.all():
+                handle.write(json.dumps(profile.to_dict(), ensure_ascii=False) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "UserProfileStore":
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    profile = UserProfile.from_dict(json.loads(line))
+                    store._profiles[profile.name] = profile
+        return store

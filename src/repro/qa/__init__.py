@@ -1,0 +1,20 @@
+"""Questions & Answers subsystem: templates, engine, FAQ, mining."""
+
+from .engine import Answer, QASystem
+from .faq import FAQDatabase, QAPair, normalise_key
+from .mining import MinedPair, QAMiner, TranscriptLine
+from .templates import QuestionKind, TemplateMatch, TemplateMatcher
+
+__all__ = [
+    "Answer",
+    "FAQDatabase",
+    "MinedPair",
+    "QAMiner",
+    "QAPair",
+    "QASystem",
+    "QuestionKind",
+    "TemplateMatch",
+    "TemplateMatcher",
+    "TranscriptLine",
+    "normalise_key",
+]

@@ -1,0 +1,208 @@
+"""The Questions and Answers system (paper section 4.4, Figure 6).
+
+Flow, as the paper describes for "What is Stack?": extract the keyword,
+match the question template, locate the item in the knowledge ontology,
+serve its definition/description — "Thus, the system will collect this
+question and answer into the FAQ database."  The FAQ cache is consulted
+first; unanswerable-by-ontology questions fall back to the learner corpus
+("the system will attempt to find the answer from the knowledge ontology
+or learner corpus").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.store import LearnerCorpus
+from repro.nlp.keywords import KeywordFilter
+from repro.ontology.distance import SemanticDistanceEvaluator
+from repro.ontology.model import Item, ItemKind, Ontology, RelationKind
+
+from .faq import FAQDatabase
+from .templates import QuestionKind, TemplateMatch, TemplateMatcher
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """The QA system's response to one question.
+
+    Attributes:
+        question: the question as asked.
+        kind: the matched template family.
+        text: the answer text ("" when unanswered).
+        answered: whether an answer was produced.
+        source: "faq", "ontology", "corpus" or "none".
+        item_ids: ontology items involved.
+    """
+
+    question: str
+    kind: QuestionKind
+    text: str
+    answered: bool
+    source: str
+    item_ids: tuple[int, ...] = ()
+
+    @property
+    def is_faq_hit(self) -> bool:
+        return self.source == "faq"
+
+
+class QASystem:
+    """Template-driven QA over the ontology, corpus and FAQ database."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        faq: FAQDatabase | None = None,
+        corpus: LearnerCorpus | None = None,
+        keyword_filter: KeywordFilter | None = None,
+    ) -> None:
+        self.ontology = ontology
+        self.faq = faq if faq is not None else FAQDatabase()
+        self.corpus = corpus
+        self.keyword_filter = keyword_filter or KeywordFilter(ontology)
+        self.matcher = TemplateMatcher(self.keyword_filter)
+        self.evaluator = SemanticDistanceEvaluator(ontology)
+
+    # ----------------------------------------------------------------- API
+
+    def answer(self, question: str, now: float = 0.0) -> Answer:
+        """Answer one question, updating the FAQ statistics."""
+        match = self.matcher.match(question)
+        item_ids = tuple(sorted({k.item_id for k in match.all_keywords}))
+
+        if match.kind != QuestionKind.UNKNOWN:
+            cached = self.faq.lookup(match)
+            if cached is not None:
+                self.faq.record(match, question, cached.answer, now, source=cached.source)
+                return Answer(question, match.kind, cached.answer, True, "faq", item_ids)
+            text = self._compute(match)
+            if text:
+                self.faq.record(match, question, text, now)
+                return Answer(question, match.kind, text, True, "ontology", item_ids)
+
+        corpus_text = self._corpus_answer(match)
+        if corpus_text:
+            if match.kind != QuestionKind.UNKNOWN:
+                self.faq.record(match, question, corpus_text, now, source="corpus")
+            return Answer(question, match.kind, corpus_text, True, "corpus", item_ids)
+        return Answer(question, match.kind, "", False, "none", item_ids)
+
+    # ------------------------------------------------------------ answers
+
+    def _compute(self, match: TemplateMatch) -> str:
+        handlers = {
+            QuestionKind.DEFINITION: self._answer_definition,
+            QuestionKind.RELATIONS: self._answer_relations,
+            QuestionKind.HAS_OPERATION: self._answer_has_operation,
+            QuestionKind.WHICH_HAS: self._answer_which_has,
+            QuestionKind.OPERATIONS_OF: self._answer_operations_of,
+            QuestionKind.PROPERTY: self._answer_property,
+            QuestionKind.IS_A: self._answer_is_a,
+        }
+        handler = handlers.get(match.kind)
+        return handler(match) if handler else ""
+
+    def _answer_definition(self, match: TemplateMatch) -> str:
+        for keyword in match.all_keywords:
+            item = keyword.item
+            if item.definition.description:
+                return item.definition.description
+        return ""
+
+    def _answer_relations(self, match: TemplateMatch) -> str:
+        if not match.all_keywords:
+            return ""
+        item = match.all_keywords[0].item
+        fragments: list[str] = []
+        for relation in self.ontology.relations_from(item.item_id):
+            target = self.ontology.get(relation.target)
+            fragments.append(f"{item.name} {relation.kind.value} {target.name}")
+        for relation in self.ontology.relations_to(item.item_id):
+            if relation.kind == RelationKind.HAS_OPERATION:
+                source = self.ontology.get(relation.source)
+                fragments.append(f"{source.name} {relation.kind.value} {item.name}")
+        if not fragments:
+            return f"The ontology records no relations for {item.name}."
+        return f"Relations of {item.name}: " + "; ".join(sorted(fragments)) + "."
+
+    def _answer_has_operation(self, match: TemplateMatch) -> str:
+        if not match.concepts or not match.operations:
+            return ""
+        concept = match.concepts[0].item
+        operation = match.operations[0].item
+        if self.ontology.has_operation(concept.item_id, operation.item_id):
+            return (
+                f"Yes, the {concept.name} has the {operation.name} operation. "
+                f"{operation.definition.description}".strip()
+            )
+        supporters = self.evaluator.concepts_supporting(operation.item_id, near=concept.item_id)
+        hint = ""
+        if supporters:
+            hint = f" The {operation.name} operation belongs to: " + ", ".join(
+                item.name for item in supporters[:3]
+            ) + "."
+        return f"No, the {concept.name} does not have the {operation.name} operation.{hint}"
+
+    def _answer_which_has(self, match: TemplateMatch) -> str:
+        if not match.operations:
+            return ""
+        operation = match.operations[0].item
+        supporters = self.ontology.concepts_with_operation(operation.item_id)
+        if not supporters:
+            return f"No data structure in the ontology has the {operation.name} operation."
+        names = ", ".join(sorted(item.name for item in supporters))
+        return f"These data structures have the {operation.name} operation: {names}."
+
+    def _answer_operations_of(self, match: TemplateMatch) -> str:
+        if not match.concepts:
+            return ""
+        concept = match.concepts[0].item
+        operations = self.ontology.operations_of(concept.item_id)
+        if not operations:
+            return f"The ontology records no operations for {concept.name}."
+        names = ", ".join(sorted(item.name for item in operations))
+        return f"The {concept.name} supports: {names}."
+
+    def _answer_property(self, match: TemplateMatch) -> str:
+        if not match.concepts or not match.properties:
+            return ""
+        concept = match.concepts[0].item
+        prop = match.properties[0].item
+        properties = self.ontology.properties_of(concept.item_id)
+        if any(item.item_id == prop.item_id for item in properties):
+            return f"Yes, the {concept.name} is {prop.name}. {prop.definition.description}".strip()
+        return f"No, the {concept.name} is not {prop.name} in this course."
+
+    def _answer_is_a(self, match: TemplateMatch) -> str:
+        if len(match.concepts) < 2:
+            return ""
+        child = match.concepts[0].item
+        parent = match.concepts[1].item
+        ancestors = {item.item_id for item in self.ontology.ancestors(child.item_id)}
+        if parent.item_id in ancestors:
+            return f"Yes, a {child.name} is a kind of {parent.name}."
+        reverse = {item.item_id for item in self.ontology.ancestors(parent.item_id)}
+        if child.item_id in reverse:
+            return f"Not exactly: a {parent.name} is a kind of {child.name}."
+        return f"No, a {child.name} is not a {parent.name} in this course."
+
+    # ------------------------------------------------------------- corpus
+
+    def _corpus_answer(self, match: TemplateMatch) -> str:
+        """Fall back to a correct learner-corpus sentence on topic."""
+        if self.corpus is None or not match.all_keywords:
+            return ""
+        wanted = {keyword.name for keyword in match.all_keywords}
+        best: tuple[int, str] | None = None
+        for record in self.corpus.correct_records():
+            overlap = len(wanted & {k.lower() for k in record.keywords})
+            if overlap == 0:
+                continue
+            if best is None or overlap > best[0]:
+                best = (overlap, record.text)
+        return best[1] if best else ""
+
+
+def _item_names(items: list[Item]) -> str:
+    return ", ".join(sorted(item.name for item in items))

@@ -1,0 +1,158 @@
+"""The FAQ database (paper sections 1, 3, 4.4).
+
+Answered questions accumulate as QA pairs; the database keeps frequency
+statistics so that "if sufficient number of QA pairs has been accumulated,
+the FAQ system will make the statistic of the questions and answers and
+then gets the most frequency Question and Answer pairs" — a learning tool
+surfaced back to learners, and a cache consulted before recomputing
+answers.
+
+Questions are normalised (template kind + sorted ontology ids) so
+paraphrases of the same question share one FAQ entry: "What is a stack?"
+and "what is Stack" hit the same pair.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .templates import QuestionKind, TemplateMatch
+
+
+def normalise_key(kind: QuestionKind, item_ids: tuple[int, ...]) -> str:
+    """Canonical FAQ key for a classified question."""
+    ids = ",".join(str(i) for i in sorted(set(item_ids)))
+    return f"{kind.value}:{ids}"
+
+
+@dataclass(slots=True)
+class QAPair:
+    """One accumulated question/answer pair.
+
+    Attributes:
+        key: normalised question key (kind + ontology ids).
+        question: a representative surface form (first seen).
+        answer: the answer text served.
+        kind: template family.
+        item_ids: ontology items the question binds.
+        count: how many times the question has been asked.
+        source: "ontology", "corpus", or "mined".
+        first_asked / last_asked: simulated timestamps.
+    """
+
+    key: str
+    question: str
+    answer: str
+    kind: QuestionKind
+    item_ids: tuple[int, ...] = ()
+    count: int = 0
+    source: str = "ontology"
+    first_asked: float = 0.0
+    last_asked: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "question": self.question,
+            "answer": self.answer,
+            "kind": self.kind.value,
+            "item_ids": list(self.item_ids),
+            "count": self.count,
+            "source": self.source,
+            "first_asked": self.first_asked,
+            "last_asked": self.last_asked,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QAPair":
+        return cls(
+            key=data["key"],
+            question=data["question"],
+            answer=data["answer"],
+            kind=QuestionKind(data["kind"]),
+            item_ids=tuple(data.get("item_ids", ())),
+            count=data.get("count", 0),
+            source=data.get("source", "ontology"),
+            first_asked=data.get("first_asked", 0.0),
+            last_asked=data.get("last_asked", 0.0),
+        )
+
+
+class FAQDatabase:
+    """Frequency-counted store of QA pairs."""
+
+    def __init__(self) -> None:
+        self._pairs: dict[str, QAPair] = {}
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._pairs
+
+    # ------------------------------------------------------------- writing
+
+    def record(
+        self,
+        match: TemplateMatch,
+        question: str,
+        answer: str,
+        now: float = 0.0,
+        source: str = "ontology",
+    ) -> QAPair:
+        """Fold one answered question into the database."""
+        key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
+        pair = self._pairs.get(key)
+        if pair is None:
+            pair = QAPair(
+                key=key,
+                question=question,
+                answer=answer,
+                kind=match.kind,
+                item_ids=tuple(sorted({k.item_id for k in match.all_keywords})),
+                count=0,
+                source=source,
+                first_asked=now,
+            )
+            self._pairs[key] = pair
+        pair.count += 1
+        pair.last_asked = now
+        return pair
+
+    # ------------------------------------------------------------- queries
+
+    def lookup(self, match: TemplateMatch) -> QAPair | None:
+        """The cached pair for a classified question, if any."""
+        key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
+        return self._pairs.get(key)
+
+    def pairs(self) -> list[QAPair]:
+        return sorted(self._pairs.values(), key=lambda p: (-p.count, p.key))
+
+    def top(self, limit: int = 10) -> list[QAPair]:
+        """The most frequent QA pairs — the paper's learner-facing FAQ."""
+        return self.pairs()[:limit]
+
+    def total_questions(self) -> int:
+        return sum(pair.count for pair in self._pairs.values())
+
+    # --------------------------------------------------------- persistence
+
+    def save(self, path: str | Path) -> None:
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for pair in self.pairs():
+                handle.write(json.dumps(pair.to_dict(), ensure_ascii=False) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FAQDatabase":
+        database = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    pair = QAPair.from_dict(json.loads(line))
+                    database._pairs[pair.key] = pair
+        return database

@@ -1,0 +1,113 @@
+"""QA-pair mining from chat dialogue (paper section 4.4).
+
+"Moreover, FAQ database can also use the technologies of data mining to
+collect the question and answer pairs from the learner when they discuss
+in this system."  The miner scans a transcript for question messages
+followed (within a window) by replies from *other* participants that share
+ontology keywords with the question; the best-overlapping reply becomes a
+mined QA pair, with teacher replies preferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nlp.keywords import KeywordFilter
+from repro.nlp.patterns import classify
+
+from .faq import FAQDatabase
+from .templates import TemplateMatcher, QuestionKind
+
+
+@dataclass(frozen=True, slots=True)
+class TranscriptLine:
+    """One chat message, as the miner sees it."""
+
+    user: str
+    text: str
+    timestamp: float
+    role: str = "student"
+
+
+@dataclass(frozen=True, slots=True)
+class MinedPair:
+    """A question/answer pair recovered from dialogue."""
+
+    question: TranscriptLine
+    answer: TranscriptLine
+    overlap: int
+    teacher_answer: bool
+
+
+class QAMiner:
+    """Mines question/answer pairs out of chat transcripts."""
+
+    def __init__(
+        self,
+        keyword_filter: KeywordFilter,
+        window: int = 4,
+        min_overlap: int = 1,
+    ) -> None:
+        self.keyword_filter = keyword_filter
+        self.matcher = TemplateMatcher(keyword_filter)
+        self.window = window
+        self.min_overlap = min_overlap
+
+    def mine(self, transcript: list[TranscriptLine]) -> list[MinedPair]:
+        """All mined pairs, transcript order."""
+        pairs: list[MinedPair] = []
+        for index, line in enumerate(transcript):
+            if not classify(line.text).is_question:
+                continue
+            question_keywords = {k.item_id for k in self.keyword_filter.extract(line.text)}
+            if not question_keywords:
+                continue
+            best: MinedPair | None = None
+            for candidate in transcript[index + 1 : index + 1 + self.window]:
+                if candidate.user == line.user:
+                    continue
+                if classify(candidate.text).is_question:
+                    continue
+                candidate_keywords = {
+                    k.item_id for k in self.keyword_filter.extract(candidate.text)
+                }
+                overlap = len(question_keywords & candidate_keywords)
+                if overlap < self.min_overlap:
+                    continue
+                mined = MinedPair(
+                    question=line,
+                    answer=candidate,
+                    overlap=overlap,
+                    teacher_answer=(candidate.role == "teacher"),
+                )
+                if best is None or _better(mined, best):
+                    best = mined
+            if best is not None:
+                pairs.append(best)
+        return pairs
+
+    def feed_faq(self, transcript: list[TranscriptLine], faq: FAQDatabase) -> int:
+        """Mine a transcript straight into a FAQ database; returns count."""
+        added = 0
+        for pair in self.mine(transcript):
+            match = self.matcher.match(pair.question.text)
+            if match.kind == QuestionKind.UNKNOWN and not match.all_keywords:
+                continue
+            faq.record(
+                match,
+                pair.question.text,
+                pair.answer.text,
+                now=pair.answer.timestamp,
+                source="mined",
+            )
+            added += 1
+        return added
+
+
+def _better(challenger: MinedPair, incumbent: MinedPair) -> bool:
+    """Prefer teacher answers, then higher keyword overlap, then earlier."""
+    if challenger.teacher_answer != incumbent.teacher_answer:
+        return challenger.teacher_answer
+    if challenger.overlap != incumbent.overlap:
+        return challenger.overlap > incumbent.overlap
+    return False

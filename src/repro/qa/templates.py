@@ -1,0 +1,125 @@
+"""Interrogative templates (paper section 4.4).
+
+"There are some interrogative templates of the Question and Answer system
+such as: 'What is', 'The relations of', 'Is … has …' and 'Which … has'."
+Note the learner-English "Is … has …": the templates must tolerate
+non-native phrasings, so matching is lexical-cue plus ontology-keyword
+based rather than strict-grammar based.
+
+Each template classifies a question into a :class:`QuestionKind` and binds
+the ontology items it mentions; the engine then computes the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
+from repro.nlp.keywords import KeywordFilter, KeywordMatch
+from repro.ontology.model import ItemKind
+
+
+class QuestionKind(Enum):
+    """The template families the QA system understands."""
+
+    DEFINITION = "definition"          # What is X?
+    RELATIONS = "relations"            # The relations of X
+    HAS_OPERATION = "has-operation"    # Does X have Y? / Is X has Y?
+    WHICH_HAS = "which-has"            # Which data structure has Y?
+    OPERATIONS_OF = "operations-of"    # What operations does X support?
+    PROPERTY = "property"              # Is X LIFO?
+    IS_A = "is-a"                      # Is a stack a data structure?
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateMatch:
+    """A recognised question.
+
+    Attributes:
+        kind: the matched template family.
+        concepts: concept keywords bound by the template.
+        operations: operation keywords bound by the template.
+        properties: property/algorithm keywords bound by the template.
+    """
+
+    kind: QuestionKind
+    concepts: tuple[KeywordMatch, ...] = ()
+    operations: tuple[KeywordMatch, ...] = ()
+    properties: tuple[KeywordMatch, ...] = ()
+
+    @property
+    def all_keywords(self) -> tuple[KeywordMatch, ...]:
+        return self.concepts + self.operations + self.properties
+
+
+class TemplateMatcher:
+    """Matches learner questions against the template families."""
+
+    def __init__(self, keyword_filter: KeywordFilter) -> None:
+        self.keyword_filter = keyword_filter
+
+    def match(self, text: str | TokenizedSentence) -> TemplateMatch:
+        """Classify one question and bind its ontology items."""
+        sentence = tokenize(text) if isinstance(text, str) else text
+        words = sentence.words
+        keywords = self.keyword_filter.extract(sentence)
+        concepts = tuple(k for k in keywords if k.item.kind == ItemKind.CONCEPT)
+        operations = tuple(k for k in keywords if k.item.kind == ItemKind.OPERATION)
+        properties = tuple(
+            k for k in keywords if k.item.kind in (ItemKind.PROPERTY, ItemKind.ALGORITHM)
+        )
+        kind = self._classify(words, concepts, operations, properties)
+        return TemplateMatch(kind, concepts, operations, properties)
+
+    def _classify(
+        self,
+        words: tuple[str, ...],
+        concepts: tuple[KeywordMatch, ...],
+        operations: tuple[KeywordMatch, ...],
+        properties: tuple[KeywordMatch, ...],
+    ) -> QuestionKind:
+        if not words:
+            return QuestionKind.UNKNOWN
+        joined = " ".join(words)
+        has_cue = any(cue in words for cue in ("have", "has", "support", "supports"))
+
+        # "Which ... has ..." — reverse lookup by operation.
+        if words[0] == "which" and has_cue and operations:
+            return QuestionKind.WHICH_HAS
+
+        # "The relations of X" / "What are the relations of X?"
+        if "relation" in words or "relations" in words:
+            if concepts or operations or properties:
+                return QuestionKind.RELATIONS
+
+        # "What operations does X support?" / "What are the operations of X?"
+        if ("operation" in words or "operations" in words or "method" in words
+                or "methods" in words) and words[0] in ("what", "which") and concepts:
+            return QuestionKind.OPERATIONS_OF
+
+        # "Does X have Y?" / the learner form "Is X has Y?"
+        if has_cue and concepts and operations:
+            return QuestionKind.HAS_OPERATION
+
+        # "Is a stack a data structure?" — two concepts under a copula.
+        if words[0] in ("is", "are") and len(concepts) >= 2:
+            return QuestionKind.IS_A
+
+        # "Is the stack LIFO?" — property checks.
+        if words[0] in ("is", "are") and concepts and properties:
+            return QuestionKind.PROPERTY
+
+        # "What is X?" — definitions (also "what is stack for"-ish forms).
+        if joined.startswith("what is") or joined.startswith("what are"):
+            if concepts or operations or properties:
+                return QuestionKind.DEFINITION
+        if words[0] in ("define", "describe") and (concepts or operations or properties):
+            return QuestionKind.DEFINITION
+
+        # WH fallback with a single bound item: treat as definition query.
+        if words[0] in ("what", "who") and len(concepts) + len(operations) + len(properties) == 1:
+            return QuestionKind.DEFINITION
+
+        return QuestionKind.UNKNOWN

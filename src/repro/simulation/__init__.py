@@ -1,0 +1,21 @@
+"""Synthetic classroom workloads (the substitution for real learner data)."""
+
+from .errors import ErrorClass, ErrorInjector, InjectionResult
+from .learners import LearnerProfile, SimulatedLearner, SimulatedTeacher, Utterance
+from .sentences import GeneratedSentence, SentenceGenerator
+from .workload import ClassroomResult, ClassroomSession, SupervisedUtterance
+
+__all__ = [
+    "ClassroomResult",
+    "ClassroomSession",
+    "ErrorClass",
+    "ErrorInjector",
+    "GeneratedSentence",
+    "InjectionResult",
+    "LearnerProfile",
+    "SentenceGenerator",
+    "SimulatedLearner",
+    "SimulatedTeacher",
+    "SupervisedUtterance",
+    "Utterance",
+]

@@ -1,0 +1,165 @@
+"""Seeded syntax-error injection with ground-truth labels.
+
+The accuracy study (experiment A2/F4) needs labelled learner mistakes; the
+injectors below produce the error classes non-native learners make and the
+paper's Learning_Angel is designed to catch: dropped articles, broken
+subject-verb agreement, scrambled word order, and out-of-vocabulary words.
+Each injection records what was done, so detection can be scored without
+human annotation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ErrorClass(Enum):
+    """Injectable learner-error classes."""
+
+    NONE = "none"
+    ARTICLE_DROP = "article-drop"
+    AGREEMENT = "agreement"
+    WORD_ORDER = "word-order"
+    UNKNOWN_WORD = "unknown-word"
+
+
+_ARTICLES = {"a", "an", "the"}
+
+_AGREEMENT_SWAPS = {
+    "is": "are", "are": "is", "was": "were", "were": "was",
+    "has": "have", "have": "has", "does": "do", "do": "does",
+    "doesn't": "don't", "don't": "doesn't", "supports": "support",
+    "holds": "hold", "needs": "need",
+}
+
+_PSEUDO_WORDS = ["blorf", "zkag", "fnord", "quux", "gribble", "snarf"]
+
+
+@dataclass(frozen=True, slots=True)
+class InjectionResult:
+    """An (attempted) error injection.
+
+    Attributes:
+        text: the resulting sentence.
+        error: the class actually injected (NONE when impossible, e.g.
+            dropping an article from a sentence that has none).
+        detail: what changed, for debugging reports.
+    """
+
+    text: str
+    error: ErrorClass
+    detail: str = ""
+
+    @property
+    def injected(self) -> bool:
+        return self.error != ErrorClass.NONE
+
+
+class ErrorInjector:
+    """Seeded injector over sentence text."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    # -------------------------------------------------------- public API
+
+    def inject(self, text: str, error: ErrorClass) -> InjectionResult:
+        """Apply one error class; returns NONE when not applicable."""
+        if error == ErrorClass.ARTICLE_DROP:
+            return self._drop_article(text)
+        if error == ErrorClass.AGREEMENT:
+            return self._break_agreement(text)
+        if error == ErrorClass.WORD_ORDER:
+            return self._scramble(text)
+        if error == ErrorClass.UNKNOWN_WORD:
+            return self._unknown_word(text)
+        return InjectionResult(text, ErrorClass.NONE)
+
+    def inject_random(self, text: str) -> InjectionResult:
+        """Apply a uniformly chosen applicable error class."""
+        classes = [
+            ErrorClass.ARTICLE_DROP,
+            ErrorClass.AGREEMENT,
+            ErrorClass.WORD_ORDER,
+            ErrorClass.UNKNOWN_WORD,
+        ]
+        self.rng.shuffle(classes)
+        for error in classes:
+            result = self.inject(text, error)
+            if result.injected:
+                return result
+        return InjectionResult(text, ErrorClass.NONE)
+
+    # ---------------------------------------------------------- injectors
+
+    def _split(self, text: str) -> tuple[list[str], str]:
+        terminator = ""
+        body = text.strip()
+        if body and body[-1] in ".?!":
+            terminator = body[-1]
+            body = body[:-1]
+        return body.split(), terminator
+
+    def _join(self, words: list[str], terminator: str) -> str:
+        return " ".join(words) + terminator
+
+    def _drop_article(self, text: str) -> InjectionResult:
+        words, terminator = self._split(text)
+        positions = [i for i, word in enumerate(words) if word.lower() in _ARTICLES]
+        if not positions:
+            return InjectionResult(text, ErrorClass.NONE)
+        index = self.rng.choice(positions)
+        dropped = words.pop(index)
+        return InjectionResult(
+            self._join(words, terminator),
+            ErrorClass.ARTICLE_DROP,
+            f"dropped {dropped!r} at {index}",
+        )
+
+    def _break_agreement(self, text: str) -> InjectionResult:
+        words, terminator = self._split(text)
+        positions = [i for i, word in enumerate(words) if word.lower() in _AGREEMENT_SWAPS]
+        if not positions:
+            return InjectionResult(text, ErrorClass.NONE)
+        index = self.rng.choice(positions)
+        original = words[index]
+        replacement = _AGREEMENT_SWAPS[original.lower()]
+        if original[0].isupper():
+            replacement = replacement.capitalize()
+        words[index] = replacement
+        return InjectionResult(
+            self._join(words, terminator),
+            ErrorClass.AGREEMENT,
+            f"swapped {original!r} for {replacement!r} at {index}",
+        )
+
+    def _scramble(self, text: str) -> InjectionResult:
+        words, terminator = self._split(text)
+        if len(words) < 3:
+            return InjectionResult(text, ErrorClass.NONE)
+        index = self.rng.randrange(len(words) - 1)
+        words[index], words[index + 1] = words[index + 1], words[index]
+        return InjectionResult(
+            self._join(words, terminator),
+            ErrorClass.WORD_ORDER,
+            f"swapped positions {index} and {index + 1}",
+        )
+
+    def _unknown_word(self, text: str) -> InjectionResult:
+        words, terminator = self._split(text)
+        positions = [
+            i for i, word in enumerate(words)
+            if len(word) > 3 and word.lower() not in _ARTICLES
+        ]
+        if not positions:
+            return InjectionResult(text, ErrorClass.NONE)
+        index = self.rng.choice(positions)
+        original = words[index]
+        words[index] = self.rng.choice(_PSEUDO_WORDS)
+        return InjectionResult(
+            self._join(words, terminator),
+            ErrorClass.UNKNOWN_WORD,
+            f"replaced {original!r} at {index}",
+        )

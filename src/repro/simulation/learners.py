@@ -1,0 +1,114 @@
+"""Simulated learners and teachers.
+
+Each simulated learner draws utterances from the sentence generator and
+perturbs them according to its personal error profile; the teacher answers
+learner questions (feeding the QA miner).  All randomness is seeded per
+participant, so classroom sessions replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ontology.model import Ontology
+
+from .errors import ErrorClass, ErrorInjector, InjectionResult
+from .sentences import GeneratedSentence, SentenceGenerator
+
+
+@dataclass(frozen=True, slots=True)
+class Utterance:
+    """One planned learner utterance with its full ground truth.
+
+    Attributes:
+        user: speaker name.
+        text: what is said (after any error injection).
+        base: the clean generated sentence.
+        syntax_error: the injected syntax error class (NONE if clean).
+        semantic_error: True when the base sentence makes a wrong claim.
+        is_question: question flag of the base sentence.
+    """
+
+    user: str
+    text: str
+    base: GeneratedSentence
+    syntax_error: ErrorClass = ErrorClass.NONE
+    semantic_error: bool = False
+    is_question: bool = False
+
+    @property
+    def is_clean(self) -> bool:
+        return self.syntax_error == ErrorClass.NONE and not self.semantic_error
+
+
+@dataclass(slots=True)
+class LearnerProfile:
+    """Behavioural knobs of a simulated learner."""
+
+    question_rate: float = 0.2
+    syntax_error_rate: float = 0.15
+    semantic_error_rate: float = 0.10
+    chitchat_rate: float = 0.05
+
+
+class SimulatedLearner:
+    """A deterministic chat-room participant."""
+
+    def __init__(
+        self,
+        name: str,
+        ontology: Ontology,
+        profile: LearnerProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.profile = profile or LearnerProfile()
+        self.rng = random.Random(seed)
+        self.generator = SentenceGenerator(ontology, seed=self.rng.randrange(1 << 30))
+        self.injector = ErrorInjector(seed=self.rng.randrange(1 << 30))
+
+    def next_utterance(self) -> Utterance:
+        """Plan the learner's next message (with ground truth attached)."""
+        roll = self.rng.random()
+        profile = self.profile
+        if roll < profile.question_rate:
+            base = self.generator.question()
+            return Utterance(self.name, base.text, base, is_question=True)
+        roll -= profile.question_rate
+        if roll < profile.chitchat_rate:
+            base = self.generator.chitchat()
+            return Utterance(self.name, base.text, base)
+        roll -= profile.chitchat_rate
+        if roll < profile.semantic_error_rate:
+            base = self.generator.semantic_violation()
+            return Utterance(self.name, base.text, base, semantic_error=True)
+        roll -= profile.semantic_error_rate
+        base = self.generator.correct_statement()
+        if self.rng.random() < profile.syntax_error_rate:
+            result: InjectionResult = self.injector.inject_random(base.text)
+            if result.injected:
+                return Utterance(
+                    self.name, result.text, base, syntax_error=result.error
+                )
+        return Utterance(self.name, base.text, base)
+
+
+class SimulatedTeacher:
+    """Answers learner questions in the room (grist for QA mining)."""
+
+    def __init__(self, name: str, ontology: Ontology) -> None:
+        self.name = name
+        self.ontology = ontology
+
+    def answer_for(self, question: GeneratedSentence) -> str | None:
+        """A simple authoritative answer when the topic is known."""
+        if question.concept:
+            item = self.ontology.find(question.concept)
+            if item is not None and item.definition.description:
+                return item.definition.description
+        if question.operation:
+            item = self.ontology.find(question.operation)
+            if item is not None and item.definition.description:
+                return item.definition.description
+        return None

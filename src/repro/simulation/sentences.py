@@ -1,0 +1,219 @@
+"""Synthetic classroom sentence generation.
+
+There is no public corpus of the paper's learner dialogues, so workloads
+are generated from the same knowledge ontology the system teaches: correct
+declaratives (capabilities, definitions, taxonomy, properties), questions
+in the QA template families, and chit-chat.  Generation is seeded and
+deterministic; every sentence is built from vocabulary the lexicon covers,
+so a clean generated sentence parses with zero null words (asserted by
+tests — the generator double-checks itself against the grammar).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ontology.model import ItemKind, Ontology, RelationKind
+
+# Operation verb -> the preposition used with its canonical container.
+_OPERATION_PREPOSITIONS = {
+    "push": "onto",
+    "pop": "from",
+    "insert": "into",
+    "delete": "from",
+    "enqueue": "into",
+    "dequeue": "from",
+    "append": "to",
+    "prepend": "to",
+    "store": "in",
+    "search": "in",
+}
+
+# Operations that read naturally as transitive verbs in workload templates.
+_VERBAL_OPERATIONS = {
+    "push", "pop", "insert", "delete", "enqueue", "dequeue",
+    "append", "prepend", "merge", "split", "sort", "search", "traverse",
+    "update", "swap", "peek", "balance", "rotate",
+}
+
+
+def _article(noun: str) -> str:
+    return "an" if noun[0] in "aeiou" else "a"
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedSentence:
+    """A generated utterance with its ground truth.
+
+    Attributes:
+        text: the sentence.
+        is_question: whether it is a question.
+        concept / operation: ontology names used (for audits).
+        semantically_correct: ground truth of the domain claim.
+    """
+
+    text: str
+    is_question: bool = False
+    concept: str = ""
+    operation: str = ""
+    semantically_correct: bool = True
+
+
+class SentenceGenerator:
+    """Seeded generator of classroom utterances over an ontology."""
+
+    def __init__(self, ontology: Ontology, seed: int = 0) -> None:
+        self.ontology = ontology
+        self.rng = random.Random(seed)
+        self._concepts = [
+            item
+            for item in ontology.items_of_kind(ItemKind.CONCEPT)
+            if item.category == "container" and " " not in item.name
+        ]
+        self._operations = [
+            item
+            for item in ontology.items_of_kind(ItemKind.OPERATION)
+            if item.name in _VERBAL_OPERATIONS
+        ]
+        self._properties = ontology.items_of_kind(ItemKind.PROPERTY)
+
+    # ----------------------------------------------------------- helpers
+
+    def _supported_pair(self) -> tuple[str, str]:
+        """A (concept, operation) pair the ontology supports."""
+        while True:
+            concept = self.rng.choice(self._concepts)
+            operations = [
+                op
+                for op in self.ontology.operations_of(concept.item_id)
+                if op.name in _VERBAL_OPERATIONS
+            ]
+            if operations:
+                return concept.name, self.rng.choice(operations).name
+
+    def _unsupported_pair(self) -> tuple[str, str]:
+        """A (concept, operation) pair the ontology does NOT support."""
+        while True:
+            concept = self.rng.choice(self._concepts)
+            operation = self.rng.choice(self._operations)
+            if not self.ontology.has_operation(concept.item_id, operation.item_id):
+                return concept.name, operation.name
+
+    def _held_property(self) -> tuple[str, str]:
+        while True:
+            concept = self.rng.choice(self._concepts)
+            properties = self.ontology.properties_of(concept.item_id)
+            if properties:
+                return concept.name, self.rng.choice(properties).name
+
+    def _unheld_property(self) -> tuple[str, str]:
+        while True:
+            concept = self.rng.choice(self._concepts)
+            prop = self.rng.choice(self._properties)
+            held = {p.item_id for p in self.ontology.properties_of(concept.item_id)}
+            if prop.item_id not in held:
+                return concept.name, prop.name
+
+    # -------------------------------------------------------- declaratives
+
+    def correct_statement(self) -> GeneratedSentence:
+        """A syntactically and semantically correct declarative."""
+        choice = self.rng.randrange(6)
+        if choice == 0:
+            concept, operation = self._supported_pair()
+            preposition = _OPERATION_PREPOSITIONS.get(operation, "into")
+            subject = self.rng.choice(["we", "i", "you"])
+            text = f"{subject.capitalize()} {operation} the element {preposition} the {concept}."
+            return GeneratedSentence(text, concept=concept, operation=operation)
+        if choice == 1:
+            concept, operation = self._supported_pair()
+            text = f"The {concept} supports the {operation} operation."
+            return GeneratedSentence(text, concept=concept, operation=operation)
+        if choice == 2:
+            concept = self.rng.choice(self._concepts)
+            parents = self.ontology.parents(concept.item_id)
+            if parents:
+                parent = self.rng.choice(parents).name
+                text = (
+                    f"{_article(concept.name).capitalize()} {concept.name} "
+                    f"is {_article(parent)} {parent}."
+                )
+                return GeneratedSentence(text, concept=concept.name)
+            return self.correct_statement()
+        if choice == 3:
+            concept, prop = self._held_property()
+            text = f"The {concept} is {prop}."
+            return GeneratedSentence(text, concept=concept)
+        if choice == 4:
+            concept, operation = self._unsupported_pair()
+            text = f"The {concept} doesn't have the {operation} operation."
+            return GeneratedSentence(text, concept=concept, operation=operation)
+        concept = self.rng.choice(self._concepts)
+        adjective = self.rng.choice(["useful", "important", "simple", "efficient"])
+        text = f"The {concept.name} is {adjective}."
+        return GeneratedSentence(text, concept=concept.name)
+
+    def semantic_violation(self) -> GeneratedSentence:
+        """Syntactically fine, semantically wrong (the paper's
+        'Interrogative Sentence')."""
+        choice = self.rng.randrange(3)
+        if choice == 0:
+            concept, operation = self._unsupported_pair()
+            preposition = _OPERATION_PREPOSITIONS.get(operation, "into")
+            subject = self.rng.choice(["we", "i"])
+            text = f"{subject.capitalize()} {operation} the element {preposition} the {concept}."
+        elif choice == 1:
+            concept, operation = self._unsupported_pair()
+            text = f"The {concept} supports the {operation} operation."
+        else:
+            concept, prop = self._unheld_property()
+            text = f"The {concept} is {prop}."
+            return GeneratedSentence(
+                text, concept=concept, semantically_correct=False
+            )
+        return GeneratedSentence(
+            text, concept=concept, operation=operation, semantically_correct=False
+        )
+
+    # ------------------------------------------------------------ questions
+
+    def question(self) -> GeneratedSentence:
+        """A question in one of the QA template families."""
+        choice = self.rng.randrange(5)
+        if choice == 0:
+            concept = self.rng.choice(self._concepts)
+            text = f"What is {_article(concept.name)} {concept.name}?"
+            return GeneratedSentence(text, is_question=True, concept=concept.name)
+        if choice == 1:
+            concept, operation = (
+                self._supported_pair() if self.rng.random() < 0.5 else self._unsupported_pair()
+            )
+            text = f"Does the {concept} have {_article(operation)} {operation} method?"
+            return GeneratedSentence(text, is_question=True, concept=concept, operation=operation)
+        if choice == 2:
+            operation = self.rng.choice(self._operations).name
+            text = f"Which data structure has the {operation} operation?"
+            return GeneratedSentence(text, is_question=True, operation=operation)
+        if choice == 3:
+            concept = self.rng.choice(self._concepts)
+            text = f"What operations does the {concept.name} support?"
+            return GeneratedSentence(text, is_question=True, concept=concept.name)
+        concept = self.rng.choice(self._concepts)
+        text = f"The relations of {concept.name}?"
+        return GeneratedSentence(text, is_question=True, concept=concept.name)
+
+    def chitchat(self) -> GeneratedSentence:
+        """On-topic but keyword-free filler."""
+        text = self.rng.choice(
+            [
+                "This course is difficult.",
+                "I understand the example now.",
+                "The homework is easy.",
+                "Thanks.",
+                "Yes.",
+                "That is a good question.",
+                "Please explain the example again.",
+            ]
+        )
+        return GeneratedSentence(text)

@@ -1,0 +1,138 @@
+"""Classroom workload driver.
+
+Runs a simulated class session against a live :class:`ELearningSystem`:
+learners take turns posting planned utterances (with ground truth), the
+teacher occasionally answers questions, and every sentence's ground truth
+is paired with the system's verdict for scoring.  This is the workload
+behind experiments F3, F4, A2 and A3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chatroom.messages import Role
+from repro.core.system import ELearningSystem
+from repro.corpus.records import Correctness
+
+from .errors import ErrorClass
+from .learners import LearnerProfile, SimulatedLearner, SimulatedTeacher, Utterance
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisedUtterance:
+    """Ground truth paired with the system's verdict for one utterance."""
+
+    utterance: Utterance
+    verdict: Correctness
+    agent_replies: int
+    issue_kinds: tuple[str, ...] = ()
+
+    @property
+    def truth_syntax_error(self) -> bool:
+        return self.utterance.syntax_error != ErrorClass.NONE
+
+    @property
+    def truth_semantic_error(self) -> bool:
+        return self.utterance.semantic_error
+
+    @property
+    def flagged_syntax(self) -> bool:
+        """Did the supervisor notice a syntax problem?
+
+        Style hints count: dropped articles are tolerated by design (the
+        paper routes them onward to the Semantic Agent) but still noted.
+        """
+        return self.verdict == Correctness.SYNTAX_ERROR or "style" in self.issue_kinds
+
+    @property
+    def flagged_semantic(self) -> bool:
+        return self.verdict == Correctness.SEMANTIC_ERROR
+
+
+@dataclass(slots=True)
+class ClassroomResult:
+    """Everything a benchmark needs from one simulated session."""
+
+    supervised: list[SupervisedUtterance] = field(default_factory=list)
+    questions_asked: int = 0
+    questions_answered: int = 0
+    teacher_answers: int = 0
+
+    def by_error_class(self) -> dict[ErrorClass, list[SupervisedUtterance]]:
+        grouped: dict[ErrorClass, list[SupervisedUtterance]] = {}
+        for item in self.supervised:
+            grouped.setdefault(item.utterance.syntax_error, []).append(item)
+        return grouped
+
+
+class ClassroomSession:
+    """A seeded, deterministic classroom run."""
+
+    def __init__(
+        self,
+        system: ELearningSystem,
+        learners: int = 6,
+        room: str = "classroom",
+        topic: str = "data structures",
+        profile: LearnerProfile | None = None,
+        seed: int = 0,
+        teacher: bool = True,
+    ) -> None:
+        self.system = system
+        self.room_name = room
+        self.system.open_room(room, topic=topic)
+        self.learners = [
+            SimulatedLearner(
+                f"student-{index}",
+                system.ontology,
+                profile=profile,
+                seed=seed * 1000 + index,
+            )
+            for index in range(learners)
+        ]
+        for learner in self.learners:
+            system.join(room, learner.name, Role.STUDENT)
+        self.teacher = SimulatedTeacher("teacher", system.ontology) if teacher else None
+        if self.teacher is not None:
+            system.join(room, self.teacher.name, Role.TEACHER)
+
+    def run(self, rounds: int = 10) -> ClassroomResult:
+        """Each round, every learner posts one planned utterance."""
+        result = ClassroomResult()
+        for _round in range(rounds):
+            for learner in self.learners:
+                utterance = learner.next_utterance()
+                before = len(self.system.corpus)
+                message = self.system.say(self.room_name, learner.name, utterance.text)
+                replies = self.system.agent_replies_to(message)
+                verdict, issue_kinds = self._verdict_since(before)
+                result.supervised.append(
+                    SupervisedUtterance(
+                        utterance=utterance,
+                        verdict=verdict,
+                        agent_replies=len(replies),
+                        issue_kinds=issue_kinds,
+                    )
+                )
+                if utterance.is_question:
+                    result.questions_asked += 1
+                    if any(r.sender == "QA_System" and "could not find" not in r.text for r in replies):
+                        result.questions_answered += 1
+                    if self.teacher is not None:
+                        answer = self.teacher.answer_for(utterance.base)
+                        if answer is not None:
+                            self.system.say(self.room_name, self.teacher.name, answer)
+                            result.teacher_answers += 1
+        return result
+
+    def _verdict_since(self, before: int) -> tuple[Correctness, tuple[str, ...]]:
+        """(verdict, issue kinds) recorded for the message just posted."""
+        records = self.system.corpus.records()[before:]
+        kinds: list[str] = []
+        verdict = Correctness.CORRECT
+        for record in records:
+            kinds.extend(kind for kind, _word in record.syntax_issues)
+            if record.verdict != Correctness.CORRECT and verdict == Correctness.CORRECT:
+                verdict = record.verdict
+        return verdict, tuple(dict.fromkeys(kinds))

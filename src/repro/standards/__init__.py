@@ -1,0 +1,16 @@
+"""Distance-learning standards export (the paper's section-5 future work).
+
+SCORM/IMS-CP content packaging of the knowledge body and IMS QTI-style
+assessments generated from the accumulated FAQ.
+"""
+
+from .qti import build_assessment, write_assessment
+from .scorm import MANIFEST_NAME, build_manifest, write_package
+
+__all__ = [
+    "MANIFEST_NAME",
+    "build_assessment",
+    "build_manifest",
+    "write_assessment",
+    "write_package",
+]

@@ -1,0 +1,94 @@
+"""IMS QTI-style assessment export from the FAQ database.
+
+The second half of the standards future-work: the accumulated FAQ pairs
+("a powerful learning tool for the learners", section 1) are turned into
+an IMS QTI 1.2-flavoured assessment: each frequent QA pair becomes an
+item whose prompt is the question and whose response options are the true
+answer plus distractors drawn from *other* pairs of the same template
+family (so "What is a stack?" is distracted by other definitions, not by
+yes/no answers).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.qa.faq import FAQDatabase, QAPair
+
+
+def _distractors(target: QAPair, pool: list[QAPair], count: int) -> list[str]:
+    """Plausible wrong answers: same template family, different items."""
+    same_family = [
+        pair.answer
+        for pair in pool
+        if pair.key != target.key and pair.kind == target.kind and pair.answer != target.answer
+    ]
+    if len(same_family) < count:
+        same_family += [
+            pair.answer
+            for pair in pool
+            if pair.key != target.key and pair.answer != target.answer
+            and pair.answer not in same_family
+        ]
+    return same_family[:count]
+
+
+def build_assessment(
+    faq: FAQDatabase,
+    title: str = "FAQ self-check",
+    max_items: int = 10,
+    distractors: int = 3,
+) -> str:
+    """QTI-style XML for the top FAQ pairs.
+
+    Items with no available distractor are skipped (a one-option multiple
+    choice teaches nothing).
+    """
+    root = ET.Element("questestinterop")
+    assessment = ET.SubElement(root, "assessment", {"ident": "faq", "title": title})
+    section = ET.SubElement(assessment, "section", {"ident": "main"})
+    pool = faq.pairs()
+    emitted = 0
+    for pair in pool:
+        if emitted >= max_items:
+            break
+        wrong = _distractors(pair, pool, distractors)
+        if not wrong:
+            continue
+        item = ET.SubElement(
+            section, "item", {"ident": f"item_{emitted}", "title": pair.question}
+        )
+        presentation = ET.SubElement(item, "presentation")
+        material = ET.SubElement(presentation, "material")
+        mattext = ET.SubElement(material, "mattext")
+        mattext.text = pair.question
+        response = ET.SubElement(
+            presentation, "response_lid", {"ident": "answer", "rcardinality": "Single"}
+        )
+        render = ET.SubElement(response, "render_choice")
+        options = [("correct", pair.answer)] + [
+            (f"wrong_{i}", text) for i, text in enumerate(wrong)
+        ]
+        for ident, text in options:
+            label = ET.SubElement(render, "response_label", {"ident": ident})
+            label_material = ET.SubElement(label, "material")
+            label_text = ET.SubElement(label_material, "mattext")
+            label_text.text = text
+        processing = ET.SubElement(item, "resprocessing")
+        condition = ET.SubElement(processing, "respcondition")
+        varequal = ET.SubElement(condition, "varequal", {"respident": "answer"})
+        varequal.text = "correct"
+        setvar = ET.SubElement(condition, "setvar", {"action": "Set"})
+        setvar.text = "1"
+        emitted += 1
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def write_assessment(faq: FAQDatabase, target: str | Path, **kwargs) -> Path:
+    """Write the assessment XML; returns the file path."""
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_assessment(faq, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,146 @@
+"""SCORM-style content packaging of the course knowledge.
+
+Section 5 names "trying to follow some famous distance-learning
+standards" as future work; this module implements it for the dominant
+packaging standard of the paper's era, SCORM (ADL) / IMS Content
+Packaging: the knowledge body is exported as a content package with an
+``imsmanifest.xml`` (organizations → items mirroring the ontology
+taxonomy) plus one HTML resource per concept built from its definition,
+symbols, operations and algorithm attachments.
+
+The writer produces an on-disk package directory; no zip step is taken
+(offline determinism), but the layout matches what an LMS importer
+expects structurally.
+"""
+
+from __future__ import annotations
+
+import html
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.ontology.model import Item, ItemKind, Ontology, RelationKind
+
+MANIFEST_NAME = "imsmanifest.xml"
+
+
+def _resource_filename(item: Item) -> str:
+    return f"sco_{item.item_id:03d}_{item.name.replace(' ', '_')}.html"
+
+
+def _concept_html(ontology: Ontology, item: Item) -> str:
+    """One SCO page: definition, symbols, operations, algorithms."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(item.name)}</title></head><body>",
+        f"<h1>{html.escape(item.name)}</h1>",
+    ]
+    if item.definition.description:
+        parts.append(f"<p class='definition'>{html.escape(item.definition.description)}</p>")
+    for symbol, text in item.definition.symbols.items():
+        parts.append(
+            f"<p class='symbol'><b>{html.escape(symbol)}</b>: {html.escape(text)}</p>"
+        )
+    operations = ontology.operations_of(item.item_id)
+    if operations:
+        parts.append("<h2>Operations</h2><ul>")
+        for operation in sorted(operations, key=lambda op: op.name):
+            description = operation.definition.description
+            parts.append(
+                f"<li><b>{html.escape(operation.name)}</b>"
+                + (f": {html.escape(description)}" if description else "")
+                + "</li>"
+            )
+        parts.append("</ul>")
+    properties = ontology.properties_of(item.item_id)
+    if properties:
+        names = ", ".join(sorted(p.name for p in properties))
+        parts.append(f"<p class='properties'>Properties: {html.escape(names)}</p>")
+    for algorithm in item.algorithms:
+        parts.append(
+            f"<h2>Algorithm: {html.escape(algorithm.name)} "
+            f"({html.escape(algorithm.type)})</h2>"
+        )
+        parts.append(f"<pre>{html.escape(algorithm.body)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def build_manifest(ontology: Ontology, package_id: str = "repro-course") -> str:
+    """The ``imsmanifest.xml`` text for the knowledge body."""
+    manifest = ET.Element(
+        "manifest",
+        {
+            "identifier": package_id,
+            "version": "1.1",
+            "xmlns": "http://www.imsproject.org/xsd/imscp_rootv1p1p2",
+            "xmlns:adlcp": "http://www.adlnet.org/xsd/adlcp_rootv1p2",
+        },
+    )
+    metadata = ET.SubElement(manifest, "metadata")
+    schema = ET.SubElement(metadata, "schema")
+    schema.text = "ADL SCORM"
+    schemaversion = ET.SubElement(metadata, "schemaversion")
+    schemaversion.text = "1.2"
+
+    organizations = ET.SubElement(manifest, "organizations", {"default": "taxonomy"})
+    organization = ET.SubElement(organizations, "organization", {"identifier": "taxonomy"})
+    title = ET.SubElement(organization, "title")
+    title.text = f"{ontology.domain} (generated course)"
+
+    concepts = ontology.items_of_kind(ItemKind.CONCEPT)
+    children: dict[int, list[Item]] = {}
+    roots: list[Item] = []
+    for item in concepts:
+        parents = ontology.parents(item.item_id)
+        if parents:
+            children.setdefault(parents[0].item_id, []).append(item)
+        else:
+            roots.append(item)
+
+    def add_item(parent_element: ET.Element, item: Item) -> None:
+        element = ET.SubElement(
+            parent_element,
+            "item",
+            {
+                "identifier": f"item_{item.item_id}",
+                "identifierref": f"res_{item.item_id}",
+            },
+        )
+        item_title = ET.SubElement(element, "title")
+        item_title.text = item.name
+        for child in sorted(children.get(item.item_id, []), key=lambda c: c.item_id):
+            add_item(element, child)
+
+    for root in sorted(roots, key=lambda c: c.item_id):
+        add_item(organization, root)
+
+    resources = ET.SubElement(manifest, "resources")
+    for item in concepts:
+        resource = ET.SubElement(
+            resources,
+            "resource",
+            {
+                "identifier": f"res_{item.item_id}",
+                "type": "webcontent",
+                "adlcp:scormtype": "sco",
+                "href": _resource_filename(item),
+            },
+        )
+        ET.SubElement(resource, "file", {"href": _resource_filename(item)})
+    ET.indent(manifest)
+    return ET.tostring(manifest, encoding="unicode")
+
+
+def write_package(ontology: Ontology, target: str | Path, package_id: str = "repro-course") -> Path:
+    """Write the full content package; returns the package directory."""
+    directory = Path(target)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / MANIFEST_NAME).write_text(
+        build_manifest(ontology, package_id), encoding="utf-8"
+    )
+    for item in ontology.items_of_kind(ItemKind.CONCEPT):
+        page = _concept_html(ontology, item)
+        (directory / _resource_filename(item)).write_text(page, encoding="utf-8")
+    return directory

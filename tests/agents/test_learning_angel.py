@@ -1,0 +1,91 @@
+"""Learning_Angel: the Figure-4 workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import LearningAngelAgent
+from repro.corpus import CorporaGenerator, Correctness, LearnerCorpus
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.nlp import KeywordFilter
+from repro.ontology.domains import default_ontology
+
+
+@pytest.fixture()
+def agent():
+    corpus = LearnerCorpus()
+    CorporaGenerator(default_ontology()).populate(corpus)
+    return LearningAngelAgent(
+        default_dictionary(),
+        corpus=corpus,
+        keyword_filter=KeywordFilter(default_ontology()),
+    )
+
+
+class TestReview:
+    def test_clean_sentence(self, agent):
+        review = agent.review("The stack holds the data.")
+        assert review.is_correct
+        assert review.suggestion is None
+        assert [k.name for k in review.keywords] == ["stack"]
+
+    def test_error_produces_suggestion(self, agent):
+        review = agent.review("The stack holds quickly data wrong order.")
+        assert not review.is_correct or review.suggestion is None
+        # A clearly broken sentence about stacks should pull a stack
+        # sentence from the seeded corpus.
+        broken = agent.review("stack the holds data quickly the.")
+        assert not broken.is_correct
+        assert broken.suggestion is not None
+        assert "stack" in broken.suggestion.lower()
+
+    def test_unknown_word_review(self, agent):
+        review = agent.review("The blorf holds the data.")
+        assert not review.is_correct
+        kinds = [issue.kind.value for issue in review.diagnosis.issues]
+        assert "unknown-word" in kinds
+
+    def test_replies_for_errors(self, agent):
+        review = agent.review("stack the holds data quickly the.")
+        replies = review.as_replies()
+        assert replies
+        assert replies[0].agent == "Learning_Angel"
+
+    def test_stateless_agent_works(self):
+        bare = LearningAngelAgent(default_dictionary())
+        review = bare.review("The stack is full.")
+        assert review.is_correct
+        assert bare.record(review, "u", "r", 0.0) is None
+
+
+class TestRecording:
+    def test_record_writes_to_corpus(self, agent):
+        before = len(agent.corpus)
+        review = agent.review("The stack is full.")
+        record = agent.record(review, user="alice", room="r1", timestamp=3.0)
+        assert len(agent.corpus) == before + 1
+        assert record.user == "alice"
+        assert record.verdict == Correctness.CORRECT
+        assert record.pattern == "simple"
+        assert record.links != ""
+
+    def test_record_error_verdict(self, agent):
+        review = agent.review("stack the holds data quickly the.")
+        record = agent.record(review, user="bob", room="r1", timestamp=4.0)
+        assert record.verdict == Correctness.SYNTAX_ERROR
+        assert record.syntax_issues
+
+    def test_record_explicit_verdict(self, agent):
+        review = agent.review("I push the data into a tree.")
+        record = agent.record(
+            review, "bob", "r1", 5.0,
+            verdict=Correctness.SEMANTIC_ERROR,
+            semantic_issues=["tree~push"],
+        )
+        assert record.verdict == Correctness.SEMANTIC_ERROR
+        assert record.semantic_issues == ["tree~push"]
+
+    def test_keywords_recorded(self, agent):
+        review = agent.review("The tree doesn't have pop method.")
+        record = agent.record(review, "alice", "r1", 6.0)
+        assert set(record.keywords) == {"tree", "pop"}

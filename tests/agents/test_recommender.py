@@ -1,0 +1,93 @@
+"""Teaching Material Recommendation (Figure 3's response arrow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import TeachingMaterialRecommender
+from repro.ontology.domains import default_ontology
+from repro.profiles import UserProfileStore
+
+
+@pytest.fixture()
+def recommender():
+    return TeachingMaterialRecommender(default_ontology())
+
+
+def _struggling_profile(store: UserProfileStore, topics=("stack", "push")):
+    for i in range(3):
+        store.record_activity(
+            "sam", float(i), syntax_error=(i == 0), semantic_error=(i > 0), topics=topics
+        )
+    return store.get("sam")
+
+
+class TestTriggering:
+    def test_no_recommendation_for_clean_learner(self, recommender):
+        store = UserProfileStore()
+        store.record_activity("amy", 1.0, topics=("stack",))
+        assert recommender.recommend(store.get("amy")) is None
+
+    def test_struggling_learner_gets_material(self, recommender):
+        profile = _struggling_profile(UserProfileStore())
+        recommendation = recommender.recommend(profile)
+        assert recommendation is not None
+        assert recommendation.user == "sam"
+        assert recommendation.materials
+
+    def test_threshold_configurable(self):
+        recommender = TeachingMaterialRecommender(default_ontology(), error_threshold=10)
+        profile = _struggling_profile(UserProfileStore())
+        assert recommender.recommend(profile) is None
+
+    def test_weak_topics_prefer_frequent(self, recommender):
+        store = UserProfileStore()
+        store.record_activity("pat", 1.0, semantic_error=True, topics=("tree", "tree", "stack"))
+        store.record_activity("pat", 2.0, semantic_error=True, topics=("tree",))
+        topics = recommender.weak_topics(store.get("pat"))
+        assert topics[0] == "tree"
+
+    def test_operations_are_not_topics(self, recommender):
+        # Only concepts/algorithms make useful study topics.
+        store = UserProfileStore()
+        store.record_activity("lee", 1.0, semantic_error=True, topics=("push", "stack"))
+        store.record_activity("lee", 2.0, semantic_error=True, topics=("push",))
+        topics = recommender.weak_topics(store.get("lee"))
+        assert "push" not in topics
+        assert "stack" in topics
+
+
+class TestMaterials:
+    def test_stack_material_includes_algorithms(self, recommender):
+        ontology = default_ontology()
+        materials = recommender.materials_for(ontology.find("stack"))
+        kinds = {material.kind for material in materials}
+        assert {"definition", "symbol", "operations", "algorithm"} <= kinds
+
+    def test_material_text_rendering(self, recommender):
+        profile = _struggling_profile(UserProfileStore())
+        recommendation = recommender.recommend(profile)
+        text = recommendation.as_text()
+        assert "sam" in text
+        assert "definition" in text
+
+
+class TestSystemIntegration:
+    def test_recommend_for_api(self):
+        from repro import ELearningSystem
+
+        system = ELearningSystem.with_defaults()
+        system.open_room("r", topic="t")
+        system.join("r", "dana")
+        # Two semantic mistakes about trees.
+        system.say("r", "dana", "I push the data into a tree.")
+        system.say("r", "dana", "I pop the element from the tree.")
+        recommendation = system.recommend_for("dana")
+        assert recommendation is not None
+        assert any(material.topic == "tree" for material in recommendation.materials)
+
+    def test_recommend_for_unknown_user(self):
+        from repro import ELearningSystem
+
+        system = ELearningSystem.with_defaults()
+        assert system.recommend_for("nobody") is None

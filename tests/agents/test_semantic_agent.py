@@ -1,0 +1,147 @@
+"""The Semantic Agent (ontology methodology): section 4.3 end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import SemanticAgent, SemanticVerdict
+from repro.ontology.domains import default_ontology
+
+
+@pytest.fixture(scope="module")
+def agent():
+    return SemanticAgent(default_ontology())
+
+
+class TestPaperVerdicts:
+    """The worked examples of sections 4.1 and 4.3, verbatim."""
+
+    def test_push_into_tree_is_violation(self, agent):
+        review = agent.review("I push the data into a tree.")
+        assert review.verdict == SemanticVerdict.VIOLATION
+        assert review.is_anomalous
+
+    def test_negated_tree_pop_is_correct(self, agent):
+        review = agent.review("The tree doesn't have pop method.")
+        assert review.verdict == SemanticVerdict.OK
+
+    def test_pushed_in_heap_is_violation(self, agent):
+        # Section 4.1: "In the data structure course, heap doesn't have
+        # push method."
+        review = agent.review("The data is pushed in this heap.")
+        assert review.verdict == SemanticVerdict.VIOLATION
+
+    def test_evaluated_pair_ids_match_paper(self, agent):
+        review = agent.review("The tree doesn't have pop method.")
+        (pair,) = review.pairs
+        assert {pair.left_id, pair.right_id} == {4, 33}
+
+
+class TestRouting:
+    def test_questions_are_skipped(self, agent):
+        review = agent.review("Does stack have pop method?")
+        assert review.verdict == SemanticVerdict.QUESTION
+
+    def test_syntax_skipped(self, agent):
+        review = agent.review("I push the data into a tree.", syntactically_ok=False)
+        assert review.verdict == SemanticVerdict.SYNTAX_SKIPPED
+
+    def test_no_keywords(self, agent):
+        review = agent.review("The car is drinking water.")
+        assert review.verdict == SemanticVerdict.NO_KEYWORDS
+
+    def test_keywords_without_pairs(self, agent):
+        review = agent.review("The stack is useful.")
+        assert review.verdict == SemanticVerdict.OK
+
+
+class TestCapabilityJudgement:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "We push an element onto the stack.",
+            "We enqueue the element into the queue.",
+            "Insert the key into the binary search tree.",
+            "The heap supports the heapify operation.",
+            "We traverse the graph.",
+        ],
+    )
+    def test_supported_pairs_pass(self, agent, sentence):
+        assert agent.review(sentence).verdict == SemanticVerdict.OK, sentence
+
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "We enqueue the element into the stack.",
+            "We push the element onto the queue.",
+            "The array supports the pop operation.",
+            "We dequeue the element from the tree.",
+        ],
+    )
+    def test_unsupported_pairs_flagged(self, agent, sentence):
+        assert agent.review(sentence).verdict == SemanticVerdict.VIOLATION, sentence
+
+    def test_inherited_operation_accepted(self, agent):
+        # insert is defined on tree; the AVL tree inherits it through
+        # bst -> binary tree -> tree.
+        review = agent.review("We insert the key into the avl tree.")
+        assert review.verdict == SemanticVerdict.OK
+
+    def test_any_supporting_container_suffices(self, agent):
+        # Both stack and queue mentioned; queue supports enqueue.
+        review = agent.review("We enqueue the element from the stack into the queue.")
+        assert review.verdict == SemanticVerdict.OK
+
+
+class TestNegationFlip:
+    def test_negated_true_capability_is_misconception(self, agent):
+        review = agent.review("The stack doesn't have a push method.")
+        assert review.verdict == SemanticVerdict.MISCONCEPTION
+        assert review.is_anomalous
+
+    def test_negated_false_capability_is_ok(self, agent):
+        review = agent.review("The queue doesn't support the push operation.")
+        assert review.verdict == SemanticVerdict.OK
+
+    def test_negative_property_claim(self, agent):
+        review = agent.review("The stack is not fifo.")
+        assert review.verdict == SemanticVerdict.OK
+        review = agent.review("The stack is not lifo.")
+        assert review.verdict == SemanticVerdict.MISCONCEPTION
+
+
+class TestSuggestions:
+    def test_violation_suggests_supporting_concept(self, agent):
+        review = agent.review("I push the data into a tree.")
+        joined = " ".join(review.suggestions)
+        assert "stack" in joined
+
+    def test_violation_lists_available_operations(self, agent):
+        review = agent.review("I push the data into a tree.")
+        joined = " ".join(review.suggestions)
+        assert "insert" in joined
+
+    def test_replies_rendered(self, agent):
+        review = agent.review("I push the data into a tree.")
+        replies = review.as_replies()
+        assert replies
+        assert replies[0].severity.value == "warning"
+        assert "tree" in replies[0].text
+
+    def test_ok_review_has_no_replies(self, agent):
+        assert agent.review("We push an element onto the stack.").as_replies() == []
+
+
+class TestPropertyAndIsA:
+    def test_property_claims(self, agent):
+        assert agent.review("The stack is lifo.").verdict == SemanticVerdict.OK
+        assert agent.review("The queue is fifo.").verdict == SemanticVerdict.OK
+        assert agent.review("The queue is lifo.").verdict == SemanticVerdict.VIOLATION
+
+    def test_inherited_property(self, agent):
+        assert agent.review("The heap is hierarchical.").verdict == SemanticVerdict.OK
+
+    def test_is_a_claims(self, agent):
+        assert agent.review("A stack is a data structure.").verdict == SemanticVerdict.OK
+        assert agent.review("An avl tree is a tree.").verdict == SemanticVerdict.OK
+        assert agent.review("The stack is a tree.").verdict == SemanticVerdict.VIOLATION

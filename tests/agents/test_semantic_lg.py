@@ -1,0 +1,77 @@
+"""The rejected Semantic-Link-Grammar methodology (ablation baseline A1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import SemanticLinkGrammarAgent, SemanticVerdict
+from repro.ontology.domains import default_ontology
+
+
+@pytest.fixture(scope="module")
+def agent():
+    return SemanticLinkGrammarAgent(default_ontology())
+
+
+class TestCoreSelection:
+    def test_push_into_tree_rejected(self, agent):
+        review = agent.review("I push the data into a tree.")
+        assert review.verdict == SemanticVerdict.VIOLATION
+
+    def test_push_onto_stack_accepted(self, agent):
+        review = agent.review("We push the data onto the stack.")
+        assert review.verdict == SemanticVerdict.OK
+        assert review.null_count == 0
+
+    def test_passive_heap_push_rejected(self, agent):
+        review = agent.review("The data is pushed in this heap.")
+        assert review.verdict == SemanticVerdict.VIOLATION
+
+    def test_insert_into_tree_accepted(self, agent):
+        review = agent.review("We insert the data into the tree.")
+        assert review.verdict == SemanticVerdict.OK
+
+    def test_questions_skipped(self, agent):
+        review = agent.review("Does stack have pop method?")
+        assert review.verdict == SemanticVerdict.QUESTION
+
+    def test_syntax_skipped(self, agent):
+        review = agent.review("anything", syntactically_ok=False)
+        assert review.verdict == SemanticVerdict.SYNTAX_SKIPPED
+
+
+class TestCapabilityChains:
+    def test_negated_true_capability_misconception(self, agent):
+        review = agent.review("The stack doesn't have push.")
+        assert review.verdict == SemanticVerdict.MISCONCEPTION
+
+    def test_negated_false_capability_ok(self, agent):
+        review = agent.review("The tree doesn't have pop.")
+        assert review.verdict == SemanticVerdict.OK
+
+
+class TestKnownLimitations:
+    """The paper's stated reasons for rejecting this methodology."""
+
+    def test_copula_taxonomy_not_expressible(self, agent):
+        # "A stack is a data structure" is fine English and fine domain
+        # knowledge, but the typed grammar has no is-a machinery, so this
+        # methodology wrongly rejects it (a coverage false positive).
+        review = agent.review("A stack is a data structure.")
+        assert review.verdict == SemanticVerdict.VIOLATION
+
+    def test_dictionary_is_much_larger_than_ontology_edits(self):
+        agent = SemanticLinkGrammarAgent(default_ontology())
+        cost = agent.maintenance_cost()
+        # The blow-up the paper warns about: thousands of disjuncts for a
+        # few dozen ontology concepts.
+        assert cost["disjuncts"] > 1000
+        assert cost["words"] > 100
+        assert cost["operation_classes"] >= 20
+
+
+class TestDeterminism:
+    def test_same_verdicts_on_repeat(self, agent):
+        first = agent.review("I push the data into a tree.")
+        second = agent.review("I push the data into a tree.")
+        assert first == second

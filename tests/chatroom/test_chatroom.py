@@ -1,0 +1,184 @@
+"""Chat-room substrate: clock, rooms, server, events, ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chatroom import (
+    AgentIntervened,
+    ChatMessage,
+    ChatRoomError,
+    ChatServer,
+    EventBus,
+    MessageDelivered,
+    MessageKind,
+    Role,
+    SimulatedClock,
+    UserJoined,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance_default_tick(self):
+        clock = SimulatedClock(tick=2.0)
+        clock.advance()
+        assert clock.now() == 2.0
+
+    def test_advance_explicit(self):
+        clock = SimulatedClock()
+        clock.advance(0.5)
+        assert clock.now() == 0.5
+
+    def test_no_time_travel(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestRoomsAndMembership:
+    def test_create_and_join(self):
+        server = ChatServer()
+        server.create_room("r1", topic="stacks")
+        server.join("r1", "alice")
+        assert server.get_room("r1").is_member("alice")
+
+    def test_duplicate_room_rejected(self):
+        server = ChatServer()
+        server.create_room("r1")
+        with pytest.raises(ChatRoomError):
+            server.create_room("r1")
+
+    def test_unknown_room(self):
+        with pytest.raises(ChatRoomError):
+            ChatServer().get_room("ghost")
+
+    def test_post_requires_membership(self):
+        server = ChatServer()
+        server.create_room("r1")
+        with pytest.raises(ChatRoomError):
+            server.post("r1", "stranger", "hi")
+
+    def test_agents_post_without_membership(self):
+        server = ChatServer()
+        server.create_room("r1")
+        message = server.post("r1", "Agent", "hello", kind=MessageKind.AGENT)
+        assert message.seq == 0
+
+    def test_leave(self):
+        server = ChatServer()
+        server.create_room("r1")
+        server.join("r1", "alice")
+        server.leave("r1", "alice")
+        assert not server.get_room("r1").is_member("alice")
+
+    def test_roles(self):
+        server = ChatServer()
+        server.create_room("r1")
+        server.join("r1", "prof", Role.TEACHER)
+        assert server.role_of("r1", "prof") == Role.TEACHER
+        assert server.role_of("r1", "ghost") is None
+
+
+class TestOrdering:
+    def test_global_sequence_is_total_order(self):
+        server = ChatServer()
+        server.create_room("a")
+        server.create_room("b")
+        server.join("a", "u")
+        server.join("b", "u")
+        m1 = server.post("a", "u", "one")
+        m2 = server.post("b", "u", "two")
+        m3 = server.post("a", "u", "three")
+        assert (m1.seq, m2.seq, m3.seq) == (0, 1, 2)
+
+    def test_transcript_in_delivery_order(self):
+        server = ChatServer()
+        server.create_room("a")
+        server.join("a", "u")
+        for i in range(5):
+            server.post("a", "u", f"m{i}")
+        seqs = [m.seq for m in server.get_room("a").transcript]
+        assert seqs == sorted(seqs)
+
+    def test_out_of_order_delivery_rejected(self):
+        from repro.chatroom.room import ChatRoom
+
+        room = ChatRoom(name="x")
+        room.deliver(ChatMessage(5, "x", "u", MessageKind.USER, "hi", 0.0))
+        with pytest.raises(ChatRoomError):
+            room.deliver(ChatMessage(4, "x", "u", MessageKind.USER, "again", 1.0))
+
+    def test_timestamps_from_clock(self):
+        clock = SimulatedClock()
+        server = ChatServer(clock)
+        server.create_room("a")
+        server.join("a", "u")
+        clock.advance(7.0)
+        message = server.post("a", "u", "hi")
+        assert message.timestamp == 7.0
+
+
+class TestEvents:
+    def test_join_event(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(UserJoined, events.append)
+        server.create_room("a")
+        server.join("a", "alice")
+        assert len(events) == 1
+        assert events[0].user == "alice"
+
+    def test_delivery_event(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(MessageDelivered, events.append)
+        server.create_room("a")
+        server.join("a", "u")
+        server.post("a", "u", "hi")
+        assert events[0].message.text == "hi"
+
+    def test_agent_intervention_event(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(AgentIntervened, events.append)
+        server.create_room("a")
+        server.join("a", "u")
+        message = server.post("a", "u", "hi")
+        server.post_agent_reply("a", "Agent", "reply", message, "warning")
+        assert events[0].agent == "Agent"
+        assert events[0].in_reply_to == message.seq
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        bus.publish(UserJoined("a", "u", "student", 0.0))
+        assert len(seen) == 1
+
+
+class TestSupervisors:
+    def test_supervisor_sees_user_messages_only(self):
+        server = ChatServer()
+        seen = []
+
+        class Spy:
+            def on_message(self, srv, message):
+                seen.append(message.text)
+
+        server.add_supervisor(Spy())
+        server.create_room("a")
+        server.join("a", "u")
+        server.post("a", "u", "user message")
+        server.post("a", "Agent", "agent message", kind=MessageKind.AGENT)
+        assert seen == ["user message"]
+
+    def test_message_counter(self):
+        server = ChatServer()
+        server.create_room("a")
+        server.join("a", "u")
+        server.post("a", "u", "one")
+        server.post("a", "u", "two")
+        assert server.total_messages() == 2
+        assert server.get_room("a").participants["u"].messages_sent == 2

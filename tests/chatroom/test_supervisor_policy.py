@@ -1,0 +1,66 @@
+"""Supervision policy behaviours (role awareness, reply caps)."""
+
+from __future__ import annotations
+
+from repro import ELearningSystem, SystemConfig
+from repro.chatroom import Role, SupervisionPolicy
+
+
+class TestTeacherExemption:
+    def test_teacher_not_supervised_by_default(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        system.join("r", "prof", Role.TEACHER)
+        before = len(system.corpus)
+        message = system.say("r", "prof", "I push the data into a tree.")
+        assert system.agent_replies_to(message) == []
+        assert len(system.corpus) == before
+        assert system.stats.messages == 0
+        assert system.profiles.get("prof") is None
+
+    def test_teacher_supervision_can_be_enabled(self):
+        config = SystemConfig(policy=SupervisionPolicy(supervise_teachers=True))
+        system = ELearningSystem.with_defaults(config)
+        system.open_room("r")
+        system.join("r", "prof", Role.TEACHER)
+        message = system.say("r", "prof", "I push the data into a tree.")
+        assert system.agent_replies_to(message) != []
+        assert system.stats.messages == 1
+
+    def test_students_always_supervised(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        system.join("r", "kid")
+        system.say("r", "kid", "I push the data into a tree.")
+        assert system.stats.messages == 1
+
+    def test_recommendations_skip_unsupervised_teachers(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        system.join("r", "prof", Role.TEACHER)
+        system.say("r", "prof", "I push the data into a tree.")
+        assert system.recommend_for("prof") is None
+
+
+class TestReplyBehaviour:
+    def test_learning_angel_reply_includes_repair(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        system.join("r", "kid")
+        message = system.say("r", "kid", "The stacks is full.")
+        replies = system.agent_replies_to(message)
+        joined = " ".join(r.text for r in replies)
+        assert "Did you mean" in joined
+
+    def test_style_only_sentences_stay_quiet(self):
+        # The paper's negation example has a missing article (style hint)
+        # but must pass silently to the Semantic Agent.
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        system.join("r", "kid")
+        message = system.say("r", "kid", "The tree doesn't have pop method.")
+        assert system.agent_replies_to(message) == []
+        # ... but the style note is still recorded for the instructor.
+        record = system.corpus.records()[-1]
+        kinds = [kind for kind, _ in record.syntax_issues]
+        assert "style" in kinds

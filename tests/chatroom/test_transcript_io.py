@@ -1,0 +1,63 @@
+"""Transcript persistence and offline mining adaptation."""
+
+from __future__ import annotations
+
+from repro import ELearningSystem
+from repro.chatroom.transcript_io import as_mining_lines, load_transcript, save_transcript
+
+
+def _session():
+    system = ELearningSystem.with_defaults()
+    system.open_room("r", topic="t")
+    system.join("r", "alice")
+    system.say("r", "alice", "What is Stack?")
+    system.say("r", "alice", "I push the data into a tree.")
+    return system
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        system = _session()
+        room = system.server.get_room("r")
+        path = tmp_path / "t.jsonl"
+        count = save_transcript(room, path)
+        messages = load_transcript(path)
+        assert count == len(messages) == len(room.transcript)
+        for original, loaded in zip(room.transcript, messages):
+            assert original == loaded
+
+    def test_agent_messages_preserved(self, tmp_path):
+        system = _session()
+        path = tmp_path / "t.jsonl"
+        save_transcript(system.server.get_room("r"), path)
+        kinds = {m.kind.value for m in load_transcript(path)}
+        assert "agent" in kinds and "user" in kinds
+
+    def test_empty_room(self, tmp_path):
+        system = ELearningSystem.with_defaults()
+        system.open_room("empty")
+        path = tmp_path / "e.jsonl"
+        assert save_transcript(system.server.get_room("empty"), path) == 0
+        assert load_transcript(path) == []
+
+
+class TestMiningAdapter:
+    def test_agents_filtered_out(self, tmp_path):
+        system = _session()
+        path = tmp_path / "t.jsonl"
+        save_transcript(system.server.get_room("r"), path)
+        lines = as_mining_lines(load_transcript(path))
+        assert all(line.user == "alice" for line in lines)
+        assert len(lines) == 2
+
+    def test_teacher_role_mapping(self, tmp_path):
+        system = ELearningSystem.with_defaults()
+        system.open_room("r")
+        from repro.chatroom import Role
+
+        system.join("r", "prof", Role.TEACHER)
+        system.say("r", "prof", "A stack is a lifo structure.")
+        path = tmp_path / "t.jsonl"
+        save_transcript(system.server.get_room("r"), path)
+        lines = as_mining_lines(load_transcript(path), teacher_names=frozenset({"prof"}))
+        assert lines[0].role == "teacher"

@@ -1,0 +1,26 @@
+"""Shared fixtures: expensive dictionaries are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon import default_dictionary, toy_dictionary
+
+
+@pytest.fixture(scope="session")
+def full_dictionary():
+    """The complete English + Data-Structure dictionary."""
+    return default_dictionary()
+
+
+@pytest.fixture(scope="session")
+def full_parser(full_dictionary):
+    """A parser over the full dictionary."""
+    return Parser(full_dictionary)
+
+
+@pytest.fixture(scope="session")
+def toy_parser():
+    """A parser over the paper's Figure-1 toy dictionary (no wall)."""
+    return Parser(toy_dictionary(), ParseOptions(use_wall=False))

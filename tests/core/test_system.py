@@ -1,0 +1,145 @@
+"""Integration tests: the assembled Figure-3 system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ELearningSystem, SystemConfig
+from repro.chatroom import Role, SupervisionPolicy
+from repro.corpus.records import Correctness
+from repro.ontology.domains.data_structures import STACK_DESCRIPTION
+
+
+@pytest.fixture()
+def system():
+    sys_ = ELearningSystem.with_defaults()
+    sys_.open_room("r1", topic="stacks")
+    sys_.join("r1", "alice")
+    sys_.join("r1", "bob")
+    return sys_
+
+
+class TestQuestionFlow:
+    def test_what_is_stack_gets_paper_definition(self, system):
+        message = system.say("r1", "alice", "What is Stack?")
+        replies = system.agent_replies_to(message)
+        assert len(replies) == 1
+        assert replies[0].sender == "QA_System"
+        assert replies[0].text == STACK_DESCRIPTION
+
+    def test_question_recorded_as_question(self, system):
+        system.say("r1", "alice", "What is Stack?")
+        record = system.corpus.records()[-1]
+        assert record.verdict == Correctness.QUESTION
+
+    def test_unanswerable_question_apology(self, system):
+        message = system.say("r1", "alice", "How is the weather?")
+        replies = system.agent_replies_to(message)
+        assert len(replies) == 1
+        assert "could not find" in replies[0].text
+
+    def test_faq_accumulates_across_users(self, system):
+        system.say("r1", "alice", "What is Stack?")
+        system.say("r1", "bob", "What is a stack?")
+        assert system.stats.faq_hits == 1
+        assert system.faq_top(1)[0].count == 2
+
+
+class TestSupervisionFlow:
+    def test_semantic_violation_intervention(self, system):
+        message = system.say("r1", "bob", "I push the data into a tree.")
+        replies = system.agent_replies_to(message)
+        assert any(r.sender == "Semantic_Agent" for r in replies)
+        record = system.corpus.records()[-1]
+        assert record.verdict == Correctness.SEMANTIC_ERROR
+        assert record.semantic_issues
+
+    def test_paper_negation_example_passes_silently(self, system):
+        message = system.say("r1", "alice", "The tree doesn't have pop method.")
+        assert system.agent_replies_to(message) == []
+        record = system.corpus.records()[-1]
+        assert record.verdict == Correctness.CORRECT
+
+    def test_syntax_error_intervention(self, system):
+        message = system.say("r1", "bob", "stack the holds data quickly the.")
+        replies = system.agent_replies_to(message)
+        assert any(r.sender == "Learning_Angel" for r in replies)
+        assert system.corpus.records()[-1].verdict == Correctness.SYNTAX_ERROR
+
+    def test_clean_statement_quiet(self, system):
+        message = system.say("r1", "alice", "We push an element onto the stack.")
+        assert system.agent_replies_to(message) == []
+
+    def test_multi_sentence_message(self, system):
+        message = system.say("r1", "alice", "Thanks. What is Stack?")
+        replies = system.agent_replies_to(message)
+        assert len(replies) == 1
+        assert system.stats.sentences >= 2
+
+    def test_profiles_updated(self, system):
+        system.say("r1", "bob", "I push the data into a tree.")
+        system.say("r1", "bob", "What is Stack?")
+        profile = system.profiles.get("bob")
+        assert profile.messages == 2
+        assert profile.semantic_errors == 1
+        assert profile.questions == 1
+        assert "tree" in profile.topic_counts
+
+    def test_stats_counters(self, system):
+        system.say("r1", "alice", "What is Stack?")
+        system.say("r1", "bob", "I push the data into a tree.")
+        stats = system.stats
+        assert stats.messages == 2
+        assert stats.questions == 1
+        assert stats.questions_answered == 1
+        assert stats.semantic_violations == 1
+        assert stats.agent_replies >= 2
+
+
+class TestPolicies:
+    def test_silent_policy(self):
+        config = SystemConfig(
+            policy=SupervisionPolicy(
+                reply_to_errors=False,
+                reply_to_questions=False,
+                reply_when_unanswered=False,
+            )
+        )
+        sys_ = ELearningSystem.with_defaults(config)
+        sys_.open_room("r", topic="t")
+        sys_.join("r", "u")
+        message = sys_.say("r", "u", "I push the data into a tree.")
+        assert sys_.agent_replies_to(message) == []
+        # Supervision still recorded even though no reply was posted.
+        assert sys_.corpus.records()[-1].verdict == Correctness.SEMANTIC_ERROR
+
+    def test_reply_cap(self):
+        config = SystemConfig(policy=SupervisionPolicy(max_replies_per_message=1))
+        sys_ = ELearningSystem.with_defaults(config)
+        sys_.open_room("r", topic="t")
+        sys_.join("r", "u")
+        message = sys_.say("r", "u", "I push the data into a tree.")
+        assert len(sys_.agent_replies_to(message)) == 1
+
+    def test_unseeded_corpus(self):
+        sys_ = ELearningSystem.with_defaults(SystemConfig(seed_corpus=False))
+        assert len(sys_.corpus) == 0
+
+
+class TestReports:
+    def test_corpus_report(self, system):
+        system.say("r1", "alice", "What is Stack?")
+        system.say("r1", "bob", "I push the data into a tree.")
+        report = system.corpus_report()
+        verdicts = dict(report.verdict_counts)
+        assert verdicts["question"] == 1
+        assert verdicts["semantic-error"] == 1
+
+    def test_clock_advances_per_message(self, system):
+        t0 = system.clock.now()
+        system.say("r1", "alice", "Hello.")
+        assert system.clock.now() == t0 + 1.0
+
+    def test_teacher_role(self, system):
+        system.join("r1", "prof", Role.TEACHER)
+        assert system.server.role_of("r1", "prof") == Role.TEACHER

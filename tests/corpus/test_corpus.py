@@ -1,0 +1,188 @@
+"""Learner corpus: records, store, search, statistics, generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    CorporaGenerator,
+    Correctness,
+    CorpusRecord,
+    LearnerCorpus,
+    StatisticAnalyzer,
+    SuggestionSearch,
+)
+from repro.ontology.domains import default_ontology
+
+
+def _record(
+    corpus: LearnerCorpus,
+    text: str,
+    user: str = "alice",
+    verdict: Correctness = Correctness.CORRECT,
+    keywords: list[str] | None = None,
+    syntax_issues: list[tuple[str, str]] | None = None,
+    pattern: str = "simple",
+) -> CorpusRecord:
+    return corpus.add(
+        CorpusRecord(
+            record_id=corpus.next_id(),
+            user=user,
+            room="r",
+            text=text,
+            timestamp=float(corpus.next_id()),
+            pattern=pattern,
+            verdict=verdict,
+            keywords=keywords or [],
+            syntax_issues=syntax_issues or [],
+        )
+    )
+
+
+class TestStore:
+    def test_add_and_len(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "The stack is full.")
+        assert len(corpus) == 1
+
+    def test_query_by_user(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "a", user="alice")
+        _record(corpus, "b", user="bob")
+        assert len(corpus.by_user("alice")) == 1
+
+    def test_query_by_verdict(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "a")
+        _record(corpus, "b", verdict=Correctness.SYNTAX_ERROR)
+        assert len(corpus.correct_records()) == 1
+        assert len(corpus.by_verdict(Correctness.SYNTAX_ERROR)) == 1
+
+    def test_with_keyword_case_insensitive(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "a", keywords=["Stack"])
+        assert len(corpus.with_keyword("stack")) == 1
+
+    def test_round_trip(self, tmp_path):
+        corpus = LearnerCorpus()
+        _record(corpus, "The stack is full.", keywords=["stack"],
+                syntax_issues=[("style", "")])
+        _record(corpus, "bad one", verdict=Correctness.SYNTAX_ERROR)
+        path = tmp_path / "corpus.jsonl"
+        corpus.save(path)
+        loaded = LearnerCorpus.load(path)
+        assert len(loaded) == 2
+        assert loaded.records()[0].text == "The stack is full."
+        assert loaded.records()[0].syntax_issues == [("style", "")]
+        assert loaded.records()[1].verdict == Correctness.SYNTAX_ERROR
+
+
+class TestSuggestionSearch:
+    def test_prefers_keyword_overlap(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "The stack supports push.", keywords=["stack", "push"])
+        _record(corpus, "The queue supports enqueue.", keywords=["queue", "enqueue"])
+        search = SuggestionSearch(corpus)
+        best = search.best_sentence("stack push wrong", keywords=["stack", "push"])
+        assert best == "The stack supports push."
+
+    def test_never_suggests_input_back(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "The stack is full.", keywords=["stack"])
+        search = SuggestionSearch(corpus)
+        assert search.best_sentence("The stack is full.", keywords=["stack"]) is None
+
+    def test_incorrect_records_excluded(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "stack the broken", verdict=Correctness.SYNTAX_ERROR,
+                keywords=["stack"])
+        search = SuggestionSearch(corpus)
+        assert search.best_sentence("stack something", keywords=["stack"]) is None
+
+    def test_token_overlap_fallback(self):
+        corpus = LearnerCorpus()
+        _record(corpus, "The tree is tall.")
+        search = SuggestionSearch(corpus)
+        hits = search.find("the tree is big")
+        assert hits and hits[0].record.text == "The tree is tall."
+
+    def test_limit(self):
+        corpus = LearnerCorpus()
+        for i in range(10):
+            _record(corpus, f"The stack is number {i}.", keywords=["stack"])
+        search = SuggestionSearch(corpus)
+        assert len(search.find("stack", keywords=["stack"], limit=3)) == 3
+
+
+class TestStatistics:
+    def _populated(self) -> LearnerCorpus:
+        corpus = LearnerCorpus()
+        _record(corpus, "good", user="alice", keywords=["stack"])
+        _record(corpus, "bad", user="alice", verdict=Correctness.SYNTAX_ERROR,
+                syntax_issues=[("unlinked-word", "the")])
+        _record(corpus, "odd", user="bob", verdict=Correctness.SEMANTIC_ERROR)
+        _record(corpus, "q?", user="bob", verdict=Correctness.QUESTION, pattern="question")
+        return corpus
+
+    def test_report_counts(self):
+        report = StatisticAnalyzer(self._populated()).report()
+        assert report.messages == 4
+        assert dict(report.verdict_counts)["syntax-error"] == 1
+        assert dict(report.pattern_counts)["question"] == 1
+
+    def test_user_report(self):
+        analyzer = StatisticAnalyzer(self._populated())
+        alice = analyzer.user_report("alice")
+        assert alice.messages == 2
+        assert alice.syntax_errors == 1
+        assert alice.accuracy == 0.5
+
+    def test_question_excluded_from_accuracy(self):
+        analyzer = StatisticAnalyzer(self._populated())
+        bob = analyzer.user_report("bob")
+        assert bob.questions == 1
+        assert bob.accuracy == 0.0  # one statement, which was a semantic error
+
+    def test_most_common_mistakes(self):
+        analyzer = StatisticAnalyzer(self._populated())
+        mistakes = dict(analyzer.most_common_mistakes())
+        assert mistakes["unlinked-word"] == 1
+        # The semantic-error record carried no itemised notes, so no
+        # semantic-violation entries are counted.
+        assert "semantic-violation" not in mistakes
+
+    def test_struggling_users_sorted(self):
+        analyzer = StatisticAnalyzer(self._populated())
+        worst = analyzer.struggling_users(minimum_messages=1)
+        assert worst[0].accuracy <= worst[-1].accuracy
+
+    def test_topic_counts(self):
+        report = StatisticAnalyzer(self._populated()).report()
+        assert dict(report.topic_counts).get("stack") == 1
+
+
+class TestCorporaGenerator:
+    def test_populates_seed_sentences(self):
+        corpus = LearnerCorpus()
+        count = CorporaGenerator(default_ontology()).populate(corpus)
+        assert count == len(corpus) > 80
+
+    def test_seed_records_are_correct(self):
+        corpus = LearnerCorpus()
+        CorporaGenerator(default_ontology()).populate(corpus)
+        assert all(r.verdict == Correctness.CORRECT for r in corpus)
+
+    def test_seed_sentences_parse(self, full_parser):
+        generator = CorporaGenerator(default_ontology())
+        capability = [
+            text for text, _kw in generator.seed_sentences() if "supports the" in text
+        ]
+        assert capability
+        for text in capability[:10]:
+            assert full_parser.parse(text).null_count == 0, text
+
+    def test_paper_definition_seeded(self):
+        corpus = LearnerCorpus()
+        CorporaGenerator(default_ontology()).populate(corpus)
+        texts = [record.text for record in corpus]
+        assert any(text.startswith("A stack is a Last In, First Out") for text in texts)

@@ -1,0 +1,100 @@
+"""Metrics and the accuracy-study harness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import (
+    run_accuracy_study,
+    score_binary,
+    summarize_latencies,
+)
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        metrics = score_binary([(True, True), (False, False)])
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_all_missed(self):
+        metrics = score_binary([(True, False), (True, False)])
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_false_positives_hit_precision(self):
+        metrics = score_binary([(False, True), (True, True)])
+        assert metrics.precision == 0.5
+        assert metrics.recall == 1.0
+
+    def test_empty_sample(self):
+        metrics = score_binary([])
+        assert metrics.precision == 1.0
+        assert metrics.accuracy == 1.0
+
+    def test_row_renders(self):
+        assert "F1=" in score_binary([(True, True)]).row()
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_counts_partition_sample(self, pairs):
+        metrics = score_binary(pairs)
+        total = (
+            metrics.true_positives
+            + metrics.false_positives
+            + metrics.false_negatives
+            + metrics.true_negatives
+        )
+        assert total == len(pairs)
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert 0.0 <= metrics.f1 <= 1.0
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+
+    def test_single(self):
+        summary = summarize_latencies([0.5])
+        assert summary.p50 == 0.5
+        assert summary.maximum == 0.5
+
+    def test_percentile_ordering(self):
+        summary = summarize_latencies([i / 100 for i in range(100)])
+        assert summary.p50 <= summary.p90 <= summary.p99 <= summary.maximum
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, samples):
+        summary = summarize_latencies(samples)
+        assert summary.count == len(samples)
+        assert min(samples) <= summary.p50 <= max(samples)
+        assert summary.maximum == max(samples)
+
+
+class TestAccuracyStudy:
+    @pytest.mark.slow
+    def test_study_produces_rows(self):
+        rows = run_accuracy_study(
+            error_rates=[(0.2, 0.1)], seeds=[1], learners=3, rounds=4
+        )
+        (row,) = rows
+        assert row.sentences == 12
+        assert row.syntax.recall >= 0.5
+        assert row.semantic.precision >= 0.5
+        assert "F1=" in row.render()
+
+    @pytest.mark.slow
+    def test_zero_error_rate_yields_no_positives(self):
+        rows = run_accuracy_study(
+            error_rates=[(0.0, 0.0)], seeds=[1], learners=3, rounds=4
+        )
+        (row,) = rows
+        assert row.syntax.true_positives == 0
+        assert row.syntax.false_positives == 0
+        assert row.semantic.false_positives == 0

@@ -1,0 +1,112 @@
+"""Connector parsing and the matching rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.connector import (
+    Connector,
+    ConnectorError,
+    connectors_match,
+    link_label,
+    subscripts_match,
+)
+
+
+class TestParsing:
+    def test_simple_plus(self):
+        c = Connector.parse("S+")
+        assert c.head == "S"
+        assert c.subscript == ""
+        assert c.direction == "+"
+        assert not c.multi
+
+    def test_subscripted(self):
+        c = Connector.parse("Ss-")
+        assert c.head == "S"
+        assert c.subscript == "s"
+        assert c.direction == "-"
+
+    def test_multi(self):
+        c = Connector.parse("@A-")
+        assert c.multi
+        assert c.head == "A"
+
+    def test_multichar_head(self):
+        c = Connector.parse("MVp+")
+        assert c.head == "MV"
+        assert c.subscript == "p"
+
+    def test_star_subscript(self):
+        c = Connector.parse("D*u+")
+        assert c.subscript == "*u"
+
+    def test_str_round_trip(self):
+        for text in ["S+", "Ss-", "@A-", "MVp+", "D*u-"]:
+            assert str(Connector.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "s+", "S", "S*", "Sx!", "+S", "S++x"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ConnectorError):
+            Connector.parse(bad)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ConnectorError):
+            Connector(head="s")
+        with pytest.raises(ConnectorError):
+            Connector(head="S", direction="x")
+        with pytest.raises(ConnectorError):
+            Connector(head="S", subscript="S")
+
+
+class TestSubscriptRule:
+    def test_empty_matches_anything(self):
+        assert subscripts_match("", "s")
+        assert subscripts_match("p", "")
+
+    def test_equal_match(self):
+        assert subscripts_match("s", "s")
+
+    def test_mismatch(self):
+        assert not subscripts_match("s", "p")
+
+    def test_star_is_wildcard(self):
+        assert subscripts_match("*u", "su")
+        assert subscripts_match("s*", "sp"[0] + "*")
+
+    def test_positionwise(self):
+        assert not subscripts_match("su", "sp")
+        assert subscripts_match("su", "s")
+
+
+class TestMatching:
+    def test_opposite_directions_required(self):
+        plus = Connector.parse("S+")
+        minus = Connector.parse("S-")
+        assert connectors_match(plus, minus)
+        assert not connectors_match(minus, plus)
+        assert not connectors_match(plus, plus)
+
+    def test_head_must_agree(self):
+        assert not connectors_match(Connector.parse("S+"), Connector.parse("O-"))
+
+    def test_subscript_refinement(self):
+        assert connectors_match(Connector.parse("Ss+"), Connector.parse("S-"))
+        assert connectors_match(Connector.parse("S+"), Connector.parse("Ss-"))
+        assert not connectors_match(Connector.parse("Ss+"), Connector.parse("Sp-"))
+
+    def test_multi_flag_does_not_affect_matching(self):
+        assert connectors_match(Connector.parse("@A+"), Connector.parse("A-"))
+
+
+class TestLinkLabel:
+    def test_label_prefers_concrete_subscript(self):
+        assert link_label(Connector.parse("Ss+"), Connector.parse("S-")) == "Ss"
+        assert link_label(Connector.parse("S+"), Connector.parse("Ss-")) == "Ss"
+
+    def test_label_strips_trailing_stars(self):
+        assert link_label(Connector.parse("D*u+"), Connector.parse("D-")) == "D*u"
+        assert link_label(Connector.parse("D+"), Connector.parse("D-")) == "D"
+
+    def test_connector_label_property(self):
+        assert Connector.parse("MVp+").label == "MVp"

@@ -1,0 +1,44 @@
+"""ASCII linkage diagrams (Figure 2 style)."""
+
+from __future__ import annotations
+
+from repro.linkgrammar.diagram import render
+
+
+class TestRender:
+    def test_figure2_diagram(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        text = render(result.best)
+        lines = text.splitlines()
+        assert lines[-1].split() == ["the", "cat", "chased", "a", "mouse"]
+        assert "O" in text
+        assert "D" in text
+        assert "S" in text
+        assert "+" in text and "-" in text
+
+    def test_wall_hidden_by_default(self, full_parser):
+        result = full_parser.parse("The stack is full.")
+        text = render(result.best)
+        assert "<WALL>" not in text
+
+    def test_wall_shown_on_request(self, full_parser):
+        result = full_parser.parse("The stack is full.")
+        text = render(result.best, show_wall=True)
+        assert "<WALL>" in text
+
+    def test_null_words_marked(self, full_parser):
+        result = full_parser.parse("The trees is balanced.")
+        assert result.null_count > 0
+        text = render(result.best)
+        assert "^" in text
+
+    def test_arcs_do_not_overlap_words(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        lines = render(result.best).splitlines()
+        # The word row must be exactly the sentence, no arc characters.
+        assert all(ch not in lines[-1] for ch in "+|")
+
+    def test_empty_linkage(self, toy_parser):
+        result = toy_parser.parse("")
+        text = render(result.best) if result.best else "(empty)"
+        assert text == "(empty)"

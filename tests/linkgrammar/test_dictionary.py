@@ -1,0 +1,129 @@
+"""Dictionary construction, file format, and lookup semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.dictionary import (
+    Dictionary,
+    DictionaryError,
+    UNKNOWN_WORD,
+    WALL_WORD,
+)
+from repro.linkgrammar.lexicon.toy import TOY_DICTIONARY_TEXT, toy_dictionary
+
+
+class TestDefine:
+    def test_single_word(self):
+        d = Dictionary()
+        d.define("cat", "D- & S+")
+        assert "cat" in d
+        assert len(d) == 1
+
+    def test_space_separated_words(self):
+        d = Dictionary()
+        d.define("a the", "D+")
+        assert "a" in d and "the" in d
+
+    def test_iterable_words(self):
+        d = Dictionary()
+        d.define(["x", "y"], "S+")
+        assert sorted(d.words()) == ["x", "y"]
+
+    def test_case_insensitive(self):
+        d = Dictionary()
+        d.define("Cat", "S+")
+        assert "CAT" in d
+        assert d.lookup("cAt") is not None
+
+    def test_redefinition_merges_with_or(self):
+        d = Dictionary()
+        d.define("run", "S-")
+        before = len(d.lookup("run").disjuncts)
+        d.define("run", "I-")
+        after = len(d.lookup("run").disjuncts)
+        assert after == before + 1
+
+    def test_empty_words_rejected(self):
+        d = Dictionary()
+        with pytest.raises(DictionaryError):
+            d.define([], "S+")
+
+
+class TestFileFormat:
+    def test_toy_dictionary_loads(self):
+        d = toy_dictionary()
+        assert sorted(d.words()) == ["a", "cat", "chased", "john", "mouse", "ran", "the"]
+
+    def test_comments_stripped(self):
+        d = Dictionary.from_text("% comment\nfoo: S+; % trailing\n")
+        assert "foo" in d
+
+    def test_multiline_entries(self):
+        d = Dictionary.from_text("foo:\n  S+ or\n  O-;\n")
+        assert len(d.lookup("foo").disjuncts) == 2
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary.from_text("foo S+;")
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary.from_text("foo: ;")
+
+    def test_bad_formula_reports_word(self):
+        with pytest.raises(DictionaryError) as info:
+            Dictionary.from_text("foo: S+ &&& O-;")
+        assert "foo" in str(info.value)
+
+    def test_round_trip(self):
+        d = toy_dictionary()
+        text = d.to_text()
+        d2 = Dictionary.from_text(text)
+        assert d2.words() == d.words()
+        for word in d.words():
+            assert d2.lookup(word).disjuncts == d.lookup(word).disjuncts
+
+    def test_toy_text_has_paper_words(self):
+        for word in ["a", "the", "cat", "mouse", "John", "ran", "chased"]:
+            assert word.lower() in TOY_DICTIONARY_TEXT.lower()
+
+
+class TestLookup:
+    def test_unknown_fallback(self):
+        d = Dictionary()
+        d.define(UNKNOWN_WORD, "S+")
+        entry = d.lookup("zzz")
+        assert entry is not None
+        assert not d.is_known("zzz")
+
+    def test_lookup_exact_skips_fallback(self):
+        d = Dictionary()
+        d.define(UNKNOWN_WORD, "S+")
+        assert d.lookup_exact("zzz") is None
+
+    def test_no_fallback_returns_none(self):
+        d = Dictionary()
+        assert d.lookup("zzz") is None
+
+    def test_wall_entry(self):
+        d = Dictionary()
+        assert d.wall_entry is None
+        d.define(WALL_WORD, "Wd+")
+        assert d.wall_entry is not None
+
+
+class TestMetrics:
+    def test_disjunct_count(self):
+        d = Dictionary()
+        d.define("x", "S+ or O-")
+        d.define("y", "S+")
+        assert d.disjunct_count() == 3
+
+    def test_merge(self):
+        a = Dictionary()
+        a.define("x", "S+")
+        b = Dictionary()
+        b.define("y", "O-")
+        a.merge(b)
+        assert "y" in a

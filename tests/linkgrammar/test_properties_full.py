@@ -1,0 +1,93 @@
+"""Property-based tests against the full lexicon and generated workloads.
+
+These extend the toy-grammar properties to the production dictionary:
+whatever the simulated classroom can utter, the parser must handle
+without violating its own invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.linkgrammar.repair import SentenceRepairer
+from repro.ontology.domains import default_ontology
+from repro.simulation import ErrorInjector, SentenceGenerator
+
+_parser = Parser(default_dictionary(), ParseOptions(max_linkages=256))
+_generator_pool = [
+    sentence
+    for seed in (0, 1)
+    for generator in (SentenceGenerator(default_ontology(), seed=seed),)
+    for sentence in (
+        [generator.correct_statement().text for _ in range(25)]
+        + [generator.question().text for _ in range(15)]
+        + [generator.semantic_violation().text for _ in range(10)]
+    )
+]
+
+
+@given(st.sampled_from(_generator_pool))
+@settings(max_examples=80, deadline=None)
+def test_generated_sentences_meta_rules(sentence):
+    result = _parser.parse(sentence)
+    for linkage in result.linkages[:16]:
+        assert linkage.validate() == [], sentence
+
+
+@given(st.sampled_from(_generator_pool))
+@settings(max_examples=60, deadline=None)
+def test_generated_sentences_count_consistency(sentence):
+    result = _parser.parse(sentence)
+    if result.linkages and result.total_count <= 256:
+        assert len(result.linkages) == result.total_count
+
+
+@given(st.sampled_from(_generator_pool), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=60, deadline=None)
+def test_injected_errors_never_crash_and_rank_sanely(sentence, seed):
+    injector = ErrorInjector(seed=seed)
+    result = injector.inject_random(sentence)
+    parsed = _parser.parse(result.text)
+    # Whatever happened, the parser terminates with a consistent report.
+    assert parsed.null_count >= 0
+    for linkage in parsed.linkages[:8]:
+        assert len(linkage.null_words) == parsed.null_count
+        assert linkage.validate() == []
+
+
+@given(st.sampled_from(_generator_pool), st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=30, deadline=None)
+def test_repairs_are_grammatical(sentence, seed):
+    injector = ErrorInjector(seed=seed)
+    repairer = SentenceRepairer(default_dictionary())
+    broken = injector.inject_random(sentence)
+    for repair in repairer.repair(broken.text):
+        result = _parser.parse(repair.text)
+        assert result.null_count == 0, (broken.text, repair.text)
+
+
+@given(st.text(alphabet="abcdefghij .?!'", max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_garbage_never_crashes(text):
+    result = _parser.parse(text)
+    assert 0 <= result.null_count <= len(result.words)
+
+
+@pytest.mark.slow
+def test_every_lexicon_word_is_parse_safe():
+    """Every word form can appear alone without crashing the parser.
+
+    Discourse words ("yes", "thanks") link the wall (0 nulls); ordinary
+    words leave themselves and the wall unlinked (2 nulls) — anything
+    else would indicate a broken entry.
+    """
+    dictionary = default_dictionary()
+    parser = Parser(dictionary)
+    for word in dictionary.words():
+        if word.startswith("<"):
+            continue
+        result = parser.parse(word)
+        assert result.null_count in (0, 1, 2), word

@@ -1,0 +1,96 @@
+"""Fault-tolerant analysis: error localisation for Learning_Angel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.linkgrammar.robust import ErrorKind, RobustAnalyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return RobustAnalyzer(default_dictionary())
+
+
+class TestCleanSentences:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "The stack holds the data.",
+            "We push an element onto the stack.",
+            "Does the queue have a front?",
+            "Pop the top element.",
+        ],
+    )
+    def test_no_issues(self, analyzer, sentence):
+        diagnosis = analyzer.analyze(sentence)
+        assert diagnosis.is_correct, diagnosis.summary()
+
+    def test_summary_for_clean(self, analyzer):
+        assert "No syntax problems" in analyzer.analyze("The stack is full.").summary()
+
+
+class TestUnknownWords:
+    def test_flagged_with_position(self, analyzer):
+        diagnosis = analyzer.analyze("The frobnicator holds the data.")
+        kinds = [issue.kind for issue in diagnosis.issues]
+        assert ErrorKind.UNKNOWN_WORD in kinds
+        issue = next(i for i in diagnosis.issues if i.kind == ErrorKind.UNKNOWN_WORD)
+        assert issue.word == "frobnicator"
+        assert issue.position == 1
+
+    def test_message_names_the_word(self, analyzer):
+        diagnosis = analyzer.analyze("The zorkmid is empty.")
+        assert "zorkmid" in diagnosis.summary()
+
+
+class TestUnlinkedWords:
+    def test_agreement_error_detected(self, analyzer):
+        diagnosis = analyzer.analyze("The trees is balanced.")
+        assert not diagnosis.is_correct
+        kinds = diagnosis.error_kinds
+        assert ErrorKind.UNLINKED_WORD in kinds or ErrorKind.NO_PARSE in kinds
+
+    def test_single_extra_word_localised(self, analyzer):
+        diagnosis = analyzer.analyze("The stack holds quickly data.")
+        unlinked = [i for i in diagnosis.issues if i.kind == ErrorKind.UNLINKED_WORD]
+        assert [issue.word for issue in unlinked] == ["quickly"]
+
+    def test_collapsed_parse_reports_once(self, analyzer):
+        diagnosis = analyzer.analyze("The trees is balanced.")
+        assert len(diagnosis.issues) == 1
+        assert diagnosis.issues[0].kind == ErrorKind.NO_PARSE
+
+    def test_scrambled_sentence(self, analyzer):
+        diagnosis = analyzer.analyze("stack the full is.")
+        assert not diagnosis.is_correct
+
+    def test_positions_refer_to_sentence_tokens(self, analyzer):
+        diagnosis = analyzer.analyze("The a stack is full.")
+        unlinked = [i for i in diagnosis.issues if i.kind == ErrorKind.UNLINKED_WORD]
+        assert unlinked
+        for issue in unlinked:
+            assert 0 <= issue.position < 5
+
+
+class TestEdgeCases:
+    def test_empty_sentence(self, analyzer):
+        diagnosis = analyzer.analyze("...")
+        assert ErrorKind.EMPTY in diagnosis.error_kinds
+
+    def test_single_word_greeting(self, analyzer):
+        diagnosis = analyzer.analyze("Hello.")
+        assert diagnosis.is_correct
+
+    def test_error_kinds_deduplicated(self, analyzer):
+        diagnosis = analyzer.analyze("The qwijibo zorkmid flibbers.")
+        assert diagnosis.error_kinds.count(ErrorKind.UNKNOWN_WORD) == 1
+
+
+class TestHints:
+    def test_unlinked_word_message_names_word(self, analyzer):
+        diagnosis = analyzer.analyze("The a stack is full.")
+        unlinked = [i for i in diagnosis.issues if i.kind == ErrorKind.UNLINKED_WORD]
+        assert unlinked
+        assert any(f"'{issue.word}'" in issue.message for issue in unlinked)

@@ -1,0 +1,78 @@
+"""Tokenizer behaviour on chat text."""
+
+from __future__ import annotations
+
+from repro.linkgrammar.tokenizer import split_sentences, tokenize
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        t = tokenize("The cat chased a mouse.")
+        assert t.words == ("the", "cat", "chased", "a", "mouse")
+        assert t.terminator == "."
+
+    def test_question_mark(self):
+        t = tokenize("What is Stack?")
+        assert t.is_question_marked
+        assert t.words == ("what", "is", "stack")
+
+    def test_contraction_kept_whole(self):
+        t = tokenize("The tree doesn't have pop method.")
+        assert "doesn't" in t.words
+
+    def test_no_terminator(self):
+        t = tokenize("hello there")
+        assert t.terminator == ""
+        assert not t.is_question_marked
+
+    def test_internal_commas_dropped(self):
+        t = tokenize("push, pop, and peek.")
+        assert t.words == ("push", "pop", "and", "peek")
+
+    def test_hyphenated_words(self):
+        t = tokenize("first-in first-out")
+        assert t.words == ("first-in", "first-out")
+
+    def test_numbers(self):
+        t = tokenize("insert 42 into the heap")
+        assert "42" in t.words
+
+    def test_case_folding(self):
+        t = tokenize("STACK Is LIFO")
+        assert t.words == ("stack", "is", "lifo")
+
+    def test_empty_input(self):
+        t = tokenize("")
+        assert t.words == ()
+        assert len(t) == 0
+
+    def test_exclamation(self):
+        t = tokenize("Pop it!")
+        assert t.terminator == "!"
+
+    def test_multiple_terminators(self):
+        t = tokenize("Really??")
+        assert t.terminator == "?"
+        assert t.words == ("really",)
+
+    def test_raw_preserved(self):
+        raw = "What is Stack?"
+        assert tokenize(raw).raw == raw
+
+
+class TestSplitSentences:
+    def test_split_two(self):
+        assert split_sentences("I see. What is Stack?") == ["I see.", "What is Stack?"]
+
+    def test_single(self):
+        assert split_sentences("Just one sentence.") == ["Just one sentence."]
+
+    def test_no_terminator(self):
+        assert split_sentences("no punctuation at all") == ["no punctuation at all"]
+
+    def test_empty(self):
+        assert split_sentences("   ") == []
+
+    def test_mixed_terminators(self):
+        parts = split_sentences("Push it! Does it work? Yes.")
+        assert len(parts) == 3

@@ -1,0 +1,111 @@
+"""Semantic Keywords Filter: ontology term extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp import KeywordFilter, default_lemmatizer
+from repro.ontology.domains import default_ontology
+
+
+@pytest.fixture(scope="module")
+def keyword_filter():
+    return KeywordFilter(default_ontology())
+
+
+class TestPaperExamples:
+    def test_tree_pop_with_ids(self, keyword_filter):
+        matches = keyword_filter.extract("The tree doesn't have pop method.")
+        found = {(m.name, m.item_id) for m in matches}
+        assert ("tree", 4) in found
+        assert ("pop", 33) in found
+
+    def test_push_tree(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("I push the data into a tree.")]
+        assert names == ["push", "tree"]
+
+
+class TestMultiWordTerms:
+    def test_longest_match_wins(self, keyword_filter):
+        matches = keyword_filter.extract("A binary search tree holds sorted keys.")
+        names = [m.name for m in matches]
+        assert "binary search tree" in names
+        assert "tree" not in names
+        assert "search" not in names
+
+    def test_two_word_term(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("The hash table uses buckets.")]
+        assert "hash table" in names
+        assert "bucket" in names
+
+    def test_span_positions(self, keyword_filter):
+        (match,) = [
+            m
+            for m in keyword_filter.extract("Use a binary search tree here.")
+            if m.name == "binary search tree"
+        ]
+        assert match.end - match.start == 3
+        assert match.surface == "binary search tree"
+
+
+class TestInflection:
+    def test_plural_concept(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("The stacks are useful.")]
+        assert "stack" in names
+
+    def test_verb_past(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("We pushed the element.")]
+        assert "push" in names
+        assert "element" in names
+
+    def test_gerund(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("Popping the stack is easy.")]
+        assert "pop" in names
+
+    def test_alias(self, keyword_filter):
+        names = [m.name for m in keyword_filter.extract("The bst is balanced.")]
+        assert "binary search tree" in names
+
+
+class TestGrouping:
+    def test_concepts_and_operations(self, keyword_filter):
+        concepts, operations = keyword_filter.concepts_and_operations(
+            "Does the stack have a pop method?"
+        )
+        assert [c.name for c in concepts] == ["stack"]
+        assert [o.name for o in operations] == ["pop"]
+
+    def test_extract_by_kind(self, keyword_filter):
+        from repro.ontology import ItemKind
+
+        grouped = keyword_filter.extract_by_kind("The stack is lifo.")
+        assert [m.name for m in grouped[ItemKind.CONCEPT]] == ["stack"]
+        assert [m.name for m in grouped[ItemKind.PROPERTY]] == ["lifo"]
+
+    def test_no_keywords(self, keyword_filter):
+        assert keyword_filter.extract("The weather is nice today.") == []
+
+
+class TestLemmatizer:
+    def test_known_forms(self):
+        lemmatizer = default_lemmatizer()
+        assert lemmatizer.lemma("pushes") == "push"
+        assert lemmatizer.lemma("pushed") == "push"
+        assert lemmatizer.lemma("stacks") == "stack"
+        assert lemmatizer.lemma("children") == "child"
+        assert lemmatizer.lemma("held") == "hold"
+
+    def test_unknown_unchanged(self):
+        lemmatizer = default_lemmatizer()
+        assert lemmatizer.lemma("zorkmid") == "zorkmid"
+
+    def test_case_insensitive(self):
+        lemmatizer = default_lemmatizer()
+        assert lemmatizer.lemma("Pushes") == "push"
+
+    def test_lemmas_tuple(self):
+        lemmatizer = default_lemmatizer()
+        assert lemmatizer.lemmas(("stacks", "hold")) == ("stack", "hold")
+
+    def test_table_is_populated(self):
+        assert len(default_lemmatizer()) > 200

@@ -1,0 +1,98 @@
+"""Sentence Pattern Classification: the paper's five patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp import SentencePattern, classify
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize(
+        "sentence, pattern",
+        [
+            ("I push the data into a tree.", SentencePattern.SIMPLE),
+            ("The tree doesn't have pop method.", SentencePattern.NEGATIVE),
+            ("Does stack have pop method?", SentencePattern.QUESTION),
+            ("What is Stack?", SentencePattern.WH_QUESTION),
+            ("Which data structure has the method push?", SentencePattern.WH_QUESTION),
+            ("Push the data onto the stack.", SentencePattern.IMPERATIVE),
+        ],
+    )
+    def test_pattern(self, sentence, pattern):
+        assert classify(sentence).pattern == pattern
+
+
+class TestQuestionDetection:
+    def test_wh_sets_question_flag(self):
+        analysis = classify("What is a queue?")
+        assert analysis.is_question
+        assert analysis.wh_word == "what"
+
+    def test_aux_first_without_question_mark(self):
+        assert classify("Does the stack overflow").is_question
+
+    def test_question_mark_alone(self):
+        assert classify("The stack is empty?").is_question
+
+    def test_fronted_preposition_wh(self):
+        analysis = classify("In which structure do we store keys?")
+        assert analysis.pattern == SentencePattern.WH_QUESTION
+
+    def test_how_why(self):
+        assert classify("How do I implement a queue?").pattern == SentencePattern.WH_QUESTION
+        assert classify("Why does the heap use an array?").pattern == SentencePattern.WH_QUESTION
+
+
+class TestNegation:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "The tree doesn't have pop method.",
+            "The stack does not overflow.",
+            "We never use the array.",
+            "It isn't balanced.",
+            "You can't pop an empty stack.",
+        ],
+    )
+    def test_negative_detected(self, sentence):
+        assert classify(sentence).is_negative
+
+    def test_negative_question_keeps_question_primary(self):
+        analysis = classify("Doesn't the stack have a top?")
+        assert analysis.pattern == SentencePattern.QUESTION
+        assert analysis.is_negative
+
+    def test_affirmative_property(self):
+        assert classify("The stack is full.").affirmative
+        assert not classify("The stack is not full.").affirmative
+
+
+class TestImperatives:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "Push the data onto the stack.",
+            "Insert the key.",
+            "Please traverse the tree.",
+            "Compare the two algorithms.",
+        ],
+    )
+    def test_imperative(self, sentence):
+        assert classify(sentence).pattern == SentencePattern.IMPERATIVE
+
+    def test_subject_first_is_simple(self):
+        assert classify("We push the data.").pattern == SentencePattern.SIMPLE
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        analysis = classify("")
+        assert analysis.pattern == SentencePattern.SIMPLE
+        assert not analysis.is_question
+
+    def test_single_word(self):
+        assert classify("Yes.").pattern == SentencePattern.SIMPLE
+
+    def test_noun_phrase_with_question_mark(self):
+        assert classify("The relations of stack?").pattern == SentencePattern.QUESTION

@@ -1,0 +1,169 @@
+"""Ontology object model: items, relations, inheritance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology import (
+    Item,
+    ItemKind,
+    Ontology,
+    OntologyError,
+    RelationKind,
+)
+from repro.ontology.builder import OntologyBuilder
+
+
+@pytest.fixture()
+def small_ontology() -> Ontology:
+    b = OntologyBuilder("test")
+    b.concept("container", item_id=1)
+    b.concept("stack", item_id=2)
+    b.concept("tower", item_id=3)
+    b.operation("push", item_id=30)
+    b.operation("measure", item_id=31)
+    b.property("tall", item_id=60)
+    b.is_a("stack", "container")
+    b.is_a("tower", "container")
+    b.supports("container", "measure")
+    b.supports("stack", "push")
+    b.has_property("tower", "tall")
+    return b.build()
+
+
+class TestItems:
+    def test_lookup_by_id_and_name(self, small_ontology):
+        assert small_ontology.get(2).name == "stack"
+        assert small_ontology.find("stack").item_id == 2
+        assert small_ontology.find("STACK").item_id == 2
+
+    def test_missing_lookups(self, small_ontology):
+        assert small_ontology.find("nope") is None
+        with pytest.raises(OntologyError):
+            small_ontology.get(999)
+        with pytest.raises(OntologyError):
+            small_ontology.resolve("nope")
+
+    def test_duplicate_id_rejected(self, small_ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.add_item(Item(item_id=2, name="other"))
+
+    def test_duplicate_name_rejected(self, small_ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.add_item(Item(item_id=99, name="stack"))
+
+    def test_aliases_resolve(self):
+        b = OntologyBuilder()
+        b.concept("binary search tree", item_id=1, aliases=("bst",))
+        ontology = b.build()
+        assert ontology.find("bst").item_id == 1
+        assert "bst" in ontology.term_index()
+
+    def test_items_of_kind(self, small_ontology):
+        concepts = small_ontology.items_of_kind(ItemKind.CONCEPT)
+        assert {item.name for item in concepts} == {"container", "stack", "tower"}
+
+    def test_items_sorted_by_id(self, small_ontology):
+        ids = [item.item_id for item in small_ontology.items()]
+        assert ids == sorted(ids)
+
+    def test_contains(self, small_ontology):
+        assert 2 in small_ontology
+        assert "stack" in small_ontology
+        assert 12345 not in small_ontology
+
+
+class TestRelations:
+    def test_relations_from_and_to(self, small_ontology):
+        from_stack = small_ontology.relations_from("stack")
+        assert len(from_stack) == 2  # is-a container, has-operation push
+        to_container = small_ontology.relations_to("container")
+        assert len(to_container) == 2
+
+    def test_relation_kind_filter(self, small_ontology):
+        only_isa = small_ontology.relations_from("stack", RelationKind.IS_A)
+        assert len(only_isa) == 1
+
+    def test_duplicate_relations_collapse(self, small_ontology):
+        before = len(small_ontology.relations())
+        small_ontology.add_relation("stack", RelationKind.IS_A, "container")
+        assert len(small_ontology.relations()) == before
+
+    def test_relation_requires_existing_items(self, small_ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.add_relation("stack", RelationKind.USES, "ghost")
+
+    def test_parents_and_ancestors(self, small_ontology):
+        assert [p.name for p in small_ontology.parents("stack")] == ["container"]
+        assert [a.name for a in small_ontology.ancestors("stack")] == ["container"]
+
+
+class TestInheritance:
+    def test_direct_operation(self, small_ontology):
+        assert small_ontology.has_operation("stack", "push")
+
+    def test_inherited_operation(self, small_ontology):
+        assert small_ontology.has_operation("stack", "measure")
+
+    def test_inheritance_can_be_disabled(self, small_ontology):
+        assert not small_ontology.has_operation("stack", "measure", inherit=False)
+
+    def test_not_supported(self, small_ontology):
+        assert not small_ontology.has_operation("tower", "push")
+
+    def test_concepts_with_operation(self, small_ontology):
+        names = {c.name for c in small_ontology.concepts_with_operation("measure")}
+        assert names == {"container", "stack", "tower"}
+
+    def test_properties_inherited(self):
+        b = OntologyBuilder()
+        b.concept("tree", item_id=1)
+        b.concept("binary tree", item_id=2)
+        b.property("hierarchical", item_id=60)
+        b.is_a("binary tree", "tree")
+        b.has_property("tree", "hierarchical")
+        ontology = b.build()
+        names = {p.name for p in ontology.properties_of("binary tree")}
+        assert names == {"hierarchical"}
+
+
+class TestValidation:
+    def test_clean_ontology_validates(self, small_ontology):
+        assert small_ontology.validate() == []
+
+    def test_isa_cycle_detected(self):
+        b = OntologyBuilder()
+        b.concept("a", item_id=1)
+        b.concept("b", item_id=2)
+        b.is_a("a", "b")
+        b.is_a("b", "a")
+        with pytest.raises(OntologyError):
+            b.build()
+
+    def test_build_without_validation(self):
+        b = OntologyBuilder()
+        b.concept("a", item_id=1)
+        b.concept("b", item_id=2)
+        b.is_a("a", "b")
+        b.is_a("b", "a")
+        ontology = b.build(validate=False)
+        assert ontology.validate() != []
+
+
+class TestBuilderAutoIds:
+    def test_kind_based_id_ranges(self):
+        b = OntologyBuilder()
+        concept = b.concept("x")
+        operation = b.operation("y")
+        prop = b.property("z")
+        algorithm = b.algorithm_item("w")
+        assert concept.item_id == 1
+        assert operation.item_id == 30
+        assert prop.item_id == 60
+        assert algorithm.item_id == 80
+
+    def test_explicit_ids_respected_and_skipped(self):
+        b = OntologyBuilder()
+        b.concept("x", item_id=1)
+        auto = b.concept("y")
+        assert auto.item_id == 2

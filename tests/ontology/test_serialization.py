@@ -1,0 +1,167 @@
+"""XML and DDL/DML round-trips (paper Figures 3 and 5, section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology import (
+    Interpreter,
+    OntologyError,
+    RelationKind,
+    from_xml,
+    interpret_script,
+    parse_script,
+    render_script,
+    to_xml,
+    translate,
+)
+from repro.ontology.ddl import DDLError, Statement
+from repro.ontology.domains import default_ontology
+from repro.ontology.domains.data_structures import STACK_DESCRIPTION, STACK_TOP_SYMBOL
+
+
+def _equivalent(a, b) -> None:
+    assert len(a) == len(b)
+    assert a.domain == b.domain
+    for item in a.items():
+        other = b.get(item.item_id)
+        assert other.name == item.name
+        assert other.kind == item.kind
+        assert other.aliases == item.aliases
+        assert other.definition.description == item.definition.description
+        assert other.definition.symbols == item.definition.symbols
+        assert [(x.name, x.type, x.body) for x in other.algorithms] == [
+            (x.name, x.type, x.body) for x in item.algorithms
+        ]
+    assert set(a.relations()) == set(b.relations())
+
+
+class TestXmlRoundTrip:
+    def test_full_domain_round_trips(self):
+        ontology = default_ontology()
+        _equivalent(ontology, from_xml(to_xml(ontology)))
+
+    def test_paper_fragment_fields(self):
+        xml = to_xml(default_ontology())
+        # Fig. 5 / section 4.4 artefacts.
+        assert 'id="3" name="stack"' in xml
+        assert "<Description>A stack is a Last In, First Out (LIFO)" in xml
+        assert '<Symbol name="top">' in xml
+        assert 'id="32" name="push"' in xml
+        assert 'id="33" name="pop"' in xml
+        assert 'type="c"' in xml
+
+    def test_paper_literal_xml_parses(self):
+        # The XML block quoted in section 4.4, wrapped in a knowledge body.
+        literal = f"""
+        <KnowledgeBody domain="Data Structure">
+          <KeyItem id="3" name="stack">
+            <Definition>
+              <Description>{STACK_DESCRIPTION}</Description>
+              <Symbol name="top">{STACK_TOP_SYMBOL}</Symbol>
+            </Definition>
+          </KeyItem>
+        </KnowledgeBody>
+        """
+        ontology = from_xml(literal)
+        stack = ontology.find("stack")
+        assert stack.item_id == 3
+        assert stack.definition.description == STACK_DESCRIPTION
+        assert stack.definition.symbols["top"] == STACK_TOP_SYMBOL
+
+    def test_rejects_bad_xml(self):
+        with pytest.raises(OntologyError):
+            from_xml("<KnowledgeBody><broken")
+        with pytest.raises(OntologyError):
+            from_xml("<NotAKnowledgeBody/>")
+        with pytest.raises(OntologyError):
+            from_xml('<KnowledgeBody><KeyItem name="no-id"/></KnowledgeBody>')
+
+    def test_shared_operations_not_duplicated(self):
+        ontology = default_ontology()
+        round_tripped = from_xml(to_xml(ontology))
+        # "insert" is owned by many concepts; it must exist exactly once.
+        assert round_tripped.find("insert").item_id == 30
+
+
+class TestDDLRoundTrip:
+    def test_full_domain_round_trips(self):
+        ontology = default_ontology()
+        script = render_script(translate(ontology))
+        _equivalent(ontology, interpret_script(script))
+
+    def test_script_shape(self):
+        script = render_script(translate(default_ontology()))
+        assert "CREATE CONCEPT 'stack' ID 3" in script
+        assert "CREATE OPERATION 'push' ID 32" in script
+        assert "INSERT RELATION 'stack' 'is-a' 'list';" in script
+        assert "INSERT SYMBOL 'top' INTO 'stack' VALUE" in script
+        assert "INSERT ALGORITHM 'push' INTO 'stack' TYPE 'c' VALUE" in script
+
+    def test_statement_render_parse_identity(self):
+        statements = translate(default_ontology())
+        for statement in statements:
+            (reparsed,) = parse_script(statement.render())
+            assert reparsed == statement
+
+    def test_quoting_of_embedded_quotes(self):
+        statement = Statement("INSERT", "DESCRIPTION", ("x", "it's a test"))
+        (reparsed,) = parse_script("CREATE CONCEPT 'x' ID 1;" )
+        assert reparsed.kind == "CONCEPT"
+        script = "CREATE CONCEPT 'x' ID 1; " + statement.render()
+        ontology = interpret_script(script)
+        assert ontology.find("x").definition.description == "it's a test"
+
+
+class TestDDLErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "CREATE NONSENSE 'x' ID 1;",
+            "CREATE CONCEPT missing-quotes ID 1;",
+            "INSERT RELATION 'a' 'is-a';",
+            "INSERT DESCRIPTION 'x' 'y';",
+            "FROB CONCEPT 'x';",
+            "CREATE CONCEPT 'x' ID 1",  # missing semicolon
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(DDLError):
+            parse_script(bad)
+
+    def test_unknown_relation_kind(self):
+        script = (
+            "CREATE CONCEPT 'a' ID 1; CREATE CONCEPT 'b' ID 2; "
+            "INSERT RELATION 'a' 'frobnicates' 'b';"
+        )
+        with pytest.raises(DDLError):
+            interpret_script(script)
+
+    def test_interpreter_is_incremental(self):
+        interpreter = Interpreter()
+        for statement in parse_script("CREATE CONCEPT 'a' ID 1;"):
+            interpreter.execute(statement)
+        ontology = interpreter.builder.build()
+        assert "a" in ontology
+
+
+class TestFigure3Pipeline:
+    """Definition -> translation -> interpretation -> corpus seeding."""
+
+    def test_end_to_end(self):
+        from repro.corpus import CorporaGenerator, LearnerCorpus
+        from repro.ontology.builder import OntologyBuilder
+
+        b = OntologyBuilder("mini")
+        b.concept("widget", item_id=1, description="A widget is a thing.")
+        b.operation("frob", item_id=30)
+        b.supports("widget", "frob")
+        source = b.build()
+
+        script = render_script(translate(source))      # Translation
+        ontology = interpret_script(script, "mini")    # Interpreter
+        corpus = LearnerCorpus()
+        CorporaGenerator(ontology).populate(corpus)    # Corpora Generator
+        texts = [record.text for record in corpus.records()]
+        assert "A widget is a thing." in texts
+        assert "The widget supports the frob operation." in texts

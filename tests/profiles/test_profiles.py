@@ -1,0 +1,64 @@
+"""User Profile Database behaviour."""
+
+from __future__ import annotations
+
+from repro.profiles import UserProfile, UserProfileStore
+
+
+class TestProfileStore:
+    def test_get_or_create(self):
+        store = UserProfileStore()
+        profile = store.get_or_create("alice", now=5.0)
+        assert profile.joined_at == 5.0
+        assert store.get_or_create("alice").joined_at == 5.0  # not recreated
+        assert len(store) == 1
+
+    def test_get_missing(self):
+        assert UserProfileStore().get("ghost") is None
+
+    def test_record_activity_tallies(self):
+        store = UserProfileStore()
+        store.record_activity("bob", 1.0, syntax_error=True, mistake_kinds=("unlinked-word",))
+        store.record_activity("bob", 2.0, semantic_error=True, topics=("stack",))
+        store.record_activity("bob", 3.0, question=True, topics=("stack", "pop"))
+        profile = store.get("bob")
+        assert profile.messages == 3
+        assert profile.syntax_errors == 1
+        assert profile.semantic_errors == 1
+        assert profile.questions == 1
+        assert profile.last_active == 3.0
+        assert profile.mistake_counts["unlinked-word"] == 1
+        assert profile.topic_counts["stack"] == 2
+
+    def test_error_rate(self):
+        store = UserProfileStore()
+        store.record_activity("x", 1.0, syntax_error=True)
+        store.record_activity("x", 2.0)
+        assert store.get("x").error_rate == 0.5
+
+    def test_error_rate_empty(self):
+        assert UserProfile(name="new").error_rate == 0.0
+
+    def test_favourite_topics(self):
+        store = UserProfileStore()
+        store.record_activity("y", 1.0, topics=("stack", "stack", "queue"))
+        assert store.get("y").favourite_topics(1) == ["stack"]
+
+    def test_all_sorted(self):
+        store = UserProfileStore()
+        store.get_or_create("zed")
+        store.get_or_create("amy")
+        assert [p.name for p in store.all()] == ["amy", "zed"]
+
+    def test_round_trip(self, tmp_path):
+        store = UserProfileStore()
+        store.record_activity("alice", 1.0, syntax_error=True,
+                              mistake_kinds=("style",), topics=("heap",))
+        path = tmp_path / "profiles.jsonl"
+        store.save(path)
+        loaded = UserProfileStore.load(path)
+        profile = loaded.get("alice")
+        assert profile is not None
+        assert profile.syntax_errors == 1
+        assert profile.mistake_counts["style"] == 1
+        assert profile.topic_counts["heap"] == 1

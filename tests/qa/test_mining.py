@@ -1,0 +1,84 @@
+"""QA-pair mining from chat transcripts (section 4.4 data mining)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp import KeywordFilter
+from repro.ontology.domains import default_ontology
+from repro.qa import FAQDatabase, QAMiner, TranscriptLine
+
+
+@pytest.fixture(scope="module")
+def miner():
+    return QAMiner(KeywordFilter(default_ontology()))
+
+
+def _line(user: str, text: str, t: float, role: str = "student") -> TranscriptLine:
+    return TranscriptLine(user=user, text=text, timestamp=t, role=role)
+
+
+class TestMining:
+    def test_simple_pair(self, miner):
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("bob", "A stack is a lifo data structure.", 2.0),
+        ]
+        (pair,) = miner.mine(transcript)
+        assert pair.question.user == "alice"
+        assert pair.answer.user == "bob"
+        assert pair.overlap >= 1
+
+    def test_self_answers_ignored(self, miner):
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("alice", "A stack is a lifo structure.", 2.0),
+        ]
+        assert miner.mine(transcript) == []
+
+    def test_off_topic_replies_ignored(self, miner):
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("bob", "The weather is nice.", 2.0),
+        ]
+        assert miner.mine(transcript) == []
+
+    def test_teacher_preferred(self, miner):
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("bob", "A stack is a thing with push.", 2.0),
+            _line("prof", "A stack is a lifo structure with push and pop.", 3.0, role="teacher"),
+        ]
+        (pair,) = miner.mine(transcript)
+        assert pair.answer.user == "prof"
+        assert pair.teacher_answer
+
+    def test_window_limits_search(self):
+        miner = QAMiner(KeywordFilter(default_ontology()), window=1)
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("carol", "I like queues.", 2.0),
+            _line("bob", "A stack is a lifo structure.", 3.0),
+        ]
+        assert miner.mine(transcript) == []
+
+    def test_questions_are_not_answers(self, miner):
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("bob", "Is a stack a list?", 2.0),
+        ]
+        assert miner.mine(transcript) == []
+
+    def test_feed_faq(self, miner):
+        faq = FAQDatabase()
+        transcript = [
+            _line("alice", "What is a stack?", 1.0),
+            _line("prof", "A stack is a lifo structure.", 2.0, role="teacher"),
+            _line("dan", "What is a stack?", 3.0),
+            _line("prof", "A stack is a lifo structure.", 4.0, role="teacher"),
+        ]
+        added = miner.feed_faq(transcript, faq)
+        assert added == 2
+        (pair,) = faq.pairs()
+        assert pair.count == 2
+        assert pair.source == "mined"

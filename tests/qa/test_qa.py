@@ -1,0 +1,145 @@
+"""The QA subsystem: templates, engine, FAQ accumulation (section 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorporaGenerator, LearnerCorpus
+from repro.nlp import KeywordFilter
+from repro.ontology.domains import default_ontology
+from repro.ontology.domains.data_structures import STACK_DESCRIPTION
+from repro.qa import FAQDatabase, QASystem, QuestionKind, TemplateMatcher
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return TemplateMatcher(KeywordFilter(default_ontology()))
+
+
+@pytest.fixture()
+def qa():
+    return QASystem(default_ontology())
+
+
+class TestTemplates:
+    @pytest.mark.parametrize(
+        "question, kind",
+        [
+            ("What is Stack?", QuestionKind.DEFINITION),
+            ("What is a binary search tree?", QuestionKind.DEFINITION),
+            ("Define stack.", QuestionKind.DEFINITION),
+            ("The relations of stack?", QuestionKind.RELATIONS),
+            ("What are the relations of the queue?", QuestionKind.RELATIONS),
+            ("Does stack have pop method?", QuestionKind.HAS_OPERATION),
+            ("Is stack has push method?", QuestionKind.HAS_OPERATION),
+            ("Does the hash table support lookup?", QuestionKind.HAS_OPERATION),
+            ("Which data structure has the method push?", QuestionKind.WHICH_HAS),
+            ("Which structure has the enqueue operation?", QuestionKind.WHICH_HAS),
+            ("What operations does the tree support?", QuestionKind.OPERATIONS_OF),
+            ("Is the stack lifo?", QuestionKind.PROPERTY),
+            ("Is a stack a data structure?", QuestionKind.IS_A),
+            ("How is the weather?", QuestionKind.UNKNOWN),
+        ],
+    )
+    def test_kind(self, matcher, question, kind):
+        assert matcher.match(question).kind == kind, question
+
+    def test_bound_items(self, matcher):
+        match = matcher.match("Does stack have pop method?")
+        assert [k.name for k in match.concepts] == ["stack"]
+        assert [k.name for k in match.operations] == ["pop"]
+
+
+class TestAnswers:
+    def test_paper_definition_answer(self, qa):
+        answer = qa.answer("What is Stack?")
+        assert answer.answered
+        assert answer.text == STACK_DESCRIPTION
+
+    def test_which_has_push_names_stack(self, qa):
+        answer = qa.answer("Which data structure has the method push?")
+        assert answer.answered
+        assert "stack" in answer.text
+
+    def test_has_operation_yes(self, qa):
+        answer = qa.answer("Does stack have pop method?")
+        assert answer.text.startswith("Yes")
+
+    def test_has_operation_no_with_hint(self, qa):
+        answer = qa.answer("Does the tree have a pop method?")
+        assert answer.text.startswith("No")
+        assert "stack" in answer.text
+
+    def test_learner_english_template(self, qa):
+        answer = qa.answer("Is stack has push method?")
+        assert answer.text.startswith("Yes")
+
+    def test_relations_list(self, qa):
+        answer = qa.answer("The relations of stack?")
+        assert "is-a" in answer.text
+        assert "has-operation" in answer.text
+
+    def test_operations_of(self, qa):
+        answer = qa.answer("What operations does the stack support?")
+        for name in ("push", "pop", "peek"):
+            assert name in answer.text
+
+    def test_property_yes_no(self, qa):
+        assert qa.answer("Is the stack lifo?").text.startswith("Yes")
+        assert qa.answer("Is the queue lifo?").text.startswith("No")
+
+    def test_is_a(self, qa):
+        assert qa.answer("Is a stack a data structure?").text.startswith("Yes")
+        assert qa.answer("Is a heap a binary tree?").text.startswith("Yes")
+
+    def test_unanswerable(self, qa):
+        answer = qa.answer("How is the weather?")
+        assert not answer.answered
+        assert answer.source == "none"
+
+    def test_corpus_fallback(self):
+        corpus = LearnerCorpus()
+        CorporaGenerator(default_ontology()).populate(corpus)
+        qa = QASystem(default_ontology(), corpus=corpus)
+        # No template matches, but the keyword is known: fall back to a
+        # correct corpus sentence mentioning it.
+        answer = qa.answer("Tell me about the heap please?")
+        assert answer.answered
+        assert answer.source in ("corpus", "ontology")
+
+
+class TestFAQAccumulation:
+    def test_repeat_question_hits_faq(self, qa):
+        first = qa.answer("What is Stack?")
+        second = qa.answer("what is stack")
+        assert first.source == "ontology"
+        assert second.source == "faq"
+        assert second.text == first.text
+
+    def test_paraphrases_share_entry(self, qa):
+        qa.answer("Does stack have pop method?")
+        qa.answer("Does the stack have a pop method?")
+        pairs = qa.faq.pairs()
+        assert len(pairs) == 1
+        assert pairs[0].count == 2
+
+    def test_top_sorted_by_frequency(self, qa):
+        for _ in range(3):
+            qa.answer("What is Stack?")
+        qa.answer("What is a queue?")
+        top = qa.faq.top(2)
+        assert top[0].count == 3
+        assert "stack" in top[0].question.lower()
+
+    def test_total_questions(self, qa):
+        qa.answer("What is Stack?")
+        qa.answer("What is Stack?")
+        assert qa.faq.total_questions() == 2
+
+    def test_faq_round_trip(self, qa, tmp_path):
+        qa.answer("What is Stack?")
+        path = tmp_path / "faq.jsonl"
+        qa.faq.save(path)
+        loaded = FAQDatabase.load(path)
+        assert len(loaded) == 1
+        assert loaded.pairs()[0].kind == QuestionKind.DEFINITION

@@ -1,0 +1,158 @@
+"""Synthetic workload: generation, injection, classroom sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ELearningSystem
+from repro.ontology.domains import default_ontology
+from repro.simulation import (
+    ClassroomSession,
+    ErrorClass,
+    ErrorInjector,
+    LearnerProfile,
+    SentenceGenerator,
+    SimulatedLearner,
+)
+
+
+class TestSentenceGenerator:
+    def test_deterministic(self):
+        a = SentenceGenerator(default_ontology(), seed=5)
+        b = SentenceGenerator(default_ontology(), seed=5)
+        assert [a.correct_statement().text for _ in range(10)] == [
+            b.correct_statement().text for _ in range(10)
+        ]
+
+    def test_correct_statements_parse_cleanly(self, full_parser):
+        generator = SentenceGenerator(default_ontology(), seed=3)
+        for _ in range(60):
+            sentence = generator.correct_statement()
+            result = full_parser.parse(sentence.text)
+            assert result.null_count == 0, sentence.text
+            assert result.best.cost == 0, sentence.text
+
+    def test_violations_parse_but_are_wrong(self, full_parser):
+        generator = SentenceGenerator(default_ontology(), seed=3)
+        for _ in range(30):
+            sentence = generator.semantic_violation()
+            assert not sentence.semantically_correct
+            assert full_parser.parse(sentence.text).null_count == 0, sentence.text
+
+    def test_questions_marked(self):
+        generator = SentenceGenerator(default_ontology(), seed=1)
+        for _ in range(20):
+            assert generator.question().is_question
+
+    def test_ground_truth_pairs_respect_ontology(self):
+        ontology = default_ontology()
+        generator = SentenceGenerator(ontology, seed=9)
+        for _ in range(40):
+            sentence = generator.correct_statement()
+            if sentence.operation and sentence.concept and "doesn't" not in sentence.text:
+                assert ontology.has_operation(sentence.concept, sentence.operation), sentence.text
+
+
+class TestErrorInjector:
+    def test_article_drop(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("The stack is full.", ErrorClass.ARTICLE_DROP)
+        assert result.injected
+        assert "the" not in result.text.lower().split()
+
+    def test_agreement_swap(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("The stack is full.", ErrorClass.AGREEMENT)
+        assert result.injected
+        assert "are" in result.text.split()
+
+    def test_word_order(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("The stack is full.", ErrorClass.WORD_ORDER)
+        assert result.injected
+        assert sorted(result.text.lower().rstrip(".").split()) == sorted(
+            "the stack is full".split()
+        )
+
+    def test_unknown_word(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("The stack is full.", ErrorClass.UNKNOWN_WORD)
+        assert result.injected
+        assert result.error == ErrorClass.UNKNOWN_WORD
+
+    def test_not_applicable_returns_none(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("Pop it.", ErrorClass.ARTICLE_DROP)
+        assert not result.injected
+        assert result.text == "Pop it."
+
+    def test_inject_random_deterministic(self):
+        a = ErrorInjector(seed=4).inject_random("The stack is full.")
+        b = ErrorInjector(seed=4).inject_random("The stack is full.")
+        assert a == b
+
+    def test_terminator_preserved(self):
+        injector = ErrorInjector(seed=0)
+        result = injector.inject("The stack is full.", ErrorClass.AGREEMENT)
+        assert result.text.endswith(".")
+
+
+class TestSimulatedLearner:
+    def test_deterministic(self):
+        ontology = default_ontology()
+        a = SimulatedLearner("x", ontology, seed=7)
+        b = SimulatedLearner("x", ontology, seed=7)
+        assert [a.next_utterance().text for _ in range(15)] == [
+            b.next_utterance().text for _ in range(15)
+        ]
+
+    def test_profile_rates_respected(self):
+        ontology = default_ontology()
+        learner = SimulatedLearner(
+            "x",
+            ontology,
+            profile=LearnerProfile(question_rate=1.0, syntax_error_rate=0.0,
+                                   semantic_error_rate=0.0, chitchat_rate=0.0),
+            seed=1,
+        )
+        assert all(learner.next_utterance().is_question for _ in range(10))
+
+    def test_error_free_profile(self):
+        ontology = default_ontology()
+        learner = SimulatedLearner(
+            "x",
+            ontology,
+            profile=LearnerProfile(question_rate=0.0, syntax_error_rate=0.0,
+                                   semantic_error_rate=0.0, chitchat_rate=0.0),
+            seed=2,
+        )
+        for _ in range(10):
+            utterance = learner.next_utterance()
+            assert utterance.is_clean
+
+
+class TestClassroomSession:
+    def test_session_runs_and_scores(self):
+        system = ELearningSystem.with_defaults()
+        session = ClassroomSession(system, learners=3, seed=1)
+        result = session.run(rounds=3)
+        assert len(result.supervised) == 9
+        assert system.stats.messages >= 9
+
+    def test_deterministic_sessions(self):
+        first = ClassroomSession(ELearningSystem.with_defaults(), learners=3, seed=2).run(2)
+        second = ClassroomSession(ELearningSystem.with_defaults(), learners=3, seed=2).run(2)
+        assert [s.utterance.text for s in first.supervised] == [
+            s.utterance.text for s in second.supervised
+        ]
+        assert [s.verdict for s in first.supervised] == [
+            s.verdict for s in second.supervised
+        ]
+
+    def test_teacher_answers_recorded(self):
+        system = ELearningSystem.with_defaults()
+        profile = LearnerProfile(question_rate=1.0)
+        session = ClassroomSession(system, learners=2, profile=profile, seed=3)
+        result = session.run(rounds=3)
+        assert result.questions_asked == 6
+        assert result.teacher_answers > 0

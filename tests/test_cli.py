@@ -1,0 +1,85 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParseCommand:
+    def test_clean_sentence_exits_zero(self, capsys):
+        assert main(["parse", "The stack is full."]) == 0
+        out = capsys.readouterr().out
+        assert "linkages:" in out
+        assert "stack" in out
+
+    def test_broken_sentence_exits_nonzero(self, capsys):
+        assert main(["parse", "stack the full is."]) == 1
+
+    def test_wall_flag(self, capsys):
+        main(["parse", "The stack is full.", "--wall"])
+        assert "<WALL>" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_semantic_violation(self, capsys):
+        assert main(["check", "I push the data into a tree."]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+        assert "hint:" in out
+
+    def test_clean(self, capsys):
+        assert main(["check", "We push an element onto the stack."]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_negation_example(self, capsys):
+        assert main(["check", "The tree doesn't have pop method."]) == 0
+
+
+class TestAskCommand:
+    def test_definition(self, capsys):
+        assert main(["ask", "What is Stack?"]) == 0
+        assert "Last In, First Out" in capsys.readouterr().out
+
+    def test_unanswerable(self, capsys):
+        assert main(["ask", "How is the weather?"]) == 1
+
+
+class TestRepairCommand:
+    def test_repair_output(self, capsys):
+        assert main(["repair", "The stacks is full."]) == 0
+        out = capsys.readouterr().out
+        assert "The stack is full." in out
+
+    def test_nothing_to_repair(self, capsys):
+        assert main(["repair", "The stack is full."]) == 0
+        assert "no repair needed" in capsys.readouterr().out
+
+
+class TestOntologyCommand:
+    def test_xml_dump(self, capsys):
+        assert main(["ontology", "--format", "xml"]) == 0
+        assert "KnowledgeBody" in capsys.readouterr().out
+
+    def test_ddl_dump(self, capsys):
+        assert main(["ontology", "--format", "ddl"]) == 0
+        assert "CREATE CONCEPT 'stack' ID 3" in capsys.readouterr().out
+
+
+class TestExportAndSimulate:
+    def test_export_scorm(self, tmp_path, capsys):
+        assert main(["export-scorm", str(tmp_path / "pkg")]) == 0
+        assert (tmp_path / "pkg" / "imsmanifest.xml").exists()
+
+    @pytest.mark.slow
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--rounds", "2", "--learners", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "messages=" in out
+
+
+class TestArgParsing:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

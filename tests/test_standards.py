@@ -1,0 +1,109 @@
+"""Standards export: SCORM content package + QTI assessment."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.ontology.domains import default_ontology
+from repro.qa import QASystem
+from repro.standards import (
+    MANIFEST_NAME,
+    build_assessment,
+    build_manifest,
+    write_assessment,
+    write_package,
+)
+
+_NS = {"cp": "http://www.imsproject.org/xsd/imscp_rootv1p1p2"}
+
+
+class TestScormManifest:
+    def test_manifest_is_valid_xml(self):
+        root = ET.fromstring(build_manifest(default_ontology()))
+        assert root.tag.endswith("manifest")
+
+    def test_taxonomy_nesting(self):
+        root = ET.fromstring(build_manifest(default_ontology()))
+        organization = root.find(".//cp:organization", _NS)
+        # 'data structure' is a root item; 'stack' nests under 'list'
+        # which nests under 'data structure'.
+        top = organization.find("cp:item[@identifier='item_1']", _NS)
+        assert top is not None
+        nested = top.find(".//cp:item[@identifier='item_3']", _NS)
+        assert nested is not None
+
+    def test_every_concept_has_a_resource(self):
+        ontology = default_ontology()
+        root = ET.fromstring(build_manifest(ontology))
+        resources = root.findall(".//cp:resource", _NS)
+        from repro.ontology.model import ItemKind
+
+        assert len(resources) == len(ontology.items_of_kind(ItemKind.CONCEPT))
+
+    def test_package_writes_files(self, tmp_path):
+        package = write_package(default_ontology(), tmp_path / "pkg")
+        assert (package / MANIFEST_NAME).exists()
+        pages = list(package.glob("sco_*.html"))
+        assert len(pages) > 20
+
+    def test_stack_page_contains_paper_definition(self, tmp_path):
+        package = write_package(default_ontology(), tmp_path / "pkg")
+        page = (package / "sco_003_stack.html").read_text(encoding="utf-8")
+        assert "Last In, First Out" in page
+        assert "push" in page and "pop" in page
+        assert "<pre>" in page  # the type="c" algorithm attachment
+
+
+@pytest.fixture()
+def populated_faq():
+    qa = QASystem(default_ontology())
+    for question in [
+        "What is Stack?",
+        "What is a queue?",
+        "What is a heap?",
+        "Does stack have pop method?",
+        "Which structure has the push operation?",
+    ]:
+        qa.answer(question)
+    return qa.faq
+
+
+class TestQtiAssessment:
+    def test_valid_xml(self, populated_faq):
+        root = ET.fromstring(build_assessment(populated_faq))
+        assert root.tag == "questestinterop"
+
+    def test_items_have_correct_and_distractors(self, populated_faq):
+        root = ET.fromstring(build_assessment(populated_faq))
+        items = root.findall(".//item")
+        assert items
+        for item in items:
+            labels = item.findall(".//response_label")
+            idents = [label.get("ident") for label in labels]
+            assert "correct" in idents
+            assert len(idents) >= 2
+
+    def test_distractors_prefer_same_family(self, populated_faq):
+        root = ET.fromstring(build_assessment(populated_faq))
+        first = root.find(".//item")
+        texts = [el.text for el in first.findall(".//mattext")]
+        # A definition question should be distracted by other definitions.
+        definition_answers = sum(1 for t in texts[1:] if t and " is a " in t)
+        assert definition_answers >= 2
+
+    def test_max_items_cap(self, populated_faq):
+        xml = build_assessment(populated_faq, max_items=2)
+        assert xml.count("<item ") == 2
+
+    def test_write_assessment(self, populated_faq, tmp_path):
+        path = write_assessment(populated_faq, tmp_path / "quiz.xml")
+        assert path.exists()
+        assert "questestinterop" in path.read_text(encoding="utf-8")
+
+    def test_empty_faq_yields_empty_assessment(self):
+        from repro.qa import FAQDatabase
+
+        xml = build_assessment(FAQDatabase())
+        assert "<item " not in xml
