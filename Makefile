@@ -1,0 +1,21 @@
+# Developer entry points.  PYTHONPATH=src everywhere: the package is laid
+# out src/ style and the offline container has no editable install.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-pytest simulate
+
+# Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
+test:
+	$(PY) -m pytest -x -q
+
+# Deterministic perf harness; writes BENCH_parse.json at the repo root.
+bench:
+	$(PY) -m repro bench
+
+# The statistically careful pytest-benchmark suites (figures + scalability).
+bench-pytest:
+	$(PY) -m pytest benchmarks -q
+
+simulate:
+	$(PY) -m repro simulate

@@ -1,0 +1,24 @@
+"""Perf-report entry point living next to the pytest benchmarks.
+
+Thin wrapper over :mod:`repro.evaluation.perfbench` so the benchmarks
+directory is self-contained::
+
+    PYTHONPATH=src python benchmarks/perf_report.py [--quick]
+
+is equivalent to ``python -m repro bench`` / ``make bench``.  The report
+lands in ``BENCH_parse.json`` at the repo root; the ``seed_baseline``
+section (numbers measured at the seed commit with identical workloads)
+is preserved across runs so the before/after comparison stays visible.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evaluation.perfbench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,9 @@ from repro.linkgrammar.dictionary import Dictionary
 from repro.linkgrammar.parser import ParseOptions
 from repro.linkgrammar.repair import SentenceRepairer
 from repro.linkgrammar.robust import RobustAnalyzer
+from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
 from repro.nlp.keywords import KeywordFilter
-from repro.nlp.patterns import classify
+from repro.nlp.patterns import PatternAnalysis, classify
 
 from .reports import SyntaxReview
 
@@ -55,24 +56,37 @@ class LearningAngelAgent:
         self.keyword_filter = keyword_filter
         self.repairer = SentenceRepairer(dictionary) if repair else None
 
-    def review(self, text: str) -> SyntaxReview:
-        """Run the Figure-4 pipeline on one sentence."""
-        diagnosis = self.analyzer.analyze(text)
-        keywords = tuple(self.keyword_filter.extract(text)) if self.keyword_filter else ()
+    def review(
+        self,
+        text: str | TokenizedSentence,
+        pattern: PatternAnalysis | None = None,
+    ) -> SyntaxReview:
+        """Run the Figure-4 pipeline on one sentence.
+
+        Accepts a pre-tokenised sentence and a precomputed pattern
+        classification so the supervision pipeline tokenises and
+        classifies each sentence exactly once.
+        """
+        sentence = tokenize(text) if isinstance(text, str) else text
+        if pattern is None:
+            pattern = classify(sentence)
+        diagnosis = self.analyzer.analyze(sentence)
+        keywords = tuple(self.keyword_filter.extract(sentence)) if self.keyword_filter else ()
         suggestion = None
         repairs = ()
         if not diagnosis.is_correct:
             if self.search is not None:
                 suggestion = self.search.best_sentence(
-                    text, keywords=[match.name for match in keywords]
+                    sentence, keywords=[match.name for match in keywords]
                 )
             if self.repairer is not None:
-                repairs = tuple(self.repairer.repair(text))
+                repairs = tuple(self.repairer.repair(sentence))
         return SyntaxReview(
             diagnosis=diagnosis,
             suggestion=suggestion,
             repairs=repairs,
             keywords=keywords,
+            pattern=pattern,
         )
 
     def record(
@@ -91,13 +105,14 @@ class LearningAngelAgent:
         if verdict is None:
             verdict = Correctness.CORRECT if diagnosis.is_correct else Correctness.SYNTAX_ERROR
         best = diagnosis.result.best
+        pattern = review.pattern or classify(diagnosis.result.sentence)
         record = CorpusRecord(
             record_id=self.corpus.next_id(),
             user=user,
             room=room,
             text=diagnosis.result.sentence.raw,
             timestamp=timestamp,
-            pattern=classify(diagnosis.result.sentence).pattern.value,
+            pattern=pattern.pattern.value,
             verdict=verdict,
             syntax_issues=[(issue.kind.value, issue.word) for issue in diagnosis.issues],
             semantic_issues=list(semantic_issues or []),
@@ -105,4 +120,6 @@ class LearningAngelAgent:
             links=best.link_summary() if best else "",
             cost=best.cost if best else 0,
         )
-        return self.corpus.add(record)
+        # The reviewed sentence is already tokenised; spare the store a
+        # second tokenizer pass.
+        return self.corpus.add(record, tokens=diagnosis.result.sentence.words)

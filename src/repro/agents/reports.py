@@ -42,12 +42,16 @@ class SyntaxReview:
         repairs: concrete single-edit corrections of the learner's own
             sentence, best first.
         keywords: ontology keywords (reused by later stages).
+        pattern: the sentence-pattern classification computed (or received)
+            during the review — carried so downstream stages (recording,
+            the Semantic Agent) never re-classify the same sentence.
     """
 
     diagnosis: GrammarDiagnosis
     suggestion: str | None = None
     repairs: tuple[Repair, ...] = ()
     keywords: tuple[KeywordMatch, ...] = ()
+    pattern: PatternAnalysis | None = None
 
     @property
     def is_correct(self) -> bool:

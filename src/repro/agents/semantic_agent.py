@@ -18,6 +18,7 @@ Ontology"; this module implements it with the three branching stages:
 
 from __future__ import annotations
 
+from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
 from repro.nlp.keywords import KeywordFilter, KeywordMatch
 from repro.nlp.patterns import PatternAnalysis, classify
 from repro.ontology.distance import SemanticDistanceEvaluator
@@ -50,14 +51,35 @@ class SemanticAgent:
 
     # ----------------------------------------------------------------- API
 
-    def review(self, text: str, syntactically_ok: bool = True) -> SemanticReview:
-        """Run the three-stage pipeline on one sentence."""
-        pattern = classify(text)
+    def review(
+        self,
+        text: str | TokenizedSentence,
+        syntactically_ok: bool = True,
+        analysis: PatternAnalysis | None = None,
+        keywords: tuple[KeywordMatch, ...] | None = None,
+    ) -> SemanticReview:
+        """Run the three-stage pipeline on one sentence.
+
+        Args:
+            text: the sentence, raw or pre-tokenised.
+            syntactically_ok: Learning_Angel's verdict; broken sentences
+                are skipped here (already reported).
+            analysis: a precomputed stage-1 classification — the
+                supervision pipeline classifies each sentence once and
+                threads the result through, instead of every agent
+                re-running :func:`classify`.
+            keywords: precomputed stage-2 keyword matches.  Only pass
+                matches produced by *this agent's* keyword filter (the
+                pipeline checks filter identity before threading them).
+        """
+        sentence = tokenize(text) if isinstance(text, str) else text
+        pattern = analysis if analysis is not None else classify(sentence)
         if not syntactically_ok:
             return SemanticReview(SemanticVerdict.SYNTAX_SKIPPED, pattern)
         if pattern.is_question:
             return SemanticReview(SemanticVerdict.QUESTION, pattern)
-        keywords = tuple(self.keyword_filter.extract(text))
+        if keywords is None:
+            keywords = tuple(self.keyword_filter.extract(sentence))
         if len(keywords) == 0:
             return SemanticReview(SemanticVerdict.NO_KEYWORDS, pattern, keywords)
         pairs = self._evaluate_pairs(keywords, pattern)

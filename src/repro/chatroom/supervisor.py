@@ -15,7 +15,7 @@ from repro.agents.learning_angel import LearningAngelAgent
 from repro.agents.reports import SemanticVerdict
 from repro.agents.semantic_agent import SemanticAgent
 from repro.corpus.records import Correctness
-from repro.linkgrammar.tokenizer import split_sentences
+from repro.linkgrammar.tokenizer import split_sentences, tokenize
 from repro.nlp.patterns import classify
 from repro.profiles.store import UserProfileStore
 from repro.qa.engine import QASystem
@@ -105,8 +105,11 @@ class SupervisionPipeline:
     ) -> int:
         self.stats.sentences += 1
         now = server.clock.now()
-        pattern = classify(sentence)
-        review = self.learning_angel.review(sentence)
+        # Tokenise and classify exactly once; every stage below receives
+        # the precomputed analysis instead of re-deriving it.
+        tokenized = tokenize(sentence)
+        pattern = classify(tokenized)
+        review = self.learning_angel.review(tokenized, pattern=pattern)
         posted = 0
 
         if pattern.is_question:
@@ -133,7 +136,19 @@ class SupervisionPipeline:
                     if reply.severity.value == "correction":
                         self.stats.corrections_suggested += 1
         else:
-            semantic = self.semantic_agent.review(sentence, syntactically_ok=True)
+            # Learning_Angel's keyword matches are reusable only when both
+            # agents share one keyword filter (the default wiring).
+            shared_keywords = (
+                review.keywords
+                if self.learning_angel.keyword_filter is self.semantic_agent.keyword_filter
+                else None
+            )
+            semantic = self.semantic_agent.review(
+                tokenized,
+                syntactically_ok=True,
+                analysis=pattern,
+                keywords=shared_keywords,
+            )
             if semantic.verdict == SemanticVerdict.VIOLATION:
                 self.stats.semantic_violations += 1
                 verdict = Correctness.SEMANTIC_ERROR

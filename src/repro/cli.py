@@ -7,6 +7,7 @@ Commands:
 * ``ask "question"``          — the QA subsystem's answer;
 * ``repair "sentence"``       — suggested corrections;
 * ``simulate [--rounds N]``   — run a seeded classroom and print reports;
+* ``bench [--quick]``         — run the perf harness, write BENCH_parse.json;
 * ``export-scorm DIR``        — write the SCORM content package;
 * ``ontology [--format x]``   — dump the knowledge body (xml or ddl).
 """
@@ -96,6 +97,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.evaluation.perfbench import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_export_scorm(args: argparse.Namespace) -> int:
     from repro.standards import write_package
 
@@ -143,6 +150,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--learners", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = commands.add_parser("bench", help="run the perf harness deterministically")
+    # Imported at parser-build time (not in _cmd_bench) so the flag
+    # definitions live in exactly one place; perfbench's module level is
+    # stdlib-only, so this costs nothing for the other subcommands.
+    from repro.evaluation.perfbench import add_bench_arguments
+
+    add_bench_arguments(p)
+    p.set_defaults(func=_cmd_bench)
 
     p = commands.add_parser("export-scorm", help="write the SCORM content package")
     p.add_argument("directory")

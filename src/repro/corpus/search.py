@@ -6,15 +6,22 @@ Corpus and convey them to the online learners".  We rank known-correct
 corpus sentences by ontology-keyword overlap with the faulty sentence,
 breaking ties by token overlap, so the learner sees a well-formed sentence
 about the same topic.
+
+Performance: the query used to re-tokenise every corpus record on every
+search — O(corpus) tokenizer runs per syntax error.  Record token and
+keyword sets are now cached at ingestion time by
+:class:`~repro.corpus.store.LearnerCorpus`, and when the caller demands a
+minimum keyword overlap the candidate scan narrows through the corpus's
+inverted keyword index instead of walking every correct record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.linkgrammar.tokenizer import tokenize
+from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
 
-from .records import CorpusRecord
+from .records import Correctness, CorpusRecord
 from .store import LearnerCorpus
 
 
@@ -31,7 +38,7 @@ class SuggestionHit:
         return (self.keyword_overlap, self.token_overlap)
 
 
-def _jaccard(a: set[str], b: set[str]) -> float:
+def _jaccard(a: frozenset[str] | set[str], b: frozenset[str] | set[str]) -> float:
     if not a and not b:
         return 0.0
     union = a | b
@@ -46,7 +53,7 @@ class SuggestionSearch:
 
     def find(
         self,
-        text: str,
+        text: str | TokenizedSentence,
         keywords: list[str] | None = None,
         limit: int = 3,
         min_keyword_overlap: float = 0.0,
@@ -54,30 +61,58 @@ class SuggestionSearch:
         """Rank correct corpus sentences by similarity to ``text``.
 
         Args:
-            text: the learner's sentence.
+            text: the learner's sentence, raw or pre-tokenised.
             keywords: ontology terms found in the sentence (optional; when
                 omitted only token overlap ranks the results).
             limit: maximum number of hits.
             min_keyword_overlap: drop hits below this keyword similarity.
         """
-        query_tokens = set(tokenize(text).words)
-        query_keywords = {k.lower() for k in (keywords or [])}
+        sentence = tokenize(text) if isinstance(text, str) else text
+        query_tokens = frozenset(sentence.words)
+        query_raw = sentence.raw.strip().lower()
+        query_keywords = frozenset(k.lower() for k in (keywords or []))
+        corpus = self.corpus
         hits: list[SuggestionHit] = []
-        for record in self.corpus.correct_records():
-            if record.text.strip().lower() == text.strip().lower():
+        for position, record in self._candidates(query_keywords, min_keyword_overlap):
+            if record.text.strip().lower() == query_raw:
                 continue  # never suggest the sentence back to its author
-            record_keywords = {k.lower() for k in record.keywords}
-            keyword_overlap = _jaccard(query_keywords, record_keywords)
-            token_overlap = _jaccard(query_tokens, set(tokenize(record.text).words))
+            keyword_overlap = _jaccard(query_keywords, corpus.keyword_set(position))
             if query_keywords and keyword_overlap < min_keyword_overlap:
                 continue
+            token_overlap = _jaccard(query_tokens, corpus.token_set(position))
             if keyword_overlap == 0.0 and token_overlap == 0.0:
                 continue
             hits.append(SuggestionHit(record, keyword_overlap, token_overlap))
         hits.sort(key=lambda hit: (-hit.keyword_overlap, -hit.token_overlap, hit.record.record_id))
         return hits[:limit]
 
-    def best_sentence(self, text: str, keywords: list[str] | None = None) -> str | None:
+    def _candidates(self, query_keywords: frozenset[str], min_keyword_overlap: float):
+        """(position, record) candidates for the scan, in add order.
+
+        With a positive keyword-overlap floor every surviving hit must
+        share at least one keyword with the query, so the inverted index
+        bounds the scan; otherwise every correct record is a candidate
+        (token overlap alone may rank it).
+        """
+        corpus = self.corpus
+        if query_keywords and min_keyword_overlap > 0.0:
+            positions = sorted(
+                {
+                    position
+                    for keyword in query_keywords
+                    for position in corpus.keyword_positions(keyword)
+                }
+            )
+            for position in positions:
+                record = corpus.record_at(position)
+                if record.verdict == Correctness.CORRECT:
+                    yield position, record
+        else:
+            yield from corpus.correct_positions()
+
+    def best_sentence(
+        self, text: str | TokenizedSentence, keywords: list[str] | None = None
+    ) -> str | None:
         """The single best model sentence, or None."""
         hits = self.find(text, keywords=keywords, limit=1)
         return hits[0].record.text if hits else None

@@ -4,6 +4,22 @@ A deliberately simple in-memory store with JSON-lines persistence — the
 paper's corpus is a database of analysed utterances, and every consumer
 (statistic analyzer, suggestion search, QA mining) works off these query
 primitives.
+
+Because suggestion search runs on *every* detected syntax error, the store
+maintains three ingestion-time indexes so per-query work stays flat as the
+corpus grows:
+
+* a **token-set cache** — each record's tokenised word set is computed once
+  when the record is added (or loaded), not once per query;
+* a **verdict index** — ``by_verdict``/``correct_records`` return without
+  scanning the whole corpus;
+* an **inverted keyword index** — ``with_keyword`` and keyword-constrained
+  candidate scans jump straight to the matching records.
+
+Records are snapshotted at :meth:`LearnerCorpus.add` time: the indexes
+read ``verdict``/``keywords``/``text`` once, on ingestion.  Treat a
+record as immutable after adding it — mutating one afterwards would
+desynchronise the index-backed queries from ``filter``-style scans.
 """
 
 from __future__ import annotations
@@ -11,6 +27,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Callable, Iterator
+
+from repro.linkgrammar.tokenizer import tokenize
 
 from .records import Correctness, CorpusRecord
 
@@ -20,6 +38,11 @@ class LearnerCorpus:
 
     def __init__(self) -> None:
         self._records: list[CorpusRecord] = []
+        # Ingestion-time caches, keyed by record position (== add order).
+        self._token_sets: list[frozenset[str]] = []
+        self._keyword_sets: list[frozenset[str]] = []
+        self._by_verdict: dict[Correctness, list[int]] = {}
+        self._keyword_index: dict[str, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -32,9 +55,26 @@ class LearnerCorpus:
     def next_id(self) -> int:
         return len(self._records)
 
-    def add(self, record: CorpusRecord) -> CorpusRecord:
-        """Append a record (ids must be monotonic; use :meth:`next_id`)."""
+    def add(
+        self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
+    ) -> CorpusRecord:
+        """Append a record (ids must be monotonic; use :meth:`next_id`).
+
+        Tokenisation and keyword normalisation happen here, once, so
+        every later similarity query is a cache lookup.  Callers that
+        already tokenised ``record.text`` (the supervision pipeline)
+        pass ``tokens`` to skip the redundant tokenizer run.
+        """
+        position = len(self._records)
         self._records.append(record)
+        self._token_sets.append(
+            frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
+        )
+        keywords = frozenset(k.lower() for k in record.keywords)
+        self._keyword_sets.append(keywords)
+        self._by_verdict.setdefault(record.verdict, []).append(position)
+        for keyword in keywords:
+            self._keyword_index.setdefault(keyword, []).append(position)
         return record
 
     # ------------------------------------------------------------- queries
@@ -49,14 +89,41 @@ class LearnerCorpus:
         return self.filter(lambda r: r.user == user)
 
     def by_verdict(self, verdict: Correctness) -> list[CorpusRecord]:
-        return self.filter(lambda r: r.verdict == verdict)
+        return [self._records[i] for i in self._by_verdict.get(verdict, ())]
 
     def correct_records(self) -> list[CorpusRecord]:
         return self.by_verdict(Correctness.CORRECT)
 
     def with_keyword(self, keyword: str) -> list[CorpusRecord]:
-        needle = keyword.lower()
-        return self.filter(lambda r: needle in (k.lower() for k in r.keywords))
+        positions = self._keyword_index.get(keyword.lower(), ())
+        return [self._records[i] for i in positions]
+
+    # ---------------------------------------------------- similarity caches
+
+    def record_at(self, position: int) -> CorpusRecord:
+        """The record at ``position`` (add order)."""
+        return self._records[position]
+
+    def keyword_positions(self, keyword: str) -> tuple[int, ...]:
+        """Positions of records tagged with ``keyword`` (add order)."""
+        return tuple(self._keyword_index.get(keyword.lower(), ()))
+
+    def token_set(self, position: int) -> frozenset[str]:
+        """The cached token set of the record at ``position`` (add order)."""
+        return self._token_sets[position]
+
+    def keyword_set(self, position: int) -> frozenset[str]:
+        """The cached lower-cased keyword set of the record at ``position``."""
+        return self._keyword_sets[position]
+
+    def correct_positions(self) -> Iterator[tuple[int, CorpusRecord]]:
+        """(position, record) pairs for known-correct records, add order.
+
+        Positions index :meth:`token_set`/:meth:`keyword_set`, letting
+        suggestion search scan candidates without touching the tokenizer.
+        """
+        for position in self._by_verdict.get(Correctness.CORRECT, ()):
+            yield position, self._records[position]
 
     # --------------------------------------------------------- persistence
 

@@ -1,0 +1,254 @@
+"""Deterministic performance harness for the supervision hot path.
+
+``python -m repro bench`` (or ``make bench``) runs a fixed set of
+workloads — cold parsing, cached parsing, the mixed-traffic supervision
+loop, a seeded classroom session and suggestion search — and writes the
+numbers to ``BENCH_parse.json`` so successive PRs can track the perf
+trajectory of the parse engine.
+
+The workloads are deterministic (fixed sentences, fixed seeds); only the
+wall-clock readings vary by machine, so comparisons are meaningful within
+one machine's report history.  Every metric is also exposed
+programmatically via :func:`run_report` for tests and tooling.
+
+None of this runs in the default pytest selection (tier-1 stays fast);
+the pytest-benchmark suites under ``benchmarks/`` remain the
+statistically careful counterpart.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+# Fixed workload: the scalability benchmark's mixed traffic plus extra
+# domain sentences exercising questions, negation, capability claims and
+# semantic violations.
+MIXED_MESSAGES = [
+    "We push an element onto the stack.",
+    "What is a queue?",
+    "The tree doesn't have pop method.",
+    "I push the data into a tree.",
+]
+
+PARSE_SENTENCES = MIXED_MESSAGES + [
+    "A stack supports push.",
+    "Push the data onto the stack.",
+    "The queue has dequeue operation.",
+    "A binary tree is a tree.",
+]
+
+
+def bench_cold_parse(repeats: int = 40) -> dict[str, float]:
+    """Per-sentence parse latency with the sentence cache disabled."""
+    from repro.linkgrammar import ParseOptions, Parser
+    from repro.linkgrammar.lexicon import default_dictionary
+
+    parser = Parser(default_dictionary(), ParseOptions(cache_size=0))
+    for sentence in PARSE_SENTENCES:  # warm dictionary tables
+        parser.parse(sentence)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for sentence in PARSE_SENTENCES:
+            parser.parse(sentence)
+    elapsed = time.perf_counter() - start
+    count = repeats * len(PARSE_SENTENCES)
+    return {"ms_per_sentence": 1000.0 * elapsed / count, "sentences": count}
+
+
+def bench_warm_parse(repeats: int = 400) -> dict[str, float]:
+    """Per-sentence latency when the LRU sentence cache is hitting."""
+    from repro.linkgrammar import ParseOptions, Parser
+    from repro.linkgrammar.lexicon import default_dictionary
+
+    parser = Parser(default_dictionary(), ParseOptions())
+    for sentence in PARSE_SENTENCES:  # populate the cache
+        parser.parse(sentence)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for sentence in PARSE_SENTENCES:
+            parser.parse(sentence)
+    elapsed = time.perf_counter() - start
+    count = repeats * len(PARSE_SENTENCES)
+    info = parser.cache_info()
+    hit_rate = info["hits"] / (info["hits"] + info["misses"])
+    return {
+        "ms_per_sentence": 1000.0 * elapsed / count,
+        "sentences": count,
+        "cache_hit_rate": hit_rate,
+    }
+
+
+def bench_supervision_throughput(messages: int = 400) -> dict[str, float]:
+    """Supervised messages per second on the mixed-traffic loop.
+
+    This mirrors ``benchmarks/test_scalability.py::
+    test_supervision_throughput_baseline``: one room, one user, the
+    four-message mix cycled, full supervision (syntax, semantics, QA,
+    corpus recording) on every message.
+    """
+    from repro.core.system import ELearningSystem
+
+    system = ELearningSystem.with_defaults()
+    system.open_room("tput", topic="t")
+    system.join("tput", "u")
+    for i in range(8):  # warmup
+        system.say("tput", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    start = time.perf_counter()
+    for i in range(messages):
+        system.say("tput", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    elapsed = time.perf_counter() - start
+    return {"messages_per_sec": messages / elapsed, "messages": messages}
+
+
+def bench_classroom(learners: int = 8, rounds: int = 2, seed: int = 21) -> dict[str, float]:
+    """Wall-clock of a full seeded classroom session, system build included."""
+    from repro.core.system import ELearningSystem
+    from repro.simulation import ClassroomSession
+
+    start = time.perf_counter()
+    system = ELearningSystem.with_defaults()
+    result = ClassroomSession(system, learners=learners, seed=seed).run(rounds=rounds)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "supervised": len(result.supervised),
+        "learners": learners,
+        "rounds": rounds,
+    }
+
+
+def bench_suggestion_search(queries: int = 300) -> dict[str, float]:
+    """Suggestion-search queries per second against the seeded corpus."""
+    from repro.core.system import ELearningSystem
+    from repro.corpus.search import SuggestionSearch
+
+    system = ELearningSystem.with_defaults()
+    search = SuggestionSearch(system.corpus)
+    query = "The tree doesn't have pop method."
+    keywords = ["tree", "pop"]
+    search.find(query, keywords=keywords)  # warmup
+    start = time.perf_counter()
+    for _ in range(queries):
+        search.find(query, keywords=keywords)
+    elapsed = time.perf_counter() - start
+    return {
+        "queries_per_sec": queries / elapsed,
+        "corpus_records": len(system.corpus),
+        "queries": queries,
+    }
+
+
+def run_report(quick: bool = False) -> dict:
+    """Run every workload and return the structured report."""
+    scale = 0.1 if quick else 1.0
+
+    def n(value: int) -> int:
+        return max(1, int(value * scale))
+
+    return {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {
+            "cold_parse": bench_cold_parse(repeats=n(40)),
+            "warm_parse": bench_warm_parse(repeats=n(400)),
+            "supervision_throughput": bench_supervision_throughput(messages=n(400)),
+            # Quick mode shrinks the session too; only the full run is
+            # comparable against the pinned seed baseline.
+            "classroom_session": bench_classroom(learners=4, rounds=1) if quick else bench_classroom(),
+            "suggestion_search": bench_suggestion_search(queries=n(300)),
+        },
+    }
+
+
+def write_report(
+    output: str | Path = "BENCH_parse.json",
+    quick: bool = False,
+    seed_baseline: dict | None = None,
+) -> Path:
+    """Run the harness and write ``BENCH_parse.json``.
+
+    When the output file already exists and carries a ``seed_baseline``
+    section, it is preserved so the before/after comparison survives
+    re-runs; pass ``seed_baseline`` explicitly to (re)pin it.
+    """
+    target = Path(output)
+    report = run_report(quick=quick)
+    if seed_baseline is None and target.exists():
+        try:
+            previous = json.loads(target.read_text(encoding="utf-8"))
+            seed_baseline = previous.get("seed_baseline")
+        except (OSError, ValueError):
+            seed_baseline = None
+    if seed_baseline:
+        report["seed_baseline"] = seed_baseline
+        report["speedup"] = _speedups(seed_baseline, report["workloads"])
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target
+
+
+def _speedups(baseline: dict, current: dict) -> dict[str, float]:
+    """Per-workload speedup factors (>1 means faster than the baseline).
+
+    Per-unit metrics (ms/sentence, messages/sec, queries/sec) compare
+    across differing iteration counts; total wall-clock metrics only
+    compare when the workload shape matches, so a ``--quick`` run's
+    shrunken classroom session is not divided against the full-size
+    seed baseline.
+    """
+    speedups: dict[str, float] = {}
+    ratios = [
+        ("cold_parse", "ms_per_sentence", True, ()),
+        ("warm_parse", "ms_per_sentence", True, ()),
+        ("supervision_throughput", "messages_per_sec", False, ()),
+        ("classroom_session", "seconds", True, ("learners", "rounds")),
+        ("suggestion_search", "queries_per_sec", False, ()),
+    ]
+    for workload, metric, lower_is_better, shape_keys in ratios:
+        base_workload = baseline.get(workload, {})
+        now_workload = current.get(workload, {})
+        base = base_workload.get(metric)
+        now = now_workload.get(metric)
+        if not base or not now:
+            continue
+        if any(base_workload.get(key) != now_workload.get(key) for key in shape_keys):
+            continue
+        speedups[workload] = round(base / now if lower_is_better else now / base, 2)
+    return speedups
+
+
+def add_bench_arguments(parser) -> None:
+    """Attach the harness's CLI flags (shared with ``repro bench``)."""
+    parser.add_argument("--output", default="BENCH_parse.json")
+    parser.add_argument("--quick", action="store_true", help="10%% iteration counts")
+
+
+def run_from_args(args) -> int:
+    """Execute the harness from parsed :func:`add_bench_arguments` flags."""
+    target = write_report(output=args.output, quick=args.quick)
+    report = json.loads(target.read_text(encoding="utf-8"))
+    for name, numbers in sorted(report["workloads"].items()):
+        metrics = ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(numbers.items())
+        )
+        print(f"{name}: {metrics}")
+    for name, factor in sorted(report.get("speedup", {}).items()):
+        print(f"speedup[{name}]: {factor}x vs seed")
+    print(f"wrote {target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro bench", description=__doc__)
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

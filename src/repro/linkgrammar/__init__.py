@@ -6,10 +6,11 @@ Learning_Angel agent builds on, extended with the fault tolerance the paper
 calls for: null-word parsing, unknown-word handling and error localisation.
 """
 
-from .connector import Connector, connectors_match, link_label
+from .connector import Connector, connectors_match, link_label, subscripts_match
 from .dictionary import Dictionary, DictionaryError, UNKNOWN_WORD, WALL_WORD, WordEntry
 from .disjunct import Disjunct, expand
 from .formula import FormulaError, parse_formula
+from .interning import InternedDisjunct, ParseTables
 from .linkage import Link, Linkage
 from .parser import ParseOptions, ParseResult, Parser
 from .repair import Repair, SentenceRepairer
@@ -19,6 +20,9 @@ __all__ = [
     "Connector",
     "connectors_match",
     "link_label",
+    "subscripts_match",
+    "InternedDisjunct",
+    "ParseTables",
     "Dictionary",
     "DictionaryError",
     "UNKNOWN_WORD",

@@ -62,7 +62,23 @@ class Connector:
         if match is None:
             raise ConnectorError(f"not a connector: {text!r}")
         multi, head, subscript, direction = match.groups()
-        return cls(head=head, subscript=subscript, direction=direction, multi=bool(multi))
+        return cls._trusted(head, subscript, direction, bool(multi))
+
+    @classmethod
+    def _trusted(cls, head: str, subscript: str, direction: str, multi: bool) -> "Connector":
+        """Construct without re-validating.
+
+        The dictionary-formula regex already guarantees a well-formed
+        connector; per-field validation in ``__post_init__`` was a
+        measurable share of dictionary build time, so trusted producers
+        (the formula parser, the interning tables) skip it.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "subscript", subscript)
+        object.__setattr__(self, "direction", direction)
+        object.__setattr__(self, "multi", multi)
+        return self
 
     @property
     def label(self) -> str:
@@ -84,12 +100,15 @@ class Connector:
 
 def subscripts_match(left: str, right: str) -> bool:
     """Position-wise subscript compatibility with ``*``/absence wildcards."""
-    length = max(len(left), len(right))
-    padded_left = left.ljust(length, "*")
-    padded_right = right.ljust(length, "*")
-    for a, b in zip(padded_left, padded_right):
+    if left == right or not left or not right:
+        # Fast path: identical subscripts trivially agree, and an empty
+        # subscript is all-wildcard, matching anything.
+        return True
+    for a, b in zip(left, right):
         if a != b and a != "*" and b != "*":
             return False
+    # The longer subscript's tail is compared against implicit padding
+    # ("*"), which always matches, so the shared prefix decides.
     return True
 
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from .disjunct import Disjunct, expand
+from .disjunct import Disjunct, expand_cached
 from .formula import Expr, FormulaError, Or, parse_formula
+from .interning import ParseTables
 
 UNKNOWN_WORD = "<UNKNOWN>"
 WALL_WORD = "<WALL>"
@@ -47,7 +48,9 @@ class WordEntry:
 
     @classmethod
     def from_formula(cls, word: str, formula: Expr) -> "WordEntry":
-        return cls(word=word, formula=formula, disjuncts=expand(formula))
+        # expand_cached: identical formulas (shared across word lists and
+        # across dictionary rebuilds) expand to disjuncts exactly once.
+        return cls(word=word, formula=formula, disjuncts=expand_cached(formula))
 
 
 class Dictionary:
@@ -61,6 +64,9 @@ class Dictionary:
     def __init__(self, name: str = "anonymous") -> None:
         self.name = name
         self._entries: dict[str, WordEntry] = {}
+        self._version = 0
+        self._tables: ParseTables | None = None
+        self._tables_version = -1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,6 +104,7 @@ class Dictionary:
             else:
                 merged = Or((existing.formula, expr))
                 self._entries[key] = WordEntry.from_formula(key, merged)
+        self._version += 1
 
     def lookup(self, word: str) -> WordEntry | None:
         """The entry for ``word``, or the ``<UNKNOWN>`` entry, or None."""
@@ -118,6 +125,31 @@ class Dictionary:
     def wall_entry(self) -> WordEntry | None:
         """The left-wall entry, if this dictionary defines one."""
         return self._entries.get(WALL_WORD.lower())
+
+    @property
+    def version(self) -> int:
+        """Generation counter, bumped by every :meth:`define`.
+
+        Consumers that cache derived structures (the parse tables below,
+        the parser's sentence cache) key them by this counter so a
+        mutated dictionary never serves stale answers.
+        """
+        return self._version
+
+    @property
+    def tables(self) -> ParseTables:
+        """The interned-connector parse tables for the current generation.
+
+        Built lazily on first parse and rebuilt only when the dictionary
+        changes; every parse session of the same generation shares one
+        instance.
+        """
+        if self._tables is None or self._tables_version != self._version:
+            self._tables = ParseTables.build(
+                {word: entry.disjuncts for word, entry in self._entries.items()}
+            )
+            self._tables_version = self._version
+        return self._tables
 
     def disjunct_count(self) -> int:
         """Total number of disjuncts across all entries (a size metric).

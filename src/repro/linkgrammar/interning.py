@@ -1,0 +1,165 @@
+"""Dictionary-scoped connector interning and O(1) match tables.
+
+The region-counting parser probes connector pairs constantly: every memo
+key, pruning check and anchoring decision used to hash ``Connector``
+dataclasses and re-run the padded string comparison of
+:func:`~repro.linkgrammar.connector.subscripts_match`.  Profiling the
+supervision pipeline showed those string probes dominating parse time.
+
+This module precomputes, once per dictionary generation:
+
+* an **integer id** for every distinct connector appearing in any entry's
+  disjuncts (ids are dense, so plain lists serve as id-indexed tables);
+* a **match table** — for each ``+`` connector id, the frozenset of ``-``
+  connector ids it can link with (and the transpose), so a match probe is
+  one set-membership test instead of a string walk;
+* **interned disjuncts** per word entry — each disjunct re-expressed as
+  tuples of connector ids, keeping a reference to its source
+  :class:`~repro.linkgrammar.disjunct.Disjunct` for linkage output.
+
+Tables are owned by :class:`~repro.linkgrammar.dictionary.Dictionary`
+(see ``Dictionary.tables``), which rebuilds them when its entries change;
+parse sessions only ever see one consistent generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .connector import Connector, RIGHT, subscripts_match
+from .disjunct import Disjunct
+
+_EMPTY_IDS: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class InternedDisjunct:
+    """A disjunct re-expressed over interned connector ids.
+
+    Attributes:
+        left: ids of the left connectors, farthest partner first.
+        right: ids of the right connectors, farthest partner first.
+        left_set: ``left`` as a frozenset — power pruning checks disjunct
+            viability with one C-level subset test per side.
+        right_set: ``right`` as a frozenset.
+        source: the original :class:`Disjunct` (cost and linkage output).
+    """
+
+    left: tuple[int, ...]
+    right: tuple[int, ...]
+    left_set: frozenset[int]
+    right_set: frozenset[int]
+    source: Disjunct
+
+
+class ParseTables:
+    """Interned connectors, match table and interned disjuncts.
+
+    Build with :meth:`ParseTables.build`; instances are immutable in use
+    (the parser only reads them) and valid for exactly one dictionary
+    generation.
+    """
+
+    __slots__ = (
+        "_ids",
+        "connectors",
+        "multi",
+        "match_right",
+        "match_left",
+        "_words",
+    )
+
+    def __init__(self) -> None:
+        self._ids: dict[Connector, int] = {}
+        #: id -> the original connector (for building links).
+        self.connectors: list[Connector] = []
+        #: id -> True for ``@`` multi-connectors.
+        self.multi: list[bool] = []
+        #: plus id -> frozenset of minus ids it matches (empty for minus ids).
+        self.match_right: list[frozenset[int]] = []
+        #: minus id -> frozenset of plus ids it matches (empty for plus ids).
+        self.match_left: list[frozenset[int]] = []
+        #: defining word -> interned disjuncts, same order as the entry's.
+        self._words: dict[str, tuple[InternedDisjunct, ...]] = {}
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(cls, entries: dict[str, tuple[Disjunct, ...]]) -> "ParseTables":
+        """Intern every entry's connectors and precompute the match table.
+
+        Args:
+            entries: defining word -> that word's expanded disjuncts.
+        """
+        tables = cls()
+        for word, disjuncts in entries.items():
+            interned = []
+            for d in disjuncts:
+                left = tuple(tables._intern(c) for c in d.left) or _EMPTY_IDS
+                right = tuple(tables._intern(c) for c in d.right) or _EMPTY_IDS
+                interned.append(
+                    InternedDisjunct(
+                        left=left,
+                        right=right,
+                        left_set=frozenset(left),
+                        right_set=frozenset(right),
+                        source=d,
+                    )
+                )
+            tables._words[word] = tuple(interned)
+        tables._compute_matches()
+        return tables
+
+    def _intern(self, connector: Connector) -> int:
+        known = self._ids.get(connector)
+        if known is not None:
+            return known
+        next_id = len(self.connectors)
+        self._ids[connector] = next_id
+        self.connectors.append(connector)
+        self.multi.append(connector.multi)
+        return next_id
+
+    def _compute_matches(self) -> None:
+        """Fill ``match_right``/``match_left`` by exhaustive head-grouped
+        comparison (the only place the string matching rule still runs)."""
+        by_head_plus: dict[str, list[int]] = {}
+        by_head_minus: dict[str, list[int]] = {}
+        for cid, connector in enumerate(self.connectors):
+            bucket = by_head_plus if connector.direction == RIGHT else by_head_minus
+            bucket.setdefault(connector.head, []).append(cid)
+        empty: frozenset[int] = frozenset()
+        self.match_right = [empty] * len(self.connectors)
+        self.match_left = [empty] * len(self.connectors)
+        left_sets: dict[int, set[int]] = {}
+        for head, plus_ids in by_head_plus.items():
+            minus_ids = by_head_minus.get(head, ())
+            for plus_id in plus_ids:
+                plus_sub = self.connectors[plus_id].subscript
+                matched = frozenset(
+                    minus_id
+                    for minus_id in minus_ids
+                    if subscripts_match(plus_sub, self.connectors[minus_id].subscript)
+                )
+                self.match_right[plus_id] = matched
+                for minus_id in matched:
+                    left_sets.setdefault(minus_id, set()).add(plus_id)
+        for minus_id, plus_set in left_sets.items():
+            self.match_left[minus_id] = frozenset(plus_set)
+
+    # ------------------------------------------------------------- queries
+
+    def interned(self, word: str) -> tuple[InternedDisjunct, ...]:
+        """The interned disjuncts of a defining word (empty if unknown)."""
+        return self._words.get(word, ())
+
+    def matches(self, plus_id: int, minus_id: int) -> bool:
+        """O(1) probe: can these two interned connectors link?"""
+        return minus_id in self.match_right[plus_id]
+
+    def id_of(self, connector: Connector) -> int | None:
+        """The interned id of ``connector``, or None if never seen."""
+        return self._ids.get(connector)
+
+    def __len__(self) -> int:
+        return len(self.connectors)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from .dictionary import Dictionary
 from .lexicon.builder import pluralize, verb_forms
 from .parser import ParseOptions, Parser
-from .tokenizer import tokenize
+from .tokenizer import TokenizedSentence, tokenize
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,26 +63,28 @@ class SentenceRepairer:
 
     # ----------------------------------------------------------------- API
 
-    def repair(self, text: str) -> list[Repair]:
+    def repair(self, text: str | TokenizedSentence) -> list[Repair]:
         """Suggest up to ``max_results`` single-edit corrections.
 
-        Returns an empty list when the sentence is already fully
-        grammatical or nothing parses better.
+        Accepts raw or pre-tokenised input.  Returns an empty list when
+        the sentence is already fully grammatical or nothing parses
+        better.
         """
-        baseline = self.parser.parse(text)
+        sentence = tokenize(text) if isinstance(text, str) else text
+        baseline = self.parser.parse(sentence)
         base_cost = baseline.best.cost if baseline.best else 0
         base_key = (baseline.null_count, base_cost)
         if baseline.null_count == 0 and not baseline.unknown_words and base_cost == 0:
             return []
-        words = list(tokenize(text).words)
-        terminator = tokenize(text).terminator
+        words = list(sentence.words)
+        terminator = sentence.terminator
         if not words:
             return []
         trouble = self._trouble_spots(baseline, len(words))
         repairs: list[Repair] = []
         seen: set[str] = set()
         for candidate, edit in self._candidates(words, terminator, trouble):
-            if candidate in seen or candidate.lower() == text.lower():
+            if candidate in seen or candidate.lower() == sentence.raw.lower():
                 continue
             seen.add(candidate)
             result = self.parser.parse(candidate)

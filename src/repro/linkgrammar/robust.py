@@ -22,6 +22,7 @@ from enum import Enum
 
 from .dictionary import Dictionary
 from .parser import ParseOptions, ParseResult, Parser
+from .tokenizer import TokenizedSentence
 
 
 class ErrorKind(Enum):
@@ -94,8 +95,9 @@ class RobustAnalyzer:
         self.dictionary = dictionary
         self.parser = Parser(dictionary, options or ParseOptions())
 
-    def analyze(self, text: str) -> GrammarDiagnosis:
-        """Parse ``text`` and collect localised syntax issues."""
+    def analyze(self, text: str | TokenizedSentence) -> GrammarDiagnosis:
+        """Parse ``text`` (raw or pre-tokenised) and collect localised
+        syntax issues."""
         result = self.parser.parse(text)
         issues: list[SyntaxIssue] = []
         offset = 1 if result.has_wall else 0

@@ -1,0 +1,105 @@
+"""Single-pass analysis threading through the supervision stages.
+
+The pipeline classifies/tokenises each sentence once and hands the
+results to Learning_Angel and the Semantic Agent; the threaded calls must
+be observably identical to the agents' self-computed paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.learning_angel import LearningAngelAgent
+from repro.agents.semantic_agent import SemanticAgent
+from repro.core.system import ELearningSystem
+from repro.linkgrammar.lexicon import default_dictionary
+from repro.linkgrammar.tokenizer import tokenize
+from repro.nlp.keywords import KeywordFilter
+from repro.nlp.patterns import classify
+from repro.ontology.domains import default_ontology
+
+SENTENCES = [
+    "We push an element onto the stack.",
+    "The tree doesn't have pop method.",
+    "I push the data into a tree.",
+    "Does stack have pop method?",
+    "tree have pop",
+]
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return default_ontology()
+
+
+@pytest.fixture(scope="module")
+def semantic_agent(ontology):
+    return SemanticAgent(ontology)
+
+
+class TestSemanticAgentThreading:
+    def test_precomputed_analysis_matches_self_computed(self, semantic_agent):
+        for sentence in SENTENCES:
+            tokenized = tokenize(sentence)
+            pattern = classify(tokenized)
+            keywords = tuple(semantic_agent.keyword_filter.extract(tokenized))
+            threaded = semantic_agent.review(
+                tokenized, syntactically_ok=True, analysis=pattern, keywords=keywords
+            )
+            plain = semantic_agent.review(sentence)
+            assert threaded == plain
+
+    def test_pretokenized_without_analysis(self, semantic_agent):
+        for sentence in SENTENCES:
+            assert semantic_agent.review(tokenize(sentence)) == semantic_agent.review(sentence)
+
+
+class TestLearningAngelThreading:
+    @pytest.fixture(scope="class")
+    def agent(self, ontology):
+        return LearningAngelAgent(
+            default_dictionary(), keyword_filter=KeywordFilter(ontology)
+        )
+
+    def test_review_accepts_tokenized_and_pattern(self, agent):
+        for sentence in SENTENCES:
+            tokenized = tokenize(sentence)
+            pattern = classify(tokenized)
+            threaded = agent.review(tokenized, pattern=pattern)
+            plain = agent.review(sentence)
+            assert threaded.pattern == pattern
+            assert plain.pattern == pattern
+            assert threaded.diagnosis == plain.diagnosis
+            assert threaded.keywords == plain.keywords
+            assert threaded.repairs == plain.repairs
+
+    def test_review_records_pattern_without_hint(self, agent):
+        review = agent.review("What is a queue?")
+        assert review.pattern is not None
+        assert review.pattern.is_question
+
+
+class TestPipelineSingleClassification:
+    def test_supervision_still_counts_and_replies(self):
+        """End-to-end smoke: the threaded pipeline produces the same
+        verdict mix as before (questions answered, violations flagged)."""
+        system = ELearningSystem.with_defaults()
+        system.open_room("t", topic="t")
+        system.join("t", "alice")
+        system.say("t", "alice", "What is a queue?")
+        system.say("t", "alice", "I push the data into a tree.")
+        system.say("t", "alice", "The tree doesn't have pop method.")
+        system.say("t", "alice", "tree have pop")
+        stats = system.stats
+        assert stats.questions == 1
+        assert stats.semantic_violations >= 1
+        assert stats.syntax_errors >= 1
+        assert stats.misconceptions == 0  # the negated claim is true in-domain
+
+    def test_recorded_pattern_comes_from_review(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("t", topic="t")
+        system.join("t", "bob")
+        before = len(system.corpus)
+        system.say("t", "bob", "We push an element onto the stack.")
+        added = system.corpus.records()[before:]
+        assert [record.pattern for record in added] == ["simple"]

@@ -1,0 +1,127 @@
+"""Ingestion-time indexes of the learner corpus: cached token/keyword
+sets and the verdict / inverted-keyword indexes must agree with brute
+force scans, including after a save/load round trip."""
+
+from __future__ import annotations
+
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.tokenizer import tokenize
+
+
+def make_record(corpus: LearnerCorpus, text: str, verdict: Correctness, keywords: list[str]):
+    return corpus.add(
+        CorpusRecord(
+            record_id=corpus.next_id(),
+            user="u",
+            room="r",
+            text=text,
+            timestamp=float(corpus.next_id()),
+            pattern="simple",
+            verdict=verdict,
+            syntax_issues=[],
+            semantic_issues=[],
+            keywords=keywords,
+            links="",
+            cost=0,
+        )
+    )
+
+
+def seeded_corpus() -> LearnerCorpus:
+    corpus = LearnerCorpus()
+    make_record(corpus, "We push an element onto the stack.", Correctness.CORRECT, ["stack", "push"])
+    make_record(corpus, "The queue has dequeue operation.", Correctness.CORRECT, ["queue", "dequeue"])
+    make_record(corpus, "tree have pop", Correctness.SYNTAX_ERROR, ["tree", "pop"])
+    make_record(corpus, "A binary tree is a tree.", Correctness.CORRECT, ["binary tree", "tree"])
+    make_record(corpus, "What is a queue?", Correctness.QUESTION, ["queue"])
+    return corpus
+
+
+class TestIngestionCaches:
+    def test_token_sets_cached_on_add(self):
+        corpus = seeded_corpus()
+        for position, record in enumerate(corpus.records()):
+            assert corpus.token_set(position) == frozenset(tokenize(record.text).words)
+
+    def test_keyword_sets_lowercased(self):
+        corpus = seeded_corpus()
+        for position, record in enumerate(corpus.records()):
+            assert corpus.keyword_set(position) == frozenset(k.lower() for k in record.keywords)
+
+    def test_round_trip_rebuilds_caches(self, tmp_path):
+        corpus = seeded_corpus()
+        path = tmp_path / "corpus.jsonl"
+        corpus.save(path)
+        loaded = LearnerCorpus.load(path)
+        assert len(loaded) == len(corpus)
+        for position in range(len(corpus)):
+            assert loaded.token_set(position) == corpus.token_set(position)
+            assert loaded.keyword_set(position) == corpus.keyword_set(position)
+        assert [r.record_id for r in loaded.correct_records()] == [
+            r.record_id for r in corpus.correct_records()
+        ]
+
+
+class TestIndexParity:
+    def test_by_verdict_matches_filter(self):
+        corpus = seeded_corpus()
+        for verdict in Correctness:
+            assert corpus.by_verdict(verdict) == corpus.filter(lambda r: r.verdict == verdict)
+
+    def test_with_keyword_matches_filter(self):
+        corpus = seeded_corpus()
+        for keyword in ("stack", "TREE", "queue", "missing"):
+            needle = keyword.lower()
+            expected = corpus.filter(lambda r: needle in (k.lower() for k in r.keywords))
+            assert corpus.with_keyword(keyword) == expected
+
+    def test_correct_positions_align(self):
+        corpus = seeded_corpus()
+        positions = list(corpus.correct_positions())
+        assert [record for _, record in positions] == corpus.correct_records()
+        for position, record in positions:
+            assert corpus.record_at(position) is record
+
+
+class TestSuggestionSearchUsesIndexes:
+    def test_keyword_constrained_find_matches_bruteforce(self):
+        corpus = seeded_corpus()
+        search = SuggestionSearch(corpus)
+        query = "The stack doesn't have dequeue."
+        hits = search.find(query, keywords=["stack", "dequeue"], min_keyword_overlap=0.1)
+        # Brute force over correct records with the same scoring rule.
+        query_tokens = set(tokenize(query).words)
+        query_keywords = {"stack", "dequeue"}
+        expected = []
+        for record in corpus.correct_records():
+            record_keywords = {k.lower() for k in record.keywords}
+            union = query_keywords | record_keywords
+            keyword_overlap = len(query_keywords & record_keywords) / len(union) if union else 0.0
+            if keyword_overlap < 0.1:
+                continue
+            record_tokens = set(tokenize(record.text).words)
+            token_union = query_tokens | record_tokens
+            token_overlap = len(query_tokens & record_tokens) / len(token_union) if token_union else 0.0
+            if keyword_overlap == 0.0 and token_overlap == 0.0:
+                continue
+            expected.append((record.record_id, keyword_overlap, token_overlap))
+        expected.sort(key=lambda item: (-item[1], -item[2], item[0]))
+        assert [(h.record.record_id, h.keyword_overlap, h.token_overlap) for h in hits] == expected
+
+    def test_find_accepts_pretokenized_sentence(self):
+        corpus = seeded_corpus()
+        search = SuggestionSearch(corpus)
+        raw = "stack have push"
+        assert search.find(tokenize(raw), keywords=["stack"]) == search.find(
+            raw, keywords=["stack"]
+        )
+
+    def test_never_suggests_query_back(self):
+        corpus = seeded_corpus()
+        search = SuggestionSearch(corpus)
+        hits = search.find("We push an element onto the stack.", keywords=["stack", "push"])
+        assert all(
+            hit.record.text.lower() != "we push an element onto the stack." for hit in hits
+        )

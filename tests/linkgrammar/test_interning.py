@@ -1,0 +1,119 @@
+"""Interned-connector parse tables: the id-based fast paths must agree
+bit-for-bit with the string matching rule they replace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar.connector import Connector, ConnectorError, connectors_match, subscripts_match
+from repro.linkgrammar.dictionary import Dictionary
+from repro.linkgrammar.lexicon import default_dictionary, toy_dictionary
+
+
+class TestSubscriptsFastPath:
+    def test_equal_subscripts_short_circuit(self):
+        assert subscripts_match("s", "s")
+        assert subscripts_match("su", "su")
+        assert subscripts_match("", "")
+
+    def test_empty_side_matches_anything(self):
+        assert subscripts_match("", "sp")
+        assert subscripts_match("sp", "")
+
+    def test_wildcards_and_padding_still_work(self):
+        assert subscripts_match("*u", "su")
+        assert subscripts_match("su", "s")
+        assert not subscripts_match("su", "sp")
+        assert not subscripts_match("s", "p")
+
+
+class TestTrustedConstruction:
+    def test_parse_round_trips(self):
+        for text in ("S+", "Ss-", "@A-", "D*u+", "MVp-", "@Wd+"):
+            connector = Connector.parse(text)
+            assert str(connector) == text
+
+    def test_parse_still_rejects_garbage(self):
+        for bad in ("s+", "S", "S*", "Sß+", "1+", ""):
+            with pytest.raises(ConnectorError):
+                Connector.parse(bad)
+
+    def test_direct_construction_still_validates(self):
+        with pytest.raises(ConnectorError):
+            Connector(head="s")
+        with pytest.raises(ConnectorError):
+            Connector(head="S", direction="x")
+        with pytest.raises(ConnectorError):
+            Connector(head="S", subscript="S")
+
+    def test_trusted_equals_validated(self):
+        assert Connector.parse("Ss+") == Connector(head="S", subscript="s", direction="+")
+        assert hash(Connector.parse("@A-")) == hash(
+            Connector(head="A", direction="-", multi=True)
+        )
+
+
+@pytest.mark.parametrize("dictionary_factory", [toy_dictionary, default_dictionary])
+class TestMatchTableParity:
+    """The precomputed id match table == the string rule, exhaustively."""
+
+    def test_match_table_agrees_with_connectors_match(self, dictionary_factory):
+        dictionary = dictionary_factory()
+        tables = dictionary.tables
+        connectors = tables.connectors
+        assert connectors, "tables should intern at least one connector"
+        for plus_id, plus in enumerate(connectors):
+            for minus_id, minus in enumerate(connectors):
+                expected = connectors_match(plus, minus)
+                assert tables.matches(plus_id, minus_id) == expected, (plus, minus)
+
+    def test_match_left_is_transpose_of_match_right(self, dictionary_factory):
+        tables = dictionary_factory().tables
+        for plus_id, minus_ids in enumerate(tables.match_right):
+            for minus_id in minus_ids:
+                assert plus_id in tables.match_left[minus_id]
+        for minus_id, plus_ids in enumerate(tables.match_left):
+            for plus_id in plus_ids:
+                assert minus_id in tables.match_right[plus_id]
+
+    def test_interned_disjuncts_mirror_entries(self, dictionary_factory):
+        dictionary = dictionary_factory()
+        tables = dictionary.tables
+        for word in dictionary.words():
+            entry = dictionary.lookup_exact(word)
+            interned = tables.interned(word)
+            assert len(interned) == len(entry.disjuncts)
+            for original, fast in zip(entry.disjuncts, interned):
+                assert fast.source is original
+                assert tuple(tables.connectors[i] for i in fast.left) == original.left
+                assert tuple(tables.connectors[i] for i in fast.right) == original.right
+                assert fast.left_set == frozenset(fast.left)
+                assert fast.right_set == frozenset(fast.right)
+
+
+class TestTableLifecycle:
+    def test_tables_cached_per_generation(self):
+        d = Dictionary()
+        d.define("a the", "D+")
+        first = d.tables
+        assert d.tables is first  # same generation -> same instance
+
+    def test_define_invalidates_tables(self):
+        d = Dictionary()
+        d.define("a the", "D+")
+        before = d.tables
+        version = d.version
+        d.define("cat", "D- & S+")
+        assert d.version > version
+        after = d.tables
+        assert after is not before
+        assert after.interned("cat")
+
+    def test_multi_flags_preserved(self):
+        d = Dictionary()
+        d.define("cat", "{@A-} & D- & S+")
+        tables = d.tables
+        multi_ids = [i for i, flag in enumerate(tables.multi) if flag]
+        assert multi_ids, "the @A- connector must be interned as multi"
+        for i in multi_ids:
+            assert tables.connectors[i].multi

@@ -1,0 +1,179 @@
+"""Cache-correctness parity suite (the PR's acceptance gate).
+
+Cached vs. cold :meth:`Parser.parse`, cached vs. cold
+:meth:`Parser.count_linkages` and pruned vs. unpruned sessions must agree
+*bit-identically* — same linkages, costs, null words and counts — on the
+simulation sentence generator's output (correct / error templates) and on
+the fixture sentences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linkgrammar import ParseOptions, Parser
+from repro.linkgrammar.lexicon import default_dictionary, toy_dictionary
+from repro.linkgrammar.tokenizer import tokenize
+from repro.ontology.domains import default_ontology
+from repro.simulation import ErrorInjector, SentenceGenerator
+
+FIXTURE_SENTENCES = [
+    "We push an element onto the stack.",
+    "What is a queue?",
+    "The tree doesn't have pop method.",
+    "I push the data into a tree.",
+    "A stack supports push.",
+    "Push the data onto the stack.",
+    "The queue has dequeue operation.",
+    "A binary tree is a tree.",
+    "the cat chased a mouse",
+    "purple monkeys dishwasher",
+    "",
+]
+
+
+def generated_corpus(count: int = 12) -> list[str]:
+    """Deterministic mix of correct / error-injected / question sentences."""
+    generator = SentenceGenerator(default_ontology(), seed=7)
+    injector = ErrorInjector(seed=7)
+    sentences: list[str] = []
+    for _ in range(count):
+        correct = generator.correct_statement().text
+        sentences.append(correct)
+        sentences.append(injector.inject_random(correct).text)
+        sentences.append(generator.semantic_violation().text)
+        sentences.append(generator.question().text)
+        sentences.append(generator.chitchat().text)
+    return sentences
+
+
+ALL_SENTENCES = FIXTURE_SENTENCES + generated_corpus()
+
+
+def assert_results_identical(a, b):
+    assert a.words == b.words
+    assert a.null_count == b.null_count
+    assert a.total_count == b.total_count
+    assert a.unknown_words == b.unknown_words
+    assert a.has_wall == b.has_wall
+    assert a.linkages == b.linkages  # links, labels, disjuncts, costs, nulls
+
+
+class TestCachedVsCold:
+    @pytest.fixture(scope="class")
+    def dictionary(self):
+        return default_dictionary()
+
+    def test_parse_parity_on_corpus(self, dictionary):
+        cold = Parser(dictionary, ParseOptions(cache_size=0))
+        warm = Parser(dictionary, ParseOptions(cache_size=256))
+        for sentence in ALL_SENTENCES:
+            first = warm.parse(sentence)   # cache miss
+            second = warm.parse(sentence)  # cache hit
+            reference = cold.parse(sentence)
+            assert_results_identical(first, reference)
+            assert_results_identical(second, reference)
+        assert warm.cache_hits >= len(ALL_SENTENCES) - 2  # duplicates collapse
+
+    def test_count_linkages_parity(self, dictionary):
+        cold = Parser(dictionary, ParseOptions(cache_size=0))
+        warm = Parser(dictionary, ParseOptions(cache_size=256))
+        for sentence in ALL_SENTENCES[:12]:
+            for nulls in range(3):
+                expected = cold.count_linkages(sentence, nulls=nulls)
+                assert warm.count_linkages(sentence, nulls=nulls) == expected
+                assert warm.count_linkages(sentence, nulls=nulls) == expected  # hit
+
+    def test_cache_hit_reattaches_raw_sentence(self, dictionary):
+        warm = Parser(dictionary)
+        first = warm.parse("We push an element onto the stack.")
+        second = warm.parse("we PUSH an element onto the stack")
+        assert first.sentence.raw == "We push an element onto the stack."
+        assert second.sentence.raw == "we PUSH an element onto the stack"
+        assert first.linkages == second.linkages
+
+    def test_pretokenized_input_hits_cache(self, dictionary):
+        warm = Parser(dictionary)
+        raw = "A stack supports push."
+        warm.parse(raw)
+        hits_before = warm.cache_hits
+        result = warm.parse(tokenize(raw))
+        assert warm.cache_hits == hits_before + 1
+        assert result.sentence.raw == raw
+
+
+class TestCacheLifecycle:
+    def test_lru_is_bounded(self):
+        parser = Parser(toy_dictionary(), ParseOptions(use_wall=False, cache_size=4))
+        words = ["cat", "mouse", "John", "ran", "chased", "a", "the"]
+        for i, word in enumerate(words):
+            parser.parse(f"the {word} ran")
+        assert parser.cache_info()["parse_entries"] <= 4
+
+    def test_clear_caches(self):
+        parser = Parser(toy_dictionary(), ParseOptions(use_wall=False))
+        parser.parse("the cat ran")
+        parser.parse("the cat ran")
+        assert parser.cache_hits == 1
+        parser.clear_caches()
+        info = parser.cache_info()
+        assert info == {
+            "hits": 0,
+            "misses": 0,
+            "parse_entries": 0,
+            "count_entries": 0,
+            "cache_size": 256,
+        }
+
+    def test_dictionary_mutation_invalidates_cached_parses(self):
+        from repro.linkgrammar.dictionary import Dictionary
+
+        d = Dictionary()
+        d.define("a the", "D+")
+        d.define("cat dog", "D- & S+")
+        d.define("ran", "S-")
+        parser = Parser(d, ParseOptions(use_wall=False))
+        before = parser.parse("the cat meowed")
+        assert "meowed" in before.unknown_words
+        d.define("meowed", "S-")
+        after = parser.parse("the cat meowed")
+        assert after.unknown_words == ()
+        assert after.null_count == 0
+
+    def test_cache_disabled_still_correct(self):
+        parser = Parser(toy_dictionary(), ParseOptions(use_wall=False, cache_size=0))
+        result = parser.parse("the cat chased a mouse")
+        assert result.null_count == 0
+        assert parser.cache_info()["parse_entries"] == 0
+
+
+class TestPrunedVsUnpruned:
+    """Power pruning is sound: it must never change any observable."""
+
+    @pytest.mark.parametrize(
+        "factory,options",
+        [
+            (toy_dictionary, dict(use_wall=False)),
+            (default_dictionary, dict()),
+        ],
+    )
+    def test_parity(self, factory, options):
+        dictionary = factory()
+        pruned = Parser(dictionary, ParseOptions(cache_size=0, prune=True, **options))
+        unpruned = Parser(dictionary, ParseOptions(cache_size=0, prune=False, **options))
+        sentences = (
+            ["the cat chased a mouse", "cat ran", "John chased the mouse"]
+            if factory is toy_dictionary
+            else ALL_SENTENCES[:16]
+        )
+        for sentence in sentences:
+            assert_results_identical(pruned.parse(sentence), unpruned.parse(sentence))
+
+    def test_count_parity_unpruned(self):
+        dictionary = default_dictionary()
+        pruned = Parser(dictionary, ParseOptions(cache_size=0, prune=True))
+        unpruned = Parser(dictionary, ParseOptions(cache_size=0, prune=False))
+        for sentence in ALL_SENTENCES[:8]:
+            for nulls in range(2):
+                assert pruned.count_linkages(sentence, nulls=nulls) == unpruned.count_linkages(
+                    sentence, nulls=nulls
+                )
