@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-pytest simulate
+.PHONY: test bench bench-quick bench-pytest simulate
 
 # Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
 test:
@@ -12,6 +12,11 @@ test:
 # Deterministic perf harness; writes BENCH_parse.json at the repo root.
 bench:
 	$(PY) -m repro bench
+
+# Smoke check: 10% iteration counts, written to a scratch path so the
+# committed BENCH_parse.json (and its pinned seed baseline) stays put.
+bench-quick:
+	$(PY) -m repro bench --quick --output $${TMPDIR:-/tmp}/BENCH_quick.json
 
 # The statistically careful pytest-benchmark suites (figures + scalability).
 bench-pytest:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.corpus.records import Correctness, CorpusRecord
 from repro.corpus.search import SuggestionSearch
 from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.cache import ParseCacheStore
 from repro.linkgrammar.dictionary import Dictionary
 from repro.linkgrammar.parser import ParseOptions
 from repro.linkgrammar.repair import SentenceRepairer
@@ -38,6 +39,10 @@ class LearningAngelAgent:
         options: parser options (null tolerance, linkage caps).
         repair: also propose single-edit corrections of the learner's
             own sentence (on by default).
+        cache_store: parse cache shared by the analyzer's and the
+            repairer's parsers.  Defaults to the dictionary's own shared
+            store, so repair candidates re-parsed by either component hit
+            a single LRU; pass an explicit store to isolate the agent.
     """
 
     name = AGENT_NAME
@@ -49,12 +54,28 @@ class LearningAngelAgent:
         keyword_filter: KeywordFilter | None = None,
         options: ParseOptions | None = None,
         repair: bool = True,
+        cache_store: ParseCacheStore | None = None,
     ) -> None:
-        self.analyzer = RobustAnalyzer(dictionary, options)
+        options = options or ParseOptions()
+        if cache_store is None and options.cache_size > 0:
+            cache_store = dictionary.shared_cache_store()
+        self.cache_store = cache_store
+        self.analyzer = RobustAnalyzer(dictionary, options, cache_store=cache_store)
         self.corpus = corpus
         self.search = SuggestionSearch(corpus) if corpus is not None else None
         self.keyword_filter = keyword_filter
-        self.repairer = SentenceRepairer(dictionary) if repair else None
+        # Same options as the analyzer: identical cache fingerprints, so
+        # a sentence parsed by one component is a hit for the other.
+        # Repair outcomes are provably unchanged only while the linkage
+        # enumeration window stays at 256 (max_linkages <= 64); beyond
+        # that, keep the repairer on its classic options — cache sharing
+        # is lost but repair behaviour is preserved.
+        repair_options = options if options.max_linkages <= 64 else None
+        self.repairer = (
+            SentenceRepairer(dictionary, options=repair_options, cache_store=cache_store)
+            if repair
+            else None
+        )
 
     def review(
         self,

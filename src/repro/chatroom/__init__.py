@@ -11,7 +11,9 @@ from .events import (
 )
 from .messages import ChatMessage, MessageKind, Participant, Role
 from .room import ChatRoom, ChatRoomError
+from .runtime import RUNTIME_MODES, SupervisionRuntime
 from .server import ChatServer
+from .shard import ShardQueue, SupervisionItem, SupervisionWorker, shard_of
 from .supervisor import (
     QA_AGENT_NAME,
     SupervisionPipeline,
@@ -32,10 +34,16 @@ __all__ = [
     "Participant",
     "QA_AGENT_NAME",
     "Role",
+    "RUNTIME_MODES",
+    "ShardQueue",
     "SimulatedClock",
+    "SupervisionItem",
     "SupervisionPipeline",
     "SupervisionPolicy",
+    "SupervisionRuntime",
     "SupervisionStats",
+    "SupervisionWorker",
     "UserJoined",
     "UserLeft",
+    "shard_of",
 ]

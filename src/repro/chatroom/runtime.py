@@ -1,0 +1,162 @@
+"""The supervision runtime: how agent analysis is scheduled.
+
+``ChatServer`` used to run the full Figure-3 supervision flow inline in
+``post``: posting latency grew with agent work, and one hot room stalled
+every other room.  The runtime makes the boundary explicit and gives it
+three modes:
+
+``inline``
+    The legacy shape: supervisors run synchronously inside ``post``, no
+    queue machinery at all.  Kept for parity testing and for callers
+    that want zero indirection.
+
+``queued`` (default)
+    ``post`` is O(1) — it enqueues a :class:`SupervisionItem` and
+    returns.  With ``auto_drain`` (the default) the queue is drained
+    immediately after each post by a single worker, which is
+    **byte-identical** to the inline pipeline: same transcripts, stats,
+    corpus records, profiles (asserted by the runtime parity suite).
+    With ``auto_drain=False`` the caller drains explicitly and posting
+    cost is independent of supervision work.
+
+``sharded``
+    Rooms are assigned to N shards by CRC-32; each shard is owned by one
+    :class:`SupervisionWorker` with its own pipeline clone and stats.
+    Draining batches items and shares one sentence-analysis memo across
+    the whole drain cycle, so identical sentences posted to many rooms
+    are parsed once and the results fanned out.  Agent replies land at
+    drain time (after the user messages of the batch), which is the
+    documented behavioural difference from the synchronous modes.
+
+Everything is cooperative and deterministic — "workers" are drained in
+index order on the caller's thread, modelling the shard boundary without
+nondeterministic scheduling.
+"""
+
+from __future__ import annotations
+
+from .shard import SupervisionItem, SupervisionWorker, dispatch, shard_of
+
+RUNTIME_MODES = ("inline", "queued", "sharded")
+
+
+class SupervisionRuntime:
+    """Schedules supervision work for a :class:`ChatServer`.
+
+    Args:
+        mode: ``inline``, ``queued`` or ``sharded`` (see module docs).
+        shards: number of room shards / workers (``sharded`` mode only;
+            the other modes always run a single worker).
+        batch_size: max items one worker processes per drain pass before
+            the cycle moves to the next worker (fairness bound).
+        auto_drain: drain after every submitted item.  Defaults to True
+            for ``inline``/``queued`` (synchronous semantics) and False
+            for ``sharded`` (callers drain explicitly, posting is O(1)).
+    """
+
+    def __init__(
+        self,
+        mode: str = "queued",
+        shards: int = 1,
+        batch_size: int = 64,
+        auto_drain: bool | None = None,
+    ) -> None:
+        if mode not in RUNTIME_MODES:
+            raise ValueError(f"unknown runtime mode {mode!r}; expected one of {RUNTIME_MODES}")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if mode != "sharded":
+            shards = 1
+        self.mode = mode
+        self.batch_size = batch_size
+        self.auto_drain = (mode != "sharded") if auto_drain is None else auto_drain
+        self.workers = [SupervisionWorker(index) for index in range(shards)]
+        self._prototypes: list = []
+        self._draining = False
+
+    # --------------------------------------------------------- supervisors
+
+    @property
+    def supervisors(self) -> tuple:
+        """The registered supervisor prototypes (worker 0's instances).
+
+        A tuple on purpose: the pre-runtime ``server.supervisors.append``
+        registration pattern must fail loudly — appended supervisors
+        would never be dispatched.  Use :meth:`add_supervisor`.
+        """
+        return tuple(self._prototypes)
+
+    def add_supervisor(self, supervisor) -> None:
+        """Register a supervisor across all workers.
+
+        Worker 0 gets the object itself; further workers get per-worker
+        clones when the supervisor supports it (``clone()``), so each
+        worker owns its shard's pipeline state and stats.  Supervisors
+        without ``clone`` are assumed stateless and shared as-is.
+        """
+        self._prototypes.append(supervisor)
+        clone = getattr(supervisor, "clone", None)
+        for worker in self.workers:
+            if worker.index == 0 or clone is None:
+                worker.supervisors.append(supervisor)
+            else:
+                worker.supervisors.append(clone())
+
+    # ------------------------------------------------------------ schedule
+
+    def submit(self, server, item: SupervisionItem) -> None:
+        """Hand one delivered user message to the runtime."""
+        if self.mode == "inline":
+            for supervisor in self.workers[0].supervisors:
+                dispatch(supervisor, server, item, None)
+            self.workers[0].processed += 1
+            return
+        worker = self.workers[shard_of(item.room.name, len(self.workers))]
+        worker.enqueue(item)
+        # A supervisor posting user-visible follow-ups during a drain must
+        # not recurse; the outer drain loop picks the new item up.
+        if self.auto_drain and not self._draining:
+            self.drain(server)
+
+    def drain(self, server) -> int:
+        """Drain every queue to empty; returns the number of items done.
+
+        Workers run in index order, ``batch_size`` items per pass, and
+        the cycle repeats until no queue holds work (items enqueued
+        *during* the drain — e.g. by a supervisor-triggered post — are
+        included).  One sentence-analysis memo is shared across the
+        whole cycle: the cross-room dedup that makes sharded drains
+        cheaper than per-message supervision.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        memo: dict = {}
+        done = 0
+        try:
+            progressed = True
+            while progressed:
+                progressed = False
+                for worker in self.workers:
+                    n = worker.drain(server, self.batch_size, memo)
+                    if n:
+                        done += n
+                        progressed = True
+        finally:
+            self._draining = False
+        return done
+
+    # ------------------------------------------------------------- reports
+
+    @property
+    def pending(self) -> int:
+        """Queued items not yet supervised (0 in the synchronous modes)."""
+        return sum(worker.pending for worker in self.workers)
+
+    @property
+    def shards(self) -> int:
+        return len(self.workers)
+
+    def worker_loads(self) -> list[int]:
+        """Items processed per worker (shard balance diagnostics)."""
+        return [worker.processed for worker in self.workers]

@@ -1,19 +1,28 @@
-"""The chat server: rooms, ordered delivery, supervision hooks.
+"""The chat server: rooms, ordered delivery, supervision hand-off.
 
 A deterministic, in-process stand-in for the paper's networked chat
 service.  Delivery order is a single global sequence (total order), the
 clock is simulated, and *supervisors* — the paper's always-online agents —
 observe every user message after delivery and may post replies.
+
+Supervision is scheduled by a :class:`SupervisionRuntime` rather than run
+inline: ``post`` resolves the room once, delivers the message, and hands
+a :class:`SupervisionItem` to the runtime.  The default runtime (queued,
+single worker, drain-after-post) behaves byte-identically to the old
+synchronous fan-out; sharded runtimes defer agent work off the posting
+path entirely (see :mod:`repro.chatroom.runtime`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 from .clock import SimulatedClock
 from .events import AgentIntervened, EventBus, MessageDelivered, UserJoined, UserLeft
 from .messages import ChatMessage, MessageKind, Role
 from .room import ChatRoom, ChatRoomError
+from .runtime import SupervisionRuntime
+from .shard import SupervisionItem
 
 
 class Supervisor(Protocol):
@@ -24,14 +33,25 @@ class Supervisor(Protocol):
 
 
 class ChatServer:
-    """Rooms + total-order delivery + supervisor fan-out."""
+    """Rooms + total-order delivery + runtime-scheduled supervision."""
 
-    def __init__(self, clock: SimulatedClock | None = None, bus: EventBus | None = None) -> None:
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        bus: EventBus | None = None,
+        runtime: SupervisionRuntime | None = None,
+    ) -> None:
         self.clock = clock or SimulatedClock()
         self.bus = bus or EventBus()
+        self.runtime = runtime or SupervisionRuntime()
         self.rooms: dict[str, ChatRoom] = {}
-        self.supervisors: list[Supervisor] = []
         self._next_seq = 0
+
+    @property
+    def supervisors(self) -> tuple:
+        """Registered supervisor prototypes (read-only back-compat
+        accessor; register through :meth:`add_supervisor`)."""
+        return self.runtime.supervisors
 
     # --------------------------------------------------------------- rooms
 
@@ -61,7 +81,7 @@ class ChatServer:
     # ------------------------------------------------------------ delivery
 
     def add_supervisor(self, supervisor: Supervisor) -> None:
-        self.supervisors.append(supervisor)
+        self.runtime.add_supervisor(supervisor)
 
     def post(
         self,
@@ -71,10 +91,14 @@ class ChatServer:
         kind: MessageKind = MessageKind.USER,
         reply_to: int | None = None,
     ) -> ChatMessage:
-        """Deliver a message to a room and run supervision on it.
+        """Deliver a message to a room and schedule supervision for it.
 
         User messages require membership; agent/system messages do not
         (the agents are "constantly online" fixtures of every room).
+        Delivery itself is O(1): supervision runs now, after this post,
+        or at the next explicit drain, depending on the runtime mode.
+        The room is resolved exactly once and threaded through the work
+        item, so supervisors never repeat the lookup.
         """
         room = self.get_room(room_name)
         if kind == MessageKind.USER and not room.is_member(sender):
@@ -96,9 +120,18 @@ class ChatServer:
                 participant.messages_sent += 1
         self.bus.publish(MessageDelivered(message))
         if kind == MessageKind.USER:
-            for supervisor in self.supervisors:
-                supervisor.on_message(self, message)
+            role = participant.role if participant is not None else None
+            self.runtime.submit(self, SupervisionItem(message, room, role))
         return message
+
+    def drain_supervision(self) -> int:
+        """Flush all queued supervision work (deferred-drain runtimes)."""
+        return self.runtime.drain(self)
+
+    @property
+    def pending_supervision(self) -> int:
+        """Messages delivered but not yet supervised."""
+        return self.runtime.pending
 
     def post_agent_reply(
         self,

@@ -1,0 +1,128 @@
+"""Room-sharded supervision work queues and workers.
+
+The sharded runtime (see :mod:`repro.chatroom.runtime`) decouples message
+delivery from agent analysis: :meth:`~repro.chatroom.server.ChatServer.post`
+enqueues a :class:`SupervisionItem` on a deterministic per-room-shard
+queue, and :class:`SupervisionWorker` instances drain the queues in
+batches.  Everything here is single-process and deterministic — the
+sharding models the unit of horizontal scale (one worker per shard owns
+that shard's pipeline state), while keeping runs replayable.
+
+Shard assignment uses CRC-32 of the room name, **not** Python's
+``hash()``: the builtin is salted per process, and shard placement must
+be stable across runs for transcripts to be reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Protocol
+
+from .messages import ChatMessage, Role
+from .room import ChatRoom
+
+
+def shard_of(room_name: str, shards: int) -> int:
+    """Deterministic shard index of a room (stable across processes)."""
+    if shards <= 1:
+        return 0
+    return zlib.crc32(room_name.encode("utf-8")) % shards
+
+
+@dataclass(slots=True)
+class SupervisionItem:
+    """One unit of supervision work, captured at post time.
+
+    The room is resolved once, in ``post`` — supervisors never repeat the
+    ``get_room`` lookup — and the sender's role is snapshotted alongside,
+    so a learner leaving (or being promoted) between post and a deferred
+    drain cannot change how the message is judged.
+    """
+
+    message: ChatMessage
+    room: ChatRoom
+    sender_role: Role | None = None
+
+
+class ItemSupervisor(Protocol):
+    """A supervisor that accepts resolved work items (the fast path)."""
+
+    def on_item(self, server, item: SupervisionItem, memo: dict | None = None) -> None:
+        """React to one delivered user message with its room resolved."""
+
+
+def dispatch(supervisor, server, item: SupervisionItem, memo: dict | None) -> None:
+    """Deliver one item to a supervisor, newest protocol first.
+
+    Rich supervisors (the pipeline) take the resolved item plus the
+    batch's shared-analysis memo; plain observers keep the original
+    ``on_message(server, message)`` protocol.
+    """
+    handler = getattr(supervisor, "on_item", None)
+    if handler is not None:
+        handler(server, item, memo=memo)
+    else:
+        supervisor.on_message(server, item.message)
+
+
+class ShardQueue:
+    """FIFO queue of pending supervision items for one shard."""
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: deque[SupervisionItem] = deque()
+
+    def push(self, item: SupervisionItem) -> None:
+        self.items.append(item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class SupervisionWorker:
+    """Drains one shard's queue through this worker's supervisors.
+
+    A worker is *stateless between batches*: all durable state lives in
+    the shared stores (corpus, profiles, FAQ) its supervisors write to,
+    plus the supervisors' own counters.  Each worker gets its own
+    supervisor instances (pipeline clones with private stats), so N
+    workers never contend on one stats object and per-shard load is
+    observable.
+    """
+
+    __slots__ = ("index", "queue", "supervisors", "processed")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.queue = ShardQueue()
+        self.supervisors: list = []
+        self.processed = 0
+
+    def enqueue(self, item: SupervisionItem) -> None:
+        self.queue.push(item)
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def drain(self, server, max_items: int, memo: dict | None = None) -> int:
+        """Process up to ``max_items`` queued items, FIFO.
+
+        ``memo`` is the batch's shared sentence-analysis cache (see
+        :class:`~repro.chatroom.supervisor.SupervisionPipeline`): one
+        drain cycle passes a single dict through every worker, so a
+        sentence posted to many rooms is analysed once and its results
+        fanned out.
+        """
+        done = 0
+        items = self.queue.items
+        while items and done < max_items:
+            item = items.popleft()
+            for supervisor in self.supervisors:
+                dispatch(supervisor, server, item, memo)
+            done += 1
+        self.processed += done
+        return done

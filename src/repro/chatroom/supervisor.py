@@ -5,23 +5,37 @@ paper's flow: Learning_Angel (syntax) → pattern classification → either
 the QA subsystem (questions) or the Semantic Agent (statements); analysed
 sentences are recorded into the Learner Corpus and the User Profile
 database, and agent replies are posted back into the room.
+
+The pipeline consumes :class:`~repro.chatroom.shard.SupervisionItem`
+work items (message + room resolved once at post time) and splits each
+sentence's handling into a *pure analysis* step and an *apply* step
+(stats, replies, recording).  The split is what makes batch dedup sound:
+analyses of syntactically-correct sentences depend only on static state
+(dictionary, ontology, keyword filter), so a drain batch can compute
+them once per distinct sentence and fan the result out across rooms.
+Faulty sentences consult the growing learner corpus for suggestions and
+are therefore always analysed fresh, keeping every mode's per-item
+output identical to the synchronous pipeline's.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.agents.learning_angel import LearningAngelAgent
-from repro.agents.reports import SemanticVerdict
+from repro.agents.reports import SemanticReview, SemanticVerdict, SyntaxReview
 from repro.agents.semantic_agent import SemanticAgent
 from repro.corpus.records import Correctness
-from repro.linkgrammar.tokenizer import split_sentences, tokenize
-from repro.nlp.patterns import classify
+from repro.linkgrammar.tokenizer import TokenizedSentence, split_sentences, tokenize
+from repro.nlp.patterns import PatternAnalysis, classify
 from repro.profiles.store import UserProfileStore
 from repro.qa.engine import QASystem
 
 from .messages import ChatMessage, MessageKind, Role
 from .server import ChatServer
+from .shard import SupervisionItem
 
 QA_AGENT_NAME = "QA_System"
 
@@ -40,6 +54,38 @@ class SupervisionStats:
     faq_hits: int = 0
     agent_replies: int = 0
     corrections_suggested: int = 0
+
+    def merge(self, other: "SupervisionStats") -> "SupervisionStats":
+        """Add ``other``'s counters into this instance (returns self)."""
+        for fld in dataclasses.fields(SupervisionStats):
+            setattr(self, fld.name, getattr(self, fld.name) + getattr(other, fld.name))
+        return self
+
+    @classmethod
+    def total(cls, parts: Iterable["SupervisionStats"]) -> "SupervisionStats":
+        """A fresh stats object holding the sum of ``parts``."""
+        combined = cls()
+        for part in parts:
+            combined.merge(part)
+        return combined
+
+
+@dataclass(slots=True)
+class _SentenceAnalysis:
+    """The pure (side-effect-free) analysis of one sentence.
+
+    ``shareable`` marks analyses that depend only on static state — a
+    syntactically-correct review never touches the learner corpus — and
+    may therefore be fanned out across rooms within a drain batch.  The
+    semantic review is filled lazily by the first statement that needs
+    it and reused by every later duplicate.
+    """
+
+    tokenized: TokenizedSentence
+    pattern: PatternAnalysis
+    review: SyntaxReview
+    shareable: bool
+    semantic: SemanticReview | None = None
 
 
 @dataclass(slots=True)
@@ -64,7 +110,14 @@ class SupervisionPolicy:
 
 
 class SupervisionPipeline:
-    """Binds the agents, QA system, corpus and profiles to a server."""
+    """Binds the agents, QA system, corpus and profiles to a server.
+
+    One pipeline instance is one worker's supervision state: the heavy
+    collaborators (agents, QA, profiles) are shared, the stats counters
+    are private.  The sharded runtime calls :meth:`clone` once per extra
+    worker; :meth:`combined_stats` merges every clone's counters back
+    into the global view on demand.
+    """
 
     def __init__(
         self,
@@ -80,21 +133,112 @@ class SupervisionPipeline:
         self.profiles = profiles
         self.policy = policy or SupervisionPolicy()
         self.stats = SupervisionStats()
+        self._clones: list["SupervisionPipeline"] = []
+
+    # ------------------------------------------------------------ sharding
+
+    def clone(self) -> "SupervisionPipeline":
+        """A per-worker twin: shared agents and stores, fresh stats."""
+        twin = SupervisionPipeline(
+            self.learning_angel,
+            self.semantic_agent,
+            self.qa_system,
+            self.profiles,
+            self.policy,
+        )
+        self._clones.append(twin)
+        return twin
+
+    def combined_stats(self) -> SupervisionStats:
+        """This pipeline's stats merged with every clone's (global view)."""
+        if not self._clones:
+            return self.stats
+        return SupervisionStats.total([self.stats, *(c.stats for c in self._clones)])
+
+    def worker_stats(self) -> list[SupervisionStats]:
+        """Per-worker stats, prototype first (shard load inspection)."""
+        return [self.stats, *(clone.stats for clone in self._clones)]
 
     # ------------------------------------------------------------ pipeline
 
     def on_message(self, server: ChatServer, message: ChatMessage) -> None:
-        """Supervise one delivered user message."""
+        """Supervise one delivered user message (legacy entry point)."""
+        room = server.get_room(message.room)
+        participant = room.participants.get(message.sender)
+        role = participant.role if participant is not None else None
+        self.on_item(server, SupervisionItem(message, room, role))
+
+    def on_item(
+        self,
+        server: ChatServer,
+        item: SupervisionItem,
+        memo: dict | None = None,
+    ) -> None:
+        """Supervise one work item; ``memo`` shares analyses in a batch."""
+        message = item.message
         if message.kind != MessageKind.USER:
             return
-        if not self.policy.supervise_teachers:
-            participant = server.get_room(message.room).participants.get(message.sender)
-            if participant is not None and participant.role == Role.TEACHER:
-                return
+        if not self.policy.supervise_teachers and item.sender_role == Role.TEACHER:
+            return
         self.stats.messages += 1
         replies_posted = 0
         for sentence in split_sentences(message.text):
-            replies_posted += self._supervise_sentence(server, message, sentence, replies_posted)
+            replies_posted += self._supervise_sentence(
+                server, message, sentence, replies_posted, memo
+            )
+
+    def _analyze_sentence(
+        self, sentence: str, memo: dict | None
+    ) -> _SentenceAnalysis:
+        """Tokenise, classify and review one sentence — pure, memoisable.
+
+        Reviews of correct sentences are corpus-independent, so duplicates
+        within a batch reuse the first occurrence's analysis; faulty
+        sentences re-run (their suggestion search reads the live corpus).
+
+        The memo key carries the analysing agents' identities: clones of
+        one pipeline share agents and therefore share entries, while
+        unrelated pipelines registered on the same server (different
+        dictionary or keyword filter) never serve each other's analyses.
+        """
+        key = (id(self.learning_angel), id(self.semantic_agent), sentence)
+        if memo is not None:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        tokenized = tokenize(sentence)
+        pattern = classify(tokenized)
+        review = self.learning_angel.review(tokenized, pattern=pattern)
+        analysis = _SentenceAnalysis(
+            tokenized=tokenized,
+            pattern=pattern,
+            review=review,
+            shareable=review.is_correct,
+        )
+        if memo is not None and analysis.shareable:
+            memo[key] = analysis
+        return analysis
+
+    def _semantic_review(self, analysis: _SentenceAnalysis) -> SemanticReview:
+        """The (lazily computed, shareable) semantic review of a statement."""
+        semantic = analysis.semantic
+        if semantic is not None:
+            return semantic
+        # Learning_Angel's keyword matches are reusable only when both
+        # agents share one keyword filter (the default wiring).
+        shared_keywords = (
+            analysis.review.keywords
+            if self.learning_angel.keyword_filter is self.semantic_agent.keyword_filter
+            else None
+        )
+        semantic = self.semantic_agent.review(
+            analysis.tokenized,
+            syntactically_ok=True,
+            analysis=analysis.pattern,
+            keywords=shared_keywords,
+        )
+        analysis.semantic = semantic
+        return semantic
 
     def _supervise_sentence(
         self,
@@ -102,14 +246,16 @@ class SupervisionPipeline:
         message: ChatMessage,
         sentence: str,
         already_posted: int,
+        memo: dict | None = None,
     ) -> int:
         self.stats.sentences += 1
         now = server.clock.now()
-        # Tokenise and classify exactly once; every stage below receives
-        # the precomputed analysis instead of re-deriving it.
-        tokenized = tokenize(sentence)
-        pattern = classify(tokenized)
-        review = self.learning_angel.review(tokenized, pattern=pattern)
+        # Tokenise and classify exactly once (and, in a batch, once per
+        # *distinct* sentence); every stage below receives the
+        # precomputed analysis instead of re-deriving it.
+        analysis = self._analyze_sentence(sentence, memo)
+        pattern = analysis.pattern
+        review = analysis.review
         posted = 0
 
         if pattern.is_question:
@@ -136,19 +282,7 @@ class SupervisionPipeline:
                     if reply.severity.value == "correction":
                         self.stats.corrections_suggested += 1
         else:
-            # Learning_Angel's keyword matches are reusable only when both
-            # agents share one keyword filter (the default wiring).
-            shared_keywords = (
-                review.keywords
-                if self.learning_angel.keyword_filter is self.semantic_agent.keyword_filter
-                else None
-            )
-            semantic = self.semantic_agent.review(
-                tokenized,
-                syntactically_ok=True,
-                analysis=pattern,
-                keywords=shared_keywords,
-            )
+            semantic = self._semantic_review(analysis)
             if semantic.verdict == SemanticVerdict.VIOLATION:
                 self.stats.semantic_violations += 1
                 verdict = Correctness.SEMANTIC_ERROR

@@ -78,14 +78,19 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.system import ELearningSystem
+    from repro.core.system import ELearningSystem, SystemConfig
     from repro.corpus import StatisticAnalyzer
     from repro.simulation import ClassroomSession
 
-    system = ELearningSystem.with_defaults()
+    config = SystemConfig(runtime_mode=args.runtime, shards=args.shards)
+    system = ELearningSystem.with_defaults(config)
     session = ClassroomSession(system, learners=args.learners, seed=args.seed)
     session.run(rounds=args.rounds)
+    system.drain()  # flush queued agent work under deferred-drain runtimes
     stats = system.stats
+    if args.runtime == "sharded":
+        print(f"runtime=sharded shards={args.shards} "
+              f"worker_messages={system.runtime.worker_loads()}")
     print(f"messages={stats.messages} sentences={stats.sentences} "
           f"syntax_errors={stats.syntax_errors} "
           f"semantic={stats.semantic_violations + stats.misconceptions} "
@@ -149,6 +154,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=5)
     p.add_argument("--learners", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--runtime",
+        choices=["inline", "queued", "sharded"],
+        default="queued",
+        help="supervision scheduling mode (see docs/runtime.md)",
+    )
+    p.add_argument("--shards", type=int, default=4,
+                   help="worker count for --runtime sharded")
     p.set_defaults(func=_cmd_simulate)
 
     p = commands.add_parser("bench", help="run the perf harness deterministically")

@@ -26,6 +26,7 @@ from repro.chatroom.clock import SimulatedClock
 from repro.chatroom.events import EventBus
 from repro.chatroom.messages import ChatMessage, Role
 from repro.chatroom.room import ChatRoom
+from repro.chatroom.runtime import SupervisionRuntime
 from repro.chatroom.server import ChatServer
 from repro.chatroom.supervisor import SupervisionPipeline, SupervisionPolicy, SupervisionStats
 from repro.corpus.generator import CorporaGenerator
@@ -54,6 +55,14 @@ class SystemConfig:
         parse_options: link-grammar parser options.
         related_threshold: semantic distance threshold (section 4.3).
         clock_tick: seconds the clock advances per posted message.
+        runtime_mode: how supervision is scheduled — ``inline``,
+            ``queued`` (default; drain-after-post, byte-identical to
+            inline) or ``sharded`` (rooms sharded across workers, agent
+            work drained in deduplicated batches off the posting path).
+        shards: worker/shard count for ``sharded`` mode.
+        supervision_batch: items per worker per drain pass.
+        auto_drain: drain after every post; None picks the mode default
+            (True for inline/queued, False for sharded).
     """
 
     seed_corpus: bool = True
@@ -61,6 +70,10 @@ class SystemConfig:
     parse_options: ParseOptions = field(default_factory=ParseOptions)
     related_threshold: float = 2.0
     clock_tick: float = 1.0
+    runtime_mode: str = "queued"
+    shards: int = 1
+    supervision_batch: int = 64
+    auto_drain: bool | None = None
 
 
 class ELearningSystem:
@@ -110,7 +123,13 @@ class ELearningSystem:
         # Chat substrate.
         self.clock = SimulatedClock(tick=self.config.clock_tick)
         self.bus = EventBus()
-        self.server = ChatServer(self.clock, self.bus)
+        self.runtime = SupervisionRuntime(
+            mode=self.config.runtime_mode,
+            shards=self.config.shards,
+            batch_size=self.config.supervision_batch,
+            auto_drain=self.config.auto_drain,
+        )
+        self.server = ChatServer(self.clock, self.bus, self.runtime)
         self.pipeline = SupervisionPipeline(
             self.learning_angel,
             self.semantic_agent,
@@ -137,10 +156,25 @@ class ELearningSystem:
         self.server.join(room, user, role)
 
     def say(self, room: str, user: str, text: str) -> ChatMessage:
-        """Post a user message; supervision runs synchronously."""
+        """Post a user message.
+
+        In the default runtime modes supervision has already run by the
+        time this returns; under a deferred-drain runtime (``sharded``,
+        or ``auto_drain=False``) call :meth:`drain` to flush the queued
+        agent work.
+        """
         message = self.server.post(room, user, text)
         self.clock.advance()
         return message
+
+    def drain(self) -> int:
+        """Run all queued supervision work; returns items processed."""
+        return self.server.drain_supervision()
+
+    @property
+    def pending_supervision(self) -> int:
+        """Messages posted but not yet supervised (deferred-drain modes)."""
+        return self.server.pending_supervision
 
     def agent_replies_to(self, message: ChatMessage) -> list[ChatMessage]:
         """Agent messages posted in response to ``message``."""
@@ -155,7 +189,8 @@ class ELearningSystem:
 
     @property
     def stats(self) -> SupervisionStats:
-        return self.pipeline.stats
+        """Global supervision counters (merged across shard workers)."""
+        return self.pipeline.combined_stats()
 
     def corpus_report(self) -> CorpusReport:
         """The Learning Statistic Analyzer's aggregate report."""

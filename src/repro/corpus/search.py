@@ -9,10 +9,15 @@ about the same topic.
 
 Performance: the query used to re-tokenise every corpus record on every
 search — O(corpus) tokenizer runs per syntax error.  Record token and
-keyword sets are now cached at ingestion time by
-:class:`~repro.corpus.store.LearnerCorpus`, and when the caller demands a
-minimum keyword overlap the candidate scan narrows through the corpus's
-inverted keyword index instead of walking every correct record.
+keyword sets are cached at ingestion time by
+:class:`~repro.corpus.store.LearnerCorpus`, and *every* candidate scan is
+index-backed: keyword-constrained queries walk the inverted keyword
+index, and the unconstrained path (no keyword floor) unions the inverted
+token and keyword postings of the query — sound because a scoring hit
+must share at least one token or keyword with the query.  On top of
+that, a top-k candidate cut (``max_candidates``) ranks candidates by the
+number of shared postings and scores only the best, so ``find`` never
+walks the full corpus however large it grows.
 """
 
 from __future__ import annotations
@@ -46,10 +51,21 @@ def _jaccard(a: frozenset[str] | set[str], b: frozenset[str] | set[str]) -> floa
 
 
 class SuggestionSearch:
-    """Finds model sentences similar to a (possibly faulty) input."""
+    """Finds model sentences similar to a (possibly faulty) input.
 
-    def __init__(self, corpus: LearnerCorpus) -> None:
+    Args:
+        corpus: the learner corpus to search.
+        max_candidates: upper bound on candidates fully scored per query.
+            When the index retrieval exceeds it, candidates are ranked by
+            how many query tokens/keywords they share (a cheap upper
+            bound on the overlap scores) and only the best are scored —
+            a bounded, deterministic approximation.  Results are exact
+            whenever retrieval stays within the bound.
+    """
+
+    def __init__(self, corpus: LearnerCorpus, max_candidates: int = 512) -> None:
         self.corpus = corpus
+        self.max_candidates = max_candidates
 
     def find(
         self,
@@ -73,7 +89,8 @@ class SuggestionSearch:
         query_keywords = frozenset(k.lower() for k in (keywords or []))
         corpus = self.corpus
         hits: list[SuggestionHit] = []
-        for position, record in self._candidates(query_keywords, min_keyword_overlap):
+        for position in self._candidates(query_tokens, query_keywords, min_keyword_overlap):
+            record = corpus.record_at(position)
             if record.text.strip().lower() == query_raw:
                 continue  # never suggest the sentence back to its author
             keyword_overlap = _jaccard(query_keywords, corpus.keyword_set(position))
@@ -86,29 +103,48 @@ class SuggestionSearch:
         hits.sort(key=lambda hit: (-hit.keyword_overlap, -hit.token_overlap, hit.record.record_id))
         return hits[:limit]
 
-    def _candidates(self, query_keywords: frozenset[str], min_keyword_overlap: float):
-        """(position, record) candidates for the scan, in add order.
+    def _candidates(
+        self,
+        query_tokens: frozenset[str],
+        query_keywords: frozenset[str],
+        min_keyword_overlap: float,
+    ) -> list[int]:
+        """Candidate record positions for the scoring scan, add order.
 
         With a positive keyword-overlap floor every surviving hit must
-        share at least one keyword with the query, so the inverted index
-        bounds the scan; otherwise every correct record is a candidate
-        (token overlap alone may rank it).
+        share at least one keyword with the query, so the keyword
+        postings alone retrieve a complete candidate set.  Without the
+        floor, a hit still needs non-zero token *or* keyword overlap, so
+        the union of the query's token and keyword postings is complete
+        too — no full-corpus walk on either path.  Retrievals larger
+        than ``max_candidates`` are cut to the positions sharing the
+        most postings with the query.
         """
         corpus = self.corpus
+        shared_counts: dict[int, int] = {}
         if query_keywords and min_keyword_overlap > 0.0:
-            positions = sorted(
-                {
-                    position
-                    for keyword in query_keywords
-                    for position in corpus.keyword_positions(keyword)
-                }
-            )
-            for position in positions:
-                record = corpus.record_at(position)
-                if record.verdict == Correctness.CORRECT:
-                    yield position, record
+            for keyword in sorted(query_keywords):
+                for position in corpus.keyword_positions(keyword):
+                    shared_counts[position] = shared_counts.get(position, 0) + 1
         else:
-            yield from corpus.correct_positions()
+            for token in sorted(query_tokens):
+                for position in corpus.token_positions(token):
+                    shared_counts[position] = shared_counts.get(position, 0) + 1
+            for keyword in sorted(query_keywords):
+                for position in corpus.keyword_positions(keyword):
+                    shared_counts[position] = shared_counts.get(position, 0) + 1
+        candidates = [
+            position
+            for position in shared_counts
+            if corpus.record_at(position).verdict == Correctness.CORRECT
+        ]
+        if len(candidates) > self.max_candidates:
+            # Top-k cut: most shared postings first, earliest record on
+            # ties — deterministic and biased toward the final ranking.
+            candidates.sort(key=lambda position: (-shared_counts[position], position))
+            candidates = candidates[: self.max_candidates]
+        candidates.sort()
+        return candidates
 
     def best_sentence(
         self, text: str | TokenizedSentence, keywords: list[str] | None = None

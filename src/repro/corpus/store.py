@@ -14,7 +14,10 @@ corpus grows:
 * a **verdict index** — ``by_verdict``/``correct_records`` return without
   scanning the whole corpus;
 * an **inverted keyword index** — ``with_keyword`` and keyword-constrained
-  candidate scans jump straight to the matching records.
+  candidate scans jump straight to the matching records;
+* an **inverted token index** — suggestion search's unconstrained path
+  (no keyword floor) retrieves candidates by shared surface tokens
+  instead of walking every correct record.
 
 Records are snapshotted at :meth:`LearnerCorpus.add` time: the indexes
 read ``verdict``/``keywords``/``text`` once, on ingestion.  Treat a
@@ -43,6 +46,7 @@ class LearnerCorpus:
         self._keyword_sets: list[frozenset[str]] = []
         self._by_verdict: dict[Correctness, list[int]] = {}
         self._keyword_index: dict[str, list[int]] = {}
+        self._token_index: dict[str, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -67,14 +71,17 @@ class LearnerCorpus:
         """
         position = len(self._records)
         self._records.append(record)
-        self._token_sets.append(
+        token_set = (
             frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
         )
+        self._token_sets.append(token_set)
         keywords = frozenset(k.lower() for k in record.keywords)
         self._keyword_sets.append(keywords)
         self._by_verdict.setdefault(record.verdict, []).append(position)
         for keyword in keywords:
             self._keyword_index.setdefault(keyword, []).append(position)
+        for token in token_set:
+            self._token_index.setdefault(token, []).append(position)
         return record
 
     # ------------------------------------------------------------- queries
@@ -107,6 +114,10 @@ class LearnerCorpus:
     def keyword_positions(self, keyword: str) -> tuple[int, ...]:
         """Positions of records tagged with ``keyword`` (add order)."""
         return tuple(self._keyword_index.get(keyword.lower(), ()))
+
+    def token_positions(self, token: str) -> tuple[int, ...]:
+        """Positions of records whose text contains ``token`` (add order)."""
+        return tuple(self._token_index.get(token, ()))
 
     def token_set(self, position: int) -> frozenset[str]:
         """The cached token set of the record at ``position`` (add order)."""

@@ -2,9 +2,10 @@
 
 ``python -m repro bench`` (or ``make bench``) runs a fixed set of
 workloads — cold parsing, cached parsing, the mixed-traffic supervision
-loop, a seeded classroom session and suggestion search — and writes the
-numbers to ``BENCH_parse.json`` so successive PRs can track the perf
-trajectory of the parse engine.
+loop, a seeded classroom session, suggestion search, raw post latency
+and the multi-room sharded-runtime scale test — and writes the numbers
+to ``BENCH_parse.json`` so successive PRs can track the perf trajectory
+of the parse engine and the supervision runtime.
 
 The workloads are deterministic (fixed sentences, fixed seeds); only the
 wall-clock readings vary by machine, so comparisons are meaningful within
@@ -141,6 +142,112 @@ def bench_suggestion_search(queries: int = 300) -> dict[str, float]:
     }
 
 
+def bench_post_latency(messages: int = 2000) -> dict[str, float]:
+    """Per-message cost of posting with supervision deferred.
+
+    Runs the queued runtime with ``auto_drain=False``: ``post`` delivers
+    the message and enqueues a work item, nothing else.  Compare
+    ``ms_per_post`` against the synchronous pipeline's per-message cost
+    (1000 / supervision_throughput) to see the agent work leave the
+    user's send path; ``pending_after`` confirms the work was deferred,
+    and the drain runs after the clock stops.
+    """
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    system = ELearningSystem.with_defaults(
+        SystemConfig(runtime_mode="queued", auto_drain=False)
+    )
+    system.open_room("lat", topic="t")
+    system.join("lat", "u")
+    for i in range(8):  # warmup (room structures, tokenizer)
+        system.say("lat", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    system.drain()
+    start = time.perf_counter()
+    for i in range(messages):
+        system.say("lat", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    elapsed = time.perf_counter() - start
+    pending = system.pending_supervision
+    system.drain()
+    return {
+        "ms_per_post": 1000.0 * elapsed / messages,
+        "messages": messages,
+        "pending_after": pending,
+    }
+
+
+def bench_multi_room_scale(rooms: int = 16, rounds: int = 12, shards: int = 4) -> dict:
+    """Sharded-runtime throughput vs the synchronous pipeline, same load.
+
+    The workload posts the mixed-traffic messages round-robin across
+    ``rooms`` rooms — the template-heavy shape of a real class cohort —
+    once through the inline (PR 1 synchronous) runtime and once through
+    the sharded runtime draining a deduplicated batch per round.  Both
+    figures land in the report, plus the shared parse-cache counters
+    (the cross-parser store the drain batches lean on).
+    """
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    def build(config: "SystemConfig") -> "ELearningSystem":
+        system = ELearningSystem.with_defaults(config)
+        for index in range(rooms):
+            system.open_room(f"room-{index}", topic="t")
+            system.join(f"room-{index}", "u")
+        # Warm every message template through every room so both timed
+        # runs measure steady state: the parse cache is shared process-
+        # wide (one lru_cached default dictionary), and a partial warmup
+        # would bill the first system for cold parses and the repairer's
+        # candidate search while the second rides the warmed store.
+        for text in MIXED_MESSAGES:
+            for index in range(rooms):
+                system.say(f"room-{index}", "u", text)
+        system.drain()
+        return system
+
+    def run(system: "ELearningSystem", drain_per_round: bool) -> float:
+        posted = 0
+        start = time.perf_counter()
+        for i in range(rounds):
+            text = MIXED_MESSAGES[i % len(MIXED_MESSAGES)]
+            for index in range(rooms):
+                system.say(f"room-{index}", "u", text)
+                posted += 1
+            if drain_per_round:
+                system.drain()
+        system.drain()
+        return posted / (time.perf_counter() - start)
+
+    sync_system = build(SystemConfig(runtime_mode="inline"))
+    sync_rate = run(sync_system, drain_per_round=False)
+    sharded_system = build(
+        SystemConfig(runtime_mode="sharded", shards=shards)
+    )
+    store = sharded_system.dictionary.shared_cache_store()
+    before = store.info()
+    sharded_rate = run(sharded_system, drain_per_round=True)
+    after = store.info()
+    # hits/misses are deltas over the sharded timed run (the store is
+    # process-wide, so absolute counters would aggregate every prior
+    # workload); entry counts are absolute.
+    cache_info = {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "parse_entries": after["parse_entries"],
+        "count_entries": after["count_entries"],
+        "max_entries": after["max_entries"],
+    }
+    return {
+        "rooms": rooms,
+        "rounds": rounds,
+        "shards": shards,
+        "messages": rooms * rounds,
+        "sync_messages_per_sec": sync_rate,
+        "sharded_messages_per_sec": sharded_rate,
+        "sharded_speedup_vs_sync": round(sharded_rate / sync_rate, 2),
+        "worker_messages": sharded_system.runtime.worker_loads(),
+        "shared_cache": cache_info,
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -160,8 +267,85 @@ def run_report(quick: bool = False) -> dict:
             # comparable against the pinned seed baseline.
             "classroom_session": bench_classroom(learners=4, rounds=1) if quick else bench_classroom(),
             "suggestion_search": bench_suggestion_search(queries=n(300)),
+            "post_latency": bench_post_latency(messages=n(2000)),
+            "multi_room_scale": bench_multi_room_scale(rounds=max(2, n(12))),
         },
     }
+
+
+#: Metric keys every workload must carry for the report to be comparable
+#: across PRs (the ``repro-bench/1`` shape; extended, never replaced).
+REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
+    "cold_parse": ("ms_per_sentence", "sentences"),
+    "warm_parse": ("ms_per_sentence", "sentences", "cache_hit_rate"),
+    "supervision_throughput": ("messages_per_sec", "messages"),
+    "classroom_session": ("seconds", "supervised", "learners", "rounds"),
+    "suggestion_search": ("queries_per_sec", "corpus_records", "queries"),
+    "post_latency": ("ms_per_post", "messages", "pending_after"),
+    "multi_room_scale": (
+        "rooms",
+        "shards",
+        "messages",
+        "sync_messages_per_sec",
+        "sharded_messages_per_sec",
+        "sharded_speedup_vs_sync",
+        "shared_cache",
+    ),
+}
+
+#: Workloads the seed commit predates; a pinned baseline need not (and
+#: cannot) carry them.
+_POST_SEED_WORKLOADS = frozenset({"post_latency", "multi_room_scale"})
+
+
+def validate_report(report: dict) -> None:
+    """Check a bench report against the ``repro-bench/1`` schema.
+
+    Raises ``ValueError`` with every problem found, so a malformed
+    ``BENCH_parse.json`` (dropped workload, renamed metric, clobbered
+    baseline) fails fast in tier-1 instead of surfacing as an
+    uncomparable report several PRs later.
+    """
+    problems: list[str] = []
+    if report.get("schema") != "repro-bench/1":
+        problems.append(f"schema is {report.get('schema')!r}, expected 'repro-bench/1'")
+    for key in ("python", "machine"):
+        if not isinstance(report.get(key), str):
+            problems.append(f"missing or non-string {key!r}")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict):
+        problems.append("missing 'workloads' mapping")
+        workloads = {}
+    for name, metrics in REQUIRED_WORKLOAD_METRICS.items():
+        numbers = workloads.get(name)
+        if not isinstance(numbers, dict):
+            problems.append(f"workloads[{name!r}] missing")
+            continue
+        for metric in metrics:
+            if metric not in numbers:
+                problems.append(f"workloads[{name!r}] lacks metric {metric!r}")
+    baseline = report.get("seed_baseline")
+    if baseline is not None:
+        if not isinstance(baseline, dict):
+            problems.append("'seed_baseline' is not a mapping")
+        else:
+            for name, metrics in REQUIRED_WORKLOAD_METRICS.items():
+                if name in _POST_SEED_WORKLOADS:
+                    continue
+                numbers = baseline.get(name)
+                if not isinstance(numbers, dict):
+                    problems.append(f"seed_baseline[{name!r}] missing")
+                    continue
+                for metric in metrics:
+                    if metric not in numbers:
+                        problems.append(f"seed_baseline[{name!r}] lacks metric {metric!r}")
+    speedup = report.get("speedup")
+    if speedup is not None and not all(
+        isinstance(value, (int, float)) for value in speedup.values()
+    ):
+        problems.append("'speedup' carries non-numeric entries")
+    if problems:
+        raise ValueError("invalid repro-bench/1 report: " + "; ".join(problems))
 
 
 def write_report(
@@ -186,6 +370,7 @@ def write_report(
     if seed_baseline:
         report["seed_baseline"] = seed_baseline
         report["speedup"] = _speedups(seed_baseline, report["workloads"])
+    validate_report(report)  # never write a malformed report
     target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return target
 

@@ -6,6 +6,7 @@ Learning_Angel agent builds on, extended with the fault tolerance the paper
 calls for: null-word parsing, unknown-word handling and error localisation.
 """
 
+from .cache import ParseCacheStore
 from .connector import Connector, connectors_match, link_label, subscripts_match
 from .dictionary import Dictionary, DictionaryError, UNKNOWN_WORD, WALL_WORD, WordEntry
 from .disjunct import Disjunct, expand
@@ -34,6 +35,7 @@ __all__ = [
     "parse_formula",
     "Link",
     "Linkage",
+    "ParseCacheStore",
     "ParseOptions",
     "ParseResult",
     "Parser",

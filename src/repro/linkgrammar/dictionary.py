@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from .cache import ParseCacheStore
 from .disjunct import Disjunct, expand_cached
 from .formula import Expr, FormulaError, Or, parse_formula
 from .interning import ParseTables
@@ -61,12 +62,18 @@ class Dictionary:
     lexicon layers can extend earlier ones.
     """
 
+    #: Entry bound of the per-dictionary shared parse cache.  Larger than
+    #: a private parser cache (256): the shared store also absorbs the
+    #: repairer's candidate parses without evicting hot chat sentences.
+    SHARED_CACHE_ENTRIES = 2048
+
     def __init__(self, name: str = "anonymous") -> None:
         self.name = name
         self._entries: dict[str, WordEntry] = {}
         self._version = 0
         self._tables: ParseTables | None = None
         self._tables_version = -1
+        self._shared_cache: ParseCacheStore | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -150,6 +157,21 @@ class Dictionary:
             )
             self._tables_version = self._version
         return self._tables
+
+    def shared_cache_store(self, max_entries: int | None = None) -> ParseCacheStore:
+        """The dictionary-scoped :class:`ParseCacheStore` shared by consumers.
+
+        Created lazily on first request and handed to every later caller,
+        so all parsers that opt in (Learning_Angel's analyzer, the
+        sentence repairer, any future component) hit one store.  The
+        store purges itself whenever this dictionary's generation moves,
+        so sharing never serves stale parses.
+        """
+        if self._shared_cache is None:
+            self._shared_cache = ParseCacheStore(
+                self.SHARED_CACHE_ENTRIES if max_entries is None else max_entries
+            )
+        return self._shared_cache
 
     def disjunct_count(self) -> int:
         """Total number of disjuncts across all entries (a size metric).

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .cache import ParseCacheStore
 from .dictionary import Dictionary
 from .lexicon.builder import pluralize, verb_forms
 from .parser import ParseOptions, Parser
@@ -54,9 +55,22 @@ class SentenceRepairer:
         dictionary: Dictionary,
         max_candidates: int = 60,
         max_results: int = 3,
+        options: ParseOptions | None = None,
+        cache_store: ParseCacheStore | None = None,
     ) -> None:
         self.dictionary = dictionary
-        self.parser = Parser(dictionary, ParseOptions(max_linkages=8))
+        # Repair only reads null_count / linkage presence / best cost,
+        # and enumeration stops at max(max_linkages * 4, 256) linkages
+        # *before* cost-sorting — so every ``max_linkages`` up to 64
+        # enumerates the identical 256-linkage window and produces
+        # identical repairs.  Callers that share a cache store pass
+        # their own options so both components carry the same key
+        # fingerprint and really share; above 64 the window (and hence
+        # possibly the best cost) changes, which LearningAngelAgent
+        # guards against by falling back to the default options.
+        self.parser = Parser(
+            dictionary, options or ParseOptions(max_linkages=8), cache_store=cache_store
+        )
         self.max_candidates = max_candidates
         self.max_results = max_results
         self._variant_cache: dict[str, tuple[str, ...]] = {}

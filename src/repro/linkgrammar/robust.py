@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from .cache import ParseCacheStore
 from .dictionary import Dictionary
 from .parser import ParseOptions, ParseResult, Parser
 from .tokenizer import TokenizedSentence
@@ -91,9 +92,14 @@ class GrammarDiagnosis:
 class RobustAnalyzer:
     """Parses sentences and produces :class:`GrammarDiagnosis` reports."""
 
-    def __init__(self, dictionary: Dictionary, options: ParseOptions | None = None) -> None:
+    def __init__(
+        self,
+        dictionary: Dictionary,
+        options: ParseOptions | None = None,
+        cache_store: ParseCacheStore | None = None,
+    ) -> None:
         self.dictionary = dictionary
-        self.parser = Parser(dictionary, options or ParseOptions())
+        self.parser = Parser(dictionary, options or ParseOptions(), cache_store=cache_store)
 
     def analyze(self, text: str | TokenizedSentence) -> GrammarDiagnosis:
         """Parse ``text`` (raw or pre-tokenised) and collect localised

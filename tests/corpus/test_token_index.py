@@ -1,0 +1,174 @@
+"""Token-level inverted index and the bounded suggestion-search scan.
+
+The unconstrained path (no keyword floor) must return exactly what the
+old full-corpus walk returned whenever retrieval fits the candidate
+bound, and must never score more than ``max_candidates`` records."""
+
+from __future__ import annotations
+
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.tokenizer import tokenize
+
+
+def add(corpus: LearnerCorpus, text: str, verdict=Correctness.CORRECT, keywords=()):
+    return corpus.add(
+        CorpusRecord(
+            record_id=corpus.next_id(),
+            user="u",
+            room="r",
+            text=text,
+            timestamp=float(corpus.next_id()),
+            pattern="simple",
+            verdict=verdict,
+            syntax_issues=[],
+            semantic_issues=[],
+            keywords=list(keywords),
+            links="",
+            cost=0,
+        )
+    )
+
+
+def seeded() -> LearnerCorpus:
+    corpus = LearnerCorpus()
+    add(corpus, "We push an element onto the stack.", keywords=["stack", "push"])
+    add(corpus, "The queue has dequeue operation.", keywords=["queue", "dequeue"])
+    add(corpus, "A binary tree is a tree.", keywords=["binary tree", "tree"])
+    add(corpus, "tree have pop", Correctness.SYNTAX_ERROR, keywords=["tree", "pop"])
+    add(corpus, "Pop removes the top element.", keywords=["pop", "top"])
+    add(corpus, "What is a queue?", Correctness.QUESTION, keywords=["queue"])
+    add(corpus, "The weather is nice.")
+    return corpus
+
+
+def brute_force_find(corpus, text, keywords=None, limit=3, min_keyword_overlap=0.0):
+    """The pre-index semantics: walk every correct record and score it."""
+
+    def jaccard(a, b):
+        union = a | b
+        return len(a & b) / len(union) if union else 0.0
+
+    sentence = tokenize(text)
+    query_tokens = frozenset(sentence.words)
+    query_raw = sentence.raw.strip().lower()
+    query_keywords = frozenset(k.lower() for k in (keywords or []))
+    hits = []
+    for position, record in enumerate(corpus.records()):
+        if record.verdict != Correctness.CORRECT:
+            continue
+        if record.text.strip().lower() == query_raw:
+            continue
+        keyword_overlap = jaccard(query_keywords, corpus.keyword_set(position))
+        if query_keywords and keyword_overlap < min_keyword_overlap:
+            continue
+        token_overlap = jaccard(query_tokens, corpus.token_set(position))
+        if keyword_overlap == 0.0 and token_overlap == 0.0:
+            continue
+        hits.append((record, keyword_overlap, token_overlap))
+    hits.sort(key=lambda h: (-h[1], -h[2], h[0].record_id))
+    return [h[0].record_id for h in hits[:limit]]
+
+
+class TestTokenIndex:
+    def test_positions_agree_with_scan(self):
+        corpus = seeded()
+        for token in ("tree", "queue", "the", "pop", "unseen"):
+            expected = tuple(
+                position
+                for position in range(len(corpus))
+                if token in corpus.token_set(position)
+            )
+            assert corpus.token_positions(token) == expected, token
+
+    def test_index_covers_loaded_corpora(self, tmp_path):
+        corpus = seeded()
+        path = tmp_path / "corpus.jsonl"
+        corpus.save(path)
+        loaded = LearnerCorpus.load(path)
+        assert loaded.token_positions("tree") == corpus.token_positions("tree")
+
+
+class TestUnconstrainedSearchEquivalence:
+    QUERIES = [
+        ("The tree doesn't have pop method.", None),
+        ("The tree doesn't have pop method.", ["tree", "pop"]),
+        ("queue operation", ["queue"]),
+        ("stack", None),
+        ("nothing matches here zebra", None),
+        ("", None),
+    ]
+
+    def test_find_matches_brute_force(self):
+        corpus = seeded()
+        search = SuggestionSearch(corpus)
+        for text, keywords in self.QUERIES:
+            got = [h.record.record_id for h in search.find(text, keywords=keywords)]
+            assert got == brute_force_find(corpus, text, keywords), (text, keywords)
+
+    def test_find_matches_brute_force_with_floor(self):
+        corpus = seeded()
+        search = SuggestionSearch(corpus)
+        got = [
+            h.record.record_id
+            for h in search.find(
+                "The tree doesn't have pop method.",
+                keywords=["tree", "pop"],
+                min_keyword_overlap=0.2,
+            )
+        ]
+        expected = brute_force_find(
+            corpus,
+            "The tree doesn't have pop method.",
+            ["tree", "pop"],
+            min_keyword_overlap=0.2,
+        )
+        assert got == expected
+
+    def test_no_shared_token_means_no_candidates(self):
+        corpus = seeded()
+        search = SuggestionSearch(corpus)
+        assert search.find("zebra xylophone") == []
+
+
+class TestTopKCut:
+    def test_scan_is_bounded(self):
+        corpus = LearnerCorpus()
+        for index in range(50):
+            add(corpus, f"The stack holds item number {index}.", keywords=["stack"])
+        search = SuggestionSearch(corpus, max_candidates=10)
+        candidates = search._candidates(
+            frozenset(tokenize("The stack holds data.").words), frozenset(), 0.0
+        )
+        assert len(candidates) == 10
+        assert candidates == sorted(candidates)
+
+    def test_cut_keeps_best_shared_posting_records(self):
+        corpus = LearnerCorpus()
+        # 30 weak matches (share only "the"), one strong match added last.
+        for index in range(30):
+            add(corpus, f"The weather report number {index}.")
+        strong = add(corpus, "The stack holds data tightly.", keywords=["stack"])
+        search = SuggestionSearch(corpus, max_candidates=5)
+        hits = search.find("The stack holds data.", keywords=["stack"])
+        assert hits and hits[0].record.record_id == strong.record_id
+
+    def test_exact_when_within_bound(self):
+        corpus = seeded()
+        bounded = SuggestionSearch(corpus, max_candidates=100)
+        unbounded = SuggestionSearch(corpus, max_candidates=10_000)
+        # Retrieval fits inside max_candidates → results are exact.
+        for query in ("A tree has a top element.", "The stack holds data."):
+            got = [h.record.record_id for h in bounded.find(query)]
+            full = [h.record.record_id for h in unbounded.find(query)]
+            assert got == full, query
+
+    def test_tight_bound_still_finds_a_best_sentence(self):
+        corpus = seeded()
+        tight = SuggestionSearch(corpus, max_candidates=3)
+        loose = SuggestionSearch(corpus, max_candidates=10_000)
+        query = "A tree has a top element."
+        # The cut is an approximation: weak-tail candidates may differ,
+        # but the head of the ranking (what learners see) survives.
+        assert tight.find(query)[0].record == loose.find(query)[0].record

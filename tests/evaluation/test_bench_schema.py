@@ -1,0 +1,79 @@
+"""The committed BENCH_parse.json must match the repro-bench/1 schema.
+
+Perf PRs extend the report; this tier-1 gate fails fast when a workload
+or metric silently disappears, the seed baseline gets clobbered, or the
+speedup section stops being numeric."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.perfbench import REQUIRED_WORKLOAD_METRICS, validate_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_parse.json"
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+
+class TestCommittedReport:
+    def test_file_exists(self):
+        assert BENCH_PATH.exists(), "BENCH_parse.json missing at repo root"
+
+    def test_validates_against_schema(self, report):
+        validate_report(report)  # raises on shape regressions
+
+    def test_seed_baseline_pinned(self, report):
+        assert "seed_baseline" in report, "seed baseline was dropped"
+        assert report["seed_baseline"]["supervision_throughput"]["messages_per_sec"] > 0
+
+    def test_runtime_workloads_present(self, report):
+        workloads = report["workloads"]
+        assert workloads["post_latency"]["pending_after"] > 0  # drain deferred
+        scale = workloads["multi_room_scale"]
+        assert scale["rooms"] >= 16
+        assert scale["sharded_speedup_vs_sync"] >= 2.0
+        # Posting must be far cheaper than synchronous supervision.
+        sync_ms = 1000.0 / report["workloads"]["supervision_throughput"]["messages_per_sec"]
+        assert workloads["post_latency"]["ms_per_post"] < sync_ms / 5
+
+
+class TestValidator:
+    def test_rejects_wrong_schema_id(self, report):
+        broken = {**report, "schema": "repro-bench/2"}
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(broken)
+
+    def test_rejects_missing_workload(self, report):
+        broken = {**report, "workloads": {
+            k: v for k, v in report["workloads"].items() if k != "cold_parse"
+        }}
+        with pytest.raises(ValueError, match="cold_parse"):
+            validate_report(broken)
+
+    def test_rejects_renamed_metric(self, report):
+        workloads = dict(report["workloads"])
+        workloads["warm_parse"] = {
+            k: v for k, v in workloads["warm_parse"].items() if k != "cache_hit_rate"
+        }
+        with pytest.raises(ValueError, match="cache_hit_rate"):
+            validate_report({**report, "workloads": workloads})
+
+    def test_rejects_clobbered_baseline(self, report):
+        with pytest.raises(ValueError, match="seed_baseline"):
+            validate_report({**report, "seed_baseline": {"oops": True}})
+
+    def test_baseline_not_required_to_carry_new_workloads(self, report):
+        # The seed predates post_latency/multi_room_scale: the pinned
+        # baseline without them must stay valid.
+        assert "post_latency" not in report["seed_baseline"]
+        validate_report(report)
+
+    def test_covers_every_workload_we_ship(self, report):
+        assert set(REQUIRED_WORKLOAD_METRICS) == set(report["workloads"])

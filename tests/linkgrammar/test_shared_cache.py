@@ -1,0 +1,157 @@
+"""Cross-parser shared cache: correctness of the ParseCacheStore.
+
+Two parsers attached to one store must serve each other's results when
+(and only when) their options agree; mutating the dictionary must purge
+the store; and the Learning_Angel wiring (analyzer + repairer on the
+dictionary's shared store) must change nothing observable about reviews
+or repairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.learning_angel import LearningAngelAgent
+from repro.linkgrammar import ParseCacheStore, ParseOptions, Parser
+from repro.linkgrammar.lexicon import default_dictionary, toy_dictionary
+from repro.linkgrammar.repair import SentenceRepairer
+
+SENTENCES = [
+    "We push an element onto the stack.",
+    "The tree doesn't have pop method.",
+    "The stacks is full.",
+    "tree have pop",
+]
+
+
+def assert_results_identical(a, b):
+    assert a.words == b.words
+    assert a.null_count == b.null_count
+    assert a.total_count == b.total_count
+    assert a.unknown_words == b.unknown_words
+    assert a.linkages == b.linkages
+
+
+class TestSharedStore:
+    def test_second_parser_hits_first_parsers_work(self):
+        dictionary = default_dictionary()
+        store = ParseCacheStore(max_entries=64)
+        first = Parser(dictionary, ParseOptions(), cache_store=store)
+        second = Parser(dictionary, ParseOptions(), cache_store=store)
+        for sentence in SENTENCES:
+            cold = first.parse(sentence)
+        misses_after_fill = store.misses
+        for sentence in SENTENCES:
+            assert_results_identical(second.parse(sentence), first.parse(sentence))
+        assert store.misses == misses_after_fill  # all of round two hit
+        assert store.hits >= 2 * len(SENTENCES)
+
+    def test_different_options_never_cross_serve(self):
+        dictionary = default_dictionary()
+        store = ParseCacheStore(max_entries=64)
+        pruned = Parser(dictionary, ParseOptions(prune=True), cache_store=store)
+        unpruned = Parser(dictionary, ParseOptions(prune=False), cache_store=store)
+        for sentence in SENTENCES:
+            a = pruned.parse(sentence)
+            b = unpruned.parse(sentence)
+            assert_results_identical(a, b)  # pruning is sound...
+        # ...but the entries are keyed apart: each fingerprint parsed cold.
+        assert store.parse_entries == 2 * len(SENTENCES)
+
+    def test_shared_results_identical_to_private(self):
+        dictionary = default_dictionary()
+        store = ParseCacheStore(max_entries=64)
+        shared = Parser(dictionary, ParseOptions(), cache_store=store)
+        private = Parser(dictionary, ParseOptions(cache_size=0))
+        for sentence in SENTENCES:
+            shared.parse(sentence)  # fill
+            assert_results_identical(shared.parse(sentence), private.parse(sentence))
+
+    def test_count_cache_shared_too(self):
+        dictionary = toy_dictionary()
+        store = ParseCacheStore(max_entries=64)
+        options = ParseOptions(use_wall=False)
+        a = Parser(dictionary, options, cache_store=store)
+        b = Parser(dictionary, options, cache_store=store)
+        expected = a.count_linkages("the cat chased a mouse")
+        hits_before = store.hits
+        assert b.count_linkages("the cat chased a mouse") == expected
+        assert store.hits == hits_before + 1
+
+
+class TestGenerationScoping:
+    def test_dictionary_mutation_purges_shared_store(self):
+        from repro.linkgrammar.dictionary import Dictionary
+
+        d = Dictionary()
+        d.define("a the", "D+")
+        d.define("cat", "D- & S+")
+        d.define("ran", "S-")
+        store = d.shared_cache_store()
+        parser = Parser(d, ParseOptions(use_wall=False), cache_store=store)
+        before = parser.parse("the cat meowed")
+        assert "meowed" in before.unknown_words
+        assert store.parse_entries == 1
+        d.define("meowed", "S-")
+        after = parser.parse("the cat meowed")
+        assert after.unknown_words == ()
+        assert after.null_count == 0
+
+    def test_shared_store_is_memoised_per_dictionary(self):
+        from repro.linkgrammar.dictionary import Dictionary
+
+        d = default_dictionary()
+        assert d.shared_cache_store() is d.shared_cache_store()
+        other = Dictionary()
+        other.define("cat", "S+")
+        assert other.shared_cache_store() is not d.shared_cache_store()
+
+    def test_counters_survive_generation_purge(self):
+        store = ParseCacheStore(max_entries=8)
+        store.sync_generation(1)
+        store.put_parse("k", "v")
+        assert store.get_parse("k") == "v"
+        store.sync_generation(2)
+        assert store.parse_entries == 0
+        assert store.hits == 1  # purge drops entries, not history
+
+
+class TestLearningAngelWiring:
+    def test_analyzer_and_repairer_share_one_store(self):
+        dictionary = default_dictionary()
+        agent = LearningAngelAgent(dictionary)
+        assert agent.cache_store is not None
+        assert agent.analyzer.parser.cache_store is agent.cache_store
+        assert agent.repairer.parser.cache_store is agent.cache_store
+        assert agent.cache_store is dictionary.shared_cache_store()
+
+    def test_repair_candidates_warm_the_analyzer(self):
+        dictionary = default_dictionary()
+        agent = LearningAngelAgent(dictionary)
+        store = agent.cache_store
+        agent.review("The stacks is full.")  # triggers repair search
+        hits_before = store.hits
+        # The repairer's winning candidate is already in the store, so
+        # analysing it costs one lookup.
+        agent.review("The stack is full.")
+        assert store.hits > hits_before
+
+    def test_shared_wiring_changes_no_observables(self):
+        dictionary_a = default_dictionary()
+        dictionary_b = default_dictionary()
+        shared = LearningAngelAgent(dictionary_a)
+        isolated = LearningAngelAgent(
+            dictionary_b, cache_store=ParseCacheStore(max_entries=0)
+        )
+        for sentence in SENTENCES + ["The stacks is full. We push an element onto the stack."]:
+            a = shared.review(sentence)
+            b = isolated.review(sentence)
+            assert a.diagnosis.is_correct == b.diagnosis.is_correct
+            assert [i.kind for i in a.diagnosis.issues] == [i.kind for i in b.diagnosis.issues]
+            assert [r.text for r in a.repairs] == [r.text for r in b.repairs]
+            assert a.suggestion == b.suggestion
+
+    def test_repairer_default_options_unchanged_standalone(self):
+        repairer = SentenceRepairer(default_dictionary())
+        assert repairer.parser.options.max_linkages == 8
+        repairs = repairer.repair("The stacks is full.")
+        assert any(r.text == "The stack is full." for r in repairs)
