@@ -3,11 +3,15 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick bench-pytest simulate
+.PHONY: test check bench bench-quick bench-pytest simulate
 
 # Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
 test:
 	$(PY) -m pytest -x -q
+
+# CI gate: tier-1 tests plus a bench smoke run (scratch output, so the
+# committed BENCH_parse.json and its pinned seed baseline stay put).
+check: test bench-quick
 
 # Deterministic perf harness; writes BENCH_parse.json at the repo root.
 bench:

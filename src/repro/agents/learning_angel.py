@@ -60,6 +60,7 @@ class LearningAngelAgent:
         if cache_store is None and options.cache_size > 0:
             cache_store = dictionary.shared_cache_store()
         self.cache_store = cache_store
+        self.options = options
         self.analyzer = RobustAnalyzer(dictionary, options, cache_store=cache_store)
         self.corpus = corpus
         self.search = SuggestionSearch(corpus) if corpus is not None else None
@@ -75,6 +76,37 @@ class LearningAngelAgent:
             SentenceRepairer(dictionary, options=repair_options, cache_store=cache_store)
             if repair
             else None
+        )
+
+    @property
+    def analysis_key(self) -> tuple[int, int, int]:
+        """Identity of the static state a review depends on.
+
+        Two agents with the same dictionary, parse options and keyword
+        filter produce value-identical reviews for any sentence whose
+        analysis does not read the learner corpus; the supervision
+        pipeline keys its batch memo on this (plus the semantic agent),
+        so per-worker forks of one agent share memo entries while
+        unrelated agents never do.
+        """
+        return (id(self.analyzer.dictionary), id(self.options), id(self.keyword_filter))
+
+    def fork(self, corpus: LearnerCorpus | None) -> "LearningAngelAgent":
+        """A twin bound to a shard-local corpus replica.
+
+        Shares the dictionary, options object, keyword filter and parse
+        cache store (all static or internally locked), so the fork's
+        :attr:`analysis_key` equals the prototype's; only the corpus —
+        where reviews search suggestions and file records — is swapped
+        for the worker's replica.
+        """
+        return LearningAngelAgent(
+            self.analyzer.dictionary,
+            corpus=corpus,
+            keyword_filter=self.keyword_filter,
+            options=self.options,
+            repair=self.repairer is not None,
+            cache_store=self.cache_store,
         )
 
     def review(

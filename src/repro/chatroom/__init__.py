@@ -11,11 +11,12 @@ from .events import (
 )
 from .messages import ChatMessage, MessageKind, Participant, Role
 from .room import ChatRoom, ChatRoomError
-from .runtime import RUNTIME_MODES, SupervisionRuntime
+from .runtime import MULTI_WORKER_MODES, RUNTIME_MODES, SupervisionRuntime
 from .server import ChatServer
 from .shard import ShardQueue, SupervisionItem, SupervisionWorker, shard_of
 from .supervisor import (
     QA_AGENT_NAME,
+    ShardStores,
     SupervisionPipeline,
     SupervisionPolicy,
     SupervisionStats,
@@ -31,11 +32,13 @@ __all__ = [
     "EventBus",
     "MessageDelivered",
     "MessageKind",
+    "MULTI_WORKER_MODES",
     "Participant",
     "QA_AGENT_NAME",
     "Role",
     "RUNTIME_MODES",
     "ShardQueue",
+    "ShardStores",
     "SimulatedClock",
     "SupervisionItem",
     "SupervisionPipeline",

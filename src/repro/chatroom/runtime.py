@@ -27,31 +27,62 @@ three modes:
     are parsed once and the results fanned out.  Agent replies land at
     drain time (after the user messages of the batch), which is the
     documented behavioural difference from the synchronous modes.
+    Workers share the corpus/profile/FAQ stores and are drained
+    cooperatively in index order on the caller's thread.
 
-Everything is cooperative and deterministic — "workers" are drained in
-index order on the caller's thread, modelling the shard boundary without
-nondeterministic scheduling.
+``parallel``
+    The sharded layout with **shard-local state ownership**: every
+    worker's pipeline is a :meth:`~repro.chatroom.supervisor.
+    SupervisionPipeline.fork_shard` twin writing to private replicas of
+    the corpus, profile and FAQ stores (see :mod:`repro.state`), and
+    drain cycles run the workers on a ``ThreadPoolExecutor``.  At the
+    cycle barrier the runtime merges every replica back (deterministic
+    in any merge order — writes carry their origin seq), flushes the
+    buffered agent replies in post order, and re-snapshots the
+    replicas.  Because no worker can see another shard's in-flight
+    writes, analyses are frozen against the barrier snapshot; the batch
+    memo therefore dedups *every* repeated sentence — faulty ones
+    included, which the shared-store modes must re-analyse per item —
+    and merged state is identical whatever the thread interleaving.  On
+    free-threaded builds the pool adds real core parallelism; under the
+    GIL the snapshot dedup is what the mode buys.
+
+The cooperative modes are deterministic by construction; ``parallel``
+is deterministic in *outcome* (merged stores, stats, transcripts) for a
+fixed post/drain schedule, whatever the scheduler does.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor, wait
+
 from .shard import SupervisionItem, SupervisionWorker, dispatch, shard_of
 
-RUNTIME_MODES = ("inline", "queued", "sharded")
+RUNTIME_MODES = ("inline", "queued", "sharded", "parallel")
+
+#: Modes that spread rooms across more than one worker.
+MULTI_WORKER_MODES = ("sharded", "parallel")
 
 
 class SupervisionRuntime:
     """Schedules supervision work for a :class:`ChatServer`.
 
     Args:
-        mode: ``inline``, ``queued`` or ``sharded`` (see module docs).
-        shards: number of room shards / workers (``sharded`` mode only;
-            the other modes always run a single worker).
+        mode: ``inline``, ``queued``, ``sharded`` or ``parallel`` (see
+            module docs).
+        shards: number of room shards / workers (multi-worker modes
+            only; the other modes always run a single worker).
         batch_size: max items one worker processes per drain pass before
-            the cycle moves to the next worker (fairness bound).
+            the cycle moves to the next worker (fairness bound); in
+            ``parallel`` mode, the per-worker batch between barriers.
         auto_drain: drain after every submitted item.  Defaults to True
             for ``inline``/``queued`` (synchronous semantics) and False
-            for ``sharded`` (callers drain explicitly, posting is O(1)).
+            for the deferred modes (callers drain explicitly, posting is
+            O(1)).
+        max_pending: per-shard queue bound.  ``None`` = unbounded; with
+            a bound, an overloaded shard sheds its *oldest* pending item
+            on push (see :class:`~repro.chatroom.shard.ShardQueue`).
+            Shed totals surface via :meth:`shed_counts` / :attr:`shed`.
     """
 
     def __init__(
@@ -60,19 +91,27 @@ class SupervisionRuntime:
         shards: int = 1,
         batch_size: int = 64,
         auto_drain: bool | None = None,
+        max_pending: int | None = None,
     ) -> None:
         if mode not in RUNTIME_MODES:
             raise ValueError(f"unknown runtime mode {mode!r}; expected one of {RUNTIME_MODES}")
         if shards < 1:
             raise ValueError("shards must be >= 1")
-        if mode != "sharded":
+        if mode not in MULTI_WORKER_MODES:
             shards = 1
         self.mode = mode
         self.batch_size = batch_size
-        self.auto_drain = (mode != "sharded") if auto_drain is None else auto_drain
-        self.workers = [SupervisionWorker(index) for index in range(shards)]
+        self.auto_drain = (mode in ("inline", "queued")) if auto_drain is None else auto_drain
+        self.max_pending = max_pending
+        self.workers = [SupervisionWorker(index, max_pending) for index in range(shards)]
         self._prototypes: list = []
         self._draining = False
+        # Parallel mode: per-worker shard-store bundles (replicas +
+        # outboxes), supervisors without fork support (dispatched at the
+        # barrier on the caller's thread), and the lazily built pool.
+        self._bindings: list[list] = [[] for _ in self.workers]
+        self._barrier_supervisors: list = []
+        self._executor: ThreadPoolExecutor | None = None
 
     # --------------------------------------------------------- supervisors
 
@@ -89,12 +128,29 @@ class SupervisionRuntime:
     def add_supervisor(self, supervisor) -> None:
         """Register a supervisor across all workers.
 
-        Worker 0 gets the object itself; further workers get per-worker
-        clones when the supervisor supports it (``clone()``), so each
-        worker owns its shard's pipeline state and stats.  Supervisors
-        without ``clone`` are assumed stateless and shared as-is.
+        Cooperative modes: worker 0 gets the object itself; further
+        workers get per-worker clones when the supervisor supports it
+        (``clone()``), so each worker owns its shard's pipeline state
+        and stats.  Supervisors without ``clone`` are assumed stateless
+        and shared as-is.
+
+        ``parallel`` mode: *every* worker (index 0 included) gets a
+        ``fork_shard()`` twin owning private store replicas — the
+        prototype itself never runs on a pool thread.  Supervisors
+        without ``fork_shard`` are dispatched at the drain barrier on
+        the caller's thread, in post order, after the merge.
         """
         self._prototypes.append(supervisor)
+        if self.mode == "parallel":
+            fork = getattr(supervisor, "fork_shard", None)
+            if fork is None:
+                self._barrier_supervisors.append(supervisor)
+                return
+            for worker in self.workers:
+                shard_pipeline, stores = fork()
+                worker.supervisors.append(shard_pipeline)
+                self._bindings[worker.index].append(stores)
+            return
         clone = getattr(supervisor, "clone", None)
         for worker in self.workers:
             if worker.index == 0 or clone is None:
@@ -121,30 +177,108 @@ class SupervisionRuntime:
     def drain(self, server) -> int:
         """Drain every queue to empty; returns the number of items done.
 
-        Workers run in index order, ``batch_size`` items per pass, and
-        the cycle repeats until no queue holds work (items enqueued
-        *during* the drain — e.g. by a supervisor-triggered post — are
-        included).  One sentence-analysis memo is shared across the
-        whole cycle: the cross-room dedup that makes sharded drains
-        cheaper than per-message supervision.
+        Cooperative modes: workers run in index order, ``batch_size``
+        items per pass, and the cycle repeats until no queue holds work
+        (items enqueued *during* the drain — e.g. by a
+        supervisor-triggered post — are included).  One sentence-analysis
+        memo is shared across the whole cycle: the cross-room dedup that
+        makes sharded drains cheaper than per-message supervision.
+
+        ``parallel`` mode: see :meth:`_drain_parallel`.
         """
         if self._draining:
             return 0
         self._draining = True
-        memo: dict = {}
         done = 0
         try:
-            progressed = True
-            while progressed:
-                progressed = False
-                for worker in self.workers:
-                    n = worker.drain(server, self.batch_size, memo)
-                    if n:
-                        done += n
-                        progressed = True
+            if self.mode == "parallel":
+                done = self._drain_parallel(server)
+            else:
+                memo: dict = {}
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for worker in self.workers:
+                        n = worker.drain(server, self.batch_size, memo)
+                        if n:
+                            done += n
+                            progressed = True
         finally:
             self._draining = False
         return done
+
+    def _drain_parallel(self, server) -> int:
+        """Drain in barrier-separated cycles on the worker pool.
+
+        Each cycle: the caller's thread pops every worker's next batch
+        (queues are never touched from pool threads), ships the batches
+        to the pool, and waits — the barrier.  Then, still on the
+        caller's thread, it merges every shard replica back into the
+        base stores (order-independent: buffered writes carry their
+        origin seq), flushes the buffered agent replies in post order,
+        re-snapshots the replicas, and hands barrier-registered
+        observers the cycle's items in post order.  The memo shared by
+        the cycle's workers is discarded with the cycle: its entries
+        were computed against the cycle's snapshot and must not outlive
+        it.
+        """
+        executor = self._executor
+        if executor is None:
+            executor = self._executor = ThreadPoolExecutor(
+                max_workers=len(self.workers),
+                thread_name_prefix="supervision-shard",
+            )
+        done = 0
+        while True:
+            batches = [worker.take_batch(self.batch_size) for worker in self.workers]
+            cycle_items = sum(len(batch) for batch in batches)
+            if cycle_items == 0:
+                return done
+            memo: dict = {}
+            futures = [
+                executor.submit(worker.process_batch, server, batch, memo)
+                for worker, batch in zip(self.workers, batches)
+                if batch
+            ]
+            # Every batch must finish before the barrier lifts — even when
+            # one fails.  Re-raising while a sibling batch still runs would
+            # let a retried drain() hand that worker's replica to the pool
+            # while the old thread is still writing it.
+            wait(futures)
+            if any(future.exception() is not None for future in futures):
+                # Requeue each failed batch's unprocessed tail (caller's
+                # thread — queues are never touched from the pool) so a
+                # mid-batch failure drops only the item that raised.
+                # Replicas stay unmerged: their buffered writes carry
+                # origin tags and fold in at the next successful barrier.
+                for worker in self.workers:
+                    if worker.unprocessed:
+                        worker.queue.requeue_front(worker.unprocessed)
+                        worker.unprocessed = []
+            for future in futures:
+                future.result()  # re-raises the first worker error
+            for bindings in self._bindings:
+                for stores in bindings:
+                    stores.merge()
+            for bindings in self._bindings:
+                for stores in bindings:
+                    stores.rebase()
+            replies: list = []
+            for bindings in self._bindings:
+                for stores in bindings:
+                    replies.extend(stores.take_replies())
+            replies.sort(key=lambda reply: (reply[0], reply[1]))
+            for _seq, _n, room, agent, text, message, severity in replies:
+                server.post_agent_reply(room, agent, text, message, severity)
+            if self._barrier_supervisors:
+                items = sorted(
+                    (item for batch in batches for item in batch),
+                    key=lambda item: item.message.seq,
+                )
+                for item in items:
+                    for supervisor in self._barrier_supervisors:
+                        dispatch(supervisor, server, item, None)
+            done += cycle_items
 
     # ------------------------------------------------------------- reports
 
@@ -160,3 +294,20 @@ class SupervisionRuntime:
     def worker_loads(self) -> list[int]:
         """Items processed per worker (shard balance diagnostics)."""
         return [worker.processed for worker in self.workers]
+
+    def shed_counts(self) -> list[int]:
+        """Items shed per shard by the backpressure bound."""
+        return [worker.shed for worker in self.workers]
+
+    @property
+    def shed(self) -> int:
+        """Total items shed across all shards (0 when unbounded)."""
+        return sum(worker.shed for worker in self.workers)
+
+    def close(self) -> None:
+        """Shut down the parallel worker pool (idempotent; the
+        cooperative modes have nothing to release)."""
+        executor = self._executor
+        if executor is not None:
+            self._executor = None
+            executor.shutdown(wait=True)

@@ -68,15 +68,49 @@ def dispatch(supervisor, server, item: SupervisionItem, memo: dict | None) -> No
 
 
 class ShardQueue:
-    """FIFO queue of pending supervision items for one shard."""
+    """FIFO queue of pending supervision items for one shard.
 
-    __slots__ = ("items",)
+    Args:
+        max_pending: backpressure bound.  ``None`` (the default) keeps
+            the queue unbounded; with a bound, pushing into a full queue
+            *sheds the oldest* pending item — under overload, stale
+            messages are the right ones to skip supervising, and the
+            freshest traffic is what the agents should react to.  Shed
+            items were already delivered to their rooms; only their
+            agent analysis is skipped, and :attr:`shed` counts them.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("items", "max_pending", "shed")
+
+    def __init__(self, max_pending: int | None = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.items: deque[SupervisionItem] = deque()
+        self.max_pending = max_pending
+        self.shed = 0
 
     def push(self, item: SupervisionItem) -> None:
+        if self.max_pending is not None and len(self.items) >= self.max_pending:
+            self.items.popleft()
+            self.shed += 1
         self.items.append(item)
+
+    def take(self, max_items: int) -> list[SupervisionItem]:
+        """Pop up to ``max_items`` from the front, FIFO."""
+        items = self.items
+        batch: list[SupervisionItem] = []
+        while items and len(batch) < max_items:
+            batch.append(items.popleft())
+        return batch
+
+    def requeue_front(self, items: list[SupervisionItem]) -> None:
+        """Put already-popped items back at the front, order preserved.
+
+        Used when a batch fails mid-way: the unprocessed tail goes back
+        to be supervised by the next drain.  Bypasses the backpressure
+        bound — these items were admitted once; shedding them here would
+        double-count."""
+        self.items.extendleft(reversed(items))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -86,20 +120,25 @@ class SupervisionWorker:
     """Drains one shard's queue through this worker's supervisors.
 
     A worker is *stateless between batches*: all durable state lives in
-    the shared stores (corpus, profiles, FAQ) its supervisors write to,
-    plus the supervisors' own counters.  Each worker gets its own
-    supervisor instances (pipeline clones with private stats), so N
-    workers never contend on one stats object and per-shard load is
-    observable.
+    the stores its supervisors write to — shared stores in the
+    cooperative modes, per-worker shard replicas merged at the barrier
+    in ``parallel`` mode — plus the supervisors' own counters.  Each
+    worker gets its own supervisor instances (pipeline clones or shard
+    forks with private stats), so N workers never contend on one stats
+    object and per-shard load is observable.
     """
 
-    __slots__ = ("index", "queue", "supervisors", "processed")
+    __slots__ = ("index", "queue", "supervisors", "processed", "unprocessed")
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, max_pending: int | None = None) -> None:
         self.index = index
-        self.queue = ShardQueue()
+        self.queue = ShardQueue(max_pending)
         self.supervisors: list = []
         self.processed = 0
+        #: Tail of a failed batch (set on the pool thread when
+        #: :meth:`process_batch` raises; requeued by the runtime on the
+        #: caller's thread after the barrier).
+        self.unprocessed: list[SupervisionItem] = []
 
     def enqueue(self, item: SupervisionItem) -> None:
         self.queue.push(item)
@@ -107,6 +146,44 @@ class SupervisionWorker:
     @property
     def pending(self) -> int:
         return len(self.queue)
+
+    @property
+    def shed(self) -> int:
+        """Items dropped by this shard's backpressure bound."""
+        return self.queue.shed
+
+    def take_batch(self, max_items: int) -> list[SupervisionItem]:
+        """Pop this worker's next drain batch (caller-thread only: the
+        parallel runtime keeps all queue mutation off worker threads)."""
+        return self.queue.take(max_items)
+
+    def process_batch(
+        self, server, items: list[SupervisionItem], memo: dict | None = None
+    ) -> int:
+        """Run one popped batch through this worker's supervisors.
+
+        This is the body the parallel runtime ships to a pool thread; it
+        touches only the worker's own supervisors (shard-replica-bound
+        pipelines) and the shared read-only/locked collaborators.
+
+        On a supervisor error the failing item is dropped (matching the
+        cooperative path, which loses exactly the item that raised) and
+        the batch's unprocessed tail is stashed on :attr:`unprocessed`
+        for the runtime to requeue after the barrier — a failure never
+        silently skips the rest of a batch.
+        """
+        done = 0
+        try:
+            for item in items:
+                for supervisor in self.supervisors:
+                    dispatch(supervisor, server, item, memo)
+                done += 1
+        except BaseException:
+            self.unprocessed = items[done + 1:]
+            self.processed += done
+            raise
+        self.processed += done
+        return done
 
     def drain(self, server, max_items: int, memo: dict | None = None) -> int:
         """Process up to ``max_items`` queued items, FIFO.

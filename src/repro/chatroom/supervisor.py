@@ -13,9 +13,18 @@ sentence's handling into a *pure analysis* step and an *apply* step
 analyses of syntactically-correct sentences depend only on static state
 (dictionary, ontology, keyword filter), so a drain batch can compute
 them once per distinct sentence and fan the result out across rooms.
-Faulty sentences consult the growing learner corpus for suggestions and
-are therefore always analysed fresh, keeping every mode's per-item
-output identical to the synchronous pipeline's.
+In the shared-store modes, faulty sentences consult the growing learner
+corpus for suggestions and are therefore always analysed fresh, keeping
+every mode's per-item output identical to the synchronous pipeline's.
+
+**Shard-local mode** (:meth:`SupervisionPipeline.fork_shard`): the
+``parallel`` runtime hands every worker a pipeline twin bound to shard
+replicas of the corpus, profile and FAQ stores (see :mod:`repro.state`),
+with agent replies buffered in an outbox the runtime flushes in post
+order at the drain barrier.  Because replica reads are frozen at the
+barrier snapshot, *every* analysis — faulty sentences included — becomes
+a pure function of (sentence, snapshot) and the batch memo may share
+them across rooms, shards and worker threads.
 """
 
 from __future__ import annotations
@@ -89,6 +98,51 @@ class _SentenceAnalysis:
 
 
 @dataclass(slots=True)
+class ShardStores:
+    """One worker's bundle of shard replicas plus its reply outbox.
+
+    The runtime owns the barrier protocol: :meth:`merge` folds every
+    replica into its base store (order-independent across workers),
+    :meth:`take_replies` surfaces the buffered agent replies for the
+    post-order flush, and :meth:`rebase` re-snapshots the replicas for
+    the next cycle once *all* workers have merged.
+    """
+
+    corpus: object | None
+    profiles: object
+    faq: object
+    outbox: list = field(default_factory=list)
+    pipeline: "SupervisionPipeline | None" = None
+
+    def begin(self, seq: int) -> None:
+        """Tag subsequent writes with the originating message seq."""
+        if self.corpus is not None:
+            self.corpus.begin_origin(seq)
+        self.profiles.begin_origin(seq)
+        self.faq.begin_origin(seq)
+
+    def merge(self) -> None:
+        if self.corpus is not None:
+            self.corpus.base.merge(self.corpus)
+        self.profiles.base.merge(self.profiles)
+        corrections = self.faq.base.merge(self.faq)
+        if corrections and self.pipeline is not None:
+            # Questions this shard missed that an earlier-in-post-order
+            # shard had already asked: hits, sequentially speaking.
+            self.pipeline.stats.faq_hits += corrections
+
+    def rebase(self) -> None:
+        if self.corpus is not None:
+            self.corpus.rebase()
+        self.profiles.rebase()
+        self.faq.rebase()
+
+    def take_replies(self) -> list:
+        replies, self.outbox = self.outbox, []
+        return replies
+
+
+@dataclass(slots=True)
 class SupervisionPolicy:
     """Behaviour knobs for the pipeline.
 
@@ -134,6 +188,9 @@ class SupervisionPipeline:
         self.policy = policy or SupervisionPolicy()
         self.stats = SupervisionStats()
         self._clones: list["SupervisionPipeline"] = []
+        # Shard-local mode (set by fork_shard): replicas + reply outbox.
+        self.shard_stores: ShardStores | None = None
+        self._reply_n = 0
 
     # ------------------------------------------------------------ sharding
 
@@ -148,6 +205,34 @@ class SupervisionPipeline:
         )
         self._clones.append(twin)
         return twin
+
+    def fork_shard(self) -> tuple["SupervisionPipeline", ShardStores]:
+        """A per-worker twin owning private store replicas.
+
+        The twin's agents share every static collaborator (dictionary,
+        parse options, keyword filter, ontology, matcher, parse cache)
+        but write to forked replicas of the corpus, profile and FAQ
+        stores, and buffer agent replies in the returned bundle's
+        outbox.  Stats are private, merged via :meth:`combined_stats`
+        like any clone's.
+        """
+        corpus = self.learning_angel.corpus
+        stores = ShardStores(
+            corpus=corpus.fork() if corpus is not None else None,
+            profiles=self.profiles.fork(),
+            faq=self.qa_system.faq.fork(),
+        )
+        twin = SupervisionPipeline(
+            self.learning_angel.fork(stores.corpus),
+            self.semantic_agent,
+            self.qa_system.fork(faq=stores.faq, corpus=stores.corpus),
+            stores.profiles,
+            self.policy,
+        )
+        twin.shard_stores = stores
+        stores.pipeline = twin
+        self._clones.append(twin)
+        return twin, stores
 
     def combined_stats(self) -> SupervisionStats:
         """This pipeline's stats merged with every clone's (global view)."""
@@ -180,6 +265,12 @@ class SupervisionPipeline:
             return
         if not self.policy.supervise_teachers and item.sender_role == Role.TEACHER:
             return
+        if self.shard_stores is not None:
+            # Tag this item's writes (corpus records, FAQ bumps, replies)
+            # with the message's global seq so the barrier merge can
+            # restore post order across shards.
+            self.shard_stores.begin(message.seq)
+            self._reply_n = 0
         self.stats.messages += 1
         replies_posted = 0
         for sentence in split_sentences(message.text):
@@ -196,12 +287,30 @@ class SupervisionPipeline:
         within a batch reuse the first occurrence's analysis; faulty
         sentences re-run (their suggestion search reads the live corpus).
 
-        The memo key carries the analysing agents' identities: clones of
-        one pipeline share agents and therefore share entries, while
-        unrelated pipelines registered on the same server (different
-        dictionary or keyword filter) never serve each other's analyses.
+        The memo key carries the identities of the static state a review
+        depends on (dictionary, parse options, keyword filter, semantic
+        agent): clones *and shard forks* of one pipeline share entries,
+        while unrelated pipelines registered on the same server
+        (different dictionary or keyword filter) never serve each
+        other's analyses.
+
+        In shard-local mode every analysis is memoisable: replica reads
+        are frozen at the barrier snapshot, so even a faulty sentence's
+        suggestion search is a pure function of (sentence, snapshot) for
+        the length of the cycle.  Because those entries embed
+        corpus-dependent suggestions, the key then also carries the
+        *base* corpus identity — shard forks of one pipeline share it,
+        pipelines bound to different corpora never do.  The runtime
+        hands each barrier cycle a fresh memo, so no entry outlives the
+        snapshot it was computed against.
         """
-        key = (id(self.learning_angel), id(self.semantic_agent), sentence)
+        stores = self.shard_stores
+        corpus_id = (
+            id(stores.corpus.base)
+            if stores is not None and stores.corpus is not None
+            else None
+        )
+        key = (self.learning_angel.analysis_key, id(self.semantic_agent), corpus_id, sentence)
         if memo is not None:
             cached = memo.get(key)
             if cached is not None:
@@ -215,7 +324,7 @@ class SupervisionPipeline:
             review=review,
             shareable=review.is_correct,
         )
-        if memo is not None and analysis.shareable:
+        if memo is not None and (analysis.shareable or self.shard_stores is not None):
             memo[key] = analysis
         return analysis
 
@@ -240,6 +349,29 @@ class SupervisionPipeline:
         analysis.semantic = semantic
         return semantic
 
+    def _emit_reply(
+        self,
+        server: ChatServer,
+        message: ChatMessage,
+        agent: str,
+        text: str,
+        severity: str,
+    ) -> None:
+        """Post one agent reply — or, in shard-local mode, buffer it.
+
+        Buffered replies carry ``(message seq, emission index)`` so the
+        runtime's barrier flush restores the exact post order the
+        sequential pipeline would have produced.
+        """
+        stores = self.shard_stores
+        if stores is not None:
+            stores.outbox.append(
+                (message.seq, self._reply_n, message.room, agent, text, message, severity)
+            )
+            self._reply_n += 1
+        else:
+            server.post_agent_reply(message.room, agent, text, message, severity)
+
     def _supervise_sentence(
         self,
         server: ChatServer,
@@ -259,7 +391,9 @@ class SupervisionPipeline:
         posted = 0
 
         if pattern.is_question:
-            posted += self._handle_question(server, message, sentence, review, now, already_posted)
+            posted += self._handle_question(
+                server, message, sentence, review, now, already_posted, memo
+            )
             return posted
 
         mistake_kinds: list[str] = []
@@ -274,8 +408,8 @@ class SupervisionPipeline:
                 for reply in review.as_replies():
                     if already_posted + posted >= self.policy.max_replies_per_message:
                         break
-                    server.post_agent_reply(
-                        message.room, reply.agent, reply.text, message, reply.severity.value
+                    self._emit_reply(
+                        server, message, reply.agent, reply.text, reply.severity.value
                     )
                     posted += 1
                     self.stats.agent_replies += 1
@@ -297,8 +431,8 @@ class SupervisionPipeline:
                     for reply in semantic.as_replies():
                         if already_posted + posted >= self.policy.max_replies_per_message:
                             break
-                        server.post_agent_reply(
-                            message.room, reply.agent, reply.text, message, reply.severity.value
+                        self._emit_reply(
+                            server, message, reply.agent, reply.text, reply.severity.value
                         )
                         posted += 1
                         self.stats.agent_replies += 1
@@ -324,6 +458,26 @@ class SupervisionPipeline:
         )
         return posted
 
+    def _answer_question(self, sentence: str, now: float, memo: dict | None):
+        """Answer one asking, resolving each distinct question once.
+
+        Mirrors the sentence-analysis split: the pure resolution
+        (template match + lazy ontology answer) is memoised across the
+        drain batch, keyed by the static matcher identity so pipeline
+        clones and shard forks share entries; the per-item apply (FAQ
+        lookup and bump, corpus fallback) always runs.
+        """
+        resolution = None
+        key = None
+        if memo is not None:
+            key = ("qa", id(self.qa_system.matcher), sentence)
+            resolution = memo.get(key)
+        if resolution is None:
+            resolution = self.qa_system.resolve(sentence)
+            if memo is not None:
+                memo[key] = resolution
+        return self.qa_system.apply_resolution(resolution, now=now)
+
     def _handle_question(
         self,
         server: ChatServer,
@@ -332,9 +486,10 @@ class SupervisionPipeline:
         review,
         now: float,
         already_posted: int,
+        memo: dict | None = None,
     ) -> int:
         self.stats.questions += 1
-        answer = self.qa_system.answer(sentence, now=now)
+        answer = self._answer_question(sentence, now, memo)
         posted = 0
         if answer.answered:
             self.stats.questions_answered += 1
@@ -344,20 +499,18 @@ class SupervisionPipeline:
                 self.policy.reply_to_questions
                 and already_posted < self.policy.max_replies_per_message
             ):
-                server.post_agent_reply(
-                    message.room, QA_AGENT_NAME, answer.text, message, "info"
-                )
+                self._emit_reply(server, message, QA_AGENT_NAME, answer.text, "info")
                 posted += 1
                 self.stats.agent_replies += 1
         elif (
             self.policy.reply_when_unanswered
             and already_posted < self.policy.max_replies_per_message
         ):
-            server.post_agent_reply(
-                message.room,
+            self._emit_reply(
+                server,
+                message,
                 QA_AGENT_NAME,
                 "I could not find an answer to that in the course material.",
-                message,
                 "info",
             )
             posted += 1

@@ -82,15 +82,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.corpus import StatisticAnalyzer
     from repro.simulation import ClassroomSession
 
-    config = SystemConfig(runtime_mode=args.runtime, shards=args.shards)
+    workers = args.workers if args.workers is not None else args.shards
+    config = SystemConfig(
+        runtime_mode=args.runtime,
+        shards=workers,
+        max_pending=args.max_pending,
+    )
     system = ELearningSystem.with_defaults(config)
-    session = ClassroomSession(system, learners=args.learners, seed=args.seed)
-    session.run(rounds=args.rounds)
-    system.drain()  # flush queued agent work under deferred-drain runtimes
+    try:
+        session = ClassroomSession(system, learners=args.learners, seed=args.seed)
+        session.run(rounds=args.rounds)
+        system.drain()  # flush queued agent work under deferred-drain runtimes
+    finally:
+        system.close()  # release the parallel worker pool
     stats = system.stats
-    if args.runtime == "sharded":
-        print(f"runtime=sharded shards={args.shards} "
+    if args.runtime in ("sharded", "parallel"):
+        print(f"runtime={args.runtime} workers={workers} "
               f"worker_messages={system.runtime.worker_loads()}")
+    if system.supervision_shed:
+        print(f"shed={system.supervision_shed} (max_pending={args.max_pending})")
     print(f"messages={stats.messages} sentences={stats.sentences} "
           f"syntax_errors={stats.syntax_errors} "
           f"semantic={stats.semantic_violations + stats.misconceptions} "
@@ -156,12 +166,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--runtime",
-        choices=["inline", "queued", "sharded"],
+        choices=["inline", "queued", "sharded", "parallel"],
         default="queued",
         help="supervision scheduling mode (see docs/runtime.md)",
     )
     p.add_argument("--shards", type=int, default=4,
-                   help="worker count for --runtime sharded")
+                   help="shard/worker count for the multi-worker "
+                        "runtimes (sharded, parallel)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="alias for --shards (the parallel runtime's "
+                        "natural spelling); wins when both are given")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="per-shard supervision queue bound; overloaded "
+                        "shards shed their oldest pending message")
     p.set_defaults(func=_cmd_simulate)
 
     p = commands.add_parser("bench", help="run the perf harness deterministically")

@@ -57,12 +57,18 @@ class SystemConfig:
         clock_tick: seconds the clock advances per posted message.
         runtime_mode: how supervision is scheduled — ``inline``,
             ``queued`` (default; drain-after-post, byte-identical to
-            inline) or ``sharded`` (rooms sharded across workers, agent
-            work drained in deduplicated batches off the posting path).
-        shards: worker/shard count for ``sharded`` mode.
+            inline), ``sharded`` (rooms sharded across workers, agent
+            work drained in deduplicated batches off the posting path)
+            or ``parallel`` (sharded with shard-local store replicas,
+            drained on a thread pool and merged at barriers — see
+            docs/runtime.md).
+        shards: worker/shard count for the ``sharded``/``parallel``
+            modes.
         supervision_batch: items per worker per drain pass.
         auto_drain: drain after every post; None picks the mode default
-            (True for inline/queued, False for sharded).
+            (True for inline/queued, False for sharded/parallel).
+        max_pending: per-shard supervision queue bound; an overloaded
+            shard sheds its oldest pending item (None = unbounded).
     """
 
     seed_corpus: bool = True
@@ -74,6 +80,7 @@ class SystemConfig:
     shards: int = 1
     supervision_batch: int = 64
     auto_drain: bool | None = None
+    max_pending: int | None = None
 
 
 class ELearningSystem:
@@ -128,6 +135,7 @@ class ELearningSystem:
             shards=self.config.shards,
             batch_size=self.config.supervision_batch,
             auto_drain=self.config.auto_drain,
+            max_pending=self.config.max_pending,
         )
         self.server = ChatServer(self.clock, self.bus, self.runtime)
         self.pipeline = SupervisionPipeline(
@@ -171,10 +179,27 @@ class ELearningSystem:
         """Run all queued supervision work; returns items processed."""
         return self.server.drain_supervision()
 
+    def close(self) -> None:
+        """Release runtime resources (the ``parallel`` mode's worker
+        pool; a no-op for the cooperative modes).  Idempotent."""
+        self.runtime.close()
+
+    def __enter__(self) -> "ELearningSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @property
     def pending_supervision(self) -> int:
         """Messages posted but not yet supervised (deferred-drain modes)."""
         return self.server.pending_supervision
+
+    @property
+    def supervision_shed(self) -> int:
+        """Messages whose agent analysis was shed by queue backpressure
+        (delivery always happens; only supervision is skipped)."""
+        return self.runtime.shed
 
     def agent_replies_to(self, message: ChatMessage) -> list[ChatMessage]:
         """Agent messages posted in response to ``message``."""

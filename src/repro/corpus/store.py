@@ -23,6 +23,18 @@ Records are snapshotted at :meth:`LearnerCorpus.add` time: the indexes
 read ``verdict``/``keywords``/``text`` once, on ingestion.  Treat a
 record as immutable after adding it — mutating one afterwards would
 desynchronise the index-backed queries from ``filter``-style scans.
+(The single exception is ``record_id``, which the shard merge renumbers
+to the record's final position; ids are not indexed.)
+
+The corpus is also a :class:`~repro.state.mergeable.MergeableStore`:
+:meth:`LearnerCorpus.fork` hands a drain worker a :class:`CorpusReplica`
+whose reads see the fork-point snapshot and whose appends are buffered
+with their origin (global message seq, per-message sentence index);
+:meth:`LearnerCorpus.merge` interleaves replica appends behind the fork
+watermark in origin order — whatever order the replicas merge in — and
+re-ingests them through the normal path, so the merged store's inverted
+token/keyword postings and record ids are identical to those of a single
+store fed the same records in origin order.
 """
 
 from __future__ import annotations
@@ -47,6 +59,11 @@ class LearnerCorpus:
         self._by_verdict: dict[Correctness, list[int]] = {}
         self._keyword_index: dict[str, list[int]] = {}
         self._token_index: dict[str, list[int]] = {}
+        # Shard-merge bookkeeping: the position every record of the
+        # current barrier interleaves behind, and the origin keys of the
+        # records merged past it so far (aligned with the tail).
+        self._merge_floor: int | None = None
+        self._merge_keys: list[tuple[int, int]] = []
 
     def __len__(self) -> int:
         return len(self._records)
@@ -69,11 +86,15 @@ class LearnerCorpus:
         already tokenised ``record.text`` (the supervision pipeline)
         pass ``tokens`` to skip the redundant tokenizer run.
         """
-        position = len(self._records)
-        self._records.append(record)
         token_set = (
             frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
         )
+        return self._ingest(record, token_set)
+
+    def _ingest(self, record: CorpusRecord, token_set: frozenset[str]) -> CorpusRecord:
+        """Append one record with its precomputed token set and index it."""
+        position = len(self._records)
+        self._records.append(record)
         self._token_sets.append(token_set)
         keywords = frozenset(k.lower() for k in record.keywords)
         self._keyword_sets.append(keywords)
@@ -83,6 +104,30 @@ class LearnerCorpus:
         for token in token_set:
             self._token_index.setdefault(token, []).append(position)
         return record
+
+    def _evict_tail(self, floor: int) -> None:
+        """Drop every record at position >= ``floor`` from store + indexes.
+
+        Positions are appended in add order, so within each postings list
+        the evicted positions are exactly the trailing entries — eviction
+        is O(tail), not O(index).
+        """
+        while len(self._records) > floor:
+            position = len(self._records) - 1
+            record = self._records.pop()
+            token_set = self._token_sets.pop()
+            keywords = self._keyword_sets.pop()
+            verdict_postings = self._by_verdict[record.verdict]
+            assert verdict_postings[-1] == position
+            verdict_postings.pop()
+            for keyword in keywords:
+                postings = self._keyword_index[keyword]
+                assert postings[-1] == position
+                postings.pop()
+            for token in token_set:
+                postings = self._token_index[token]
+                assert postings[-1] == position
+                postings.pop()
 
     # ------------------------------------------------------------- queries
 
@@ -136,6 +181,55 @@ class LearnerCorpus:
         for position in self._by_verdict.get(Correctness.CORRECT, ()):
             yield position, self._records[position]
 
+    # -------------------------------------------------- partition and merge
+
+    def fork(self) -> "CorpusReplica":
+        """A shard replica over the current state (reads = this snapshot,
+        writes buffered until :meth:`merge`)."""
+        return CorpusReplica(self)
+
+    def merge(self, replica: "CorpusReplica") -> int:
+        """Fold one replica's buffered records into the corpus.
+
+        Replica records interleave *behind the fork watermark* in origin
+        order — ``(message seq, per-message sentence index)``, captured
+        at supervision time — so merging the replicas of one barrier in
+        any order produces the same record order, ids, token sets and
+        inverted postings as a single store fed the records in global
+        post order.  Records already merged this barrier (by sibling
+        replicas) are re-sorted together with the new ones; eviction and
+        re-ingestion are O(barrier batch), not O(corpus).
+
+        Returns the number of records merged from ``replica``.
+        """
+        floor = replica.base_len
+        if floor > len(self._records):
+            raise ValueError(
+                f"replica forked at {floor} but corpus holds {len(self._records)} records"
+            )
+        if self._merge_floor != floor:
+            # First replica of a new barrier: the tail (if any) belongs
+            # to an older, already-finalised barrier.
+            self._merge_floor = floor
+            self._merge_keys = []
+        tail: list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]] = [
+            (key, self._records[floor + offset], self._token_sets[floor + offset])
+            for offset, key in enumerate(self._merge_keys)
+        ]
+        merged = len(replica.pending)
+        tail.extend(replica.pending)
+        tail.sort(key=lambda entry: entry[0])
+        self._evict_tail(floor)
+        for _key, record, token_set in tail:
+            record.record_id = len(self._records)
+            self._ingest(record, token_set)
+        self._merge_keys = [entry[0] for entry in tail]
+        return merged
+
+    def snapshot(self) -> tuple[dict, ...]:
+        """Canonical comparable value: every record, in store order."""
+        return tuple(record.to_dict() for record in self._records)
+
     # --------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> None:
@@ -155,3 +249,79 @@ class LearnerCorpus:
                 if line:
                     corpus.add(CorpusRecord.from_dict(json.loads(line)))
         return corpus
+
+
+class CorpusReplica:
+    """One worker's shard-local view of a :class:`LearnerCorpus`.
+
+    Reads (suggestion-search queries, QA corpus fallback, statistics)
+    delegate to the base store, which the runtime freezes for the length
+    of a drain cycle — every worker of a barrier therefore analyses
+    against the *same* snapshot, which is what makes batch-wide analysis
+    memoisation sound.  Appends are buffered locally, tagged with their
+    origin ``(message seq, per-message sentence index)``, and only reach
+    the base in :meth:`LearnerCorpus.merge`.  A replica is single-owner:
+    exactly one worker writes it, and merge/rebase happen at the barrier
+    with no workers running.
+    """
+
+    __slots__ = ("_base", "base_len", "_pending", "_origin_seq", "_origin_n")
+
+    def __init__(self, base: LearnerCorpus) -> None:
+        self._base = base
+        self.base_len = len(base)
+        self._pending: list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]] = []
+        self._origin_seq = 0
+        self._origin_n = 0
+
+    # ----------------------------------------------------- replica protocol
+
+    @property
+    def base(self) -> LearnerCorpus:
+        return self._base
+
+    @property
+    def pending(self) -> list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]]:
+        """Buffered (origin, record, token set) appends, in write order."""
+        return self._pending
+
+    def begin_origin(self, seq: int) -> None:
+        """Tag subsequent appends as originating from message ``seq``."""
+        self._origin_seq = seq
+        self._origin_n = 0
+
+    def rebase(self) -> None:
+        """Drop the local buffer and snapshot the (merged) base anew."""
+        self._pending = []
+        self.base_len = len(self._base)
+
+    # -------------------------------------------------------------- writing
+
+    def next_id(self) -> int:
+        """Provisional id; the merge renumbers to the final position."""
+        return self.base_len + len(self._pending)
+
+    def add(
+        self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
+    ) -> CorpusRecord:
+        token_set = (
+            frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
+        )
+        self._pending.append(((self._origin_seq, self._origin_n), record, token_set))
+        self._origin_n += 1
+        return record
+
+    # ------------------------------------------------------------- queries
+    # All reads see the fork-point snapshot: the base store, which only
+    # changes at merge barriers while no worker is draining.
+
+    def __len__(self) -> int:
+        return self.base_len + len(self._pending)
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        return iter(self._base)
+
+    def __getattr__(self, name: str):
+        # Query primitives (record_at, token_positions, correct_records,
+        # ...) delegate wholesale; writes are overridden above.
+        return getattr(self._base, name)

@@ -2,9 +2,10 @@
 
 ``python -m repro bench`` (or ``make bench``) runs a fixed set of
 workloads — cold parsing, cached parsing, the mixed-traffic supervision
-loop, a seeded classroom session, suggestion search, raw post latency
-and the multi-room sharded-runtime scale test — and writes the numbers
-to ``BENCH_parse.json`` so successive PRs can track the perf trajectory
+loop, a seeded classroom session, suggestion search, raw post latency,
+the multi-room sharded-runtime scale test and the parallel
+(shard-replica) drain test — and writes the numbers to
+``BENCH_parse.json`` so successive PRs can track the perf trajectory
 of the parse engine and the supervision runtime.
 
 The workloads are deterministic (fixed sentences, fixed seeds); only the
@@ -248,6 +249,86 @@ def bench_multi_room_scale(rooms: int = 16, rounds: int = 12, shards: int = 4) -
     }
 
 
+#: Error-heavy classroom traffic for the parallel-drain workload: half
+#: the templates are genuinely faulty (word salad, agreement errors,
+#: semantic misuse), the shape of a novice cohort.  Faulty sentences are
+#: the expensive ones — repair parsing plus a corpus-dependent
+#: suggestion search — and the shared-store drain modes must re-run them
+#: per room, which is exactly the cost the snapshot-isolated ``parallel``
+#: mode removes.
+ERROR_HEAVY_MESSAGES = [
+    "We push an element onto the stack.",
+    "stack the holds data quickly the.",
+    "What is a queue?",
+    "The stacks is full.",
+    "I push the data into a tree.",
+    "tree the has node quickly the.",
+    "the push stack data element.",
+    "Does the stack have the pop operation?",
+]
+
+
+def bench_parallel_drain(rooms: int = 16, rounds: int = 12, workers: int = 4) -> dict:
+    """Shard-replica (``parallel``) drain throughput vs the cooperative
+    ``sharded`` drain, same rooms, same error-heavy traffic, same worker
+    count.
+
+    Both systems shard 16 rooms across 4 workers and drain once per
+    posted round.  The ``sharded`` mode's workers share the corpus, so a
+    faulty sentence (whose repair and suggestion search read the live
+    corpus) must be re-analysed for every room it was posted to.  The
+    ``parallel`` mode freezes each drain cycle against the barrier
+    snapshot: its shared memo legitimately dedups *every* repeated
+    sentence — faulty ones included — and its workers run on a thread
+    pool (real core parallelism on free-threaded builds).  The merged
+    state is asserted equal to the cooperative modes by
+    ``tests/chatroom/test_parallel_runtime.py``; this workload prices
+    the difference.
+    """
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    def build(config: "SystemConfig") -> "ELearningSystem":
+        system = ELearningSystem.with_defaults(config)
+        for index in range(rooms):
+            system.open_room(f"room-{index}", topic="t")
+            system.join(f"room-{index}", "u")
+        # Same steady-state discipline as multi_room_scale: warm every
+        # template through every room so neither timed run bills cold
+        # parses against the process-wide shared cache store.
+        for text in ERROR_HEAVY_MESSAGES:
+            for index in range(rooms):
+                system.say(f"room-{index}", "u", text)
+            system.drain()
+        return system
+
+    def run(system: "ELearningSystem") -> float:
+        posted = 0
+        start = time.perf_counter()
+        for i in range(rounds):
+            text = ERROR_HEAVY_MESSAGES[i % len(ERROR_HEAVY_MESSAGES)]
+            for index in range(rooms):
+                system.say(f"room-{index}", "u", text)
+                posted += 1
+            system.drain()
+        return posted / (time.perf_counter() - start)
+
+    sharded_system = build(SystemConfig(runtime_mode="sharded", shards=workers))
+    sharded_rate = run(sharded_system)
+    with build(SystemConfig(runtime_mode="parallel", shards=workers)) as parallel_system:
+        parallel_rate = run(parallel_system)
+        worker_messages = parallel_system.runtime.worker_loads()
+    return {
+        "rooms": rooms,
+        "rounds": rounds,
+        "workers": workers,
+        "messages": rooms * rounds,
+        "sharded_messages_per_sec": sharded_rate,
+        "parallel_messages_per_sec": parallel_rate,
+        "parallel_speedup_vs_sharded": round(parallel_rate / sharded_rate, 2),
+        "worker_messages": worker_messages,
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -269,6 +350,7 @@ def run_report(quick: bool = False) -> dict:
             "suggestion_search": bench_suggestion_search(queries=n(300)),
             "post_latency": bench_post_latency(messages=n(2000)),
             "multi_room_scale": bench_multi_room_scale(rounds=max(2, n(12))),
+            "parallel_drain": bench_parallel_drain(rounds=max(2, n(12))),
         },
     }
 
@@ -291,11 +373,19 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "sharded_speedup_vs_sync",
         "shared_cache",
     ),
+    "parallel_drain": (
+        "rooms",
+        "workers",
+        "messages",
+        "sharded_messages_per_sec",
+        "parallel_messages_per_sec",
+        "parallel_speedup_vs_sharded",
+    ),
 }
 
 #: Workloads the seed commit predates; a pinned baseline need not (and
 #: cannot) carry them.
-_POST_SEED_WORKLOADS = frozenset({"post_latency", "multi_room_scale"})
+_POST_SEED_WORKLOADS = frozenset({"post_latency", "multi_room_scale", "parallel_drain"})
 
 
 def validate_report(report: dict) -> None:

@@ -21,12 +21,17 @@ any number of parsers can attach to.  Correctness guarantees:
   sharing (the analyzer and the repairer) are wired with identical
   options.
 
-The store is a plain bounded LRU — no threads, no locks — matching the
-deterministic, single-process runtime.
+The store is a bounded LRU guarded by a single lock: the ``parallel``
+supervision runtime drains shards on a thread pool whose workers all
+attach to one shared store, and the get/move-to-end and put/evict pairs
+must be atomic for the LRU bookkeeping to survive concurrent access.
+Cached values are deterministic functions of their keys, so whichever
+thread fills an entry first, every reader sees the same parse.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -46,6 +51,7 @@ class ParseCacheStore:
         self.hits = 0
         self.misses = 0
         self._generation: int | None = None
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------ scoping
 
@@ -56,46 +62,51 @@ class ParseCacheStore:
         and simpler than carrying the version in every key, and a
         redefined word invalidates arbitrary sentences anyway.
         """
-        if self._generation != version:
-            self._parse.clear()
-            self._count.clear()
-            self._generation = version
+        with self._lock:
+            if self._generation != version:
+                self._parse.clear()
+                self._count.clear()
+                self._generation = version
 
     # ----------------------------------------------------------- parse API
 
     def get_parse(self, key: Hashable) -> Any | None:
-        got = self._parse.get(key)
-        if got is None:
-            self.misses += 1
-            return None
-        self._parse.move_to_end(key)
-        self.hits += 1
-        return got
+        with self._lock:
+            got = self._parse.get(key)
+            if got is None:
+                self.misses += 1
+                return None
+            self._parse.move_to_end(key)
+            self.hits += 1
+            return got
 
     def put_parse(self, key: Hashable, value: Any) -> None:
         if self.max_entries <= 0:
             return
-        self._parse[key] = value
-        if len(self._parse) > self.max_entries:
-            self._parse.popitem(last=False)
+        with self._lock:
+            self._parse[key] = value
+            if len(self._parse) > self.max_entries:
+                self._parse.popitem(last=False)
 
     # ----------------------------------------------------------- count API
 
     def get_count(self, key: Hashable) -> int | None:
-        got = self._count.get(key)
-        if got is None:
-            self.misses += 1
-            return None
-        self._count.move_to_end(key)
-        self.hits += 1
-        return got
+        with self._lock:
+            got = self._count.get(key)
+            if got is None:
+                self.misses += 1
+                return None
+            self._count.move_to_end(key)
+            self.hits += 1
+            return got
 
     def put_count(self, key: Hashable, value: int) -> None:
         if self.max_entries <= 0:
             return
-        self._count[key] = value
-        if len(self._count) > self.max_entries:
-            self._count.popitem(last=False)
+        with self._lock:
+            self._count[key] = value
+            if len(self._count) > self.max_entries:
+                self._count.popitem(last=False)
 
     # ------------------------------------------------------------- utility
 
@@ -119,7 +130,8 @@ class ParseCacheStore:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._parse.clear()
-        self._count.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._parse.clear()
+            self._count.clear()
+            self.hits = 0
+            self.misses = 0

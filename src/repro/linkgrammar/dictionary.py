@@ -23,6 +23,7 @@ Two special word names configure behaviour:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -73,6 +74,7 @@ class Dictionary:
         self._version = 0
         self._tables: ParseTables | None = None
         self._tables_version = -1
+        self._tables_lock = threading.Lock()
         self._shared_cache: ParseCacheStore | None = None
 
     def __len__(self) -> int:
@@ -152,10 +154,16 @@ class Dictionary:
         instance.
         """
         if self._tables is None or self._tables_version != self._version:
-            self._tables = ParseTables.build(
-                {word: entry.disjuncts for word, entry in self._entries.items()}
-            )
-            self._tables_version = self._version
+            # Parallel-mode pool threads may race the first build after a
+            # generation bump; the lock keeps it to one rebuild.  Assign
+            # the tables before the version so a lock-free reader never
+            # pairs fresh version with stale tables.
+            with self._tables_lock:
+                if self._tables is None or self._tables_version != self._version:
+                    self._tables = ParseTables.build(
+                        {word: entry.disjuncts for word, entry in self._entries.items()}
+                    )
+                    self._tables_version = self._version
         return self._tables
 
     def shared_cache_store(self, max_entries: int | None = None) -> ParseCacheStore:

@@ -80,6 +80,31 @@ class UserProfile:
         return profile
 
 
+def _apply_activity(
+    profile: UserProfile,
+    now: float,
+    *,
+    syntax_error: bool,
+    semantic_error: bool,
+    question: bool,
+    mistake_kinds: tuple[str, ...],
+    topics: tuple[str, ...],
+) -> None:
+    """Bump one utterance's tallies on a profile (or a replica's delta —
+    the single place the per-event field list lives; ``merge`` sums the
+    same fields as whole deltas)."""
+    profile.messages += 1
+    profile.last_active = now
+    if syntax_error:
+        profile.syntax_errors += 1
+    if semantic_error:
+        profile.semantic_errors += 1
+    if question:
+        profile.questions += 1
+    profile.mistake_counts.update(mistake_kinds)
+    profile.topic_counts.update(topics)
+
+
 class UserProfileStore:
     """All user profiles, keyed by name."""
 
@@ -118,17 +143,52 @@ class UserProfileStore:
     ) -> UserProfile:
         """Fold one supervised utterance into the user's profile."""
         profile = self.get_or_create(name, now=now)
-        profile.messages += 1
-        profile.last_active = now
-        if syntax_error:
-            profile.syntax_errors += 1
-        if semantic_error:
-            profile.semantic_errors += 1
-        if question:
-            profile.questions += 1
-        profile.mistake_counts.update(mistake_kinds)
-        profile.topic_counts.update(topics)
+        _apply_activity(
+            profile,
+            now,
+            syntax_error=syntax_error,
+            semantic_error=semantic_error,
+            question=question,
+            mistake_kinds=mistake_kinds,
+            topics=topics,
+        )
         return profile
+
+    # -------------------------------------------------- partition and merge
+
+    def fork(self) -> "ProfileReplica":
+        """A shard replica: activity recorded on it stays local until
+        :meth:`merge` folds it back in."""
+        return ProfileReplica(self)
+
+    def merge(self, replica: "ProfileReplica") -> int:
+        """Fold one replica's per-user activity deltas into the store.
+
+        Profile state is built from commutative pieces — tallies and
+        histograms sum, ``last_active`` is a max, ``joined_at`` a min —
+        so merging replicas in any order yields the same store, equal to
+        one store that saw every activity itself.
+
+        Returns the number of user deltas merged.
+        """
+        for name, delta in replica.pending.items():
+            profile = self._profiles.get(name)
+            if profile is None:
+                self._profiles[name] = delta
+                continue
+            profile.messages += delta.messages
+            profile.syntax_errors += delta.syntax_errors
+            profile.semantic_errors += delta.semantic_errors
+            profile.questions += delta.questions
+            profile.mistake_counts.update(delta.mistake_counts)
+            profile.topic_counts.update(delta.topic_counts)
+            profile.joined_at = min(profile.joined_at, delta.joined_at)
+            profile.last_active = max(profile.last_active, delta.last_active)
+        return len(replica.pending)
+
+    def snapshot(self) -> tuple[dict, ...]:
+        """Canonical comparable value: every profile, ordered by name."""
+        return tuple(profile.to_dict() for profile in self.all())
 
     # --------------------------------------------------------- persistence
 
@@ -148,3 +208,76 @@ class UserProfileStore:
                     profile = UserProfile.from_dict(json.loads(line))
                     store._profiles[profile.name] = profile
         return store
+
+
+class ProfileReplica:
+    """One worker's shard-local view of a :class:`UserProfileStore`.
+
+    ``record_activity`` accumulates into private per-user *delta*
+    profiles (created with ``joined_at`` = first local activity, exactly
+    what a fresh profile would get); reads delegate to the base store's
+    fork-point snapshot.  Single-owner, like every shard replica: one
+    worker writes, the barrier merges.
+    """
+
+    __slots__ = ("_base", "base_len", "_pending")
+
+    def __init__(self, base: UserProfileStore) -> None:
+        self._base = base
+        self.base_len = len(base)
+        self._pending: dict[str, UserProfile] = {}
+
+    @property
+    def base(self) -> UserProfileStore:
+        return self._base
+
+    @property
+    def pending(self) -> dict[str, UserProfile]:
+        """Buffered per-user deltas, keyed by user name."""
+        return self._pending
+
+    def begin_origin(self, seq: int) -> None:
+        """Profiles merge commutatively; the origin is irrelevant."""
+
+    def rebase(self) -> None:
+        self._pending = {}
+        self.base_len = len(self._base)
+
+    def __len__(self) -> int:
+        return self.base_len + sum(
+            1 for name in self._pending if name not in self._base
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pending or name in self._base
+
+    def record_activity(
+        self,
+        name: str,
+        now: float,
+        *,
+        syntax_error: bool = False,
+        semantic_error: bool = False,
+        question: bool = False,
+        mistake_kinds: tuple[str, ...] = (),
+        topics: tuple[str, ...] = (),
+    ) -> UserProfile:
+        """Fold one supervised utterance into the user's *local* delta."""
+        delta = self._pending.get(name)
+        if delta is None:
+            delta = UserProfile(name=name, joined_at=now, last_active=now)
+            self._pending[name] = delta
+        _apply_activity(
+            delta,
+            now,
+            syntax_error=syntax_error,
+            semantic_error=semantic_error,
+            question=question,
+            mistake_kinds=mistake_kinds,
+            topics=topics,
+        )
+        return delta
+
+    def __getattr__(self, name: str):
+        # Reads (get, all, ...) see the fork-point snapshot.
+        return getattr(self._base, name)

@@ -47,6 +47,28 @@ class Answer:
         return self.source == "faq"
 
 
+@dataclass(slots=True)
+class QAResolution:
+    """The pure, store-independent part of answering one question.
+
+    Template matching and the ontology answer depend only on static
+    state (keyword filter, templates, ontology), so a drain batch
+    resolves each *distinct* question once and shares the resolution
+    across every room that asked it; :meth:`QASystem.apply_resolution`
+    then performs the per-item side effects (FAQ lookup and bump,
+    corpus fallback).  The ontology answer is computed lazily — a
+    question that hits the FAQ cache on every apply never pays for it —
+    and cached on the resolution, so it is computed at most once per
+    batch.  The lazy fill is value-deterministic (a pure function of the
+    match), making shared resolutions safe across worker threads.
+    """
+
+    question: str
+    match: TemplateMatch
+    item_ids: tuple[int, ...]
+    _computed: str | None = None
+
+
 class QASystem:
     """Template-driven QA over the ontology, corpus and FAQ database."""
 
@@ -67,16 +89,39 @@ class QASystem:
     # ----------------------------------------------------------------- API
 
     def answer(self, question: str, now: float = 0.0) -> Answer:
-        """Answer one question, updating the FAQ statistics."""
+        """Answer one question, updating the FAQ statistics.
+
+        Equivalent to ``apply_resolution(resolve(question), now)`` — the
+        split exists so drain batches resolve each distinct question
+        once while still bumping the FAQ per asking.
+        """
+        return self.apply_resolution(self.resolve(question), now=now)
+
+    def resolve(self, question: str) -> QAResolution:
+        """Classify one question — pure, memoisable, no side effects."""
         match = self.matcher.match(question)
         item_ids = tuple(sorted({k.item_id for k in match.all_keywords}))
+        return QAResolution(question, match, item_ids)
+
+    def apply_resolution(self, resolution: QAResolution, now: float = 0.0) -> Answer:
+        """Serve one asking of a resolved question (FAQ bump included).
+
+        This is the per-item half: it consults the FAQ cache, falls back
+        to the resolution's (lazily computed) ontology answer and then
+        the learner corpus, and records the asking into the FAQ
+        statistics — exactly the side effects the sequential pipeline
+        performs per question.
+        """
+        match = resolution.match
+        question = resolution.question
+        item_ids = resolution.item_ids
 
         if match.kind != QuestionKind.UNKNOWN:
             cached = self.faq.lookup(match)
             if cached is not None:
                 self.faq.record(match, question, cached.answer, now, source=cached.source)
                 return Answer(question, match.kind, cached.answer, True, "faq", item_ids)
-            text = self._compute(match)
+            text = self._resolved_text(resolution)
             if text:
                 self.faq.record(match, question, text, now)
                 return Answer(question, match.kind, text, True, "ontology", item_ids)
@@ -87,6 +132,34 @@ class QASystem:
                 self.faq.record(match, question, corpus_text, now, source="corpus")
             return Answer(question, match.kind, corpus_text, True, "corpus", item_ids)
         return Answer(question, match.kind, "", False, "none", item_ids)
+
+    def _resolved_text(self, resolution: QAResolution) -> str:
+        """The resolution's ontology answer, computed at most once."""
+        if resolution._computed is None:
+            resolution._computed = (
+                self._compute(resolution.match)
+                if resolution.match.kind != QuestionKind.UNKNOWN
+                else ""
+            )
+        return resolution._computed
+
+    def fork(
+        self,
+        faq: FAQDatabase | None = None,
+        corpus: LearnerCorpus | None = None,
+    ) -> "QASystem":
+        """A twin bound to shard-local stores but sharing every static
+        collaborator (ontology, keyword filter, matcher, evaluator) —
+        shared matchers are what let worker threads share one
+        resolution memo per drain batch."""
+        twin = QASystem.__new__(QASystem)
+        twin.ontology = self.ontology
+        twin.faq = faq if faq is not None else self.faq
+        twin.corpus = corpus if corpus is not None else self.corpus
+        twin.keyword_filter = self.keyword_filter
+        twin.matcher = self.matcher
+        twin.evaluator = self.evaluator
+        return twin
 
     # ------------------------------------------------------------ answers
 

@@ -10,6 +10,16 @@ answers.
 Questions are normalised (template kind + sorted ontology ids) so
 paraphrases of the same question share one FAQ entry: "What is a stack?"
 and "what is Stack" hit the same pair.
+
+The database is a :class:`~repro.state.mergeable.MergeableStore`: a
+drain worker's :class:`FAQReplica` buffers its question *bumps* locally
+(overlaying its own shard's new pairs for lookups) and
+:meth:`FAQDatabase.merge` folds them back at the barrier.  Counts and
+``last_asked`` commute; the representative surface form / answer /
+``first_asked`` of a pair born inside a barrier belong to the bump with
+the smallest origin (global message seq), so merging replicas in any
+order reproduces what a single database fed the questions in post order
+would hold.
 """
 
 from __future__ import annotations
@@ -85,6 +95,16 @@ class FAQDatabase:
 
     def __init__(self) -> None:
         self._pairs: dict[str, QAPair] = {}
+        # Origin (message seq) that created each merge-born pair; lets
+        # later-merging replicas win the representative surface form when
+        # they saw the question earlier in post order.  Never cleared:
+        # seqs are globally monotonic, so stale entries can't win.
+        self._merge_origins: dict[str, tuple[int, int]] = {}
+        # Keys born in the current merge barrier (reset when replicas of
+        # a new fork watermark start merging): the basis of the
+        # cross-shard FAQ-hit correction merge() reports.
+        self._merge_floor: int | None = None
+        self._barrier_born: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -138,6 +158,64 @@ class FAQDatabase:
     def total_questions(self) -> int:
         return sum(pair.count for pair in self._pairs.values())
 
+    # -------------------------------------------------- partition and merge
+
+    def fork(self) -> "FAQReplica":
+        """A shard replica: bumps recorded on it stay local until merge."""
+        return FAQReplica(self)
+
+    def merge(self, replica: "FAQReplica") -> int:
+        """Fold one replica's buffered question bumps into the database.
+
+        Returns the **FAQ-hit correction**: the number of askings this
+        replica served as cache *misses* that are cache hits in global
+        post order.  A question born inside a barrier is missed once per
+        shard that asked it, but a sequential run misses it exactly once
+        — so every merge after the first of a barrier-born key owes one
+        hit.  The caller folds the correction into its ``faq_hits``
+        counter, making the merged statistics identical to the
+        sequential pipeline's on any drain schedule.
+        """
+        if self._merge_floor != replica.base_len:
+            self._merge_floor = replica.base_len
+            self._barrier_born = set()
+        corrections = 0
+        for key, bump in replica.pending.items():
+            pair = self._pairs.get(key)
+            if pair is not None and key in self._barrier_born:
+                corrections += 1
+            if pair is None:
+                self._barrier_born.add(key)
+                self._pairs[key] = QAPair(
+                    key=key,
+                    question=bump.question,
+                    answer=bump.answer,
+                    kind=bump.kind,
+                    item_ids=bump.item_ids,
+                    count=bump.count,
+                    source=bump.source,
+                    first_asked=bump.first_asked,
+                    last_asked=bump.last_asked,
+                )
+                self._merge_origins[key] = bump.first_origin
+            else:
+                origin = self._merge_origins.get(key)
+                if origin is not None and bump.first_origin < origin:
+                    # This replica saw the (barrier-born) question first
+                    # in post order: it defines the representative pair.
+                    pair.question = bump.question
+                    pair.answer = bump.answer
+                    pair.source = bump.source
+                    pair.first_asked = min(pair.first_asked, bump.first_asked)
+                    self._merge_origins[key] = bump.first_origin
+                pair.count += bump.count
+                pair.last_asked = max(pair.last_asked, bump.last_asked)
+        return corrections
+
+    def snapshot(self) -> tuple[dict, ...]:
+        """Canonical comparable value: every pair, frequency-ranked."""
+        return tuple(pair.to_dict() for pair in self.pairs())
+
     # --------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> None:
@@ -156,3 +234,120 @@ class FAQDatabase:
                     pair = QAPair.from_dict(json.loads(line))
                     database._pairs[pair.key] = pair
         return database
+
+
+@dataclass(slots=True)
+class _FAQBump:
+    """Aggregated question bumps for one FAQ key inside one replica."""
+
+    first_origin: tuple[int, int]
+    question: str
+    answer: str
+    kind: QuestionKind
+    item_ids: tuple[int, ...]
+    source: str
+    first_asked: float
+    last_asked: float
+    count: int = 0
+
+
+class FAQReplica:
+    """One worker's shard-local view of a :class:`FAQDatabase`.
+
+    Lookups see the fork-point snapshot *plus* this shard's own new
+    pairs (a question asked twice in one shard's batch hits the cache
+    the second time, like the sequential pipeline); records accumulate
+    per-key :class:`_FAQBump` aggregates tagged with their origin.
+    Single-owner: one worker writes, the barrier merges.
+    """
+
+    __slots__ = ("_base", "base_len", "_pending", "_local", "_origin_seq", "_origin_n")
+
+    def __init__(self, base: FAQDatabase) -> None:
+        self._base = base
+        self.base_len = len(base)
+        self._pending: dict[str, _FAQBump] = {}
+        self._local: dict[str, QAPair] = {}
+        self._origin_seq = 0
+        self._origin_n = 0
+
+    @property
+    def base(self) -> FAQDatabase:
+        return self._base
+
+    @property
+    def pending(self) -> dict[str, _FAQBump]:
+        """Buffered per-key bump aggregates."""
+        return self._pending
+
+    def begin_origin(self, seq: int) -> None:
+        self._origin_seq = seq
+        self._origin_n = 0
+
+    def rebase(self) -> None:
+        self._pending = {}
+        self._local = {}
+        self.base_len = len(self._base)
+
+    def __len__(self) -> int:
+        return self.base_len + len(self._local)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._local or key in self._base
+
+    def lookup(self, match: TemplateMatch) -> QAPair | None:
+        key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
+        local = self._local.get(key)
+        if local is not None:
+            return local
+        return self._base.lookup(match)
+
+    def record(
+        self,
+        match: TemplateMatch,
+        question: str,
+        answer: str,
+        now: float = 0.0,
+        source: str = "ontology",
+    ) -> QAPair:
+        key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
+        bump = self._pending.get(key)
+        if bump is None:
+            bump = _FAQBump(
+                first_origin=(self._origin_seq, self._origin_n),
+                question=question,
+                answer=answer,
+                kind=match.kind,
+                item_ids=tuple(sorted({k.item_id for k in match.all_keywords})),
+                source=source,
+                first_asked=now,
+                last_asked=now,
+            )
+            self._pending[key] = bump
+        bump.count += 1
+        bump.last_asked = now
+        self._origin_n += 1
+        pair = self._local.get(key)
+        if pair is None:
+            if key in self._base:
+                # Base pairs are frozen during the cycle; the merged
+                # count lands at the barrier.
+                return self._base._pairs[key]
+            pair = QAPair(
+                key=key,
+                question=question,
+                answer=answer,
+                kind=match.kind,
+                item_ids=bump.item_ids,
+                count=0,
+                source=source,
+                first_asked=now,
+            )
+            self._local[key] = pair
+        pair.count += 1
+        pair.last_asked = now
+        return pair
+
+    def __getattr__(self, name: str):
+        # Reads (pairs, top, total_questions, ...) see the snapshot.
+        return getattr(self._base, name)

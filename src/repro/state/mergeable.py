@@ -1,0 +1,82 @@
+"""The ``MergeableStore`` protocol: fork → shard replica → merge.
+
+Every mutable store the supervision pipeline touches (the learner
+corpus, the user-profile database, the FAQ database — and, since PR 2,
+the stats counters) follows one ownership discipline so drains can run
+on real parallelism:
+
+* ``fork()`` hands a worker a **shard replica**: a cheap overlay whose
+  *reads* see the base store frozen at the fork point (the snapshot) and
+  whose *writes* are buffered locally.  No replica ever mutates the base
+  or another replica, so N workers can drain N shards concurrently with
+  zero locking on the stores.
+* ``merge(replica)`` folds one replica's buffered writes back into the
+  base at the drain barrier.  Merges are **order-independent**: merging
+  any permutation of the same replicas yields an identical base store,
+  because each buffered write carries its *origin* (the global message
+  sequence number captured at post time) and the merge orders by origin,
+  not by arrival.  Counter-like state (tallies, histograms, FAQ counts)
+  commutes outright; ordered state (corpus record positions and ids, FAQ
+  representative surface forms) is re-derived from the origin order.
+* ``snapshot()`` returns a canonical, directly comparable value of the
+  whole store — the merge-determinism test suites assert
+  ``snapshot()`` equality between runtimes, worker counts and merge
+  permutations.
+
+The contract deliberately says nothing about threads: replicas are
+plain single-owner objects.  The runtime provides the discipline — fork
+at worker creation, one worker thread per replica while draining, merge
+then :meth:`StoreReplica.rebase` at the barrier, never concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StoreReplica(Protocol):
+    """A shard-local overlay handed to one worker by ``fork()``."""
+
+    @property
+    def base_len(self) -> int:
+        """Size of the base view this replica was forked at (the
+        watermark the merge interleaves behind)."""
+        ...
+
+    def begin_origin(self, seq: int) -> None:
+        """Tag subsequent buffered writes with the originating message's
+        global sequence number (called once per supervised item)."""
+        ...
+
+    def rebase(self) -> None:
+        """Reset the replica onto the merged base: drop the local buffer
+        and advance the snapshot watermark.  Called at the barrier after
+        *every* replica of the cycle has merged, so workers can keep one
+        replica object alive across drain cycles."""
+        ...
+
+
+@runtime_checkable
+class MergeableStore(Protocol):
+    """A store whose mutations can be partitioned across shard replicas
+    and deterministically merged back."""
+
+    def fork(self) -> Any:
+        """A fresh :class:`StoreReplica` over this store's current state."""
+        ...
+
+    def merge(self, replica: Any) -> None:
+        """Fold one replica's buffered writes into this store.  Merging
+        the same set of replicas in any order must produce an identical
+        :meth:`snapshot`."""
+        ...
+
+    def snapshot(self) -> Any:
+        """A canonical, equality-comparable value of the full store."""
+        ...
+
+
+def snapshots_equal(left: MergeableStore, right: MergeableStore) -> bool:
+    """Whether two stores hold identical state (canonical comparison)."""
+    return left.snapshot() == right.snapshot()

@@ -43,6 +43,12 @@ class TestCommittedReport:
         sync_ms = 1000.0 / report["workloads"]["supervision_throughput"]["messages_per_sec"]
         assert workloads["post_latency"]["ms_per_post"] < sync_ms / 5
 
+    def test_parallel_drain_workload(self, report):
+        drain = report["workloads"]["parallel_drain"]
+        assert drain["rooms"] >= 16
+        assert drain["workers"] >= 4
+        assert drain["parallel_speedup_vs_sharded"] >= 1.5
+
 
 class TestValidator:
     def test_rejects_wrong_schema_id(self, report):

@@ -1,0 +1,152 @@
+"""QA batching: ``answer`` = pure ``resolve`` + per-item apply.
+
+The ROADMAP item: ``QASystem.answer`` used to run template matching and
+the ontology computation per asking, with the FAQ bump as a side
+effect.  The split mirrors the supervision pipeline's analysis/apply
+separation — resolutions are pure and memoisable across a drain batch,
+the FAQ bump and cache lookup stay per item — and must be byte-identical
+to the unsplit path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.domains import default_ontology
+from repro.qa.engine import QASystem
+from repro.qa.faq import FAQDatabase
+from repro.qa.templates import TemplateMatcher
+
+QUESTIONS = [
+    "What is a stack?",
+    "Does the stack have the pop operation?",
+    "Which data structures have the push operation?",
+    "What operations does the queue support?",
+    "Is a binary tree a tree?",
+    "what is Stack",
+]
+
+
+class TestSplitEquivalence:
+    def test_apply_of_resolve_equals_answer(self):
+        """Same questions, same order → identical answers and FAQ."""
+        unsplit, split = QASystem(default_ontology()), QASystem(default_ontology())
+        for now, question in enumerate(QUESTIONS * 2):
+            direct = unsplit.answer(question, now=float(now))
+            via_split = split.apply_resolution(split.resolve(question), now=float(now))
+            assert direct == via_split
+        assert unsplit.faq.snapshot() == split.faq.snapshot()
+
+    def test_second_asking_is_a_faq_hit(self):
+        qa = QASystem(default_ontology())
+        resolution = qa.resolve("What is a stack?")
+        first = qa.apply_resolution(resolution, now=1.0)
+        second = qa.apply_resolution(resolution, now=2.0)
+        assert first.source == "ontology" and not first.is_faq_hit
+        assert second.is_faq_hit
+        assert second.text == first.text
+        pair = qa.faq.pairs()[0]
+        assert pair.count == 2
+        assert (pair.first_asked, pair.last_asked) == (1.0, 2.0)
+
+
+class TestResolutionIsComputedOnce:
+    def test_shared_resolution_computes_the_ontology_answer_once(self, monkeypatch):
+        qa = QASystem(default_ontology())
+        calls = []
+        original = QASystem._compute
+
+        def counting(self, match):
+            calls.append(match.kind)
+            return original(self, match)
+
+        monkeypatch.setattr(QASystem, "_compute", counting)
+        resolution = qa.resolve("What is a stack?")
+        assert calls == []  # resolve is lazy: no computation yet
+        answers = [qa.apply_resolution(resolution, now=float(i)) for i in range(4)]
+        assert len(calls) == 1  # computed once, reused by every apply
+        assert all(answer.answered for answer in answers)
+        assert qa.faq.pairs()[0].count == 4
+
+    def test_faq_hit_never_computes(self, monkeypatch):
+        qa = QASystem(default_ontology())
+        qa.answer("What is a stack?", now=0.0)  # prime the FAQ
+
+        def boom(self, match):
+            raise AssertionError("FAQ hit must not recompute the answer")
+
+        monkeypatch.setattr(QASystem, "_compute", boom)
+        answer = qa.apply_resolution(qa.resolve("what is Stack"), now=1.0)
+        assert answer.is_faq_hit
+
+
+class TestPipelineBatchResolution:
+    def test_drain_batch_resolves_identical_questions_once(self, monkeypatch):
+        """Five rooms ask the same question in one drain batch: one
+        template match, five FAQ bumps, five answers posted."""
+        from repro.core.system import ELearningSystem, SystemConfig
+
+        system = ELearningSystem.with_defaults(
+            SystemConfig(runtime_mode="queued", auto_drain=False)
+        )
+        rooms = [f"r{i}" for i in range(5)]
+        for room in rooms:
+            system.open_room(room, topic="t")
+            system.join(room, "kid")
+
+        matches = []
+        original = TemplateMatcher.match
+
+        def counting(self, text):
+            result = original(self, text)
+            matches.append(getattr(text, "raw", text))
+            return result
+
+        monkeypatch.setattr(TemplateMatcher, "match", counting)
+        for room in rooms:
+            system.say(room, "kid", "What is a queue?")
+        assert matches == []  # deferred
+        system.drain()
+        assert len(matches) == 1  # resolved once for the whole batch
+        assert system.stats.questions == 5
+        assert system.stats.questions_answered == 5
+        assert system.stats.faq_hits == 4  # first computes, rest hit
+        assert system.faq.total_questions() == 5
+
+    def test_parallel_batch_matches_queued_counters(self):
+        from repro.core.system import ELearningSystem, SystemConfig
+
+        def run(mode, shards):
+            system = ELearningSystem.with_defaults(
+                SystemConfig(runtime_mode=mode, shards=shards, auto_drain=False)
+            )
+            rooms = [f"r{i}" for i in range(5)]
+            for room in rooms:
+                system.open_room(room, topic="t")
+                system.join(room, "kid")
+            for room in rooms:
+                system.say(room, "kid", "What is a queue?")
+            system.drain()
+            return system
+
+        queued = run("queued", 1)
+        parallel = run("parallel", 3)
+        assert parallel.stats == queued.stats
+        assert parallel.faq.snapshot() == queued.faq.snapshot()
+
+
+class TestFAQReplicaSemantics:
+    def test_replica_bumps_fold_into_base_counts(self):
+        qa = QASystem(default_ontology())
+        base: FAQDatabase = qa.faq
+        qa.answer("What is a stack?", now=0.0)
+        replica = base.fork()
+        shard_qa = qa.fork(faq=replica)
+        replica.begin_origin(1)
+        answer = shard_qa.answer("what is Stack", now=1.0)
+        assert answer.is_faq_hit  # base pair visible through the replica
+        assert base.pairs()[0].count == 1  # ...but the bump is buffered
+        base.merge(replica)
+        replica.rebase()
+        assert base.pairs()[0].count == 2
+        assert base.pairs()[0].last_asked == 1.0
