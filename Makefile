@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench bench-quick bench-pytest simulate
+.PHONY: test check bench bench-quick bench-pytest simulate docs-check
 
 # Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
 test:
@@ -12,6 +12,11 @@ test:
 # CI gate: tier-1 tests plus a bench smoke run (scratch output, so the
 # committed BENCH_parse.json and its pinned seed baseline stay put).
 check: test bench-quick
+
+# Markdown link check over README.md + docs/ (offline, stdlib-only;
+# exit status = number of broken links, capped at 100; 0 = clean).
+docs-check:
+	python tools/docs_check.py
 
 # Deterministic perf harness; writes BENCH_parse.json at the repo root.
 bench:

@@ -30,6 +30,7 @@ from repro.chatroom.runtime import SupervisionRuntime
 from repro.chatroom.server import ChatServer
 from repro.chatroom.supervisor import SupervisionPipeline, SupervisionPolicy, SupervisionStats
 from repro.corpus.generator import CorporaGenerator
+from repro.corpus.index import IndexConfig
 from repro.corpus.statistics import CorpusReport, StatisticAnalyzer
 from repro.corpus.store import LearnerCorpus
 from repro.linkgrammar.dictionary import Dictionary
@@ -69,6 +70,8 @@ class SystemConfig:
             (True for inline/queued, False for sharded/parallel).
         max_pending: per-shard supervision queue bound; an overloaded
             shard sheds its oldest pending item (None = unbounded).
+        corpus_index: learner-corpus index knobs (postings stopword-DF
+            tiering — see docs/corpus.md); None uses the defaults.
     """
 
     seed_corpus: bool = True
@@ -81,6 +84,7 @@ class SystemConfig:
     supervision_batch: int = 64
     auto_drain: bool | None = None
     max_pending: int | None = None
+    corpus_index: IndexConfig | None = None
 
 
 class ELearningSystem:
@@ -97,7 +101,7 @@ class ELearningSystem:
         self.ontology = ontology
 
         # Databases (right-hand side of Fig. 3).
-        self.corpus = LearnerCorpus()
+        self.corpus = LearnerCorpus(self.config.corpus_index)
         self.profiles = UserProfileStore()
         self.faq = FAQDatabase()
         if self.config.seed_corpus:

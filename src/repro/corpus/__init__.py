@@ -1,6 +1,8 @@
-"""Learner Corpus database, suggestion search, statistics, generation."""
+"""Learner Corpus database, index subsystem, suggestion search,
+statistics, generation."""
 
 from .generator import GENERATOR_USER, CorporaGenerator
+from .index import CorpusIndex, IndexConfig, PostingList
 from .records import Correctness, CorpusRecord
 from .search import SuggestionHit, SuggestionSearch
 from .statistics import CorpusReport, StatisticAnalyzer, UserReport
@@ -10,9 +12,12 @@ __all__ = [
     "GENERATOR_USER",
     "CorporaGenerator",
     "Correctness",
+    "CorpusIndex",
     "CorpusRecord",
     "CorpusReport",
+    "IndexConfig",
     "LearnerCorpus",
+    "PostingList",
     "StatisticAnalyzer",
     "SuggestionHit",
     "SuggestionSearch",

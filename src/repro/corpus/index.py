@@ -1,0 +1,319 @@
+"""The corpus inverted-index subsystem: compacted postings, DF tiers.
+
+Extracted from :class:`~repro.corpus.store.LearnerCorpus`, which used to
+inline its verdict/keyword/token indexes as plain ``dict[str, list[int]]``
+maps.  At the 10^5–10^6 record scale the ROADMAP targets those lists have
+two problems:
+
+* **memory** — a Python ``list`` of boxed ints costs ~8 bytes of pointer
+  plus a 28-byte ``int`` object per posting; high-document-frequency
+  terms ("the" appears in nearly every record) dominate the footprint.
+* **retrieval time** — an unconstrained suggestion-search union walks
+  the postings of *every* query token, so one "the" in the query drags
+  the whole corpus through the union and retrieval degrades back toward
+  a full scan however clever the later top-k cut is.
+
+:class:`CorpusIndex` fixes both with classic IR machinery:
+
+* Postings are **delta-encoded** ``array('I')`` runs
+  (:class:`PostingList`): positions are strictly increasing add-order
+  ints, so each entry stores the gap to its predecessor in 4 flat bytes.
+  Append and tail-pop (the shard-merge eviction path) stay O(1), so
+  :meth:`LearnerCorpus._evict_tail`'s O(tail) contract is preserved.
+* Every term tracks its **document frequency** (``len`` of its posting
+  list — terms are indexed at most once per record).
+* Terms whose DF exceeds ``IndexConfig.stopword_df_cap`` are demoted to
+  a **stopword tier** (WAND-style frequency pruning, coarse-grained):
+  :meth:`CorpusIndex.split_tokens` partitions a query's tokens into
+  rare and capped tiers, rarest first, and retrieval processes the rare
+  tier fully while skipping the capped tier whenever the rare terms
+  already produced candidates — falling back to a budgeted walk of the
+  capped postings only when they did not.  See
+  :meth:`~repro.corpus.search.SuggestionSearch._candidates` and
+  ``docs/corpus.md`` for the exact-vs-bounded contract.
+
+The index also keeps a flat per-record verdict code array so consumers
+(suggestion search's CORRECT filter, the QA corpus fallback) can test a
+candidate's verdict in O(1) without touching the record objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .records import Correctness
+
+#: Stable verdict <-> byte-code mapping for the per-record verdict array.
+_VERDICT_FOR_CODE: tuple[Correctness, ...] = tuple(Correctness)
+_CODE_FOR_VERDICT: dict[Correctness, int] = {
+    verdict: code for code, verdict in enumerate(_VERDICT_FOR_CODE)
+}
+_CORRECT_CODE: int = _CODE_FOR_VERDICT[Correctness.CORRECT]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexConfig:
+    """Construction knobs for :class:`CorpusIndex`.
+
+    Attributes:
+        stopword_df_cap: document-frequency cap above which a token is
+            demoted to the stopword tier that unconstrained retrieval
+            skips (``None`` disables tiering).  The default keeps every
+            realistic test corpus exact while capping "the"-style terms
+            long before the 10^5-record scale where they start to
+            dominate retrieval unions.
+    """
+
+    stopword_df_cap: int | None = 1024
+
+
+class PostingList:
+    """A compacted, append/tail-pop-only list of ascending positions.
+
+    Positions are record add-order indexes, strictly increasing within
+    one term's postings, so the list stores first the initial position
+    and then the gap to each predecessor — 4 flat bytes per posting in
+    an ``array('I')`` instead of a pointer to a boxed int.  Only the two
+    mutations the corpus needs are supported: ``append`` (ingestion) and
+    ``pop`` (shard-merge tail eviction), both O(1).
+    """
+
+    __slots__ = ("_gaps", "_last")
+
+    def __init__(self) -> None:
+        self._gaps = array("I")
+        self._last = -1  # last absolute position; -1 when empty
+
+    def __len__(self) -> int:
+        """Document frequency: each record indexes a term at most once."""
+        return len(self._gaps)
+
+    def __bool__(self) -> bool:
+        return bool(self._gaps)
+
+    def __iter__(self) -> Iterator[int]:
+        """Decode positions in ascending (add) order."""
+        position = 0
+        first = True
+        for gap in self._gaps:
+            position = gap if first else position + gap
+            first = False
+            yield position
+
+    @property
+    def last(self) -> int:
+        """The largest (most recently appended) position; -1 when empty."""
+        return self._last
+
+    def append(self, position: int) -> None:
+        """Append ``position``; must exceed every stored position."""
+        if position <= self._last:
+            raise ValueError(
+                f"posting positions must be strictly increasing: {position} after {self._last}"
+            )
+        self._gaps.append(position - self._last if self._last >= 0 else position)
+        self._last = position
+
+    def pop(self) -> int:
+        """Remove and return the largest position (tail eviction)."""
+        gap = self._gaps.pop()
+        popped = self._last
+        self._last = self._last - gap if self._gaps else -1
+        return popped
+
+    def positions(self) -> tuple[int, ...]:
+        """All positions, decoded, ascending."""
+        return tuple(self)
+
+    def nbytes(self) -> int:
+        """Approximate payload size of the compacted run."""
+        return len(self._gaps) * self._gaps.itemsize
+
+
+class CorpusIndex:
+    """Owns every inverted index of a :class:`LearnerCorpus`.
+
+    One index instance is bound to one store; the store mirrors every
+    mutation through :meth:`append_record` / :meth:`pop_record` so the
+    postings always describe exactly the records currently held.  All
+    terms (keywords, tokens, users) must arrive already normalised —
+    the store lower-cases keywords before indexing.
+    """
+
+    __slots__ = ("config", "_verdict_codes", "_by_verdict", "_keywords", "_tokens", "_users")
+
+    def __init__(self, config: IndexConfig | None = None) -> None:
+        self.config = config if config is not None else IndexConfig()
+        self._verdict_codes = array("B")
+        self._by_verdict: dict[Correctness, PostingList] = {}
+        self._keywords: dict[str, PostingList] = {}
+        self._tokens: dict[str, PostingList] = {}
+        self._users: dict[str, PostingList] = {}
+
+    def __len__(self) -> int:
+        """Number of indexed records."""
+        return len(self._verdict_codes)
+
+    # ------------------------------------------------------------ mutation
+
+    def append_record(
+        self,
+        verdict: Correctness,
+        keywords: Iterable[str],
+        tokens: Iterable[str],
+        user: str,
+    ) -> int:
+        """Index the next record; returns its position."""
+        position = len(self._verdict_codes)
+        self._verdict_codes.append(_CODE_FOR_VERDICT[verdict])
+        self._postings(self._by_verdict, verdict).append(position)
+        for keyword in keywords:
+            self._postings(self._keywords, keyword).append(position)
+        for token in tokens:
+            self._postings(self._tokens, token).append(position)
+        self._postings(self._users, user).append(position)
+        return position
+
+    def pop_record(
+        self,
+        verdict: Correctness,
+        keywords: Iterable[str],
+        tokens: Iterable[str],
+        user: str,
+    ) -> None:
+        """Un-index the last record (shard-merge tail eviction, O(terms)).
+
+        The caller passes the same term sets it indexed the record with;
+        each term's posting tail must be this record's position — add
+        order guarantees it — so eviction never scans a posting list.
+        """
+        position = len(self._verdict_codes) - 1
+        self._verdict_codes.pop()
+        self._pop_tail(self._by_verdict, verdict, position)
+        for keyword in keywords:
+            self._pop_tail(self._keywords, keyword, position)
+        for token in tokens:
+            self._pop_tail(self._tokens, token, position)
+        self._pop_tail(self._users, user, position)
+
+    @staticmethod
+    def _postings(index: dict, term) -> PostingList:
+        postings = index.get(term)
+        if postings is None:
+            postings = index[term] = PostingList()
+        return postings
+
+    @staticmethod
+    def _pop_tail(index: dict, term, position: int) -> None:
+        postings = index[term]
+        popped = postings.pop()
+        if popped != position:
+            raise AssertionError(
+                f"posting tail for {term!r} was {popped}, expected {position}"
+            )
+        if not postings:
+            del index[term]  # keep DF queries exact after eviction
+
+    # ------------------------------------------------------------- queries
+
+    def verdict_at(self, position: int) -> Correctness:
+        """The verdict of the record at ``position`` — O(1), no record read."""
+        return _VERDICT_FOR_CODE[self._verdict_codes[position]]
+
+    def is_correct(self, position: int) -> bool:
+        """True when the record at ``position`` is verdict-CORRECT."""
+        return self._verdict_codes[position] == _CORRECT_CODE
+
+    def verdict_positions(self, verdict: Correctness) -> tuple[int, ...]:
+        postings = self._by_verdict.get(verdict)
+        return postings.positions() if postings is not None else ()
+
+    def iter_verdict_positions(self, verdict: Correctness) -> Iterator[int]:
+        postings = self._by_verdict.get(verdict)
+        return iter(postings) if postings is not None else iter(())
+
+    def verdict_counts(self) -> dict[Correctness, int]:
+        """Document frequency of every verdict currently present."""
+        return {verdict: len(postings) for verdict, postings in self._by_verdict.items()}
+
+    def keyword_positions(self, keyword: str) -> tuple[int, ...]:
+        postings = self._keywords.get(keyword)
+        return postings.positions() if postings is not None else ()
+
+    def iter_keyword_positions(self, keyword: str) -> Iterator[int]:
+        postings = self._keywords.get(keyword)
+        return iter(postings) if postings is not None else iter(())
+
+    def token_positions(self, token: str) -> tuple[int, ...]:
+        postings = self._tokens.get(token)
+        return postings.positions() if postings is not None else ()
+
+    def iter_token_positions(self, token: str) -> Iterator[int]:
+        postings = self._tokens.get(token)
+        return iter(postings) if postings is not None else iter(())
+
+    def user_positions(self, user: str) -> tuple[int, ...]:
+        postings = self._users.get(user)
+        return postings.positions() if postings is not None else ()
+
+    def keyword_df(self, keyword: str) -> int:
+        """Document frequency of ``keyword`` (0 when unseen)."""
+        postings = self._keywords.get(keyword)
+        return len(postings) if postings is not None else 0
+
+    def token_df(self, token: str) -> int:
+        """Document frequency of ``token`` (0 when unseen)."""
+        postings = self._tokens.get(token)
+        return len(postings) if postings is not None else 0
+
+    # -------------------------------------------------------------- tiers
+
+    def is_capped_token(self, token: str) -> bool:
+        """True when ``token`` sits in the stopword (capped-DF) tier."""
+        cap = self.config.stopword_df_cap
+        return cap is not None and self.token_df(token) > cap
+
+    def split_tokens(self, tokens: Iterable[str]) -> tuple[list[str], list[str]]:
+        """Partition query tokens into (rare, capped) tiers, rarest first.
+
+        Tokens absent from the index are dropped — their postings are
+        empty, they cannot contribute candidates.  Both halves are
+        ordered by ascending document frequency (ties broken
+        lexicographically) so retrieval is deterministic and
+        rare-term-first: the cheapest, highest-signal postings are
+        walked before any early cut can trigger.
+        """
+        cap = self.config.stopword_df_cap
+        rare: list[tuple[int, str]] = []
+        capped: list[tuple[int, str]] = []
+        for token in set(tokens):
+            df = self.token_df(token)
+            if df == 0:
+                continue
+            (capped if cap is not None and df > cap else rare).append((df, token))
+        rare.sort()
+        capped.sort()
+        return [token for _, token in rare], [token for _, token in capped]
+
+    # ---------------------------------------------------------- diagnostics
+
+    def stats(self) -> dict[str, int]:
+        """Index-size diagnostics (terms, postings, compacted payload bytes)."""
+        families = (self._by_verdict, self._keywords, self._tokens, self._users)
+        return {
+            "records": len(self._verdict_codes),
+            "terms": sum(len(index) for index in families),
+            "postings": sum(
+                len(postings) for index in families for postings in index.values()
+            ),
+            "payload_bytes": len(self._verdict_codes)
+            + sum(postings.nbytes() for index in families for postings in index.values()),
+            "capped_tokens": sum(
+                1
+                for postings in self._tokens.values()
+                if self.config.stopword_df_cap is not None
+                and len(postings) > self.config.stopword_df_cap
+            ),
+        }

@@ -18,6 +18,17 @@ must share at least one token or keyword with the query.  On top of
 that, a top-k candidate cut (``max_candidates``) ranks candidates by the
 number of shared postings and scores only the best, so ``find`` never
 walks the full corpus however large it grows.
+
+At the 10^5+ record scale the union itself becomes the cost: one "the"
+in the query drags a near-corpus-length posting list through the union.
+The :class:`~repro.corpus.index.CorpusIndex` therefore tiers tokens by
+document frequency, and :meth:`SuggestionSearch._candidates` walks the
+query's postings **rarest term first**, skipping the stopword (capped-DF)
+tier entirely whenever the rare terms already produced candidates.  A
+query made only of capped terms falls back to a budgeted walk of the
+capped postings (early cut at ``max_candidates`` correct candidates).
+The retrieval contract — exactly when results are exact vs bounded — is
+documented in ``docs/corpus.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ from dataclasses import dataclass
 
 from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
 
-from .records import Correctness, CorpusRecord
+from .records import CorpusRecord
 from .store import LearnerCorpus
 
 
@@ -89,7 +100,9 @@ class SuggestionSearch:
         query_keywords = frozenset(k.lower() for k in (keywords or []))
         corpus = self.corpus
         hits: list[SuggestionHit] = []
-        for position in self._candidates(query_tokens, query_keywords, min_keyword_overlap):
+        for position in self._candidates(
+            query_tokens, query_keywords, min_keyword_overlap, query_raw
+        ):
             record = corpus.record_at(position)
             if record.text.strip().lower() == query_raw:
                 continue  # never suggest the sentence back to its author
@@ -108,36 +121,62 @@ class SuggestionSearch:
         query_tokens: frozenset[str],
         query_keywords: frozenset[str],
         min_keyword_overlap: float,
+        query_raw: str = "",
     ) -> list[int]:
         """Candidate record positions for the scoring scan, add order.
 
         With a positive keyword-overlap floor every surviving hit must
         share at least one keyword with the query, so the keyword
         postings alone retrieve a complete candidate set.  Without the
-        floor, a hit still needs non-zero token *or* keyword overlap, so
-        the union of the query's token and keyword postings is complete
-        too — no full-corpus walk on either path.  Retrievals larger
-        than ``max_candidates`` are cut to the positions sharing the
-        most postings with the query.
+        floor, a hit still needs non-zero token *or* keyword overlap;
+        the union runs **rarest term first** over the rare-tier token
+        postings plus every keyword posting (keywords are ontology
+        terms — always high-signal, never tiered).  The stopword
+        (capped-DF) tier is skipped whenever that rare union already
+        yielded a correct candidate, and budget-walked otherwise
+        (:meth:`_accumulate_capped`), so one "the" in the query no
+        longer drags a corpus-length posting through the union.
+
+        Candidates are intersected against the verdict index
+        (O(1) ``is_correct`` per position — no record reads), and
+        retrievals larger than ``max_candidates`` are cut to the
+        positions sharing the most postings with the query.
         """
         corpus = self.corpus
+        index = corpus.index
+        is_correct = index.is_correct
         shared_counts: dict[int, int] = {}
+
+        def accumulate(positions) -> None:
+            get = shared_counts.get
+            for position in positions:
+                shared_counts[position] = get(position, 0) + 1
+
+        # Query keywords arrive lower-cased from ``find``, so they can
+        # stream straight off the index without the store's re-lowering
+        # ``keyword_positions`` tuple decode.
         if query_keywords and min_keyword_overlap > 0.0:
             for keyword in sorted(query_keywords):
-                for position in corpus.keyword_positions(keyword):
-                    shared_counts[position] = shared_counts.get(position, 0) + 1
+                accumulate(index.iter_keyword_positions(keyword))
         else:
-            for token in sorted(query_tokens):
-                for position in corpus.token_positions(token):
-                    shared_counts[position] = shared_counts.get(position, 0) + 1
+            rare_tokens, capped_tokens = index.split_tokens(query_tokens)
+            for token in rare_tokens:
+                accumulate(index.iter_token_positions(token))
             for keyword in sorted(query_keywords):
-                for position in corpus.keyword_positions(keyword):
-                    shared_counts[position] = shared_counts.get(position, 0) + 1
-        candidates = [
-            position
-            for position in shared_counts
-            if corpus.record_at(position).verdict == Correctness.CORRECT
-        ]
+                accumulate(index.iter_keyword_positions(keyword))
+            # Skip the capped tier only when the rare union yielded a
+            # correct candidate that ``find`` will actually keep — a
+            # candidate that is the query's own sentence gets dropped by
+            # the never-suggest-back filter, and treating it as usable
+            # would leave the learner with no suggestion at all where
+            # the stopword tier still holds some.
+            if capped_tokens and not any(
+                is_correct(position)
+                and corpus.record_at(position).text.strip().lower() != query_raw
+                for position in shared_counts
+            ):
+                self._accumulate_capped(index, capped_tokens, shared_counts)
+        candidates = [position for position in shared_counts if is_correct(position)]
         if len(candidates) > self.max_candidates:
             # Top-k cut: most shared postings first, earliest record on
             # ties — deterministic and biased toward the final ranking.
@@ -145,6 +184,32 @@ class SuggestionSearch:
             candidates = candidates[: self.max_candidates]
         candidates.sort()
         return candidates
+
+    def _accumulate_capped(
+        self, index, capped_tokens: list[str], shared_counts: dict[int, int]
+    ) -> None:
+        """Fallback union over the stopword tier, with an early cut.
+
+        Reached only when the rare tier produced no correct candidate —
+        typically a query made entirely of capped terms.  Capped
+        postings are corpus-length, so the walk stops as soon as
+        ``max_candidates`` distinct correct positions have been seen:
+        the result is a bounded, deterministic approximation (earliest
+        records first — the same bias as the top-k tie-break) instead
+        of a full-corpus union.  ``capped_tokens`` arrive rarest first
+        from :meth:`CorpusIndex.split_tokens`.
+        """
+        is_correct = index.is_correct
+        get = shared_counts.get
+        budget = self.max_candidates
+        for token in capped_tokens:
+            for position in index.iter_token_positions(token):
+                seen = get(position, 0)
+                shared_counts[position] = seen + 1
+                if not seen and is_correct(position):
+                    budget -= 1
+                    if budget == 0:
+                        return
 
     def best_sentence(
         self, text: str | TokenizedSentence, keywords: list[str] | None = None

@@ -59,7 +59,15 @@ class StatisticAnalyzer:
 
     def report(self) -> CorpusReport:
         records = self.corpus.records()
-        verdicts = Counter(record.verdict.value for record in records)
+        # Verdict tallies come straight off the index's per-verdict
+        # document frequencies; the detail counters below still need the
+        # one full pass over the records.
+        verdicts = Counter(
+            {
+                verdict.value: count
+                for verdict, count in self.corpus.verdict_counts().items()
+            }
+        )
         error_kinds: Counter[str] = Counter()
         topics: Counter[str] = Counter()
         patterns = Counter(record.pattern for record in records)

@@ -6,18 +6,19 @@ paper's corpus is a database of analysed utterances, and every consumer
 primitives.
 
 Because suggestion search runs on *every* detected syntax error, the store
-maintains three ingestion-time indexes so per-query work stays flat as the
+maintains ingestion-time indexes so per-query work stays flat as the
 corpus grows:
 
 * a **token-set cache** — each record's tokenised word set is computed once
   when the record is added (or loaded), not once per query;
-* a **verdict index** — ``by_verdict``/``correct_records`` return without
-  scanning the whole corpus;
-* an **inverted keyword index** — ``with_keyword`` and keyword-constrained
-  candidate scans jump straight to the matching records;
-* an **inverted token index** — suggestion search's unconstrained path
-  (no keyword floor) retrieves candidates by shared surface tokens
-  instead of walking every correct record.
+* a :class:`~repro.corpus.index.CorpusIndex` owning the **verdict,
+  keyword, token and user postings** — delta-encoded ``array('I')``
+  runs with per-term document frequencies and a configurable stopword
+  tier (``IndexConfig(stopword_df_cap=...)``), so ``by_verdict``,
+  ``with_keyword``, ``by_user`` and every suggestion-search candidate
+  scan jump straight to the matching records, and "the"-style terms
+  stop dominating unconstrained retrieval unions at the 10^5+ record
+  scale (see ``docs/corpus.md``).
 
 Records are snapshotted at :meth:`LearnerCorpus.add` time: the indexes
 read ``verdict``/``keywords``/``text`` once, on ingestion.  Treat a
@@ -45,20 +46,25 @@ from typing import Callable, Iterator
 
 from repro.linkgrammar.tokenizer import tokenize
 
+from .index import CorpusIndex, IndexConfig
 from .records import Correctness, CorpusRecord
 
 
 class LearnerCorpus:
-    """Append-only collection of :class:`CorpusRecord`."""
+    """Append-only collection of :class:`CorpusRecord`.
 
-    def __init__(self) -> None:
+    Args:
+        index_config: knobs for the owned :class:`CorpusIndex`
+            (postings layout and stopword-DF tiering); ``None`` uses
+            the defaults.
+    """
+
+    def __init__(self, index_config: IndexConfig | None = None) -> None:
         self._records: list[CorpusRecord] = []
         # Ingestion-time caches, keyed by record position (== add order).
         self._token_sets: list[frozenset[str]] = []
         self._keyword_sets: list[frozenset[str]] = []
-        self._by_verdict: dict[Correctness, list[int]] = {}
-        self._keyword_index: dict[str, list[int]] = {}
-        self._token_index: dict[str, list[int]] = {}
+        self._index = CorpusIndex(index_config)
         # Shard-merge bookkeeping: the position every record of the
         # current barrier interleaves behind, and the origin keys of the
         # records merged past it so far (aligned with the tail).
@@ -93,16 +99,11 @@ class LearnerCorpus:
 
     def _ingest(self, record: CorpusRecord, token_set: frozenset[str]) -> CorpusRecord:
         """Append one record with its precomputed token set and index it."""
-        position = len(self._records)
         self._records.append(record)
         self._token_sets.append(token_set)
         keywords = frozenset(k.lower() for k in record.keywords)
         self._keyword_sets.append(keywords)
-        self._by_verdict.setdefault(record.verdict, []).append(position)
-        for keyword in keywords:
-            self._keyword_index.setdefault(keyword, []).append(position)
-        for token in token_set:
-            self._token_index.setdefault(token, []).append(position)
+        self._index.append_record(record.verdict, keywords, token_set, record.user)
         return record
 
     def _evict_tail(self, floor: int) -> None:
@@ -110,24 +111,13 @@ class LearnerCorpus:
 
         Positions are appended in add order, so within each postings list
         the evicted positions are exactly the trailing entries — eviction
-        is O(tail), not O(index).
+        is O(tail), not O(index), delta encoding notwithstanding.
         """
         while len(self._records) > floor:
-            position = len(self._records) - 1
             record = self._records.pop()
             token_set = self._token_sets.pop()
             keywords = self._keyword_sets.pop()
-            verdict_postings = self._by_verdict[record.verdict]
-            assert verdict_postings[-1] == position
-            verdict_postings.pop()
-            for keyword in keywords:
-                postings = self._keyword_index[keyword]
-                assert postings[-1] == position
-                postings.pop()
-            for token in token_set:
-                postings = self._token_index[token]
-                assert postings[-1] == position
-                postings.pop()
+            self._index.pop_record(record.verdict, keywords, token_set, record.user)
 
     # ------------------------------------------------------------- queries
 
@@ -138,31 +128,50 @@ class LearnerCorpus:
         return [record for record in self._records if predicate(record)]
 
     def by_user(self, user: str) -> list[CorpusRecord]:
-        return self.filter(lambda r: r.user == user)
+        return [self._records[i] for i in self._index.user_positions(user)]
 
     def by_verdict(self, verdict: Correctness) -> list[CorpusRecord]:
-        return [self._records[i] for i in self._by_verdict.get(verdict, ())]
+        return [self._records[i] for i in self._index.iter_verdict_positions(verdict)]
 
     def correct_records(self) -> list[CorpusRecord]:
         return self.by_verdict(Correctness.CORRECT)
 
     def with_keyword(self, keyword: str) -> list[CorpusRecord]:
-        positions = self._keyword_index.get(keyword.lower(), ())
-        return [self._records[i] for i in positions]
+        return [self._records[i] for i in self._index.iter_keyword_positions(keyword.lower())]
+
+    def verdict_counts(self) -> dict[Correctness, int]:
+        """Record count per verdict, straight off the index DFs — O(1) in
+        corpus size, for the statistic analyzer's aggregate report."""
+        return self._index.verdict_counts()
 
     # ---------------------------------------------------- similarity caches
+
+    @property
+    def index(self) -> CorpusIndex:
+        """The owned inverted-index subsystem (postings, DFs, tiers)."""
+        return self._index
 
     def record_at(self, position: int) -> CorpusRecord:
         """The record at ``position`` (add order)."""
         return self._records[position]
 
+    def is_correct(self, position: int) -> bool:
+        """O(1) verdict test for the record at ``position`` — consumers
+        filtering candidate positions use this instead of re-reading
+        :meth:`record_at` per candidate."""
+        return self._index.is_correct(position)
+
+    def verdict_at(self, position: int) -> Correctness:
+        """The verdict of the record at ``position``, off the index."""
+        return self._index.verdict_at(position)
+
     def keyword_positions(self, keyword: str) -> tuple[int, ...]:
         """Positions of records tagged with ``keyword`` (add order)."""
-        return tuple(self._keyword_index.get(keyword.lower(), ()))
+        return self._index.keyword_positions(keyword.lower())
 
     def token_positions(self, token: str) -> tuple[int, ...]:
         """Positions of records whose text contains ``token`` (add order)."""
-        return tuple(self._token_index.get(token, ()))
+        return self._index.token_positions(token)
 
     def token_set(self, position: int) -> frozenset[str]:
         """The cached token set of the record at ``position`` (add order)."""
@@ -178,7 +187,7 @@ class LearnerCorpus:
         Positions index :meth:`token_set`/:meth:`keyword_set`, letting
         suggestion search scan candidates without touching the tokenizer.
         """
-        for position in self._by_verdict.get(Correctness.CORRECT, ()):
+        for position in self._index.iter_verdict_positions(Correctness.CORRECT):
             yield position, self._records[position]
 
     # -------------------------------------------------- partition and merge
@@ -240,9 +249,11 @@ class LearnerCorpus:
                 handle.write(json.dumps(record.to_dict(), ensure_ascii=False) + "\n")
 
     @classmethod
-    def load(cls, path: str | Path) -> "LearnerCorpus":
+    def load(
+        cls, path: str | Path, index_config: IndexConfig | None = None
+    ) -> "LearnerCorpus":
         """Read a corpus previously written by :meth:`save`."""
-        corpus = cls()
+        corpus = cls(index_config)
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()

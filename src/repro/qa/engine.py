@@ -263,18 +263,32 @@ class QASystem:
     # ------------------------------------------------------------- corpus
 
     def _corpus_answer(self, match: TemplateMatch) -> str:
-        """Fall back to a correct learner-corpus sentence on topic."""
-        if self.corpus is None or not match.all_keywords:
+        """Fall back to a correct learner-corpus sentence on topic.
+
+        Retrieval is index-backed: the union of the wanted keywords'
+        inverted postings is intersected against the verdict index
+        (O(1) ``is_correct`` per position), so the fallback touches only
+        on-topic records instead of walking every correct record.  The
+        winner is unchanged: highest keyword overlap, earliest record on
+        ties (ontology item names are canonical lower-case, matching the
+        store's lower-cased keyword postings).
+        """
+        corpus = self.corpus
+        if corpus is None or not match.all_keywords:
             return ""
-        wanted = {keyword.name for keyword in match.all_keywords}
-        best: tuple[int, str] | None = None
-        for record in self.corpus.correct_records():
-            overlap = len(wanted & {k.lower() for k in record.keywords})
-            if overlap == 0:
-                continue
-            if best is None or overlap > best[0]:
-                best = (overlap, record.text)
-        return best[1] if best else ""
+        overlaps: dict[int, int] = {}
+        for name in sorted({keyword.name for keyword in match.all_keywords}):
+            for position in corpus.index.iter_keyword_positions(name):
+                overlaps[position] = overlaps.get(position, 0) + 1
+        best = min(
+            (
+                (-overlap, position)
+                for position, overlap in overlaps.items()
+                if corpus.is_correct(position)
+            ),
+            default=None,
+        )
+        return corpus.record_at(best[1]).text if best else ""
 
 
 def _item_names(items: list[Item]) -> str:

@@ -1,0 +1,422 @@
+"""The CorpusIndex subsystem: delta-encoded postings, DF tiers, and the
+tiered suggestion-search retrieval contract.
+
+Three concerns, mirroring docs/corpus.md:
+
+* **Compaction is invisible** — posting lists round-trip positions,
+  evict O(tail), and the store's index-backed queries stay equal to
+  brute-force scans.
+* **Tier boundary exactness** — queries made only of capped
+  (stopword-tier) terms, mixed rare+capped queries, and the fallback /
+  early-cut behaviour of the capped walk.
+* **Merge canonicality** — compacted postings built through any
+  permutation of shard-replica merges equal single-store postings,
+  DF tiers included.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.corpus.index import CorpusIndex, IndexConfig, PostingList
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.store import LearnerCorpus
+
+
+def make_record(
+    record_id: int,
+    text: str,
+    verdict=Correctness.CORRECT,
+    keywords=(),
+    user: str = "u",
+    ts: float | None = None,
+):
+    return CorpusRecord(
+        record_id=record_id,
+        user=user,
+        room="r",
+        text=text,
+        timestamp=float(record_id) if ts is None else ts,
+        pattern="simple",
+        verdict=verdict,
+        keywords=list(keywords),
+    )
+
+
+def add(corpus, text, verdict=Correctness.CORRECT, keywords=(), user="u"):
+    return corpus.add(make_record(corpus.next_id(), text, verdict, keywords, user))
+
+
+class TestPostingList:
+    def test_round_trips_positions(self):
+        postings = PostingList()
+        for position in (0, 3, 4, 100, 101, 4096):
+            postings.append(position)
+        assert postings.positions() == (0, 3, 4, 100, 101, 4096)
+        assert list(postings) == [0, 3, 4, 100, 101, 4096]
+        assert len(postings) == 6
+        assert postings.last == 4096
+
+    def test_rejects_non_increasing_positions(self):
+        postings = PostingList()
+        postings.append(5)
+        with pytest.raises(ValueError):
+            postings.append(5)
+        with pytest.raises(ValueError):
+            postings.append(4)
+
+    def test_pop_restores_previous_tail(self):
+        postings = PostingList()
+        for position in (2, 7, 9):
+            postings.append(position)
+        assert postings.pop() == 9
+        assert postings.last == 7
+        assert postings.positions() == (2, 7)
+        assert postings.pop() == 7
+        assert postings.pop() == 2
+        assert postings.last == -1
+        assert not postings
+        # Empty -> append works again from scratch.
+        postings.append(11)
+        assert postings.positions() == (11,)
+
+    def test_payload_is_flat_machine_words(self):
+        postings = PostingList()
+        for position in range(1000):
+            postings.append(position)
+        # Delta encoding keeps each posting at array('I') item size —
+        # no boxed ints, no pointers.
+        assert postings.nbytes() == 1000 * postings._gaps.itemsize
+
+
+class TestCorpusIndex:
+    def test_document_frequencies_track_adds_and_pops(self):
+        index = CorpusIndex()
+        index.append_record(Correctness.CORRECT, {"stack"}, {"the", "stack"}, "ann")
+        index.append_record(Correctness.QUESTION, {"stack"}, {"the", "queue"}, "bob")
+        assert index.token_df("the") == 2
+        assert index.token_df("queue") == 1
+        assert index.keyword_df("stack") == 2
+        assert index.token_df("unseen") == 0
+        index.pop_record(Correctness.QUESTION, {"stack"}, {"the", "queue"}, "bob")
+        assert index.token_df("the") == 1
+        assert index.token_df("queue") == 0  # empty postings are dropped
+        assert index.keyword_df("stack") == 1
+
+    def test_verdict_lookup_without_record_reads(self):
+        index = CorpusIndex()
+        index.append_record(Correctness.CORRECT, (), {"a"}, "u")
+        index.append_record(Correctness.SYNTAX_ERROR, (), {"b"}, "u")
+        assert index.is_correct(0) and not index.is_correct(1)
+        assert index.verdict_at(1) is Correctness.SYNTAX_ERROR
+        assert index.verdict_counts() == {
+            Correctness.CORRECT: 1,
+            Correctness.SYNTAX_ERROR: 1,
+        }
+
+    def test_pop_with_mismatched_terms_raises(self):
+        index = CorpusIndex()
+        index.append_record(Correctness.CORRECT, (), {"a"}, "u")
+        index.append_record(Correctness.CORRECT, (), {"a", "b"}, "u")
+        with pytest.raises((AssertionError, KeyError)):
+            index.pop_record(Correctness.CORRECT, (), {"c"}, "u")
+
+    def test_split_tokens_tiers_by_df_rarest_first(self):
+        index = CorpusIndex(IndexConfig(stopword_df_cap=2))
+        for i in range(4):
+            index.append_record(
+                Correctness.CORRECT, (), {"the", "data"} | ({"rare"} if i == 0 else set()), "u"
+            )
+        # DFs: the=4 (capped), data=4 (capped), rare=1.
+        rare, capped = index.split_tokens({"the", "data", "rare", "zebra"})
+        assert rare == ["rare"]  # zebra: df 0, dropped
+        assert capped == ["data", "the"]  # df ties break lexicographically
+        assert index.is_capped_token("the") and not index.is_capped_token("rare")
+
+    def test_cap_none_disables_tiering(self):
+        index = CorpusIndex(IndexConfig(stopword_df_cap=None))
+        for _ in range(10):
+            index.append_record(Correctness.CORRECT, (), {"the"}, "u")
+        rare, capped = index.split_tokens({"the"})
+        assert rare == ["the"] and capped == []
+        assert not index.is_capped_token("the")
+
+    def test_stats_reports_compacted_payload(self):
+        index = CorpusIndex(IndexConfig(stopword_df_cap=1))
+        index.append_record(Correctness.CORRECT, {"k"}, {"the", "a"}, "u")
+        index.append_record(Correctness.CORRECT, {"k"}, {"the"}, "u")
+        stats = index.stats()
+        assert stats["records"] == 2
+        assert stats["capped_tokens"] == 1  # "the" (df 2 > cap 1)
+        assert stats["postings"] > 0 and stats["payload_bytes"] > 0
+
+
+class TestStoreIndexDelegation:
+    def seeded(self, cap=None) -> LearnerCorpus:
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=cap))
+        add(corpus, "the stack holds the data", keywords=("stack",), user="ann")
+        add(corpus, "the queue holds the data", keywords=("queue",), user="bob")
+        add(corpus, "the tree the data holds", Correctness.SYNTAX_ERROR, ("tree",), "ann")
+        add(corpus, "pop removes the top element", keywords=("pop", "top"), user="cat")
+        add(corpus, "what is the queue", Correctness.QUESTION, ("queue",), "bob")
+        return corpus
+
+    def test_by_user_matches_filter(self):
+        corpus = self.seeded()
+        for user in ("ann", "bob", "cat", "nobody"):
+            assert corpus.by_user(user) == corpus.filter(lambda r: r.user == user)
+
+    def test_is_correct_matches_records(self):
+        corpus = self.seeded()
+        for position, record in enumerate(corpus.records()):
+            assert corpus.is_correct(position) == (record.verdict is Correctness.CORRECT)
+            assert corpus.verdict_at(position) is record.verdict
+
+    def test_verdict_counts_match_scan(self):
+        corpus = self.seeded()
+        counts = corpus.verdict_counts()
+        for verdict in Correctness:
+            scanned = sum(1 for r in corpus.records() if r.verdict is verdict)
+            assert counts.get(verdict, 0) == scanned
+
+    def test_token_postings_match_scan_under_capped_config(self):
+        corpus = self.seeded(cap=2)
+        for token in ("the", "data", "queue", "pop", "unseen"):
+            expected = tuple(
+                position
+                for position in range(len(corpus))
+                if token in corpus.token_set(position)
+            )
+            assert corpus.token_positions(token) == expected, token
+
+
+class TestTierBoundaryRetrieval:
+    """Retrieval exactness at the stopword-tier boundary.
+
+    Cap 2 on a small corpus makes "the"/"data" capped while the content
+    words stay rare, so every contract branch is reachable cheaply.
+    """
+
+    def build(self, cap=2, max_candidates=512) -> tuple[LearnerCorpus, SuggestionSearch]:
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=cap))
+        add(corpus, "the stack holds the data", keywords=("stack",))
+        add(corpus, "the queue holds the data", keywords=("queue",))
+        add(corpus, "the tree stores the data", keywords=("tree",))
+        add(corpus, "the list keeps the data", keywords=("list",))
+        add(corpus, "pop removes the top element", keywords=("pop",))
+        add(corpus, "the data the data", Correctness.SYNTAX_ERROR)
+        return corpus, SuggestionSearch(corpus, max_candidates=max_candidates)
+
+    def brute_force(self, corpus, text, keywords=None, limit=3):
+        from repro.linkgrammar.tokenizer import tokenize
+
+        def jaccard(a, b):
+            union = a | b
+            return len(a & b) / len(union) if union else 0.0
+
+        sentence = tokenize(text)
+        query_tokens = frozenset(sentence.words)
+        query_raw = sentence.raw.strip().lower()
+        query_keywords = frozenset(k.lower() for k in (keywords or []))
+        hits = []
+        for position, record in enumerate(corpus.records()):
+            if record.verdict != Correctness.CORRECT:
+                continue
+            if record.text.strip().lower() == query_raw:
+                continue
+            keyword_overlap = jaccard(query_keywords, corpus.keyword_set(position))
+            token_overlap = jaccard(query_tokens, corpus.token_set(position))
+            if keyword_overlap == 0.0 and token_overlap == 0.0:
+                continue
+            hits.append((record, keyword_overlap, token_overlap))
+        hits.sort(key=lambda h: (-h[1], -h[2], h[0].record_id))
+        return [h[0].record_id for h in hits[:limit]]
+
+    def test_capped_only_query_falls_back_and_stays_exact(self):
+        corpus, search = self.build()
+        # "the data" — every query token is stopword-tier; retrieval
+        # must fall back to the capped postings and, within the bound,
+        # return exactly the brute-force ranking.
+        got = [h.record.record_id for h in search.find("the data")]
+        assert got == self.brute_force(corpus, "the data")
+        assert got  # the fallback really produced suggestions
+
+    def test_mixed_query_skips_capped_tier_but_keeps_exact_head(self):
+        corpus, search = self.build()
+        # "queue" is rare, "the"/"data" capped: the rare union already
+        # finds the queue record, and the capped tier is skipped.  The
+        # head of the ranking equals brute force (rare-term hits always
+        # outscore records sharing only stopwords).
+        got = [h.record.record_id for h in search.find("the queue data")]
+        brute = self.brute_force(corpus, "the queue data")
+        assert got[0] == brute[0] == 1
+        # Documented approximation: candidates sharing *only* capped
+        # terms with the query may be dropped from the weak tail.
+        assert set(got) <= set(brute)
+
+    def test_rare_terms_matching_no_correct_record_trigger_fallback(self):
+        corpus, search = self.build()
+        # "tree" matches a correct record, but "stores" only that same
+        # one; craft a query whose sole rare token appears only in the
+        # syntax-error record: rare union yields no CORRECT candidate,
+        # so the capped tier must be walked rather than returning [].
+        add(corpus, "zzz the data", Correctness.SYNTAX_ERROR)
+        got = search.find("zzz the data")
+        assert got  # fallback engaged; stopword-tier hits returned
+        assert all(h.record.verdict is Correctness.CORRECT for h in got)
+
+    def test_early_cut_bounds_the_capped_walk(self):
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=3))
+        for i in range(40):
+            add(corpus, f"the data item number {i}")
+        search = SuggestionSearch(corpus, max_candidates=5)
+        candidates = search._candidates(frozenset({"the", "data"}), frozenset(), 0.0)
+        assert len(candidates) == 5
+        assert candidates == sorted(candidates)
+        # Earliest-records-first bias of the budgeted walk.
+        assert candidates == [0, 1, 2, 3, 4]
+
+    def test_query_matching_only_its_own_record_still_gets_fallback(self):
+        # The rare union may retrieve exactly one correct record: the
+        # query's own sentence, which ``find`` drops (never suggest a
+        # sentence back to its author).  The capped tier must still be
+        # walked so the learner gets the stopword-overlap suggestions
+        # an uncapped index would have returned.
+        corpus, search = self.build()
+        plain_corpus, plain_search = self.build(cap=None)
+        for target in (corpus, plain_corpus):
+            add(target, "the zorbule keeps the data", keywords=())
+        query = "the zorbule keeps the data"  # 'zorbule' df=1: rare, self-only
+        capped_hits = [h.record.record_id for h in search.find(query)]
+        plain_hits = [h.record.record_id for h in plain_search.find(query)]
+        assert capped_hits  # fallback engaged despite the self-match
+        assert set(capped_hits) <= set(plain_hits)
+
+    def test_keyword_floor_path_ignores_token_tiers(self):
+        corpus, search = self.build()
+        hits = search.find("the data", keywords=["queue"], min_keyword_overlap=0.5)
+        assert [h.record.record_id for h in hits] == [1]
+
+    def test_uncapped_config_matches_capped_on_rare_queries(self):
+        capped_corpus, capped = self.build(cap=2)
+        plain_corpus, plain = self.build(cap=None)
+        # No capped term in the query: the tiers cannot diverge at all.
+        query = "pop removes an element"
+        assert [h.record.record_id for h in capped.find(query)] == [
+            h.record.record_id for h in plain.find(query)
+        ]
+        # Capped terms present alongside a rare one: the best hit (what
+        # the learner sees) agrees; the capped config may drop the weak
+        # stopword-only tail, never add to it.
+        query = "the tree stores nodes"
+        capped_hits = [h.record.record_id for h in capped.find(query)]
+        plain_hits = [h.record.record_id for h in plain.find(query)]
+        assert capped_hits[0] == plain_hits[0]
+        assert set(capped_hits) <= set(plain_hits)
+
+
+class TestMergePermutationCompactedPostings:
+    """Shard-replica merges must keep compacted postings canonical:
+    whatever order replicas merge in, the delta-encoded postings, DFs
+    and tier assignments equal a single store fed in origin order."""
+
+    SENTENCES = [
+        ("the stack holds the data", Correctness.CORRECT, ("stack",), "ann"),
+        ("the queue holds the data", Correctness.CORRECT, ("queue",), "bob"),
+        ("push stores the element", Correctness.CORRECT, ("push",), "ann"),
+        ("the tree the data holds", Correctness.SYNTAX_ERROR, ("tree",), "cat"),
+        ("the stack has the pop", Correctness.CORRECT, ("stack", "pop"), "bob"),
+        ("what is the queue", Correctness.QUESTION, ("queue",), "ann"),
+        ("the list keeps the data", Correctness.CORRECT, ("list",), "cat"),
+    ]
+    CONFIG = IndexConfig(stopword_df_cap=2)  # "the"/"data" cross the cap mid-stream
+
+    def sequential(self) -> LearnerCorpus:
+        corpus = LearnerCorpus(self.CONFIG)
+        for seq, (text, verdict, keywords, user) in enumerate(self.SENTENCES):
+            corpus.add(
+                make_record(corpus.next_id(), text, verdict, keywords, user, ts=float(seq))
+            )
+        return corpus
+
+    def replicated(self, order: tuple[int, ...], shards: int = 3) -> LearnerCorpus:
+        corpus = LearnerCorpus(self.CONFIG)
+        replicas = [corpus.fork() for _ in range(shards)]
+        for seq, (text, verdict, keywords, user) in enumerate(self.SENTENCES):
+            replica = replicas[seq % shards]
+            replica.begin_origin(seq)
+            replica.add(
+                make_record(replica.next_id(), text, verdict, keywords, user, ts=float(seq))
+            )
+        for index in order:
+            corpus.merge(replicas[index])
+        for replica in replicas:
+            replica.rebase()
+        return corpus
+
+    def assert_indexes_equal(self, merged: LearnerCorpus, single: LearnerCorpus):
+        tokens = {t for text, _, _, _ in self.SENTENCES for t in text.split()}
+        for token in tokens:
+            assert merged.token_positions(token) == single.token_positions(token), token
+            assert merged.index.token_df(token) == single.index.token_df(token), token
+            assert merged.index.is_capped_token(token) == single.index.is_capped_token(
+                token
+            ), token
+        for keyword in ("stack", "queue", "tree", "push", "pop", "list"):
+            assert merged.keyword_positions(keyword) == single.keyword_positions(keyword)
+        for verdict in Correctness:
+            assert merged.index.verdict_positions(verdict) == single.index.verdict_positions(
+                verdict
+            )
+        for user in ("ann", "bob", "cat"):
+            assert merged.index.user_positions(user) == single.index.user_positions(user)
+        for position in range(len(single)):
+            assert merged.verdict_at(position) is single.verdict_at(position)
+        assert merged.index.stats() == single.index.stats()
+
+    def test_every_merge_permutation_is_canonical(self):
+        single = self.sequential()
+        for order in itertools.permutations(range(3)):
+            merged = self.replicated(order)
+            assert merged.snapshot() == single.snapshot(), order
+            self.assert_indexes_equal(merged, single)
+
+    def test_merged_corpus_searches_like_single_store(self):
+        single = self.sequential()
+        merged = self.replicated((2, 0, 1))
+        for query in ("the data", "the queue holds it", "push the element"):
+            assert [h.record.record_id for h in SuggestionSearch(merged).find(query)] == [
+                h.record.record_id for h in SuggestionSearch(single).find(query)
+            ], query
+
+    def test_multi_barrier_eviction_keeps_postings_compacted(self):
+        # Two successive barriers: the second merge evicts and re-ingests
+        # the first barrier's tail sibling records; postings must stay
+        # identical to the sequential store and dataless terms must not
+        # linger in the index.
+        corpus = LearnerCorpus(self.CONFIG)
+        first = self.SENTENCES[:4]
+        second = self.SENTENCES[4:]
+        for batch_base, batch in ((0, first), (len(first), second)):
+            replicas = [corpus.fork() for _ in range(2)]
+            for offset, (text, verdict, keywords, user) in enumerate(batch):
+                replica = replicas[offset % 2]
+                replica.begin_origin(batch_base + offset)
+                replica.add(
+                    make_record(
+                        replica.next_id(),
+                        text,
+                        verdict,
+                        keywords,
+                        user,
+                        ts=float(batch_base + offset),
+                    )
+                )
+            for replica in reversed(replicas):  # worst-case order
+                corpus.merge(replica)
+            for replica in replicas:
+                replica.rebase()
+        self.assert_indexes_equal(corpus, self.sequential())

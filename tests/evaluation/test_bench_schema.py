@@ -49,6 +49,15 @@ class TestCommittedReport:
         assert drain["workers"] >= 4
         assert drain["parallel_speedup_vs_sharded"] >= 1.5
 
+    def test_corpus_scale_workload(self, report):
+        # The flat-retrieval claim (docs/corpus.md): stopword-heavy
+        # suggestion search over 250k records stays within 3x of 10k.
+        scale = report["workloads"]["corpus_scale"]
+        assert scale["records_small"] >= 10_000
+        assert scale["records_large"] >= 250_000
+        assert scale["ms_per_query_small"] > 0
+        assert scale["latency_ratio_large_vs_small"] <= 3.0
+
 
 class TestValidator:
     def test_rejects_wrong_schema_id(self, report):

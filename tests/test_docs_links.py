@@ -1,0 +1,62 @@
+"""The committed docs must pass the markdown link checker.
+
+``make docs-check`` / CI run ``tools/docs_check.py`` as a subprocess;
+this tier-1 mirror keeps a broken README/docs link from surviving a
+plain ``pytest`` run, and pins the checker's own behaviour on synthetic
+breakage so it cannot silently rot into a no-op.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "docs_check", REPO_ROOT / "tools" / "docs_check.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("docs_check", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCommittedDocs:
+    def test_readme_and_docs_links_resolve(self):
+        checker = load_checker()
+        assert checker.main([]) == 0
+
+    def test_front_door_files_exist(self):
+        assert (REPO_ROOT / "README.md").exists()
+        assert (REPO_ROOT / "docs" / "index.md").exists()
+        assert (REPO_ROOT / "docs" / "corpus.md").exists()
+        assert (REPO_ROOT / "docs" / "runtime.md").exists()
+
+
+class TestCheckerCatchesBreakage:
+    def test_flags_missing_target_and_anchor(self, tmp_path):
+        checker = load_checker()
+        sample = tmp_path / "sample.md"
+        sample.write_text(
+            "# Real\n\n[ok](#real)\n[broken](missing.md)\n[bad](#nope)\n",
+            encoding="utf-8",
+        )
+        problems = checker.check_file(sample)
+        assert len(problems) == 2
+        assert any("missing.md" in problem for problem in problems)
+        assert any("#nope" in problem for problem in problems)
+
+    def test_ignores_code_blocks_and_external_urls(self, tmp_path):
+        checker = load_checker()
+        sample = tmp_path / "sample.md"
+        sample.write_text(
+            "# T\n\n[site](https://example.com)\n\n"
+            "```\n[not a link](nowhere.md)\n```\n\n"
+            "`[inline](alsono.md)`\n",
+            encoding="utf-8",
+        )
+        assert checker.check_file(sample) == []

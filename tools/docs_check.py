@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (``make docs-check``).
+
+Validates every inline markdown link and image in ``README.md`` and
+``docs/**/*.md`` (plus any extra files passed on the command line),
+offline and stdlib-only:
+
+* **relative links** must point at an existing file or directory,
+  resolved from the linking file (query strings stripped);
+* **anchored links** (``file.md#section`` or ``#section``) must match a
+  heading in the target file, using GitHub's anchor slugging
+  (lower-case, punctuation dropped, spaces to hyphens);
+* **absolute URLs** are checked for scheme sanity only (no network);
+* bare ``http(s)://`` autolinks and code spans/fences are ignored.
+
+Exit status is the number of broken links, capped at 100 so it can
+never wrap modulo 256 back to 0 (0 = clean), letting the Makefile and
+CI gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` / ``![alt](target)`` inline links; target ends at
+#: the first unescaped ``)`` (titles after whitespace are tolerated).
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[*_`~]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _markdown_lines(path: Path) -> list[str]:
+    """File lines with fenced code blocks and inline code spans blanked,
+    so example links inside code are not checked."""
+    lines: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else _CODE_SPAN.sub("", line))
+    return lines
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    for line in _markdown_lines(path):
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slug(match.group(2)))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    """Human-readable problem strings for every broken link in ``path``."""
+    problems: list[str] = []
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    for number, line in enumerate(_markdown_lines(path), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            where = f"{shown}:{number}"
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # absolute URL
+                if not target.startswith(("http://", "https://", "mailto:")):
+                    problems.append(f"{where}: suspicious URL scheme in {target!r}")
+                continue
+            base, _, anchor = target.partition("#")
+            resolved = (path.parent / base).resolve() if base else path
+            if not resolved.exists():
+                problems.append(f"{where}: broken link target {target!r}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if _slug(anchor) not in _anchors(resolved):
+                    problems.append(f"{where}: missing anchor {target!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    extra = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("**/*.md")), *extra]
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file missing")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"docs-check: {checked} files, {len(problems)} problem(s)")
+    return min(len(problems), 100)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
