@@ -3,15 +3,21 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench bench-quick bench-pytest simulate docs-check
+.PHONY: test check bench bench-quick bench-pytest simulate docs-check coverage
 
 # Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
 test:
 	$(PY) -m pytest -x -q
 
-# CI gate: tier-1 tests plus a bench smoke run (scratch output, so the
-# committed BENCH_parse.json and its pinned seed baseline stay put).
-check: test bench-quick
+# CI gate: tier-1 tests, a bench smoke run (scratch output, so the
+# committed BENCH_parse.json and its pinned seed baseline stay put),
+# and the corpus-subsystem coverage floor.
+check: test bench-quick coverage
+
+# Line-coverage floor over src/repro/corpus (stdlib tracer, offline;
+# fails on regression below the floor in tools/coverage_gate.py).
+coverage:
+	$(PY) tools/coverage_gate.py
 
 # Markdown link check over README.md + docs/ (offline, stdlib-only;
 # exit status = number of broken links, capped at 100; 0 = clean).

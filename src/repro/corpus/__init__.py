@@ -1,9 +1,17 @@
-"""Learner Corpus database, index subsystem, suggestion search,
-statistics, generation."""
+"""Learner Corpus database: columnar record store, interned
+vocabularies, index subsystem, suggestion search, statistics,
+generation, and the pre-columnar differential reference."""
 
 from .generator import GENERATOR_USER, CorporaGenerator
-from .index import CorpusIndex, IndexConfig, PostingList
-from .records import Correctness, CorpusRecord
+from .index import CorpusIndex, IndexConfig, PostingList, intersect_count, intersect_iter
+from .records import (
+    Correctness,
+    CorpusRecord,
+    CorpusVocabularies,
+    RecordStore,
+    RecordView,
+    Vocabulary,
+)
 from .search import SuggestionHit, SuggestionSearch
 from .statistics import CorpusReport, StatisticAnalyzer, UserReport
 from .store import LearnerCorpus
@@ -15,11 +23,17 @@ __all__ = [
     "CorpusIndex",
     "CorpusRecord",
     "CorpusReport",
+    "CorpusVocabularies",
     "IndexConfig",
     "LearnerCorpus",
     "PostingList",
+    "RecordStore",
+    "RecordView",
     "StatisticAnalyzer",
     "SuggestionHit",
     "SuggestionSearch",
     "UserReport",
+    "Vocabulary",
+    "intersect_count",
+    "intersect_iter",
 ]

@@ -1,4 +1,5 @@
-"""The corpus inverted-index subsystem: compacted postings, DF tiers.
+"""The corpus inverted-index subsystem: compacted postings, DF tiers,
+streaming intersection.
 
 Extracted from :class:`~repro.corpus.store.LearnerCorpus`, which used to
 inline its verdict/keyword/token indexes as plain ``dict[str, list[int]]``
@@ -18,8 +19,17 @@ two problems:
 * Postings are **delta-encoded** ``array('I')`` runs
   (:class:`PostingList`): positions are strictly increasing add-order
   ints, so each entry stores the gap to its predecessor in 4 flat bytes.
-  Append and tail-pop (the shard-merge eviction path) stay O(1), so
+  Every ``_SKIP``-th entry also lands in a side **skip table** of
+  absolute positions, which is what lets readers *gallop* over a run —
+  :func:`intersect_iter` seeks through the larger of two posting lists
+  block-by-block instead of decoding every gap.  Append and tail-pop
+  (the shard-merge eviction path) stay O(1), so
   :meth:`LearnerCorpus._evict_tail`'s O(tail) contract is preserved.
+* Posting families are keyed by **interned term ids** from the
+  :class:`~repro.corpus.records.CorpusVocabularies` shared with the
+  columnar record store — postings, columns and queries all speak the
+  same 4-byte ids; the string-keyed query API interns/looks up at the
+  boundary.
 * Every term tracks its **document frequency** (``len`` of its posting
   list — terms are indexed at most once per record).
 * Terms whose DF exceeds ``IndexConfig.stopword_df_cap`` are demoted to
@@ -32,25 +42,37 @@ two problems:
   :meth:`~repro.corpus.search.SuggestionSearch._candidates` and
   ``docs/corpus.md`` for the exact-vs-bounded contract.
 
-The index also keeps a flat per-record verdict code array so consumers
-(suggestion search's CORRECT filter, the QA corpus fallback) can test a
-candidate's verdict in O(1) without touching the record objects.
+The index also keeps a flat per-record verdict code array: a dense O(1)
+membership oracle that consumers stream posting runs against (suggestion
+search's CORRECT filter, the QA corpus fallback) without materialising a
+single tuple.  Where *both* sides of an intersection are posting lists —
+no dense oracle, e.g. the per-user verdict tallies in the statistic
+analyzer — :func:`intersect_iter`'s galloping walk is the tool.
 """
 
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from .records import Correctness
+from .records import (
+    CODE_FOR_VERDICT,
+    CORRECT_CODE,
+    VERDICT_FOR_CODE,
+    Correctness,
+    CorpusVocabularies,
+)
 
-#: Stable verdict <-> byte-code mapping for the per-record verdict array.
-_VERDICT_FOR_CODE: tuple[Correctness, ...] = tuple(Correctness)
-_CODE_FOR_VERDICT: dict[Correctness, int] = {
-    verdict: code for code, verdict in enumerate(_VERDICT_FOR_CODE)
-}
-_CORRECT_CODE: int = _CODE_FOR_VERDICT[Correctness.CORRECT]
+# Backwards-compatible aliases (pre-columnar, module-private names).
+_VERDICT_FOR_CODE = VERDICT_FOR_CODE
+_CODE_FOR_VERDICT = CODE_FOR_VERDICT
+_CORRECT_CODE = CORRECT_CODE
+
+#: Entries between skip-table checkpoints: galloping seeks decode at
+#: most this many gaps after a checkpoint jump.
+_SKIP = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,15 +97,18 @@ class PostingList:
     Positions are record add-order indexes, strictly increasing within
     one term's postings, so the list stores first the initial position
     and then the gap to each predecessor — 4 flat bytes per posting in
-    an ``array('I')`` instead of a pointer to a boxed int.  Only the two
-    mutations the corpus needs are supported: ``append`` (ingestion) and
-    ``pop`` (shard-merge tail eviction), both O(1).
+    an ``array('I')`` instead of a pointer to a boxed int.  Every
+    ``_SKIP``-th entry's absolute position is mirrored into a skip
+    table so readers can seek without decoding the whole run.  Only the
+    two mutations the corpus needs are supported: ``append`` (ingestion)
+    and ``pop`` (shard-merge tail eviction), both O(1).
     """
 
-    __slots__ = ("_gaps", "_last")
+    __slots__ = ("_gaps", "_last", "_skips")
 
     def __init__(self) -> None:
         self._gaps = array("I")
+        self._skips = array("I")  # absolute position of every _SKIP-th entry
         self._last = -1  # last absolute position; -1 when empty
 
     def __len__(self) -> int:
@@ -94,12 +119,11 @@ class PostingList:
         return bool(self._gaps)
 
     def __iter__(self) -> Iterator[int]:
-        """Decode positions in ascending (add) order."""
+        """Decode positions in ascending (add) order — a running sum
+        (the first stored gap is the absolute first position)."""
         position = 0
-        first = True
         for gap in self._gaps:
-            position = gap if first else position + gap
-            first = False
+            position += gap
             yield position
 
     @property
@@ -107,56 +131,181 @@ class PostingList:
         """The largest (most recently appended) position; -1 when empty."""
         return self._last
 
+    @property
+    def gaps(self):
+        """The raw delta run (read-only by convention) — for streaming
+        readers that fold their own logic into the running-sum decode
+        (e.g. the budgeted capped walk's early cut)."""
+        return self._gaps
+
     def append(self, position: int) -> None:
         """Append ``position``; must exceed every stored position."""
         if position <= self._last:
             raise ValueError(
                 f"posting positions must be strictly increasing: {position} after {self._last}"
             )
+        if len(self._gaps) % _SKIP == 0:
+            self._skips.append(position)
         self._gaps.append(position - self._last if self._last >= 0 else position)
         self._last = position
 
     def pop(self) -> int:
         """Remove and return the largest position (tail eviction)."""
         gap = self._gaps.pop()
+        if len(self._gaps) % _SKIP == 0:
+            self._skips.pop()
         popped = self._last
         self._last = self._last - gap if self._gaps else -1
         return popped
 
     def positions(self) -> tuple[int, ...]:
-        """All positions, decoded, ascending."""
+        """All positions, decoded, ascending (test/diagnostic helper —
+        runtime readers stream the gaps instead)."""
         return tuple(self)
 
+    def accumulate_into(self, counts: dict[int, int]) -> None:
+        """Bump ``counts[position]`` for every posting — the tight union
+        loop of candidate retrieval, straight off the gap run."""
+        position = 0
+        get = counts.get
+        for gap in self._gaps:
+            position += gap
+            counts[position] = get(position, 0) + 1
+
     def nbytes(self) -> int:
-        """Approximate payload size of the compacted run."""
-        return len(self._gaps) * self._gaps.itemsize
+        """Approximate payload size of the compacted run, skip table
+        included."""
+        return len(self._gaps) * self._gaps.itemsize + len(self._skips) * self._skips.itemsize
+
+
+def intersect_iter(a: PostingList, b: PostingList) -> Iterator[int]:
+    """Stream the ascending intersection of two posting lists.
+
+    Classic galloping intersection over the delta runs: the shorter
+    list drives, and for each of its positions the longer list is
+    advanced by jumping its skip table (``bisect`` over absolute
+    checkpoint positions) and linear-decoding at most ``_SKIP`` gaps —
+    no decoded tuples, no set materialisation.  Both runs ascend, so
+    the larger side's cursor only ever moves forward.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    if not a or not b:
+        return
+    gaps = b._gaps
+    skips = b._skips
+    total = len(gaps)
+    consumed = 0  # entries of b decoded so far
+    value = 0  # value of entry consumed-1; only meaningful when consumed > 0
+    target = 0
+    for gap in a._gaps:
+        target += gap
+        if consumed == 0 or value < target:
+            # Gallop: land on the last checkpoint at or before target.
+            block = bisect_right(skips, target) - 1
+            if block >= 0 and block * _SKIP >= consumed:
+                consumed = block * _SKIP + 1
+                value = skips[block]
+            while value < target or consumed == 0:
+                if consumed >= total:
+                    return
+                value += gaps[consumed]
+                consumed += 1
+        if value == target:
+            yield target
+
+
+def intersect_count(a: PostingList, b: PostingList) -> int:
+    """Size of the intersection of two posting lists (galloping walk)."""
+    count = 0
+    for _ in intersect_iter(a, b):
+        count += 1
+    return count
 
 
 class CorpusIndex:
     """Owns every inverted index of a :class:`LearnerCorpus`.
 
     One index instance is bound to one store; the store mirrors every
-    mutation through :meth:`append_record` / :meth:`pop_record` so the
-    postings always describe exactly the records currently held.  All
-    terms (keywords, tokens, users) must arrive already normalised —
-    the store lower-cases keywords before indexing.
+    mutation through :meth:`append_ids` / :meth:`pop_ids` (id-run fast
+    path) or :meth:`append_record` / :meth:`pop_record` (string terms,
+    interned at the boundary) so the postings always describe exactly
+    the records currently held.  String terms must arrive already
+    normalised — the store lower-cases keywords before interning.
     """
 
-    __slots__ = ("config", "_verdict_codes", "_by_verdict", "_keywords", "_tokens", "_users")
+    __slots__ = (
+        "config",
+        "vocabularies",
+        "_verdict_codes",
+        "_by_verdict",
+        "_keywords",
+        "_tokens",
+        "_users",
+    )
 
-    def __init__(self, config: IndexConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: IndexConfig | None = None,
+        vocabularies: CorpusVocabularies | None = None,
+    ) -> None:
         self.config = config if config is not None else IndexConfig()
+        self.vocabularies = (
+            vocabularies if vocabularies is not None else CorpusVocabularies()
+        )
         self._verdict_codes = array("B")
         self._by_verdict: dict[Correctness, PostingList] = {}
-        self._keywords: dict[str, PostingList] = {}
-        self._tokens: dict[str, PostingList] = {}
-        self._users: dict[str, PostingList] = {}
+        self._keywords: dict[int, PostingList] = {}
+        self._tokens: dict[int, PostingList] = {}
+        self._users: dict[int, PostingList] = {}
 
     def __len__(self) -> int:
         """Number of indexed records."""
         return len(self._verdict_codes)
 
     # ------------------------------------------------------------ mutation
+
+    def append_ids(
+        self,
+        verdict: Correctness,
+        keyword_ids: Iterable[int],
+        token_ids: Iterable[int],
+        user_id: int,
+    ) -> int:
+        """Index the next record from pre-interned id runs; returns its
+        position.  This is the store's ingestion fast path — the ids come
+        from the shared vocabularies, no string hashing here."""
+        position = len(self._verdict_codes)
+        self._verdict_codes.append(CODE_FOR_VERDICT[verdict])
+        self._postings(self._by_verdict, verdict).append(position)
+        for keyword_id in keyword_ids:
+            self._postings(self._keywords, keyword_id).append(position)
+        for token_id in token_ids:
+            self._postings(self._tokens, token_id).append(position)
+        self._postings(self._users, user_id).append(position)
+        return position
+
+    def pop_ids(
+        self,
+        verdict: Correctness,
+        keyword_ids: Iterable[int],
+        token_ids: Iterable[int],
+        user_id: int,
+    ) -> None:
+        """Un-index the last record (shard-merge tail eviction, O(terms)).
+
+        The caller passes the same id runs it indexed the record with;
+        each term's posting tail must be this record's position — add
+        order guarantees it — so eviction never scans a posting list.
+        """
+        position = len(self._verdict_codes) - 1
+        self._verdict_codes.pop()
+        self._pop_tail(self._by_verdict, verdict, position)
+        for keyword_id in keyword_ids:
+            self._pop_tail(self._keywords, keyword_id, position)
+        for token_id in token_ids:
+            self._pop_tail(self._tokens, token_id, position)
+        self._pop_tail(self._users, user_id, position)
 
     def append_record(
         self,
@@ -165,16 +314,14 @@ class CorpusIndex:
         tokens: Iterable[str],
         user: str,
     ) -> int:
-        """Index the next record; returns its position."""
-        position = len(self._verdict_codes)
-        self._verdict_codes.append(_CODE_FOR_VERDICT[verdict])
-        self._postings(self._by_verdict, verdict).append(position)
-        for keyword in keywords:
-            self._postings(self._keywords, keyword).append(position)
-        for token in tokens:
-            self._postings(self._tokens, token).append(position)
-        self._postings(self._users, user).append(position)
-        return position
+        """Index the next record from string terms (interned here)."""
+        vocabs = self.vocabularies
+        return self.append_ids(
+            verdict,
+            [vocabs.keywords.intern(keyword) for keyword in keywords],
+            [vocabs.tokens.intern(token) for token in tokens],
+            vocabs.users.intern(user),
+        )
 
     def pop_record(
         self,
@@ -183,20 +330,23 @@ class CorpusIndex:
         tokens: Iterable[str],
         user: str,
     ) -> None:
-        """Un-index the last record (shard-merge tail eviction, O(terms)).
+        """Un-index the last record from string terms.  Unknown terms
+        raise ``KeyError`` — the caller must pass exactly the terms the
+        record was indexed with."""
+        vocabs = self.vocabularies
 
-        The caller passes the same term sets it indexed the record with;
-        each term's posting tail must be this record's position — add
-        order guarantees it — so eviction never scans a posting list.
-        """
-        position = len(self._verdict_codes) - 1
-        self._verdict_codes.pop()
-        self._pop_tail(self._by_verdict, verdict, position)
-        for keyword in keywords:
-            self._pop_tail(self._keywords, keyword, position)
-        for token in tokens:
-            self._pop_tail(self._tokens, token, position)
-        self._pop_tail(self._users, user, position)
+        def known(vocab, term):
+            term_id = vocab.id_of(term)
+            if term_id is None:
+                raise KeyError(term)
+            return term_id
+
+        self.pop_ids(
+            verdict,
+            [known(vocabs.keywords, keyword) for keyword in keywords],
+            [known(vocabs.tokens, token) for token in tokens],
+            known(vocabs.users, user),
+        )
 
     @staticmethod
     def _postings(index: dict, term) -> PostingList:
@@ -220,11 +370,14 @@ class CorpusIndex:
 
     def verdict_at(self, position: int) -> Correctness:
         """The verdict of the record at ``position`` — O(1), no record read."""
-        return _VERDICT_FOR_CODE[self._verdict_codes[position]]
+        return VERDICT_FOR_CODE[self._verdict_codes[position]]
 
     def is_correct(self, position: int) -> bool:
         """True when the record at ``position`` is verdict-CORRECT."""
-        return self._verdict_codes[position] == _CORRECT_CODE
+        return self._verdict_codes[position] == CORRECT_CODE
+
+    def verdict_postings(self, verdict: Correctness) -> PostingList | None:
+        return self._by_verdict.get(verdict)
 
     def verdict_positions(self, verdict: Correctness) -> tuple[int, ...]:
         postings = self._by_verdict.get(verdict)
@@ -238,34 +391,89 @@ class CorpusIndex:
         """Document frequency of every verdict currently present."""
         return {verdict: len(postings) for verdict, postings in self._by_verdict.items()}
 
+    def keyword_postings(self, keyword: str) -> PostingList | None:
+        keyword_id = self.vocabularies.keywords.id_of(keyword)
+        return self._keywords.get(keyword_id) if keyword_id is not None else None
+
+    def token_postings(self, token: str) -> PostingList | None:
+        token_id = self.vocabularies.tokens.id_of(token)
+        return self._tokens.get(token_id) if token_id is not None else None
+
+    def user_postings(self, user: str) -> PostingList | None:
+        user_id = self.vocabularies.users.id_of(user)
+        return self._users.get(user_id) if user_id is not None else None
+
     def keyword_positions(self, keyword: str) -> tuple[int, ...]:
-        postings = self._keywords.get(keyword)
+        postings = self.keyword_postings(keyword)
         return postings.positions() if postings is not None else ()
 
     def iter_keyword_positions(self, keyword: str) -> Iterator[int]:
-        postings = self._keywords.get(keyword)
+        postings = self.keyword_postings(keyword)
         return iter(postings) if postings is not None else iter(())
 
     def token_positions(self, token: str) -> tuple[int, ...]:
-        postings = self._tokens.get(token)
+        postings = self.token_postings(token)
         return postings.positions() if postings is not None else ()
 
     def iter_token_positions(self, token: str) -> Iterator[int]:
-        postings = self._tokens.get(token)
+        postings = self.token_postings(token)
         return iter(postings) if postings is not None else iter(())
 
     def user_positions(self, user: str) -> tuple[int, ...]:
-        postings = self._users.get(user)
+        postings = self.user_postings(user)
         return postings.positions() if postings is not None else ()
+
+    def iter_user_positions(self, user: str) -> Iterator[int]:
+        postings = self.user_postings(user)
+        return iter(postings) if postings is not None else iter(())
+
+    def user_df(self, user: str) -> int:
+        """Number of records by ``user`` currently held (0 when none)."""
+        postings = self.user_postings(user)
+        return len(postings) if postings is not None else 0
+
+    def users(self) -> list[str]:
+        """Names of every user with at least one record, unsorted."""
+        terms = self.vocabularies.users.terms
+        return [terms[user_id] for user_id in self._users]
+
+    def user_verdict_count(self, user: str, verdict: Correctness) -> int:
+        """Records by ``user`` carrying ``verdict`` — a streaming
+        galloping intersection of the two posting runs (both sides are
+        posting lists here, so there is no dense oracle to test
+        against; the user run drives, the verdict run is skipped)."""
+        user_postings = self.user_postings(user)
+        verdict_postings = self._by_verdict.get(verdict)
+        if user_postings is None or verdict_postings is None:
+            return 0
+        return intersect_count(user_postings, verdict_postings)
+
+    def accumulate_correct_keyword_positions(
+        self, keyword: str, counts: dict[int, int]
+    ) -> None:
+        """Bump ``counts`` for every verdict-CORRECT posting of
+        ``keyword`` — the keyword run streams off its gaps and the
+        verdict-code column acts as the dense CORRECT-side of the
+        intersection (O(1) per posting, no tuples)."""
+        postings = self.keyword_postings(keyword)
+        if postings is None:
+            return
+        codes = self._verdict_codes
+        position = 0
+        get = counts.get
+        for gap in postings._gaps:
+            position += gap
+            if codes[position] == CORRECT_CODE:
+                counts[position] = get(position, 0) + 1
 
     def keyword_df(self, keyword: str) -> int:
         """Document frequency of ``keyword`` (0 when unseen)."""
-        postings = self._keywords.get(keyword)
+        postings = self.keyword_postings(keyword)
         return len(postings) if postings is not None else 0
 
     def token_df(self, token: str) -> int:
         """Document frequency of ``token`` (0 when unseen)."""
-        postings = self._tokens.get(token)
+        postings = self.token_postings(token)
         return len(postings) if postings is not None else 0
 
     # -------------------------------------------------------------- tiers

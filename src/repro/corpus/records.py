@@ -1,4 +1,4 @@
-"""Learner-corpus records.
+"""Learner-corpus records: columnar storage, interned vocabularies.
 
 The Learner Corpus Database (Fig. 3) stores every supervised utterance
 with its analysis tags: who said it, the sentence pattern, the syntax and
@@ -7,12 +7,35 @@ what the Label analysis & filter files away ("if the input words'
 sequences have particular tag from Learning_Angel, the Label analysis &
 filter can record it in Learning Corpus") and what the Learning Statistic
 Analyzer later aggregates.
+
+Up to PR 4 each record was a slotted Python object holding lists, strings
+and per-record ``frozenset`` caches — hundreds of pointer-chasing bytes
+per utterance, the wrong shape for the 10^5–10^6 record corpora the
+ROADMAP targets.  This module now stores records **columnar**:
+
+* every repeated term (tokens, keywords, users, rooms, patterns, error
+  kinds, semantic notes, linkage summaries) is interned once in a
+  :class:`Vocabulary` and referenced by a 4-byte id;
+* per-record scalars live in parallel machine arrays (``array('I')`` /
+  ``array('B')`` / ``array('d')``) inside :class:`RecordStore`;
+* variable-length fields (token sets, keyword lists, syntax issues,
+  semantic notes) are flat ``array('I')`` id runs with offset tables —
+  one shared buffer per column, not one list object per record.
+
+Consumers keep the old record-object API through :class:`RecordView`, a
+two-slot lazy view that decodes fields from the columns on attribute
+access and compares equal to a materialised :class:`CorpusRecord`.  The
+vocabularies are shared with :class:`~repro.corpus.index.CorpusIndex`,
+so postings, columns and queries all speak the same term ids.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import asdict, dataclass, field
 from enum import Enum
+from sys import getsizeof
+from typing import Iterator
 
 
 class Correctness(Enum):
@@ -24,9 +47,116 @@ class Correctness(Enum):
     QUESTION = "question"
 
 
+#: Stable verdict <-> byte-code mapping for per-record verdict columns.
+VERDICT_FOR_CODE: tuple[Correctness, ...] = tuple(Correctness)
+CODE_FOR_VERDICT: dict[Correctness, int] = {
+    verdict: code for code, verdict in enumerate(VERDICT_FOR_CODE)
+}
+CORRECT_CODE: int = CODE_FOR_VERDICT[Correctness.CORRECT]
+
+
+class Vocabulary:
+    """An append-only string interner: term <-> dense 4-byte id.
+
+    Ids are assigned in first-intern order and never change or shrink —
+    eviction drops postings and column rows, not vocabulary entries — so
+    any id captured in a column or posting list stays valid for the life
+    of the store.
+    """
+
+    __slots__ = ("_terms", "_ids")
+
+    def __init__(self) -> None:
+        self._terms: list[str] = []
+        self._ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._ids
+
+    @property
+    def terms(self) -> list[str]:
+        """The id -> term table (read-only by convention); exposed as the
+        raw list so tight decode loops can index it without a call."""
+        return self._terms
+
+    def intern(self, term: str) -> int:
+        """The id of ``term``, assigning the next dense id when new."""
+        term_id = self._ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def id_of(self, term: str) -> int | None:
+        """The id of ``term``, or None when it was never interned."""
+        return self._ids.get(term)
+
+    def term(self, term_id: int) -> str:
+        return self._terms[term_id]
+
+    def memory_bytes(self) -> int:
+        """Approximate heap footprint of the interner (strings included)."""
+        return (
+            getsizeof(self._terms)
+            + getsizeof(self._ids)
+            + sum(getsizeof(term) for term in self._terms)
+        )
+
+
+class CorpusVocabularies:
+    """The interned term tables one corpus shares between its columnar
+    :class:`RecordStore` and its :class:`~repro.corpus.index.CorpusIndex`.
+
+    ``tokens``, ``keywords`` (lower-cased) and ``users`` key the index's
+    posting families; the rest only back record columns.
+    """
+
+    __slots__ = (
+        "tokens",
+        "keywords",
+        "users",
+        "rooms",
+        "patterns",
+        "links",
+        "raw_keywords",
+        "issue_kinds",
+        "notes",
+    )
+
+    def __init__(self) -> None:
+        self.tokens = Vocabulary()
+        self.keywords = Vocabulary()  # lower-cased ontology terms
+        self.users = Vocabulary()
+        self.rooms = Vocabulary()
+        self.patterns = Vocabulary()
+        self.links = Vocabulary()
+        self.raw_keywords = Vocabulary()  # original-case keyword surface forms
+        self.issue_kinds = Vocabulary()
+        self.notes = Vocabulary()
+
+    def all(self) -> tuple[Vocabulary, ...]:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def memory_bytes(self) -> int:
+        return sum(vocab.memory_bytes() for vocab in self.all())
+
+
 @dataclass(slots=True)
 class CorpusRecord:
-    """One analysed utterance in the learner corpus.
+    """One analysed utterance, in its materialised (row) form.
+
+    This is the *write-side* shape: producers (the Learning Angel, the
+    corpora generator, loaders) build one of these and hand it to the
+    store, which decomposes it into columns.  Reads come back as
+    :class:`RecordView` objects with the same attribute surface; a view
+    and a record with equal field values compare equal.
 
     Attributes:
         record_id: sequential id within the corpus.
@@ -73,7 +203,10 @@ class CorpusRecord:
             user=data["user"],
             room=data["room"],
             text=data["text"],
-            timestamp=data["timestamp"],
+            # Coerce here: the timestamp column is array('d'), so a
+            # hand-written integer timestamp would otherwise round-trip
+            # to 5.0 only after one load/save cycle instead of always.
+            timestamp=float(data["timestamp"]),
             pattern=data["pattern"],
             verdict=Correctness(data["verdict"]),
             syntax_issues=[tuple(pair) for pair in data.get("syntax_issues", [])],
@@ -82,3 +215,449 @@ class CorpusRecord:
             links=data.get("links", ""),
             cost=data.get("cost", 0),
         )
+
+
+#: Field names a view must agree on to equal a record (== the dataclass).
+_RECORD_FIELDS: tuple[str, ...] = (
+    "record_id",
+    "user",
+    "room",
+    "text",
+    "timestamp",
+    "pattern",
+    "verdict",
+    "syntax_issues",
+    "semantic_issues",
+    "keywords",
+    "links",
+    "cost",
+)
+
+
+class RecordView:
+    """A lazy, read-only record bound to one :class:`RecordStore` row.
+
+    Two machine words per view; every attribute decodes from the columns
+    on access.  Views are positional: they reflect whatever the store
+    currently holds at their position, so (like the pre-columnar record
+    objects) they must not be held across a shard-merge barrier, which
+    may rewrite the tail.  Views compare equal to other views and to
+    :class:`CorpusRecord` instances with the same field values, and are
+    unhashable, exactly like the mutable dataclass they replace.
+    """
+
+    __slots__ = ("_store", "_position")
+
+    __hash__ = None  # parity with the eq=True, frozen=False dataclass
+
+    def __init__(self, store: "RecordStore", position: int) -> None:
+        self._store = store
+        self._position = position
+
+    # ------------------------------------------------------------- fields
+
+    @property
+    def record_id(self) -> int:
+        return self._store._record_ids[self._position]
+
+    @property
+    def user(self) -> str:
+        store = self._store
+        return store.vocabs.users.terms[store._user_ids[self._position]]
+
+    @property
+    def room(self) -> str:
+        store = self._store
+        return store.vocabs.rooms.terms[store._room_ids[self._position]]
+
+    @property
+    def text(self) -> str:
+        return self._store._texts[self._position]
+
+    @property
+    def timestamp(self) -> float:
+        return self._store._timestamps[self._position]
+
+    @property
+    def pattern(self) -> str:
+        store = self._store
+        return store.vocabs.patterns.terms[store._pattern_ids[self._position]]
+
+    @property
+    def verdict(self) -> Correctness:
+        return VERDICT_FOR_CODE[self._store._verdicts[self._position]]
+
+    @property
+    def syntax_issues(self) -> list[tuple[str, str]]:
+        return self._store.syntax_issues_at(self._position)
+
+    @property
+    def semantic_issues(self) -> list[str]:
+        return self._store.semantic_issues_at(self._position)
+
+    @property
+    def keywords(self) -> list[str]:
+        return self._store.keywords_at(self._position)
+
+    @property
+    def links(self) -> str:
+        store = self._store
+        return store.vocabs.links.terms[store._link_ids[self._position]]
+
+    @property
+    def cost(self) -> int:
+        return self._store._costs[self._position]
+
+    @property
+    def is_correct(self) -> bool:
+        return self._store._verdicts[self._position] == CORRECT_CODE
+
+    # ------------------------------------------------------------ protocol
+
+    def to_dict(self) -> dict:
+        return self._store.to_dict(self._position)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (RecordView, CorpusRecord)):
+            return all(
+                getattr(self, name) == getattr(other, name) for name in _RECORD_FIELDS
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecordView(position={self._position}, record_id={self.record_id}, "
+            f"user={self.user!r}, verdict={self.verdict.value!r}, text={self.text!r})"
+        )
+
+
+#: Bound on the per-store memo caches (views, token/keyword sets).  The
+#: caches exist for query-time locality — suggestion search re-touches
+#: the same hot candidates across queries — not for completeness, so
+#: overflowing simply clears them.
+_CACHE_LIMIT = 8192
+
+
+class RecordStore:
+    """Columnar storage for corpus records.
+
+    Append and tail-pop only (the same mutation surface as the posting
+    lists, so shard-merge eviction stays O(tail)).  All variable-length
+    fields share flat id-run buffers addressed by per-record offset
+    tables; ``offsets[p] : offsets[p + 1]`` is record ``p``'s run.
+    """
+
+    __slots__ = (
+        "vocabs",
+        "_record_ids",
+        "_user_ids",
+        "_room_ids",
+        "_pattern_ids",
+        "_link_ids",
+        "_timestamps",
+        "_verdicts",
+        "_costs",
+        "_texts",
+        "_token_ids",
+        "_token_offsets",
+        "_kw_ids",
+        "_kw_offsets",
+        "_raw_kw_ids",
+        "_raw_kw_offsets",
+        "_issue_kind_ids",
+        "_issue_word_ids",
+        "_issue_offsets",
+        "_note_ids",
+        "_note_offsets",
+        "_views",
+        "_token_set_cache",
+        "_keyword_set_cache",
+    )
+
+    def __init__(self, vocabs: CorpusVocabularies | None = None) -> None:
+        self.vocabs = vocabs if vocabs is not None else CorpusVocabularies()
+        self._record_ids = array("I")
+        self._user_ids = array("I")
+        self._room_ids = array("I")
+        self._pattern_ids = array("I")
+        self._link_ids = array("I")
+        self._timestamps = array("d")
+        self._verdicts = array("B")
+        self._costs = array("i")
+        self._texts: list[str] = []
+        self._token_ids = array("I")
+        self._token_offsets = array("I", [0])
+        self._kw_ids = array("I")
+        self._kw_offsets = array("I", [0])
+        self._raw_kw_ids = array("I")
+        self._raw_kw_offsets = array("I", [0])
+        self._issue_kind_ids = array("I")
+        self._issue_word_ids = array("I")
+        self._issue_offsets = array("I", [0])
+        self._note_ids = array("I")
+        self._note_offsets = array("I", [0])
+        # Bounded memo caches, cleared wholesale on overflow or eviction.
+        self._views: dict[int, RecordView] = {}
+        self._token_set_cache: dict[int, frozenset[str]] = {}
+        self._keyword_set_cache: dict[int, frozenset[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    # ------------------------------------------------------------ mutation
+
+    def append(
+        self, record: CorpusRecord, token_set: frozenset[str]
+    ) -> tuple[int, array, array, int]:
+        """Decompose ``record`` into the columns; returns the interned
+        ``(position, token_ids, keyword_ids, user_id)`` the caller needs
+        to mirror the append into the inverted index."""
+        vocabs = self.vocabs
+        position = len(self._texts)
+        token_ids = array("I", sorted(map(vocabs.tokens.intern, token_set)))
+        keyword_ids = array(
+            "I", sorted({vocabs.keywords.intern(k.lower()) for k in record.keywords})
+        )
+        user_id = vocabs.users.intern(record.user)
+
+        self._record_ids.append(record.record_id)
+        self._user_ids.append(user_id)
+        self._room_ids.append(vocabs.rooms.intern(record.room))
+        self._pattern_ids.append(vocabs.patterns.intern(record.pattern))
+        self._link_ids.append(vocabs.links.intern(record.links))
+        self._timestamps.append(record.timestamp)
+        self._verdicts.append(CODE_FOR_VERDICT[record.verdict])
+        self._costs.append(record.cost)
+        self._texts.append(record.text)
+
+        self._token_ids.extend(token_ids)
+        self._token_offsets.append(len(self._token_ids))
+        self._kw_ids.extend(keyword_ids)
+        self._kw_offsets.append(len(self._kw_ids))
+        self._raw_kw_ids.extend(
+            vocabs.raw_keywords.intern(keyword) for keyword in record.keywords
+        )
+        self._raw_kw_offsets.append(len(self._raw_kw_ids))
+        for kind, word in record.syntax_issues:
+            self._issue_kind_ids.append(vocabs.issue_kinds.intern(kind))
+            self._issue_word_ids.append(vocabs.tokens.intern(word))
+        self._issue_offsets.append(len(self._issue_kind_ids))
+        self._note_ids.extend(vocabs.notes.intern(note) for note in record.semantic_issues)
+        self._note_offsets.append(len(self._note_ids))
+        return position, token_ids, keyword_ids, user_id
+
+    def pop_last(self) -> tuple[Correctness, array, array, int]:
+        """Drop the last record; returns the ``(verdict, token_ids,
+        keyword_ids, user_id)`` the caller needs to un-index it.  O(row),
+        so tail eviction over a merge barrier stays O(tail)."""
+        position = len(self._texts) - 1
+        verdict = VERDICT_FOR_CODE[self._verdicts[position]]
+        # Copy the runs before truncating: a live memoryview would block
+        # the array resizes below (exported-buffer rule).
+        token_ids = self._token_ids[self._token_offsets[position] :]
+        keyword_ids = self._kw_ids[self._kw_offsets[position] :]
+        user_id = self._user_ids[position]
+
+        del self._record_ids[position:]
+        del self._user_ids[position:]
+        del self._room_ids[position:]
+        del self._pattern_ids[position:]
+        del self._link_ids[position:]
+        del self._timestamps[position:]
+        del self._verdicts[position:]
+        del self._costs[position:]
+        del self._texts[position:]
+        del self._token_ids[self._token_offsets[position] :]
+        del self._token_offsets[position + 1 :]
+        del self._kw_ids[self._kw_offsets[position] :]
+        del self._kw_offsets[position + 1 :]
+        del self._raw_kw_ids[self._raw_kw_offsets[position] :]
+        del self._raw_kw_offsets[position + 1 :]
+        del self._issue_kind_ids[self._issue_offsets[position] :]
+        del self._issue_word_ids[self._issue_offsets[position] :]
+        del self._issue_offsets[position + 1 :]
+        del self._note_ids[self._note_offsets[position] :]
+        del self._note_offsets[position + 1 :]
+        # Positions past the new length are gone and the tail may be
+        # rewritten: all positional memos are suspect now.
+        self._views.clear()
+        self._token_set_cache.clear()
+        self._keyword_set_cache.clear()
+        return verdict, token_ids, keyword_ids, user_id
+
+    # -------------------------------------------------------------- reads
+
+    def view(self, position: int) -> RecordView:
+        """The (memoised) lazy record view at ``position``."""
+        view = self._views.get(position)
+        if view is None:
+            if len(self._views) >= _CACHE_LIMIT:
+                self._views.clear()
+            view = self._views[position] = RecordView(self, position)
+        return view
+
+    def materialize(self, position: int) -> CorpusRecord:
+        """A detached, fully decoded :class:`CorpusRecord` copy."""
+        vocabs = self.vocabs
+        return CorpusRecord(
+            record_id=self._record_ids[position],
+            user=vocabs.users.terms[self._user_ids[position]],
+            room=vocabs.rooms.terms[self._room_ids[position]],
+            text=self._texts[position],
+            timestamp=self._timestamps[position],
+            pattern=vocabs.patterns.terms[self._pattern_ids[position]],
+            verdict=VERDICT_FOR_CODE[self._verdicts[position]],
+            syntax_issues=self.syntax_issues_at(position),
+            semantic_issues=self.semantic_issues_at(position),
+            keywords=self.keywords_at(position),
+            links=vocabs.links.terms[self._link_ids[position]],
+            cost=self._costs[position],
+        )
+
+    def to_dict(self, position: int) -> dict:
+        """The record's canonical dict, key order matching the dataclass
+        (``save`` writes these verbatim, so the JSONL shape is stable)."""
+        vocabs = self.vocabs
+        return {
+            "record_id": self._record_ids[position],
+            "user": vocabs.users.terms[self._user_ids[position]],
+            "room": vocabs.rooms.terms[self._room_ids[position]],
+            "text": self._texts[position],
+            "timestamp": self._timestamps[position],
+            "pattern": vocabs.patterns.terms[self._pattern_ids[position]],
+            "verdict": VERDICT_FOR_CODE[self._verdicts[position]].value,
+            "syntax_issues": [list(pair) for pair in self.syntax_issues_at(position)],
+            "semantic_issues": self.semantic_issues_at(position),
+            "keywords": self.keywords_at(position),
+            "links": vocabs.links.terms[self._link_ids[position]],
+            "cost": self._costs[position],
+        }
+
+    # ------------------------------------------------------- field decodes
+
+    def text_at(self, position: int) -> str:
+        return self._texts[position]
+
+    def record_id_at(self, position: int) -> int:
+        return self._record_ids[position]
+
+    def verdict_code_at(self, position: int) -> int:
+        return self._verdicts[position]
+
+    def pattern_id_at(self, position: int) -> int:
+        return self._pattern_ids[position]
+
+    def user_id_at(self, position: int) -> int:
+        return self._user_ids[position]
+
+    def token_id_run(self, position: int):
+        """Record ``position``'s sorted-unique token ids (zero-copy)."""
+        return memoryview(self._token_ids)[
+            self._token_offsets[position] : self._token_offsets[position + 1]
+        ]
+
+    def keyword_id_run(self, position: int):
+        """Sorted-unique lower-cased keyword ids (zero-copy)."""
+        return memoryview(self._kw_ids)[
+            self._kw_offsets[position] : self._kw_offsets[position + 1]
+        ]
+
+    def raw_keyword_id_run(self, position: int):
+        """Original-case keyword ids, ingestion order, duplicates kept."""
+        return memoryview(self._raw_kw_ids)[
+            self._raw_kw_offsets[position] : self._raw_kw_offsets[position + 1]
+        ]
+
+    def issue_kind_id_run(self, position: int):
+        return memoryview(self._issue_kind_ids)[
+            self._issue_offsets[position] : self._issue_offsets[position + 1]
+        ]
+
+    def note_count(self, position: int) -> int:
+        return self._note_offsets[position + 1] - self._note_offsets[position]
+
+    def token_set(self, position: int) -> frozenset[str]:
+        """The record's token set, decoded (bounded memo cache)."""
+        cached = self._token_set_cache.get(position)
+        if cached is None:
+            if len(self._token_set_cache) >= _CACHE_LIMIT:
+                self._token_set_cache.clear()
+            terms = self.vocabs.tokens.terms
+            cached = self._token_set_cache[position] = frozenset(
+                terms[token_id] for token_id in self.token_id_run(position)
+            )
+        return cached
+
+    def keyword_set(self, position: int) -> frozenset[str]:
+        """The record's lower-cased keyword set (bounded memo cache)."""
+        cached = self._keyword_set_cache.get(position)
+        if cached is None:
+            if len(self._keyword_set_cache) >= _CACHE_LIMIT:
+                self._keyword_set_cache.clear()
+            terms = self.vocabs.keywords.terms
+            cached = self._keyword_set_cache[position] = frozenset(
+                terms[keyword_id] for keyword_id in self.keyword_id_run(position)
+            )
+        return cached
+
+    def keywords_at(self, position: int) -> list[str]:
+        terms = self.vocabs.raw_keywords.terms
+        return [terms[keyword_id] for keyword_id in self.raw_keyword_id_run(position)]
+
+    def syntax_issues_at(self, position: int) -> list[tuple[str, str]]:
+        kinds = self.vocabs.issue_kinds.terms
+        words = self.vocabs.tokens.terms
+        start = self._issue_offsets[position]
+        end = self._issue_offsets[position + 1]
+        kind_ids = self._issue_kind_ids
+        word_ids = self._issue_word_ids
+        return [
+            (kinds[kind_ids[i]], words[word_ids[i]]) for i in range(start, end)
+        ]
+
+    def semantic_issues_at(self, position: int) -> list[str]:
+        notes = self.vocabs.notes.terms
+        return [notes[note_id] for note_id in self._note_ids[
+            self._note_offsets[position] : self._note_offsets[position + 1]
+        ]]
+
+    # --------------------------------------------------------- diagnostics
+
+    def memory_stats(self) -> dict[str, int]:
+        """Heap accounting for the columnar layout (bench workload)."""
+        arrays = (
+            self._record_ids,
+            self._user_ids,
+            self._room_ids,
+            self._pattern_ids,
+            self._link_ids,
+            self._timestamps,
+            self._verdicts,
+            self._costs,
+            self._token_ids,
+            self._token_offsets,
+            self._kw_ids,
+            self._kw_offsets,
+            self._raw_kw_ids,
+            self._raw_kw_offsets,
+            self._issue_kind_ids,
+            self._issue_word_ids,
+            self._issue_offsets,
+            self._note_ids,
+            self._note_offsets,
+        )
+        column_bytes = sum(getsizeof(column) for column in arrays)
+        text_bytes = getsizeof(self._texts) + sum(getsizeof(text) for text in self._texts)
+        cache_bytes = sum(
+            getsizeof(cache)
+            for cache in (self._views, self._token_set_cache, self._keyword_set_cache)
+        )
+        vocab_bytes = self.vocabs.memory_bytes()
+        return {
+            "records": len(self._texts),
+            "column_bytes": column_bytes,
+            "text_bytes": text_bytes,
+            "vocab_bytes": vocab_bytes,
+            "cache_bytes": cache_bytes,
+            "total_bytes": column_bytes + text_bytes + vocab_bytes + cache_bytes,
+        }

@@ -1,0 +1,435 @@
+"""Pre-columnar reference corpus: the differential-testing baseline.
+
+This module preserves, in its simplest possible form, the **object-record
+storage model** the columnar :class:`~repro.corpus.store.LearnerCorpus`
+replaced: one :class:`CorpusRecord` Python object per utterance, per-record
+``frozenset`` token/keyword caches, and plain ``dict[str, list[int]]``
+posting maps whose reads decode to tuples.  It exists for three reasons:
+
+* **Executable specification** — ``tests/corpus/test_columnar_parity.py``
+  drives randomized ingest/evict/fork/merge/query workloads through this
+  store and the columnar store side by side and asserts identical
+  records, postings, DFs, tier assignments, suggestion results and
+  statistics.  Behavioural intent lives here in ~300 obvious lines; the
+  columnar code is "fast mode" of the same semantics.
+* **Memory baseline** — the ``corpus_memory`` bench workload prices
+  bytes/record of this layout against the columnar layout.
+* **Latency baseline** — :class:`ReferenceSuggestionSearch` is the
+  tuple-decoding retrieval path; the bench gates the streaming
+  implementation's latency against it.
+
+Semantics match the current contract, including the suggestion-search
+rule that the query's own previously-ingested sentence never consumes
+candidate budget on either tier.  Do not optimise this module: its value
+is being obviously equivalent to the documented contract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.linkgrammar.tokenizer import tokenize
+
+from .index import IndexConfig
+from .records import Correctness, CorpusRecord
+from .statistics import CorpusReport, UserReport
+
+
+class ReferenceCorpus:
+    """Object-record learner corpus with list-of-int posting maps."""
+
+    def __init__(self, index_config: IndexConfig | None = None) -> None:
+        self.config = index_config if index_config is not None else IndexConfig()
+        self._records: list[CorpusRecord] = []
+        self._token_sets: list[frozenset[str]] = []
+        self._keyword_sets: list[frozenset[str]] = []
+        self._tokens: dict[str, list[int]] = {}
+        self._keywords: dict[str, list[int]] = {}
+        self._users: dict[str, list[int]] = {}
+        self._by_verdict: dict[Correctness, list[int]] = {}
+        self._merge_floor: int | None = None
+        self._merge_keys: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CorpusRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------- writing
+
+    def next_id(self) -> int:
+        return len(self._records)
+
+    def add(
+        self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
+    ) -> CorpusRecord:
+        token_set = (
+            frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
+        )
+        return self._ingest(record, token_set)
+
+    def _ingest(self, record: CorpusRecord, token_set: frozenset[str]) -> CorpusRecord:
+        position = len(self._records)
+        self._records.append(record)
+        self._token_sets.append(token_set)
+        keywords = frozenset(k.lower() for k in record.keywords)
+        self._keyword_sets.append(keywords)
+        for token in token_set:
+            self._tokens.setdefault(token, []).append(position)
+        for keyword in keywords:
+            self._keywords.setdefault(keyword, []).append(position)
+        self._users.setdefault(record.user, []).append(position)
+        self._by_verdict.setdefault(record.verdict, []).append(position)
+        return record
+
+    def _evict_tail(self, floor: int) -> None:
+        while len(self._records) > floor:
+            position = len(self._records) - 1
+            record = self._records.pop()
+            token_set = self._token_sets.pop()
+            keywords = self._keyword_sets.pop()
+            for index, terms in (
+                (self._tokens, token_set),
+                (self._keywords, keywords),
+                (self._users, (record.user,)),
+                (self._by_verdict, (record.verdict,)),
+            ):
+                for term in terms:
+                    postings = index[term]
+                    assert postings.pop() == position
+                    if not postings:
+                        del index[term]
+
+    # ------------------------------------------------------------- queries
+
+    def records(self) -> list[CorpusRecord]:
+        return list(self._records)
+
+    def filter(self, predicate) -> list[CorpusRecord]:
+        return [record for record in self._records if predicate(record)]
+
+    def by_user(self, user: str) -> list[CorpusRecord]:
+        return [self._records[i] for i in self._users.get(user, ())]
+
+    def by_verdict(self, verdict: Correctness) -> list[CorpusRecord]:
+        return [self._records[i] for i in self._by_verdict.get(verdict, ())]
+
+    def correct_records(self) -> list[CorpusRecord]:
+        return self.by_verdict(Correctness.CORRECT)
+
+    def with_keyword(self, keyword: str) -> list[CorpusRecord]:
+        return [self._records[i] for i in self._keywords.get(keyword.lower(), ())]
+
+    def verdict_counts(self) -> dict[Correctness, int]:
+        return {verdict: len(postings) for verdict, postings in self._by_verdict.items()}
+
+    def record_at(self, position: int) -> CorpusRecord:
+        return self._records[position]
+
+    def text_at(self, position: int) -> str:
+        return self._records[position].text
+
+    def is_correct(self, position: int) -> bool:
+        return self._records[position].verdict is Correctness.CORRECT
+
+    def verdict_at(self, position: int) -> Correctness:
+        return self._records[position].verdict
+
+    def keyword_positions(self, keyword: str) -> tuple[int, ...]:
+        return tuple(self._keywords.get(keyword.lower(), ()))
+
+    def token_positions(self, token: str) -> tuple[int, ...]:
+        return tuple(self._tokens.get(token, ()))
+
+    def user_positions(self, user: str) -> tuple[int, ...]:
+        return tuple(self._users.get(user, ()))
+
+    def token_set(self, position: int) -> frozenset[str]:
+        return self._token_sets[position]
+
+    def keyword_set(self, position: int) -> frozenset[str]:
+        return self._keyword_sets[position]
+
+    def token_df(self, token: str) -> int:
+        return len(self._tokens.get(token, ()))
+
+    def keyword_df(self, keyword: str) -> int:
+        return len(self._keywords.get(keyword, ()))
+
+    def is_capped_token(self, token: str) -> bool:
+        cap = self.config.stopword_df_cap
+        return cap is not None and self.token_df(token) > cap
+
+    def split_tokens(self, tokens) -> tuple[list[str], list[str]]:
+        cap = self.config.stopword_df_cap
+        rare: list[tuple[int, str]] = []
+        capped: list[tuple[int, str]] = []
+        for token in set(tokens):
+            df = self.token_df(token)
+            if df == 0:
+                continue
+            (capped if cap is not None and df > cap else rare).append((df, token))
+        rare.sort()
+        capped.sort()
+        return [token for _, token in rare], [token for _, token in capped]
+
+    # -------------------------------------------------- partition and merge
+
+    def fork(self) -> "ReferenceReplica":
+        return ReferenceReplica(self)
+
+    def merge(self, replica: "ReferenceReplica") -> int:
+        floor = replica.base_len
+        if floor > len(self._records):
+            raise ValueError("replica forked past the corpus tail")
+        if self._merge_floor != floor:
+            self._merge_floor = floor
+            self._merge_keys = []
+        tail = [
+            (key, self._records[floor + offset], self._token_sets[floor + offset])
+            for offset, key in enumerate(self._merge_keys)
+        ]
+        merged = len(replica.pending)
+        tail.extend(replica.pending)
+        tail.sort(key=lambda entry: entry[0])
+        self._evict_tail(floor)
+        for _key, record, token_set in tail:
+            record.record_id = len(self._records)
+            self._ingest(record, token_set)
+        self._merge_keys = [entry[0] for entry in tail]
+        return merged
+
+    def snapshot(self) -> tuple[dict, ...]:
+        return tuple(record.to_dict() for record in self._records)
+
+    # --------------------------------------------------------- diagnostics
+
+    def memory_bytes(self) -> int:
+        """Deep heap footprint of the object-record layout (bench
+        baseline): records with their field objects, the frozenset
+        caches, and the boxed-int posting maps.  Shared objects are
+        counted once (id-dedup)."""
+        from sys import getsizeof
+
+        seen: set[int] = set()
+
+        def deep(obj) -> int:
+            if id(obj) in seen:
+                return 0
+            seen.add(id(obj))
+            total = getsizeof(obj)
+            if isinstance(obj, dict):
+                total += sum(deep(key) + deep(value) for key, value in obj.items())
+            elif isinstance(obj, (list, tuple, set, frozenset)):
+                total += sum(deep(item) for item in obj)
+            elif isinstance(obj, CorpusRecord):
+                total += sum(
+                    deep(getattr(obj, name)) for name in (
+                        "record_id", "user", "room", "text", "timestamp", "pattern",
+                        "syntax_issues", "semantic_issues", "keywords", "links", "cost",
+                    )
+                )
+            return total
+
+        return deep(
+            (
+                self._records,
+                self._token_sets,
+                self._keyword_sets,
+                self._tokens,
+                self._keywords,
+                self._users,
+                self._by_verdict,
+            )
+        )
+
+
+class ReferenceReplica:
+    """Shard replica over a :class:`ReferenceCorpus` (buffered appends)."""
+
+    def __init__(self, base: ReferenceCorpus) -> None:
+        self._base = base
+        self.base_len = len(base)
+        self.pending: list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]] = []
+        self._origin_seq = 0
+        self._origin_n = 0
+
+    def begin_origin(self, seq: int) -> None:
+        self._origin_seq = seq
+        self._origin_n = 0
+
+    def rebase(self) -> None:
+        self.pending = []
+        self.base_len = len(self._base)
+
+    def next_id(self) -> int:
+        return self.base_len + len(self.pending)
+
+    def add(
+        self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
+    ) -> CorpusRecord:
+        token_set = (
+            frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
+        )
+        self.pending.append(((self._origin_seq, self._origin_n), record, token_set))
+        self._origin_n += 1
+        return record
+
+    def __len__(self) -> int:
+        return self.base_len + len(self.pending)
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+
+class ReferenceSuggestionSearch:
+    """Tuple-decoding suggestion search over a :class:`ReferenceCorpus`.
+
+    Same retrieval contract as the streaming
+    :class:`~repro.corpus.search.SuggestionSearch` — keyword floor,
+    rare-first union, capped-tier skip, budgeted fallback with the
+    self-match exclusion — expressed over decoded posting tuples and
+    per-record frozensets.
+    """
+
+    def __init__(self, corpus: ReferenceCorpus, max_candidates: int = 512) -> None:
+        self.corpus = corpus
+        self.max_candidates = max_candidates
+
+    def find(self, text, keywords=None, limit: int = 3, min_keyword_overlap: float = 0.0):
+        sentence = tokenize(text) if isinstance(text, str) else text
+        query_tokens = frozenset(sentence.words)
+        query_raw = sentence.raw.strip().lower()
+        query_keywords = frozenset(k.lower() for k in (keywords or []))
+        corpus = self.corpus
+        hits = []
+        for position in self._candidates(
+            query_tokens, query_keywords, min_keyword_overlap, query_raw
+        ):
+            record = corpus.record_at(position)
+            if record.text.strip().lower() == query_raw:
+                continue
+            keyword_overlap = _jaccard(query_keywords, corpus.keyword_set(position))
+            if query_keywords and keyword_overlap < min_keyword_overlap:
+                continue
+            token_overlap = _jaccard(query_tokens, corpus.token_set(position))
+            if keyword_overlap == 0.0 and token_overlap == 0.0:
+                continue
+            hits.append((record, keyword_overlap, token_overlap))
+        hits.sort(key=lambda hit: (-hit[1], -hit[2], hit[0].record_id))
+        return hits[:limit]
+
+    def _candidates(self, query_tokens, query_keywords, min_keyword_overlap, query_raw=""):
+        corpus = self.corpus
+        is_correct = corpus.is_correct
+        shared_counts: dict[int, int] = {}
+
+        def accumulate(positions) -> None:
+            for position in positions:
+                shared_counts[position] = shared_counts.get(position, 0) + 1
+
+        if query_keywords and min_keyword_overlap > 0.0:
+            for keyword in sorted(query_keywords):
+                accumulate(corpus.keyword_positions(keyword))
+        else:
+            rare_tokens, capped_tokens = corpus.split_tokens(query_tokens)
+            for token in rare_tokens:
+                accumulate(corpus.token_positions(token))
+            for keyword in sorted(query_keywords):
+                accumulate(corpus.keyword_positions(keyword))
+            if capped_tokens and not any(
+                is_correct(position)
+                and corpus.text_at(position).strip().lower() != query_raw
+                for position in shared_counts
+            ):
+                budget = self.max_candidates
+                for token in capped_tokens:
+                    for position in corpus.token_positions(token):
+                        seen = shared_counts.get(position, 0)
+                        shared_counts[position] = seen + 1
+                        if not seen and is_correct(position):
+                            if (
+                                query_raw
+                                and corpus.text_at(position).strip().lower() == query_raw
+                            ):
+                                continue
+                            budget -= 1
+                            if budget == 0:
+                                break
+                    else:
+                        continue
+                    break
+        candidates = [position for position in shared_counts if is_correct(position)]
+        if len(candidates) > self.max_candidates and query_raw:
+            candidates = [
+                position
+                for position in candidates
+                if corpus.text_at(position).strip().lower() != query_raw
+            ]
+        if len(candidates) > self.max_candidates:
+            candidates.sort(key=lambda position: (-shared_counts[position], position))
+            candidates = candidates[: self.max_candidates]
+        candidates.sort()
+        return candidates
+
+
+def _jaccard(a, b) -> float:
+    if not a and not b:
+        return 0.0
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+def reference_report(corpus: ReferenceCorpus) -> CorpusReport:
+    """The statistic analyzer's whole-corpus report, computed the
+    pre-columnar way (record-object scans) — the oracle the columnar
+    :class:`~repro.corpus.statistics.StatisticAnalyzer` is compared to."""
+    records = corpus.records()
+    verdicts = Counter(
+        {verdict.value: count for verdict, count in corpus.verdict_counts().items()}
+    )
+    error_kinds: Counter[str] = Counter()
+    topics: Counter[str] = Counter()
+    patterns = Counter(record.pattern for record in records)
+    for record in records:
+        for kind, _word in record.syntax_issues:
+            error_kinds[kind] += 1
+        if record.semantic_issues:
+            error_kinds["semantic-violation"] += len(record.semantic_issues)
+        for keyword in record.keywords:
+            topics[keyword] += 1
+    users = sorted({record.user for record in records})
+    return CorpusReport(
+        messages=len(records),
+        verdict_counts=tuple(sorted(verdicts.items())),
+        error_kind_counts=tuple(error_kinds.most_common()),
+        topic_counts=tuple(topics.most_common()),
+        pattern_counts=tuple(sorted(patterns.items())),
+        users=tuple(reference_user_report(corpus, user) for user in users),
+    )
+
+
+def reference_user_report(corpus: ReferenceCorpus, user: str) -> UserReport:
+    """Per-user report, computed the pre-columnar way."""
+    records = corpus.by_user(user)
+    mistakes: Counter[str] = Counter()
+    topics: Counter[str] = Counter()
+    for record in records:
+        for kind, _word in record.syntax_issues:
+            mistakes[kind] += 1
+        for _note in record.semantic_issues:
+            mistakes["semantic-violation"] += 1
+        for keyword in record.keywords:
+            topics[keyword] += 1
+    return UserReport(
+        user=user,
+        messages=len(records),
+        correct=sum(1 for r in records if r.verdict == Correctness.CORRECT),
+        syntax_errors=sum(1 for r in records if r.verdict == Correctness.SYNTAX_ERROR),
+        semantic_errors=sum(1 for r in records if r.verdict == Correctness.SEMANTIC_ERROR),
+        questions=sum(1 for r in records if r.verdict == Correctness.QUESTION),
+        common_mistakes=tuple(mistakes.most_common(5)),
+        topics=tuple(topics.most_common(5)),
+    )

@@ -8,16 +8,14 @@ breaking ties by token overlap, so the learner sees a well-formed sentence
 about the same topic.
 
 Performance: the query used to re-tokenise every corpus record on every
-search — O(corpus) tokenizer runs per syntax error.  Record token and
-keyword sets are cached at ingestion time by
-:class:`~repro.corpus.store.LearnerCorpus`, and *every* candidate scan is
-index-backed: keyword-constrained queries walk the inverted keyword
-index, and the unconstrained path (no keyword floor) unions the inverted
-token and keyword postings of the query — sound because a scoring hit
-must share at least one token or keyword with the query.  On top of
-that, a top-k candidate cut (``max_candidates``) ranks candidates by the
-number of shared postings and scores only the best, so ``find`` never
-walks the full corpus however large it grows.
+search — O(corpus) tokenizer runs per syntax error.  Today every
+candidate scan is index-backed and **streaming**: posting runs
+accumulate straight off their delta-encoded gap arrays
+(:meth:`~repro.corpus.index.PostingList.accumulate_into` — no decoded
+tuples), candidate verdicts are intersected against the index's flat
+verdict-code column (a dense O(1) membership oracle), and record token /
+keyword sets decode lazily from the columnar store's id runs only for
+the candidates that actually get scored.
 
 At the 10^5+ record scale the union itself becomes the cost: one "the"
 in the query drags a near-corpus-length posting list through the union.
@@ -26,9 +24,12 @@ document frequency, and :meth:`SuggestionSearch._candidates` walks the
 query's postings **rarest term first**, skipping the stopword (capped-DF)
 tier entirely whenever the rare terms already produced candidates.  A
 query made only of capped terms falls back to a budgeted walk of the
-capped postings (early cut at ``max_candidates`` correct candidates).
-The retrieval contract — exactly when results are exact vs bounded — is
-documented in ``docs/corpus.md``.
+capped postings (early cut at ``max_candidates`` correct candidates —
+the query's own previously-ingested sentence never consumes budget: it
+can never be suggested, so counting it would starve the learner of the
+suggestions the budget was meant to admit).  The retrieval contract —
+exactly when results are exact vs bounded — is documented in
+``docs/corpus.md``.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from dataclasses import dataclass
 
 from repro.linkgrammar.tokenizer import TokenizedSentence, tokenize
 
-from .records import CorpusRecord
+from .records import RecordView
 from .store import LearnerCorpus
 
 
@@ -45,7 +46,7 @@ from .store import LearnerCorpus
 class SuggestionHit:
     """A candidate model sentence with its similarity scores."""
 
-    record: CorpusRecord
+    record: RecordView
     keyword_overlap: float
     token_overlap: float
 
@@ -98,23 +99,33 @@ class SuggestionSearch:
         query_tokens = frozenset(sentence.words)
         query_raw = sentence.raw.strip().lower()
         query_keywords = frozenset(k.lower() for k in (keywords or []))
-        corpus = self.corpus
-        hits: list[SuggestionHit] = []
+        # Bind the columnar accessors once: the scoring loop touches the
+        # store per candidate, and the scored set can be max_candidates
+        # long — lazy views are built only for the hits returned.
+        store = self.corpus.columns
+        text_at = store.text_at
+        keyword_set = store.keyword_set
+        token_set = store.token_set
+        scored: list[tuple[float, float, int, int]] = []
         for position in self._candidates(
             query_tokens, query_keywords, min_keyword_overlap, query_raw
         ):
-            record = corpus.record_at(position)
-            if record.text.strip().lower() == query_raw:
+            if text_at(position).strip().lower() == query_raw:
                 continue  # never suggest the sentence back to its author
-            keyword_overlap = _jaccard(query_keywords, corpus.keyword_set(position))
+            keyword_overlap = _jaccard(query_keywords, keyword_set(position))
             if query_keywords and keyword_overlap < min_keyword_overlap:
                 continue
-            token_overlap = _jaccard(query_tokens, corpus.token_set(position))
+            token_overlap = _jaccard(query_tokens, token_set(position))
             if keyword_overlap == 0.0 and token_overlap == 0.0:
                 continue
-            hits.append(SuggestionHit(record, keyword_overlap, token_overlap))
-        hits.sort(key=lambda hit: (-hit.keyword_overlap, -hit.token_overlap, hit.record.record_id))
-        return hits[:limit]
+            scored.append(
+                (-keyword_overlap, -token_overlap, store.record_id_at(position), position)
+            )
+        scored.sort()
+        return [
+            SuggestionHit(store.view(position), -neg_keyword, -neg_token)
+            for neg_keyword, neg_token, _record_id, position in scored[:limit]
+        ]
 
     def _candidates(
         self,
@@ -131,39 +142,42 @@ class SuggestionSearch:
         floor, a hit still needs non-zero token *or* keyword overlap;
         the union runs **rarest term first** over the rare-tier token
         postings plus every keyword posting (keywords are ontology
-        terms — always high-signal, never tiered).  The stopword
-        (capped-DF) tier is skipped whenever that rare union already
-        yielded a correct candidate, and budget-walked otherwise
+        terms — always high-signal, never tiered), each run streaming
+        straight off its gap array.  The stopword (capped-DF) tier is
+        skipped whenever that rare union already yielded a usable
+        correct candidate, and budget-walked otherwise
         (:meth:`_accumulate_capped`), so one "the" in the query no
         longer drags a corpus-length posting through the union.
 
-        Candidates are intersected against the verdict index
+        Candidates are intersected against the verdict-code column
         (O(1) ``is_correct`` per position — no record reads), and
         retrievals larger than ``max_candidates`` are cut to the
-        positions sharing the most postings with the query.
+        positions sharing the most postings with the query —
+        self-matches (the query's own previously-ingested sentence)
+        are dropped before the cut on both tiers, so they never occupy
+        a scoring slot that a real suggestion could have used.
         """
         corpus = self.corpus
         index = corpus.index
         is_correct = index.is_correct
+        text_at = corpus.columns.text_at
         shared_counts: dict[int, int] = {}
 
-        def accumulate(positions) -> None:
-            get = shared_counts.get
-            for position in positions:
-                shared_counts[position] = get(position, 0) + 1
+        def accumulate(postings) -> None:
+            if postings is not None:
+                postings.accumulate_into(shared_counts)
 
         # Query keywords arrive lower-cased from ``find``, so they can
-        # stream straight off the index without the store's re-lowering
-        # ``keyword_positions`` tuple decode.
+        # stream straight off the index postings.
         if query_keywords and min_keyword_overlap > 0.0:
             for keyword in sorted(query_keywords):
-                accumulate(index.iter_keyword_positions(keyword))
+                accumulate(index.keyword_postings(keyword))
         else:
             rare_tokens, capped_tokens = index.split_tokens(query_tokens)
             for token in rare_tokens:
-                accumulate(index.iter_token_positions(token))
+                accumulate(index.token_postings(token))
             for keyword in sorted(query_keywords):
-                accumulate(index.iter_keyword_positions(keyword))
+                accumulate(index.keyword_postings(keyword))
             # Skip the capped tier only when the rare union yielded a
             # correct candidate that ``find`` will actually keep — a
             # candidate that is the query's own sentence gets dropped by
@@ -172,11 +186,20 @@ class SuggestionSearch:
             # the stopword tier still holds some.
             if capped_tokens and not any(
                 is_correct(position)
-                and corpus.record_at(position).text.strip().lower() != query_raw
+                and text_at(position).strip().lower() != query_raw
                 for position in shared_counts
             ):
-                self._accumulate_capped(index, capped_tokens, shared_counts)
+                self._accumulate_capped(index, capped_tokens, shared_counts, query_raw)
         candidates = [position for position in shared_counts if is_correct(position)]
+        if len(candidates) > self.max_candidates:
+            # Self-matches can never be suggested; drop them before the
+            # cut so they do not displace a scorable candidate.
+            if query_raw:
+                candidates = [
+                    position
+                    for position in candidates
+                    if text_at(position).strip().lower() != query_raw
+                ]
         if len(candidates) > self.max_candidates:
             # Top-k cut: most shared postings first, earliest record on
             # ties — deterministic and biased toward the final ranking.
@@ -186,27 +209,43 @@ class SuggestionSearch:
         return candidates
 
     def _accumulate_capped(
-        self, index, capped_tokens: list[str], shared_counts: dict[int, int]
+        self,
+        index,
+        capped_tokens: list[str],
+        shared_counts: dict[int, int],
+        query_raw: str = "",
     ) -> None:
         """Fallback union over the stopword tier, with an early cut.
 
-        Reached only when the rare tier produced no correct candidate —
-        typically a query made entirely of capped terms.  Capped
-        postings are corpus-length, so the walk stops as soon as
-        ``max_candidates`` distinct correct positions have been seen:
-        the result is a bounded, deterministic approximation (earliest
-        records first — the same bias as the top-k tie-break) instead
-        of a full-corpus union.  ``capped_tokens`` arrive rarest first
-        from :meth:`CorpusIndex.split_tokens`.
+        Reached only when the rare tier produced no usable correct
+        candidate — typically a query made entirely of capped terms.
+        Capped postings are corpus-length, so the walk stops as soon as
+        ``max_candidates`` distinct *usable* correct positions have been
+        seen: the result is a bounded, deterministic approximation
+        (earliest records first — the same bias as the top-k tie-break)
+        instead of a full-corpus union.  A correct position whose text
+        is the query's own sentence is counted into the union but never
+        consumes budget: ``find`` is guaranteed to drop it, so letting
+        it fill the last slot would return fewer usable suggestions
+        than the budget promises.  ``capped_tokens`` arrive rarest
+        first from :meth:`CorpusIndex.split_tokens`.
         """
+        text_at = self.corpus.columns.text_at
         is_correct = index.is_correct
         get = shared_counts.get
         budget = self.max_candidates
         for token in capped_tokens:
-            for position in index.iter_token_positions(token):
+            postings = index.token_postings(token)
+            if postings is None:
+                continue
+            position = 0
+            for gap in postings.gaps:  # stream the delta run directly
+                position += gap
                 seen = get(position, 0)
                 shared_counts[position] = seen + 1
                 if not seen and is_correct(position):
+                    if query_raw and text_at(position).strip().lower() == query_raw:
+                        continue  # self-match: unusable, charge no budget
                     budget -= 1
                     if budget == 0:
                         return

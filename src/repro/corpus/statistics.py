@@ -4,6 +4,16 @@
 dialogue" — so instructors can see the route of mistakes students make
 (section 5) and "revise or enhance their content of teaching materials".
 Aggregations are per user, per error class, and per ontology topic.
+
+The analyzer reads the corpus **columnar**: error kinds, topics and
+patterns tally straight off the record store's interned id runs (one
+flat scan, no record objects), per-verdict totals come off the index's
+document frequencies, and the per-user verdict tallies are streaming
+galloping intersections of the user postings against the verdict
+postings (:func:`~repro.corpus.index.intersect_count`) — both sides are
+posting lists there, so skip-table seeks replace per-record reads.
+Counter insertion order follows record order exactly as the old
+record-object scan did, so ``most_common`` tie-breaking is unchanged.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from .records import Correctness, CorpusRecord
+from .records import Correctness
 from .store import LearnerCorpus
 
 
@@ -54,50 +64,64 @@ class StatisticAnalyzer:
         self.corpus = corpus
 
     def user_report(self, user: str) -> UserReport:
-        records = self.corpus.by_user(user)
-        return _build_user_report(user, records)
+        return _build_user_report(self.corpus, user)
 
     def report(self) -> CorpusReport:
-        records = self.corpus.records()
+        corpus = self.corpus
+        columns = corpus.columns
         # Verdict tallies come straight off the index's per-verdict
-        # document frequencies; the detail counters below still need the
-        # one full pass over the records.
+        # document frequencies; the detail counters below are one flat
+        # pass over the interned id runs — decoded per occurrence, so
+        # Counter insertion order (and therefore most_common tie order)
+        # matches the record-order scan it replaces.
         verdicts = Counter(
             {
                 verdict.value: count
-                for verdict, count in self.corpus.verdict_counts().items()
+                for verdict, count in corpus.verdict_counts().items()
             }
         )
         error_kinds: Counter[str] = Counter()
         topics: Counter[str] = Counter()
-        patterns = Counter(record.pattern for record in records)
-        for record in records:
-            for kind, _word in record.syntax_issues:
-                error_kinds[kind] += 1
-            if record.semantic_issues:
-                error_kinds["semantic-violation"] += len(record.semantic_issues)
-            for keyword in record.keywords:
-                topics[keyword] += 1
-        users = sorted({record.user for record in records})
+        kind_terms = columns.vocabs.issue_kinds.terms
+        topic_terms = columns.vocabs.raw_keywords.terms
+        pattern_terms = columns.vocabs.patterns.terms
+        patterns = Counter(
+            pattern_terms[columns.pattern_id_at(position)]
+            for position in range(len(corpus))
+        )
+        for position in range(len(corpus)):
+            for kind_id in columns.issue_kind_id_run(position):
+                error_kinds[kind_terms[kind_id]] += 1
+            note_count = columns.note_count(position)
+            if note_count:
+                error_kinds["semantic-violation"] += note_count
+            for topic_id in columns.raw_keyword_id_run(position):
+                topics[topic_terms[topic_id]] += 1
+        users = sorted(corpus.index.users())
         return CorpusReport(
-            messages=len(records),
+            messages=len(corpus),
             verdict_counts=tuple(sorted(verdicts.items())),
             error_kind_counts=tuple(error_kinds.most_common()),
             topic_counts=tuple(topics.most_common()),
             pattern_counts=tuple(sorted(patterns.items())),
-            users=tuple(
-                _build_user_report(user, self.corpus.by_user(user)) for user in users
-            ),
+            users=tuple(_build_user_report(corpus, user) for user in users),
         )
 
     def most_common_mistakes(self, limit: int = 5) -> list[tuple[str, int]]:
         """The most frequent (error kind, count) pairs across the corpus."""
+        corpus = self.corpus
+        columns = corpus.columns
+        kind_terms = columns.vocabs.issue_kinds.terms
         counts: Counter[str] = Counter()
-        for record in self.corpus.records():
-            for kind, _word in record.syntax_issues:
-                counts[kind] += 1
-            for _note in record.semantic_issues:
-                counts["semantic-violation"] += 1
+        for position in range(len(corpus)):
+            for kind_id in columns.issue_kind_id_run(position):
+                counts[kind_terms[kind_id]] += 1
+            note_count = columns.note_count(position)
+            if note_count:
+                # Guarded bump: Counter insertion order is what breaks
+                # most_common ties, and the old record scan only created
+                # this key on the first record that carried notes.
+                counts["semantic-violation"] += note_count
         return counts.most_common(limit)
 
     def struggling_users(self, minimum_messages: int = 3) -> list[UserReport]:
@@ -111,23 +135,30 @@ class StatisticAnalyzer:
         return reports
 
 
-def _build_user_report(user: str, records: list[CorpusRecord]) -> UserReport:
+def _build_user_report(corpus: LearnerCorpus, user: str) -> UserReport:
+    index = corpus.index
+    columns = corpus.columns
+    kind_terms = columns.vocabs.issue_kinds.terms
+    topic_terms = columns.vocabs.raw_keywords.terms
     mistakes: Counter[str] = Counter()
     topics: Counter[str] = Counter()
-    for record in records:
-        for kind, _word in record.syntax_issues:
-            mistakes[kind] += 1
-        for _note in record.semantic_issues:
-            mistakes["semantic-violation"] += 1
-        for keyword in record.keywords:
-            topics[keyword] += 1
+    for position in index.iter_user_positions(user):
+        for kind_id in columns.issue_kind_id_run(position):
+            mistakes[kind_terms[kind_id]] += 1
+        note_count = columns.note_count(position)
+        if note_count:
+            # Guarded bump: keeps Counter insertion order (most_common
+            # tie-breaking) identical to the old record-object scan.
+            mistakes["semantic-violation"] += note_count
+        for topic_id in columns.raw_keyword_id_run(position):
+            topics[topic_terms[topic_id]] += 1
     return UserReport(
         user=user,
-        messages=len(records),
-        correct=sum(1 for r in records if r.verdict == Correctness.CORRECT),
-        syntax_errors=sum(1 for r in records if r.verdict == Correctness.SYNTAX_ERROR),
-        semantic_errors=sum(1 for r in records if r.verdict == Correctness.SEMANTIC_ERROR),
-        questions=sum(1 for r in records if r.verdict == Correctness.QUESTION),
+        messages=index.user_df(user),
+        correct=index.user_verdict_count(user, Correctness.CORRECT),
+        syntax_errors=index.user_verdict_count(user, Correctness.SYNTAX_ERROR),
+        semantic_errors=index.user_verdict_count(user, Correctness.SEMANTIC_ERROR),
+        questions=index.user_verdict_count(user, Correctness.QUESTION),
         common_mistakes=tuple(mistakes.most_common(5)),
         topics=tuple(topics.most_common(5)),
     )

@@ -5,27 +5,27 @@ paper's corpus is a database of analysed utterances, and every consumer
 (statistic analyzer, suggestion search, QA mining) works off these query
 primitives.
 
-Because suggestion search runs on *every* detected syntax error, the store
-maintains ingestion-time indexes so per-query work stays flat as the
-corpus grows:
+Since PR 5 the store is **columnar**: records live in a
+:class:`~repro.corpus.records.RecordStore` (flat machine arrays plus
+interned :class:`~repro.corpus.records.Vocabulary` term tables) instead
+of one Python object per record, and reads come back as lazy
+:class:`~repro.corpus.records.RecordView` objects with the familiar
+record attribute surface.  The vocabularies are shared with the owned
+:class:`~repro.corpus.index.CorpusIndex`, so the verdict/keyword/token/
+user postings — delta-encoded ``array('I')`` runs with per-term document
+frequencies and a configurable stopword tier
+(``IndexConfig(stopword_df_cap=...)``) — are keyed by the same 4-byte
+term ids the columns store.  ``by_verdict``, ``with_keyword``,
+``by_user`` and every suggestion-search candidate scan jump straight to
+the matching records, and "the"-style terms stop dominating
+unconstrained retrieval unions at the 10^5+ record scale (see
+``docs/corpus.md``).
 
-* a **token-set cache** — each record's tokenised word set is computed once
-  when the record is added (or loaded), not once per query;
-* a :class:`~repro.corpus.index.CorpusIndex` owning the **verdict,
-  keyword, token and user postings** — delta-encoded ``array('I')``
-  runs with per-term document frequencies and a configurable stopword
-  tier (``IndexConfig(stopword_df_cap=...)``), so ``by_verdict``,
-  ``with_keyword``, ``by_user`` and every suggestion-search candidate
-  scan jump straight to the matching records, and "the"-style terms
-  stop dominating unconstrained retrieval unions at the 10^5+ record
-  scale (see ``docs/corpus.md``).
-
-Records are snapshotted at :meth:`LearnerCorpus.add` time: the indexes
-read ``verdict``/``keywords``/``text`` once, on ingestion.  Treat a
-record as immutable after adding it — mutating one afterwards would
-desynchronise the index-backed queries from ``filter``-style scans.
-(The single exception is ``record_id``, which the shard merge renumbers
-to the record's final position; ids are not indexed.)
+Records are snapshotted at :meth:`LearnerCorpus.add` time: the columns
+and indexes read ``verdict``/``keywords``/``text`` once, on ingestion,
+and the input :class:`CorpusRecord` is decomposed and discarded.  Views
+are positional — like positions themselves, they must not be held
+across a shard-merge barrier, which may rewrite the store tail.
 
 The corpus is also a :class:`~repro.state.mergeable.MergeableStore`:
 :meth:`LearnerCorpus.fork` hands a drain worker a :class:`CorpusReplica`
@@ -33,8 +33,8 @@ whose reads see the fork-point snapshot and whose appends are buffered
 with their origin (global message seq, per-message sentence index);
 :meth:`LearnerCorpus.merge` interleaves replica appends behind the fork
 watermark in origin order — whatever order the replicas merge in — and
-re-ingests them through the normal path, so the merged store's inverted
-token/keyword postings and record ids are identical to those of a single
+re-ingests them through the normal path, so the merged store's columns,
+inverted postings and record ids are identical to those of a single
 store fed the same records in origin order.
 """
 
@@ -47,11 +47,17 @@ from typing import Callable, Iterator
 from repro.linkgrammar.tokenizer import tokenize
 
 from .index import CorpusIndex, IndexConfig
-from .records import Correctness, CorpusRecord
+from .records import (
+    Correctness,
+    CorpusRecord,
+    CorpusVocabularies,
+    RecordStore,
+    RecordView,
+)
 
 
 class LearnerCorpus:
-    """Append-only collection of :class:`CorpusRecord`.
+    """Append-only columnar collection of corpus records.
 
     Args:
         index_config: knobs for the owned :class:`CorpusIndex`
@@ -60,11 +66,9 @@ class LearnerCorpus:
     """
 
     def __init__(self, index_config: IndexConfig | None = None) -> None:
-        self._records: list[CorpusRecord] = []
-        # Ingestion-time caches, keyed by record position (== add order).
-        self._token_sets: list[frozenset[str]] = []
-        self._keyword_sets: list[frozenset[str]] = []
-        self._index = CorpusIndex(index_config)
+        self._vocabs = CorpusVocabularies()
+        self._store = RecordStore(self._vocabs)
+        self._index = CorpusIndex(index_config, vocabularies=self._vocabs)
         # Shard-merge bookkeeping: the position every record of the
         # current barrier interleaves behind, and the origin keys of the
         # records merged past it so far (aligned with the tail).
@@ -72,25 +76,27 @@ class LearnerCorpus:
         self._merge_keys: list[tuple[int, int]] = []
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._store)
 
-    def __iter__(self) -> Iterator[CorpusRecord]:
-        return iter(self._records)
+    def __iter__(self) -> Iterator[RecordView]:
+        store = self._store
+        return (store.view(position) for position in range(len(store)))
 
     # ------------------------------------------------------------- writing
 
     def next_id(self) -> int:
-        return len(self._records)
+        return len(self._store)
 
     def add(
         self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
     ) -> CorpusRecord:
         """Append a record (ids must be monotonic; use :meth:`next_id`).
 
-        Tokenisation and keyword normalisation happen here, once, so
-        every later similarity query is a cache lookup.  Callers that
-        already tokenised ``record.text`` (the supervision pipeline)
-        pass ``tokens`` to skip the redundant tokenizer run.
+        Tokenisation, keyword normalisation and vocabulary interning
+        happen here, once, so every later similarity query is an id-run
+        read.  Callers that already tokenised ``record.text`` (the
+        supervision pipeline) pass ``tokens`` to skip the redundant
+        tokenizer run.  Returns the (now decomposed) input record.
         """
         token_set = (
             frozenset(tokens) if tokens is not None else frozenset(tokenize(record.text).words)
@@ -99,11 +105,8 @@ class LearnerCorpus:
 
     def _ingest(self, record: CorpusRecord, token_set: frozenset[str]) -> CorpusRecord:
         """Append one record with its precomputed token set and index it."""
-        self._records.append(record)
-        self._token_sets.append(token_set)
-        keywords = frozenset(k.lower() for k in record.keywords)
-        self._keyword_sets.append(keywords)
-        self._index.append_record(record.verdict, keywords, token_set, record.user)
+        _position, token_ids, keyword_ids, user_id = self._store.append(record, token_set)
+        self._index.append_ids(record.verdict, keyword_ids, token_ids, user_id)
         return record
 
     def _evict_tail(self, floor: int) -> None:
@@ -113,47 +116,62 @@ class LearnerCorpus:
         the evicted positions are exactly the trailing entries — eviction
         is O(tail), not O(index), delta encoding notwithstanding.
         """
-        while len(self._records) > floor:
-            record = self._records.pop()
-            token_set = self._token_sets.pop()
-            keywords = self._keyword_sets.pop()
-            self._index.pop_record(record.verdict, keywords, token_set, record.user)
+        while len(self._store) > floor:
+            verdict, token_ids, keyword_ids, user_id = self._store.pop_last()
+            self._index.pop_ids(verdict, keyword_ids, token_ids, user_id)
 
     # ------------------------------------------------------------- queries
 
-    def records(self) -> list[CorpusRecord]:
-        return list(self._records)
+    def records(self) -> list[RecordView]:
+        store = self._store
+        return [store.view(position) for position in range(len(store))]
 
-    def filter(self, predicate: Callable[[CorpusRecord], bool]) -> list[CorpusRecord]:
-        return [record for record in self._records if predicate(record)]
+    def filter(self, predicate: Callable[[RecordView], bool]) -> list[RecordView]:
+        return [record for record in self if predicate(record)]
 
-    def by_user(self, user: str) -> list[CorpusRecord]:
-        return [self._records[i] for i in self._index.user_positions(user)]
+    def by_user(self, user: str) -> list[RecordView]:
+        view = self._store.view
+        return [view(position) for position in self._index.iter_user_positions(user)]
 
-    def by_verdict(self, verdict: Correctness) -> list[CorpusRecord]:
-        return [self._records[i] for i in self._index.iter_verdict_positions(verdict)]
+    def by_verdict(self, verdict: Correctness) -> list[RecordView]:
+        view = self._store.view
+        return [view(position) for position in self._index.iter_verdict_positions(verdict)]
 
-    def correct_records(self) -> list[CorpusRecord]:
+    def correct_records(self) -> list[RecordView]:
         return self.by_verdict(Correctness.CORRECT)
 
-    def with_keyword(self, keyword: str) -> list[CorpusRecord]:
-        return [self._records[i] for i in self._index.iter_keyword_positions(keyword.lower())]
+    def with_keyword(self, keyword: str) -> list[RecordView]:
+        view = self._store.view
+        return [
+            view(position)
+            for position in self._index.iter_keyword_positions(keyword.lower())
+        ]
 
     def verdict_counts(self) -> dict[Correctness, int]:
         """Record count per verdict, straight off the index DFs — O(1) in
         corpus size, for the statistic analyzer's aggregate report."""
         return self._index.verdict_counts()
 
-    # ---------------------------------------------------- similarity caches
+    # ----------------------------------------------------- columnar access
 
     @property
     def index(self) -> CorpusIndex:
         """The owned inverted-index subsystem (postings, DFs, tiers)."""
         return self._index
 
-    def record_at(self, position: int) -> CorpusRecord:
-        """The record at ``position`` (add order)."""
-        return self._records[position]
+    @property
+    def columns(self) -> RecordStore:
+        """The columnar record backing (read-only contract: consumers
+        stream id runs and scalars; all writes go through the corpus)."""
+        return self._store
+
+    def record_at(self, position: int) -> RecordView:
+        """The (lazy view of the) record at ``position`` (add order)."""
+        return self._store.view(position)
+
+    def text_at(self, position: int) -> str:
+        """The raw sentence at ``position`` — one list read, no view."""
+        return self._store.text_at(position)
 
     def is_correct(self, position: int) -> bool:
         """O(1) verdict test for the record at ``position`` — consumers
@@ -174,21 +192,23 @@ class LearnerCorpus:
         return self._index.token_positions(token)
 
     def token_set(self, position: int) -> frozenset[str]:
-        """The cached token set of the record at ``position`` (add order)."""
-        return self._token_sets[position]
+        """The token set of the record at ``position``, decoded from the
+        columnar id run (bounded memo cache for hot candidates)."""
+        return self._store.token_set(position)
 
     def keyword_set(self, position: int) -> frozenset[str]:
-        """The cached lower-cased keyword set of the record at ``position``."""
-        return self._keyword_sets[position]
+        """The lower-cased keyword set of the record at ``position``."""
+        return self._store.keyword_set(position)
 
-    def correct_positions(self) -> Iterator[tuple[int, CorpusRecord]]:
+    def correct_positions(self) -> Iterator[tuple[int, RecordView]]:
         """(position, record) pairs for known-correct records, add order.
 
         Positions index :meth:`token_set`/:meth:`keyword_set`, letting
         suggestion search scan candidates without touching the tokenizer.
         """
+        view = self._store.view
         for position in self._index.iter_verdict_positions(Correctness.CORRECT):
-            yield position, self._records[position]
+            yield position, view(position)
 
     # -------------------------------------------------- partition and merge
 
@@ -203,18 +223,19 @@ class LearnerCorpus:
         Replica records interleave *behind the fork watermark* in origin
         order — ``(message seq, per-message sentence index)``, captured
         at supervision time — so merging the replicas of one barrier in
-        any order produces the same record order, ids, token sets and
+        any order produces the same record order, ids, columns and
         inverted postings as a single store fed the records in global
         post order.  Records already merged this barrier (by sibling
-        replicas) are re-sorted together with the new ones; eviction and
+        replicas) are materialised back out of the columns, re-sorted
+        together with the new ones, and re-ingested; eviction and
         re-ingestion are O(barrier batch), not O(corpus).
 
         Returns the number of records merged from ``replica``.
         """
         floor = replica.base_len
-        if floor > len(self._records):
+        if floor > len(self._store):
             raise ValueError(
-                f"replica forked at {floor} but corpus holds {len(self._records)} records"
+                f"replica forked at {floor} but corpus holds {len(self._store)} records"
             )
         if self._merge_floor != floor:
             # First replica of a new barrier: the tail (if any) belongs
@@ -222,7 +243,11 @@ class LearnerCorpus:
             self._merge_floor = floor
             self._merge_keys = []
         tail: list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]] = [
-            (key, self._records[floor + offset], self._token_sets[floor + offset])
+            (
+                key,
+                self._store.materialize(floor + offset),
+                self._store.token_set(floor + offset),
+            )
             for offset, key in enumerate(self._merge_keys)
         ]
         merged = len(replica.pending)
@@ -230,23 +255,35 @@ class LearnerCorpus:
         tail.sort(key=lambda entry: entry[0])
         self._evict_tail(floor)
         for _key, record, token_set in tail:
-            record.record_id = len(self._records)
+            record.record_id = len(self._store)
             self._ingest(record, token_set)
         self._merge_keys = [entry[0] for entry in tail]
         return merged
 
     def snapshot(self) -> tuple[dict, ...]:
         """Canonical comparable value: every record, in store order."""
-        return tuple(record.to_dict() for record in self._records)
+        to_dict = self._store.to_dict
+        return tuple(to_dict(position) for position in range(len(self._store)))
+
+    # --------------------------------------------------------- diagnostics
+
+    def memory_stats(self) -> dict[str, int]:
+        """Heap accounting across columns, vocabularies and postings —
+        the ``corpus_memory`` bench workload's bytes/record source."""
+        stats = self._store.memory_stats()
+        stats["index_payload_bytes"] = self._index.stats()["payload_bytes"]
+        stats["total_bytes"] += stats["index_payload_bytes"]
+        return stats
 
     # --------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> None:
         """Write the corpus as JSON lines."""
         target = Path(path)
+        to_dict = self._store.to_dict
         with target.open("w", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(json.dumps(record.to_dict(), ensure_ascii=False) + "\n")
+            for position in range(len(self._store)):
+                handle.write(json.dumps(to_dict(position), ensure_ascii=False) + "\n")
 
     @classmethod
     def load(
@@ -269,11 +306,12 @@ class CorpusReplica:
     delegate to the base store, which the runtime freezes for the length
     of a drain cycle — every worker of a barrier therefore analyses
     against the *same* snapshot, which is what makes batch-wide analysis
-    memoisation sound.  Appends are buffered locally, tagged with their
-    origin ``(message seq, per-message sentence index)``, and only reach
-    the base in :meth:`LearnerCorpus.merge`.  A replica is single-owner:
-    exactly one worker writes it, and merge/rebase happen at the barrier
-    with no workers running.
+    memoisation sound.  Appends are buffered locally as plain
+    :class:`CorpusRecord` rows, tagged with their origin ``(message seq,
+    per-message sentence index)``, and only reach the base columns in
+    :meth:`LearnerCorpus.merge`.  A replica is single-owner: exactly one
+    worker writes it, and merge/rebase happen at the barrier with no
+    workers running.
     """
 
     __slots__ = ("_base", "base_len", "_pending", "_origin_seq", "_origin_n")
@@ -329,10 +367,10 @@ class CorpusReplica:
     def __len__(self) -> int:
         return self.base_len + len(self._pending)
 
-    def __iter__(self) -> Iterator[CorpusRecord]:
+    def __iter__(self) -> Iterator[RecordView]:
         return iter(self._base)
 
     def __getattr__(self, name: str):
         # Query primitives (record_at, token_positions, correct_records,
-        # ...) delegate wholesale; writes are overridden above.
+        # columns, ...) delegate wholesale; writes are overridden above.
         return getattr(self._base, name)

@@ -338,7 +338,7 @@ def bench_parallel_drain(rooms: int = 16, rounds: int = 12, workers: int = 4) ->
 _SCALE_STOPWORDS = ("the", "a", "is", "of", "to", "in", "on", "it")
 
 
-def _build_scale_corpus(records: int, seed: int = 11):
+def _build_scale_corpus(records: int, seed: int = 11, store_factory=None):
     """A synthetic learner corpus of ``records`` analysed utterances.
 
     Each record mixes four stopwords (DF ~ records/2: far past the
@@ -349,12 +349,17 @@ def _build_scale_corpus(records: int, seed: int = 11):
     words while the function words repeat forever.  Tokens are passed
     pre-split to ``add`` so the build measures indexing, not the
     tokenizer.
+
+    ``store_factory`` lets the memory workload build the *same* synthetic
+    corpus into the pre-columnar reference layout for comparison.
     """
     from random import Random
 
     from repro.corpus.records import Correctness, CorpusRecord
     from repro.corpus.store import LearnerCorpus
 
+    if store_factory is None:
+        store_factory = LearnerCorpus
     rng = Random(seed)
     vocab = max(200, records // 25)  # keeps content DF ~constant across scales
     verdict_cycle = [Correctness.CORRECT] * 7 + [
@@ -362,7 +367,7 @@ def _build_scale_corpus(records: int, seed: int = 11):
         Correctness.SEMANTIC_ERROR,
         Correctness.QUESTION,
     ]
-    corpus = LearnerCorpus()
+    corpus = store_factory()
     for i in range(records):
         tokens = tuple(rng.sample(_SCALE_STOPWORDS, 4)) + tuple(
             f"w{rng.randrange(vocab)}" for _ in range(4)
@@ -440,6 +445,73 @@ def bench_corpus_scale(
     }
 
 
+def bench_corpus_memory(records: int = 250_000, repeats: int = 8) -> dict:
+    """Columnar record storage vs object records: bytes/record and
+    suggestion-query latency at the same corpus size.
+
+    Builds the ``corpus_scale`` synthetic corpus twice — once into the
+    columnar :class:`LearnerCorpus` (interned vocabularies, flat column
+    arrays, compacted postings) and once into the pre-columnar
+    :class:`~repro.corpus.reference.ReferenceCorpus` (one record object
+    per utterance, ``frozenset`` caches, boxed-int posting lists) — and
+    prices both layouts:
+
+    * **memory** — deep heap bytes per record of each layout (the
+      schema gate requires the columnar store to be ≥ 3× smaller);
+    * **latency** — ms/query of the streaming suggestion search over
+      the columnar store vs the tuple-decoding reference search over
+      the object store, identical stopword-heavy query list (the gate
+      requires the streaming path within 1.2× of the reference).
+
+    The two stores are built and measured one after the other so peak
+    memory holds only one corpus plus the measurement.
+    """
+    from random import Random
+
+    from repro.corpus.reference import ReferenceCorpus, ReferenceSuggestionSearch
+    from repro.corpus.search import SuggestionSearch
+
+    qrng = Random(29)
+    queries: list[str] = []
+    for i in range(16):
+        words = qrng.sample(_SCALE_STOPWORDS, 5)
+        if i % 2:
+            words.append(f"w{qrng.randrange(200)}")
+        queries.append(" ".join(words))
+
+    def measure(build_search, corpus) -> float:
+        search = build_search(corpus)
+        for query in queries:  # warm caches + dict internals
+            search.find(query)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for query in queries:
+                search.find(query)
+        elapsed = time.perf_counter() - start
+        return 1000.0 * elapsed / (repeats * len(queries))
+
+    columnar = _build_scale_corpus(records)
+    columnar_bytes = columnar.memory_stats()["total_bytes"]
+    ms_columnar = measure(SuggestionSearch, columnar)
+    del columnar
+
+    reference = _build_scale_corpus(records, store_factory=ReferenceCorpus)
+    reference_bytes = reference.memory_bytes()
+    ms_reference = measure(ReferenceSuggestionSearch, reference)
+    del reference
+
+    return {
+        "records": records,
+        "queries": repeats * len(queries),
+        "bytes_per_record_columnar": round(columnar_bytes / records, 1),
+        "bytes_per_record_objects": round(reference_bytes / records, 1),
+        "memory_ratio_objects_vs_columnar": round(reference_bytes / columnar_bytes, 2),
+        "ms_per_query_columnar": ms_columnar,
+        "ms_per_query_reference": ms_reference,
+        "latency_ratio_columnar_vs_reference": round(ms_columnar / ms_reference, 2),
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -465,6 +537,7 @@ def run_report(quick: bool = False) -> dict:
             "corpus_scale": bench_corpus_scale(
                 records_small=n(10_000), records_large=n(250_000)
             ),
+            "corpus_memory": bench_corpus_memory(records=n(250_000)),
         },
     }
 
@@ -503,12 +576,21 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "ms_per_query_large",
         "latency_ratio_large_vs_small",
     ),
+    "corpus_memory": (
+        "records",
+        "bytes_per_record_columnar",
+        "bytes_per_record_objects",
+        "memory_ratio_objects_vs_columnar",
+        "ms_per_query_columnar",
+        "ms_per_query_reference",
+        "latency_ratio_columnar_vs_reference",
+    ),
 }
 
 #: Workloads the seed commit predates; a pinned baseline need not (and
 #: cannot) carry them.
 _POST_SEED_WORKLOADS = frozenset(
-    {"post_latency", "multi_room_scale", "parallel_drain", "corpus_scale"}
+    {"post_latency", "multi_room_scale", "parallel_drain", "corpus_scale", "corpus_memory"}
 )
 
 

@@ -265,30 +265,28 @@ class QASystem:
     def _corpus_answer(self, match: TemplateMatch) -> str:
         """Fall back to a correct learner-corpus sentence on topic.
 
-        Retrieval is index-backed: the union of the wanted keywords'
-        inverted postings is intersected against the verdict index
-        (O(1) ``is_correct`` per position), so the fallback touches only
-        on-topic records instead of walking every correct record.  The
-        winner is unchanged: highest keyword overlap, earliest record on
-        ties (ontology item names are canonical lower-case, matching the
-        store's lower-cased keyword postings).
+        Retrieval is index-backed and streaming: each wanted keyword's
+        posting run is accumulated straight off its delta-encoded gaps,
+        intersected on the fly against the verdict-code column (O(1)
+        CORRECT test per posting, no decoded tuples), so the fallback
+        touches only on-topic correct records instead of walking every
+        correct record.  The winner is unchanged: highest keyword
+        overlap, earliest record on ties (ontology item names are
+        canonical lower-case, matching the store's lower-cased keyword
+        postings).
         """
         corpus = self.corpus
         if corpus is None or not match.all_keywords:
             return ""
         overlaps: dict[int, int] = {}
+        accumulate = corpus.index.accumulate_correct_keyword_positions
         for name in sorted({keyword.name for keyword in match.all_keywords}):
-            for position in corpus.index.iter_keyword_positions(name):
-                overlaps[position] = overlaps.get(position, 0) + 1
+            accumulate(name, overlaps)
         best = min(
-            (
-                (-overlap, position)
-                for position, overlap in overlaps.items()
-                if corpus.is_correct(position)
-            ),
+            ((-overlap, position) for position, overlap in overlaps.items()),
             default=None,
         )
-        return corpus.record_at(best[1]).text if best else ""
+        return corpus.text_at(best[1]) if best else ""
 
 
 def _item_names(items: list[Item]) -> str:

@@ -1,0 +1,389 @@
+"""Property/differential harness: columnar store vs object-record spec.
+
+Randomized seeded workloads — ingest / evict / fork / merge / query
+interleavings — drive the columnar :class:`LearnerCorpus` and the
+pre-columnar :class:`ReferenceCorpus` (``repro.corpus.reference``, the
+executable specification) side by side, asserting identical records,
+postings, document frequencies, tier assignments, suggestion results
+and statistics after every barrier — including every permutation of
+replica merge order.
+
+The workload generator draws every decision from one seeded ``Random``,
+so each seed is a reproducible interleaving; 200+ seeds run in tier-1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from random import Random
+
+import pytest
+
+from repro.corpus.index import IndexConfig
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.reference import (
+    ReferenceCorpus,
+    ReferenceSuggestionSearch,
+    reference_report,
+    reference_user_report,
+)
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.statistics import StatisticAnalyzer
+from repro.corpus.store import LearnerCorpus
+
+#: Small vocabulary with a stopword backbone: a tiny DF cap makes the
+#: high-frequency words cross into the stopword tier mid-workload, so
+#: tier reassignment under eviction/merge is exercised constantly.
+WORDS = [
+    "the", "a", "is", "data",  # stopword backbone, capped early
+    "stack", "queue", "tree", "list", "push", "pop", "node",
+    "holds", "stores", "keeps", "element", "top", "full",
+]
+KEYWORDS = ["stack", "queue", "tree", "push", "pop", "Stack", ""]
+USERS = ["ann", "bob", "cat", "dee"]
+ROOMS = ["r1", "r2"]
+PATTERNS = ["simple", "question", "negation"]
+VERDICTS = [
+    Correctness.CORRECT,
+    Correctness.CORRECT,
+    Correctness.CORRECT,
+    Correctness.SYNTAX_ERROR,
+    Correctness.SEMANTIC_ERROR,
+    Correctness.QUESTION,
+]
+ISSUE_KINDS = ["unlinked-word", "agreement", "style"]
+NOTES = ["misuse of push", "wrong container", "tense"]
+CONFIG = IndexConfig(stopword_df_cap=3)
+
+
+def random_record(rng: Random, record_id: int) -> CorpusRecord:
+    keywords = [k for k in rng.sample(KEYWORDS, rng.randrange(0, 3)) if k]
+    verdict = rng.choice(VERDICTS)
+    return CorpusRecord(
+        record_id=record_id,
+        user=rng.choice(USERS),
+        room=rng.choice(ROOMS),
+        text=" ".join(rng.choice(WORDS) for _ in range(rng.randrange(2, 7))),
+        timestamp=float(record_id),
+        pattern=rng.choice(PATTERNS),
+        verdict=verdict,
+        syntax_issues=(
+            [(rng.choice(ISSUE_KINDS), rng.choice(WORDS))
+             for _ in range(rng.randrange(0, 3))]
+            if verdict is Correctness.SYNTAX_ERROR else []
+        ),
+        semantic_issues=(
+            [rng.choice(NOTES)] if verdict is Correctness.SEMANTIC_ERROR else []
+        ),
+        keywords=keywords,
+        links="" if rng.random() < 0.5 else "D(the,stack)",
+        cost=rng.randrange(0, 3),
+    )
+
+
+def clone(record: CorpusRecord) -> CorpusRecord:
+    """An independent copy — merge renumbers ids in place, and the two
+    stores under test must not share mutable record objects."""
+    return CorpusRecord.from_dict(record.to_dict())
+
+
+def drive_workload(seed: int, ops: int = 30) -> tuple[LearnerCorpus, ReferenceCorpus]:
+    """Apply one seeded ingest/fork/merge interleaving to both stores."""
+    rng = Random(seed)
+    columnar = LearnerCorpus(CONFIG)
+    reference = ReferenceCorpus(CONFIG)
+    seq = 0
+    for _ in range(ops):
+        action = rng.random()
+        if action < 0.55:
+            record = random_record(rng, columnar.next_id())
+            columnar.add(record)
+            reference.add(clone(record))
+            seq += 1
+        else:
+            # Barrier: fork replicas, spray records across them tagged
+            # with origin seqs, merge in a random order, rebase.
+            shards = rng.randrange(1, 4)
+            col_replicas = [columnar.fork() for _ in range(shards)]
+            ref_replicas = [reference.fork() for _ in range(shards)]
+            for _ in range(rng.randrange(0, 6)):
+                shard = rng.randrange(shards)
+                col_replica = col_replicas[shard]
+                ref_replica = ref_replicas[shard]
+                col_replica.begin_origin(seq)
+                ref_replica.begin_origin(seq)
+                for _ in range(rng.randrange(1, 3)):
+                    record = random_record(rng, col_replica.next_id())
+                    col_replica.add(record)
+                    ref_replica.add(clone(record))
+                seq += 1
+            order = list(range(shards))
+            rng.shuffle(order)
+            for shard in order:
+                columnar.merge(col_replicas[shard])
+                reference.merge(ref_replicas[shard])
+            for col_replica, ref_replica in zip(col_replicas, ref_replicas):
+                col_replica.rebase()
+                ref_replica.rebase()
+    return columnar, reference
+
+
+def assert_stores_equal(columnar: LearnerCorpus, reference: ReferenceCorpus) -> None:
+    assert len(columnar) == len(reference)
+    # Records: snapshots, lazy views vs objects, field by field.
+    assert columnar.snapshot() == reference.snapshot()
+    for position, expected in enumerate(reference.records()):
+        view = columnar.record_at(position)
+        assert view == expected  # RecordView.__eq__ against the dataclass
+        assert view.to_dict() == expected.to_dict()
+        assert columnar.token_set(position) == reference.token_set(position)
+        assert columnar.keyword_set(position) == reference.keyword_set(position)
+        assert columnar.is_correct(position) == reference.is_correct(position)
+        assert columnar.verdict_at(position) is reference.verdict_at(position)
+    # Postings, DFs and tier assignments.
+    for token in WORDS:
+        assert columnar.token_positions(token) == reference.token_positions(token), token
+        assert columnar.index.token_df(token) == reference.token_df(token), token
+        assert columnar.index.is_capped_token(token) == reference.is_capped_token(token)
+    for keyword in {k.lower() for k in KEYWORDS if k}:
+        assert columnar.keyword_positions(keyword) == reference.keyword_positions(keyword)
+    for user in USERS:
+        assert columnar.index.user_positions(user) == reference.user_positions(user)
+    assert columnar.verdict_counts() == reference.verdict_counts()
+    for verdict in Correctness:
+        assert (
+            columnar.index.verdict_positions(verdict)
+            == tuple(reference._by_verdict.get(verdict, ()))
+        )
+
+
+def assert_queries_equal(
+    columnar: LearnerCorpus, reference: ReferenceCorpus, rng: Random
+) -> None:
+    col_search = SuggestionSearch(columnar, max_candidates=8)
+    ref_search = ReferenceSuggestionSearch(reference, max_candidates=8)
+    queries = [" ".join(rng.choice(WORDS) for _ in range(rng.randrange(1, 6)))
+               for _ in range(4)]
+    if len(reference):
+        # Query an ingested sentence verbatim: the self-match exclusion
+        # must behave identically on both layouts.
+        queries.append(reference.record_at(rng.randrange(len(reference))).text)
+    for query in queries:
+        kwargs_cases = [
+            {},
+            {"keywords": [rng.choice(KEYWORDS[:5])]},
+            {"keywords": [rng.choice(KEYWORDS[:5])], "min_keyword_overlap": 0.3},
+        ]
+        for kwargs in kwargs_cases:
+            got = [
+                (h.record.record_id, h.keyword_overlap, h.token_overlap)
+                for h in col_search.find(query, **kwargs)
+            ]
+            expected = [
+                (record.record_id, keyword_overlap, token_overlap)
+                for record, keyword_overlap, token_overlap in ref_search.find(
+                    query, **kwargs
+                )
+            ]
+            assert got == expected, (query, kwargs)
+
+
+def assert_statistics_equal(
+    columnar: LearnerCorpus, reference: ReferenceCorpus
+) -> None:
+    assert StatisticAnalyzer(columnar).report() == reference_report(reference)
+    analyzer = StatisticAnalyzer(columnar)
+    for user in USERS + ["nobody"]:
+        assert analyzer.user_report(user) == reference_user_report(reference, user)
+    assert analyzer.most_common_mistakes() == [
+        pair
+        for pair in reference_report(reference).error_kind_counts[:5]
+    ]
+
+
+class TestRandomizedParity:
+    """The headline differential property: 200 seeded interleavings."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_workload_parity(self, seed: int):
+        columnar, reference = drive_workload(seed)
+        assert_stores_equal(columnar, reference)
+        assert_queries_equal(columnar, reference, Random(seed * 7919 + 1))
+
+    @pytest.mark.parametrize("seed", range(0, 200, 8))
+    def test_statistics_parity(self, seed: int):
+        columnar, reference = drive_workload(seed, ops=40)
+        assert_statistics_equal(columnar, reference)
+
+
+class TestMergePermutationParity:
+    """Every permutation of one barrier's replica merges must equal both
+    the reference store driven identically *and* single-store ingestion
+    in origin order."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_all_merge_orders(self, seed: int):
+        rng = Random(seed)
+        base_records = [random_record(rng, i) for i in range(rng.randrange(0, 5))]
+        barrier_records = [random_record(rng, 100 + i) for i in range(6)]
+        shard_of = [rng.randrange(3) for _ in barrier_records]
+
+        def build(order: tuple[int, ...]) -> tuple[LearnerCorpus, ReferenceCorpus]:
+            columnar = LearnerCorpus(CONFIG)
+            reference = ReferenceCorpus(CONFIG)
+            for record in base_records:
+                columnar.add(clone(record))
+                reference.add(clone(record))
+            col_replicas = [columnar.fork() for _ in range(3)]
+            ref_replicas = [reference.fork() for _ in range(3)]
+            for seq, (record, shard) in enumerate(zip(barrier_records, shard_of)):
+                col_replicas[shard].begin_origin(seq)
+                ref_replicas[shard].begin_origin(seq)
+                col_replicas[shard].add(clone(record))
+                ref_replicas[shard].add(clone(record))
+            for shard in order:
+                columnar.merge(col_replicas[shard])
+                reference.merge(ref_replicas[shard])
+            return columnar, reference
+
+        # Single-store ingestion in origin order: the canonical result.
+        single = LearnerCorpus(CONFIG)
+        for record in base_records:
+            single.add(clone(record))
+        for record in sorted(barrier_records, key=lambda r: r.record_id):
+            copied = clone(record)
+            copied.record_id = single.next_id()
+            single.add(copied)
+        canonical = single.snapshot()
+
+        for order in itertools.permutations(range(3)):
+            columnar, reference = build(order)
+            assert_stores_equal(columnar, reference)
+            assert columnar.snapshot() == canonical, order
+            assert columnar.index.stats() == single.index.stats(), order
+
+
+class TestViewContract:
+    """The lazy view really is a drop-in record object."""
+
+    def test_view_equals_materialised_record(self):
+        corpus = LearnerCorpus(CONFIG)
+        record = random_record(Random(3), 0)
+        corpus.add(record)
+        view = corpus.record_at(0)
+        assert view == record and record == view
+        assert view.to_dict() == record.to_dict()
+        assert view != random_record(Random(4), 0)
+        assert corpus.columns.materialize(0) == record
+
+    def test_view_identity_is_stable(self):
+        corpus = LearnerCorpus(CONFIG)
+        corpus.add(random_record(Random(5), 0))
+        assert corpus.record_at(0) is corpus.record_at(0)
+
+    def test_views_are_unhashable_like_the_dataclass(self):
+        corpus = LearnerCorpus(CONFIG)
+        corpus.add(random_record(Random(6), 0))
+        with pytest.raises(TypeError):
+            hash(corpus.record_at(0))
+
+    def test_save_load_round_trips_columnar_fields(self, tmp_path):
+        columnar, reference = drive_workload(17, ops=25)
+        path = tmp_path / "corpus.jsonl"
+        columnar.save(path)
+        loaded = LearnerCorpus.load(path, CONFIG)
+        assert loaded.snapshot() == reference.snapshot()
+        assert_stores_equal(loaded, reference)
+
+
+class TestVocabularyProtocol:
+    def test_interning_is_idempotent_and_ordered(self):
+        from repro.corpus.records import Vocabulary
+
+        vocab = Vocabulary()
+        assert vocab.intern("stack") == 0
+        assert vocab.intern("queue") == 1
+        assert vocab.intern("stack") == 0  # stable on re-intern
+        assert len(vocab) == 2
+        assert list(vocab) == ["stack", "queue"] == vocab.terms
+        assert "stack" in vocab and "tree" not in vocab
+        assert vocab.id_of("queue") == 1 and vocab.id_of("tree") is None
+        assert vocab.term(0) == "stack"
+        assert vocab.memory_bytes() > 0
+
+    def test_vocabularies_survive_eviction(self):
+        # Eviction drops postings and rows, never vocabulary entries:
+        # interned ids captured anywhere stay valid for the store's life.
+        columnar, _ = drive_workload(23, ops=30)
+        vocabs = columnar.columns.vocabs
+        sizes = [len(vocab) for vocab in vocabs.all()]
+        replica = columnar.fork()
+        replica.begin_origin(10_000)
+        replica.add(random_record(Random(99), replica.next_id()))
+        columnar.merge(replica)
+        replica.rebase()
+        assert all(
+            len(vocab) >= size for vocab, size in zip(vocabs.all(), sizes)
+        )
+
+
+class TestDiagnostics:
+    def test_memory_stats_accounts_every_layer(self):
+        columnar, reference = drive_workload(31, ops=40)
+        stats = columnar.memory_stats()
+        assert stats["records"] == len(columnar)
+        for key in ("column_bytes", "text_bytes", "vocab_bytes", "index_payload_bytes"):
+            assert stats[key] > 0, key
+        assert stats["total_bytes"] >= sum(
+            stats[k] for k in ("column_bytes", "text_bytes", "vocab_bytes")
+        )
+        # The object layout the columns replaced costs several times more.
+        assert reference.memory_bytes() > stats["column_bytes"]
+
+    def test_view_repr_names_position_and_verdict(self):
+        columnar, _ = drive_workload(3, ops=10)
+        text = repr(columnar.record_at(0))
+        assert "RecordView" in text and "record_id=0" in text
+
+    def test_merge_rejects_replica_forked_past_tail(self):
+        columnar, _ = drive_workload(5, ops=12)
+        replica = columnar.fork()
+        columnar._evict_tail(max(0, len(columnar) - 1))
+        if replica.base_len > len(columnar):
+            with pytest.raises(ValueError):
+                columnar.merge(replica)
+
+
+class TestIndexUserAndKeywordHelpers:
+    """The streaming helpers statistics and QA lean on."""
+
+    def test_users_and_user_df_track_current_records(self):
+        columnar, reference = drive_workload(41, ops=35)
+        index = columnar.index
+        assert sorted(index.users()) == sorted({r.user for r in reference.records()})
+        for user in USERS:
+            assert index.user_df(user) == len(reference.by_user(user))
+            assert tuple(index.iter_user_positions(user)) == reference.user_positions(user)
+
+    def test_user_verdict_count_is_a_true_intersection(self):
+        columnar, reference = drive_workload(43, ops=35)
+        for user in USERS:
+            for verdict in Correctness:
+                expected = sum(
+                    1 for r in reference.by_user(user) if r.verdict is verdict
+                )
+                assert columnar.index.user_verdict_count(user, verdict) == expected
+        assert columnar.index.user_verdict_count("nobody", Correctness.CORRECT) == 0
+
+    def test_accumulate_correct_keyword_positions_fuses_verdict(self):
+        columnar, reference = drive_workload(47, ops=35)
+        for keyword in {k.lower() for k in KEYWORDS if k}:
+            counts: dict[int, int] = {}
+            columnar.index.accumulate_correct_keyword_positions(keyword, counts)
+            expected = [
+                position
+                for position in reference.keyword_positions(keyword)
+                if reference.is_correct(position)
+            ]
+            assert sorted(counts) == expected
+            assert all(count == 1 for count in counts.values())

@@ -88,8 +88,11 @@ class TestPostingList:
         for position in range(1000):
             postings.append(position)
         # Delta encoding keeps each posting at array('I') item size —
-        # no boxed ints, no pointers.
-        assert postings.nbytes() == 1000 * postings._gaps.itemsize
+        # no boxed ints, no pointers — plus one skip-table checkpoint
+        # per _SKIP entries for the galloping seeks.
+        item = postings._gaps.itemsize
+        assert postings.nbytes() == 1000 * item + len(postings._skips) * item
+        assert len(postings._skips) == -(-1000 // 32)  # ceil(n / _SKIP)
 
 
 class TestCorpusIndex:

@@ -1,0 +1,344 @@
+"""Streaming-intersection oracles: galloping posting walks and the
+suggestion-search exact-within-bound contract.
+
+Two layers, mirroring docs/corpus.md:
+
+* **Posting machinery** — :func:`intersect_iter`'s galloping walk over
+  delta runs (skip-table seeks) must equal set intersection on random
+  ascending position lists, across driver orders, checkpoint
+  boundaries and pop/eviction churn.
+* **Search contract** — fuzzed ``SuggestionSearch`` queries (rare-only,
+  capped-only, mixed, empty, self-matching) against a brute-force
+  full-scan oracle on small corpora, asserting each branch of the
+  exact-vs-bounded retrieval contract — including the regression for
+  the capped-walk budget: the query's own previously-ingested sentence
+  must not consume ``max_candidates`` budget on either tier.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.corpus.index import (
+    IndexConfig,
+    PostingList,
+    intersect_count,
+    intersect_iter,
+)
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.search import SuggestionSearch
+from repro.corpus.store import LearnerCorpus
+from repro.linkgrammar.tokenizer import tokenize
+
+
+def posting_list(positions) -> PostingList:
+    postings = PostingList()
+    for position in positions:
+        postings.append(position)
+    return postings
+
+
+def random_positions(rng: Random, size: int, universe: int) -> list[int]:
+    return sorted(rng.sample(range(universe), min(size, universe)))
+
+
+class TestGallopingIntersection:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_set_intersection(self, seed: int):
+        rng = Random(seed)
+        universe = rng.choice([10, 100, 1000, 5000])
+        a = random_positions(rng, rng.randrange(0, 40), universe)
+        b = random_positions(rng, rng.randrange(0, 400), universe)
+        expected = sorted(set(a) & set(b))
+        assert list(intersect_iter(posting_list(a), posting_list(b))) == expected
+        # Driver order is an internal choice, never a semantic one.
+        assert list(intersect_iter(posting_list(b), posting_list(a))) == expected
+        assert intersect_count(posting_list(a), posting_list(b)) == len(expected)
+
+    def test_skip_boundaries(self):
+        # Runs straddling several 32-entry skip blocks, with the probe
+        # list hitting first/last entries of blocks and gaps between.
+        big = list(range(0, 1000, 3))  # 334 entries, ~11 blocks
+        probes = [0, 3, 4, 96, 97, 501, 999, 998]
+        expected = sorted(set(big) & set(probes))
+        assert list(intersect_iter(posting_list(sorted(probes)), posting_list(big))) == expected
+
+    def test_sparse_vs_dense_extremes(self):
+        dense = posting_list(range(2000))
+        sparse = posting_list([0, 1999])
+        assert list(intersect_iter(sparse, dense)) == [0, 1999]
+        assert list(intersect_iter(dense, sparse)) == [0, 1999]
+        empty = PostingList()
+        assert list(intersect_iter(empty, dense)) == []
+        assert list(intersect_iter(dense, empty)) == []
+
+    def test_disjoint_and_interleaved(self):
+        evens = posting_list(range(0, 200, 2))
+        odds = posting_list(range(1, 200, 2))
+        assert list(intersect_iter(evens, odds)) == []
+        assert intersect_count(evens, evens) == 100
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_skip_table_survives_pop_churn(self, seed: int):
+        # Append/pop interleavings must keep checkpoints exact: a stale
+        # skip entry would make the gallop land past a real position.
+        rng = Random(seed)
+        postings = PostingList()
+        mirror: list[int] = []
+        nxt = 0
+        for _ in range(300):
+            if mirror and rng.random() < 0.4:
+                assert postings.pop() == mirror.pop()
+            else:
+                nxt += rng.randrange(1, 5)
+                postings.append(nxt)
+                mirror.append(nxt)
+        probe = posting_list(sorted(rng.sample(range(nxt + 2), min(40, nxt + 2))))
+        expected = sorted(set(mirror) & set(probe.positions()))
+        assert list(intersect_iter(probe, postings)) == expected
+        assert list(postings) == mirror
+
+
+def make_record(corpus, text, verdict=Correctness.CORRECT, keywords=()):
+    return corpus.add(
+        CorpusRecord(
+            record_id=corpus.next_id(),
+            user="u",
+            room="r",
+            text=text,
+            timestamp=float(corpus.next_id()),
+            pattern="simple",
+            verdict=verdict,
+            keywords=list(keywords),
+        )
+    )
+
+
+def brute_force(corpus, text, keywords=None, limit=3, min_keyword_overlap=0.0):
+    """Full-scan oracle with the exact scoring rule of ``find``."""
+
+    def jaccard(a, b):
+        union = a | b
+        return len(a & b) / len(union) if union else 0.0
+
+    sentence = tokenize(text)
+    query_tokens = frozenset(sentence.words)
+    query_raw = sentence.raw.strip().lower()
+    query_keywords = frozenset(k.lower() for k in (keywords or []))
+    hits = []
+    for position in range(len(corpus)):
+        record = corpus.record_at(position)
+        if record.verdict is not Correctness.CORRECT:
+            continue
+        if record.text.strip().lower() == query_raw:
+            continue
+        keyword_overlap = jaccard(query_keywords, corpus.keyword_set(position))
+        if query_keywords and keyword_overlap < min_keyword_overlap:
+            continue
+        token_overlap = jaccard(query_tokens, corpus.token_set(position))
+        if keyword_overlap == 0.0 and token_overlap == 0.0:
+            continue
+        hits.append((record.record_id, keyword_overlap, token_overlap))
+    hits.sort(key=lambda h: (-h[1], -h[2], h[0]))
+    return hits[:limit]
+
+
+WORDS = ["the", "a", "data", "stack", "queue", "tree", "push", "pop", "holds", "top"]
+STOPWORDS = {"the", "a", "data"}
+
+
+def mixed_tier_oracle(corpus, text, limit=3):
+    """Full-scan oracle restricted to the documented mixed-query pool:
+    records sharing a rare-tier query token (plus the capped fallback
+    pool when the rare pool has no usable correct candidate)."""
+    sentence = tokenize(text)
+    query_tokens = frozenset(sentence.words)
+    query_raw = sentence.raw.strip().lower()
+    rare_tokens, capped_tokens = corpus.index.split_tokens(query_tokens)
+    allowed: set[int] = set()
+    for token in rare_tokens:
+        allowed.update(corpus.token_positions(token))
+    if not any(
+        corpus.is_correct(position)
+        and corpus.text_at(position).strip().lower() != query_raw
+        for position in allowed
+    ):
+        for token in capped_tokens:
+            allowed.update(corpus.token_positions(token))
+
+    def jaccard(a, b):
+        union = a | b
+        return len(a & b) / len(union) if union else 0.0
+
+    hits = []
+    for position in sorted(allowed):
+        record = corpus.record_at(position)
+        if record.verdict is not Correctness.CORRECT:
+            continue
+        if record.text.strip().lower() == query_raw:
+            continue
+        token_overlap = jaccard(query_tokens, corpus.token_set(position))
+        if token_overlap == 0.0:
+            continue
+        hits.append((record.record_id, 0.0, token_overlap))
+    hits.sort(key=lambda h: (-h[1], -h[2], h[0]))
+    return hits[:limit]
+
+
+#: Content vocabulary wide enough that, at ~50 records and cap 4, some
+#: words land in each tier — rare-only, capped-only and mixed queries
+#: are all constructible against the same corpus.
+CONTENT = [f"w{i}" for i in range(30)] + [w for w in WORDS if w not in STOPWORDS]
+
+
+def fuzz_corpus(rng: Random, records: int = 50) -> LearnerCorpus:
+    corpus = LearnerCorpus(IndexConfig(stopword_df_cap=4))
+    for i in range(records):
+        words = ["the", "data"] if rng.random() < 0.6 else []
+        words += [rng.choice(CONTENT) for _ in range(rng.randrange(1, 4))]
+        rng.shuffle(words)
+        make_record(
+            corpus,
+            " ".join(words),
+            verdict=rng.choice(
+                [Correctness.CORRECT] * 3 + [Correctness.SYNTAX_ERROR]
+            ),
+            keywords=[w for w in words if w not in STOPWORDS][:2],
+        )
+    return corpus
+
+
+def rare_pool(corpus) -> list[str]:
+    return [
+        w for w in CONTENT
+        if corpus.index.token_df(w) and not corpus.index.is_capped_token(w)
+    ]
+
+
+def hit_tuples(hits):
+    return [(h.record.record_id, h.keyword_overlap, h.token_overlap) for h in hits]
+
+
+class TestSearchVsBruteForceOracle:
+    """docs/corpus.md retrieval contract, branch by branch, fuzzed."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_rare_only_queries_are_exact(self, seed: int):
+        rng = Random(seed)
+        corpus = fuzz_corpus(rng)
+        search = SuggestionSearch(corpus)  # bound far above corpus size
+        pool = rare_pool(corpus)
+        assert len(pool) >= 2, "fuzz corpus lost its rare tier"
+        for _ in range(5):
+            query = " ".join(rng.sample(pool, 2))
+            assert hit_tuples(search.find(query)) == brute_force(corpus, query), query
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_keyword_floor_queries_are_exact(self, seed: int):
+        rng = Random(seed)
+        corpus = fuzz_corpus(rng)
+        search = SuggestionSearch(corpus)
+        for _ in range(5):
+            query = " ".join(rng.sample(WORDS, 3))
+            keywords = rng.sample(CONTENT, 2)
+            assert hit_tuples(
+                search.find(query, keywords=keywords, min_keyword_overlap=0.2)
+            ) == brute_force(corpus, query, keywords=keywords, min_keyword_overlap=0.2)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_capped_only_queries_exact_within_unexhausted_budget(self, seed: int):
+        # With the budget above the number of correct candidates, the
+        # fallback walk sees everything: results must equal brute force.
+        rng = Random(seed)
+        corpus = fuzz_corpus(rng)
+        search = SuggestionSearch(corpus)
+        query = "the data"
+        assert corpus.index.is_capped_token("the")
+        assert hit_tuples(search.find(query)) == brute_force(corpus, query)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_mixed_queries_match_restricted_pool_oracle(self, seed: int):
+        # Mixed rare+capped: per docs/corpus.md, the candidate pool is
+        # exactly the records sharing a rare term (capped tier skipped)
+        # whenever that pool holds a usable correct candidate — else the
+        # capped fallback widens it.  Scoring over that pool is exact,
+        # and nothing outside brute force is ever invented.
+        rng = Random(seed)
+        corpus = fuzz_corpus(rng)
+        search = SuggestionSearch(corpus)
+        rare_words = rare_pool(corpus)
+        for _ in range(5):
+            query = "the data " + rng.choice(rare_words)
+            got = hit_tuples(search.find(query))
+            expected = mixed_tier_oracle(corpus, query)
+            assert got == expected, query
+            assert {record_id for record_id, _, _ in got} <= {
+                record_id for record_id, _, _ in brute_force(corpus, query, limit=len(corpus))
+            }, query
+
+    def test_empty_and_unknown_queries(self):
+        corpus = fuzz_corpus(Random(1))
+        search = SuggestionSearch(corpus)
+        assert search.find("") == []
+        assert search.find("zzz qqq xyzzy") == []
+        assert search.find("zzz", keywords=["nosuchkeyword"]) == []
+
+    def test_early_cut_returns_earliest_k_correct(self):
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=3))
+        for i in range(30):
+            make_record(corpus, f"the data item number{i}")
+        search = SuggestionSearch(corpus, max_candidates=6)
+        candidates = search._candidates(frozenset({"the", "data"}), frozenset(), 0.0)
+        assert candidates == [0, 1, 2, 3, 4, 5]
+
+
+class TestSelfMatchBudgetRegression:
+    """The budgeted capped walk must not charge the query's own sentence
+    against ``max_candidates`` (satellite fix + regression tests)."""
+
+    def build(self) -> LearnerCorpus:
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=2))
+        make_record(corpus, "the data holds")  # position 0: the self-match
+        make_record(corpus, "the data stores")  # position 1: the real suggestion
+        make_record(corpus, "the data keeps")
+        assert corpus.index.is_capped_token("the")
+        assert corpus.index.is_capped_token("data")
+        return corpus
+
+    def test_capped_walk_budget_skips_self_match(self):
+        corpus = self.build()
+        # Budget 1: pre-fix, the walk spent its only slot on position 0
+        # (the query's own sentence), find dropped it, and the learner
+        # got nothing despite two perfectly good capped-tier matches.
+        search = SuggestionSearch(corpus, max_candidates=1)
+        hits = search.find("the data holds")
+        assert [h.record.record_id for h in hits] == [1]
+
+    def test_rare_tier_cut_skips_self_match(self):
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=None))
+        make_record(corpus, "stack push top")  # the self-match, id 0
+        make_record(corpus, "stack push element")  # id 1
+        search = SuggestionSearch(corpus, max_candidates=1)
+        hits = search.find("stack push top")
+        # Uncapped config: every token is rare-tier.  The top-k cut must
+        # not let the unusable self-match occupy the single slot.
+        assert [h.record.record_id for h in hits] == [1]
+
+    def test_self_match_still_counts_into_shared_union(self):
+        # The self-match is excluded from budget, not from the union:
+        # other consumers of shared counts (the skip decision) still see
+        # it, and a query that matches *only* itself returns nothing.
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=2))
+        make_record(corpus, "solo unique sentence")
+        search = SuggestionSearch(corpus)
+        assert search.find("solo unique sentence") == []
+
+    def test_ingested_query_unaffected_when_budget_is_ample(self):
+        corpus = self.build()
+        roomy = SuggestionSearch(corpus, max_candidates=512)
+        tight = SuggestionSearch(corpus, max_candidates=2)
+        query = "the data holds"
+        assert hit_tuples(roomy.find(query)) == brute_force(corpus, query)
+        assert hit_tuples(tight.find(query)) == hit_tuples(roomy.find(query))[:3]

@@ -58,6 +58,17 @@ class TestCommittedReport:
         assert scale["ms_per_query_small"] > 0
         assert scale["latency_ratio_large_vs_small"] <= 3.0
 
+    def test_corpus_memory_workload(self, report):
+        # The columnar-record claim (docs/corpus.md): at 250k synthetic
+        # records, the columnar layout costs >= 3x fewer bytes/record
+        # than object records, and the streaming suggestion search stays
+        # within 1.2x of the tuple-decoding reference path's latency.
+        memory = report["workloads"]["corpus_memory"]
+        assert memory["records"] >= 250_000
+        assert memory["bytes_per_record_columnar"] > 0
+        assert memory["memory_ratio_objects_vs_columnar"] >= 3.0
+        assert memory["latency_ratio_columnar_vs_reference"] <= 1.2
+
 
 class TestValidator:
     def test_rejects_wrong_schema_id(self, report):

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the corpus subsystem (stdlib-only).
+
+Runs the corpus test suites (``tests/corpus``) under a ``sys.settrace``
+line tracer scoped to ``src/repro/corpus/*.py``, computes per-file and
+aggregate line coverage, and fails when the aggregate drops below the
+committed floor — so the columnar record store, index, search,
+statistics and differential reference can't regress to untested.
+
+Executable lines are derived from the compiled code objects
+(``co_lines`` over the module and every nested function/class body), so
+the denominator is what the interpreter could actually attribute a line
+event to — not raw source lines.
+
+No third-party dependency: the sandbox image has no ``coverage``
+package, and the gate must run identically offline and in CI.
+
+Usage: ``python tools/coverage_gate.py`` (from the repo root; the
+Makefile target sets PYTHONPATH).  Exit status 0 = floor held, 1 =
+coverage regression or test failure.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGET_DIR = REPO_ROOT / "src" / "repro" / "corpus"
+TEST_ARGS = ["-q", "-p", "no:cacheprovider", str(REPO_ROOT / "tests" / "corpus")]
+
+#: The gate: aggregate line coverage of src/repro/corpus under
+#: tests/corpus must not drop below this.  Measured 97% when the
+#: columnar subsystem landed (PR 5); raise it when coverage grows,
+#: never lower it to make a failing PR pass.
+FLOOR_PERCENT = 95.0
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers the interpreter can attribute events to, i.e. the
+    union of ``co_lines`` over the module code object and every code
+    object reachable through ``co_consts``."""
+    code = compile(path.read_text(encoding="utf-8"), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        lines.update(
+            line for _start, _end, line in current.co_lines() if line is not None
+        )
+        stack.extend(
+            const for const in current.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    targets = sorted(TARGET_DIR.glob("*.py"))
+    target_names = {str(path) for path in targets}
+    hit: dict[str, set[int]] = {name: set() for name in target_names}
+
+    def tracer(frame, event, _arg):
+        filename = frame.f_code.co_filename
+        if filename not in target_names:
+            return None  # don't trace lines outside the subsystem
+        lines = hit[filename]
+
+        def local(frame, event, _arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return local
+
+        if event == "call":
+            lines.add(frame.f_lineno)
+        return local
+
+    # Trace before importing: module-level lines (class bodies, defs)
+    # execute exactly once, at import time.
+    for name in list(sys.modules):
+        if name == "repro" or name.startswith("repro."):
+            del sys.modules[name]
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(TEST_ARGS)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"coverage gate: test run failed (pytest exit {exit_code})")
+        return 1
+
+    total_executable = 0
+    total_hit = 0
+    print(f"{'file':<44} {'lines':>6} {'hit':>6} {'cover':>7}")
+    for path in targets:
+        expected = executable_lines(path)
+        covered = hit[str(path)] & expected
+        total_executable += len(expected)
+        total_hit += len(covered)
+        percent = 100.0 * len(covered) / len(expected) if expected else 100.0
+        print(
+            f"{path.relative_to(REPO_ROOT).as_posix():<44} "
+            f"{len(expected):>6} {len(covered):>6} {percent:>6.1f}%"
+        )
+    aggregate = 100.0 * total_hit / total_executable if total_executable else 100.0
+    print(f"{'TOTAL':<44} {total_executable:>6} {total_hit:>6} {aggregate:>6.1f}%")
+    if aggregate < FLOOR_PERCENT:
+        print(
+            f"coverage gate: {aggregate:.1f}% < floor {FLOOR_PERCENT:.1f}% — "
+            "the corpus subsystem lost test coverage"
+        )
+        return 1
+    print(f"coverage gate: {aggregate:.1f}% >= floor {FLOOR_PERCENT:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
