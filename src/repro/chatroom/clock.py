@@ -26,3 +26,16 @@ class SimulatedClock:
             raise ValueError("time cannot move backwards")
         self._now += step
         return self._now
+
+    def seek(self, to: float) -> float:
+        """Jump forward to an absolute time.
+
+        Recovery uses this to restore logged timestamps exactly
+        (snapshot clock, then each replayed event's ``ts``).  Like
+        :meth:`advance`, time never moves backwards.
+        """
+        target = float(to)
+        if target < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = target
+        return self._now

@@ -40,12 +40,18 @@ class ChatServer:
         clock: SimulatedClock | None = None,
         bus: EventBus | None = None,
         runtime: SupervisionRuntime | None = None,
+        journal=None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.bus = bus or EventBus()
         self.runtime = runtime or SupervisionRuntime()
         self.rooms: dict[str, ChatRoom] = {}
         self._next_seq = 0
+        # Duck-typed write-ahead journal (a DurabilityManager when the
+        # system runs with a data dir): external inputs are logged after
+        # validation but before they mutate anything, so the log always
+        # holds a clean prefix of the input history.
+        self.journal = journal
 
     @property
     def supervisors(self) -> tuple:
@@ -58,6 +64,8 @@ class ChatServer:
     def create_room(self, name: str, topic: str = "") -> ChatRoom:
         if name in self.rooms:
             raise ChatRoomError(f"room {name!r} already exists")
+        if self.journal is not None:
+            self.journal.room_created(name, topic, self.clock.now())
         room = ChatRoom(name=name, topic=topic)
         self.rooms[name] = room
         return room
@@ -70,11 +78,15 @@ class ChatServer:
 
     def join(self, room_name: str, user: str, role: Role = Role.STUDENT) -> None:
         room = self.get_room(room_name)
+        if self.journal is not None:
+            self.journal.user_joined(room_name, user, role.value, self.clock.now())
         room.join(user, role, self.clock.now())
         self.bus.publish(UserJoined(room_name, user, role.value, self.clock.now()))
 
     def leave(self, room_name: str, user: str) -> None:
         room = self.get_room(room_name)
+        if self.journal is not None and room.is_member(user):
+            self.journal.user_left(room_name, user, self.clock.now())
         room.leave(user)
         self.bus.publish(UserLeft(room_name, user, self.clock.now()))
 
@@ -112,6 +124,11 @@ class ChatServer:
             timestamp=self.clock.now(),
             reply_to=reply_to,
         )
+        if self.journal is not None:
+            # Write-ahead, in origin-seq order, before delivery and
+            # before supervision; agent replies are filtered inside the
+            # journal (replay regenerates them).
+            self.journal.message_posted(message)
         self._next_seq += 1
         room.deliver(message)
         if kind == MessageKind.USER:
@@ -126,6 +143,11 @@ class ChatServer:
 
     def drain_supervision(self) -> int:
         """Flush all queued supervision work (deferred-drain runtimes)."""
+        if self.journal is not None and self.runtime.pending:
+            # Journalled so replay drains at the same points the
+            # original run did (supervision outcomes can depend on how
+            # posts are batched into drain cycles).
+            self.journal.drained(self.clock.now())
         return self.runtime.drain(self)
 
     @property

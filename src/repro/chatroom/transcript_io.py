@@ -16,27 +16,39 @@ from .messages import ChatMessage, MessageKind
 from .room import ChatRoom
 
 
+def message_to_dict(message: ChatMessage) -> dict:
+    """The JSON shape of one message (transcripts, WAL, snapshots)."""
+    return {
+        "seq": message.seq,
+        "room": message.room,
+        "sender": message.sender,
+        "kind": message.kind.value,
+        "text": message.text,
+        "timestamp": message.timestamp,
+        "reply_to": message.reply_to,
+    }
+
+
+def message_from_dict(data: dict) -> ChatMessage:
+    """Inverse of :func:`message_to_dict`."""
+    return ChatMessage(
+        seq=data["seq"],
+        room=data["room"],
+        sender=data["sender"],
+        kind=MessageKind(data["kind"]),
+        text=data["text"],
+        timestamp=data["timestamp"],
+        reply_to=data.get("reply_to"),
+    )
+
+
 def save_transcript(room: ChatRoom, path: str | Path) -> int:
     """Write a room's transcript as JSON lines; returns the line count."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     with target.open("w", encoding="utf-8") as handle:
         for message in room.transcript:
-            handle.write(
-                json.dumps(
-                    {
-                        "seq": message.seq,
-                        "room": message.room,
-                        "sender": message.sender,
-                        "kind": message.kind.value,
-                        "text": message.text,
-                        "timestamp": message.timestamp,
-                        "reply_to": message.reply_to,
-                    },
-                    ensure_ascii=False,
-                )
-                + "\n"
-            )
+            handle.write(json.dumps(message_to_dict(message), ensure_ascii=False) + "\n")
     return len(room.transcript)
 
 
@@ -48,18 +60,7 @@ def load_transcript(path: str | Path) -> list[ChatMessage]:
             line = line.strip()
             if not line:
                 continue
-            data = json.loads(line)
-            messages.append(
-                ChatMessage(
-                    seq=data["seq"],
-                    room=data["room"],
-                    sender=data["sender"],
-                    kind=MessageKind(data["kind"]),
-                    text=data["text"],
-                    timestamp=data["timestamp"],
-                    reply_to=data.get("reply_to"),
-                )
-            )
+            messages.append(message_from_dict(json.loads(line)))
     return messages
 
 

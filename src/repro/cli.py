@@ -7,6 +7,7 @@ Commands:
 * ``ask "question"``          — the QA subsystem's answer;
 * ``repair "sentence"``       — suggested corrections;
 * ``simulate [--rounds N]``   — run a seeded classroom and print reports;
+* ``recover DIR``             — recover a durable data directory, compact it;
 * ``bench [--quick]``         — run the perf harness, write BENCH_parse.json;
 * ``export-scorm DIR``        — write the SCORM content package;
 * ``ontology [--format x]``   — dump the knowledge body (xml or ddl).
@@ -87,6 +88,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         runtime_mode=args.runtime,
         shards=workers,
         max_pending=args.max_pending,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
     )
     system = ELearningSystem.with_defaults(config)
     try:
@@ -110,6 +114,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     for pair in system.faq_top(3):
         print(f"  faq [{pair.count}x] {pair.question}")
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    system, report = ELearningSystem.recover(
+        args.data_dir,
+        SystemConfig(fsync=args.fsync, snapshot_every=args.snapshot_every),
+    )
+    print(report.summary())
+    stats = system.stats
+    print(f"recovered state: rooms={len(system.server.rooms)} "
+          f"messages={system.server.total_messages()} "
+          f"corpus={len(system.corpus)} profiles={len(system.profiles)} "
+          f"faq={len(system.faq)}")
+    print(f"supervision: sentences={stats.sentences} "
+          f"syntax_errors={stats.syntax_errors} "
+          f"questions={stats.questions_answered}/{stats.questions}")
+    system.close()  # compacts: the fresh final snapshot covers the log
+    return 0 if report.clean else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -179,7 +203,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending", type=int, default=None,
                    help="per-shard supervision queue bound; overloaded "
                         "shards shed their oldest pending message")
+    p.add_argument("--data-dir", default=None,
+                   help="durable-state directory (write-ahead log + "
+                        "snapshots; see docs/durability.md)")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="batch",
+                   help="when log/snapshot writes reach the disk")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   help="journalled events between periodic snapshots")
     p.set_defaults(func=_cmd_simulate)
+
+    p = commands.add_parser(
+        "recover", help="recover a durable data directory and compact it"
+    )
+    p.add_argument("data_dir", help="directory written by simulate --data-dir")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="batch",
+                   help="fsync policy for the compacting snapshot")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   help="snapshot cadence for the recovered system")
+    p.set_defaults(func=_cmd_recover)
 
     p = commands.add_parser("bench", help="run the perf harness deterministically")
     # Imported at parser-build time (not in _cmd_bench) so the flag

@@ -17,7 +17,7 @@ is the public entry point a downstream user starts from::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.agents.learning_angel import LearningAngelAgent
 from repro.agents.recommender import Recommendation, TeachingMaterialRecommender
@@ -72,6 +72,19 @@ class SystemConfig:
             shard sheds its oldest pending item (None = unbounded).
         corpus_index: learner-corpus index knobs (postings stopword-DF
             tiering — see docs/corpus.md); None uses the defaults.
+        data_dir: durable-state directory (write-ahead event log +
+            snapshots — see docs/durability.md); None (default) runs
+            fully in-memory.  The directory must be empty or new; open
+            an existing one with :meth:`ELearningSystem.recover`.
+        fsync: when log/snapshot writes reach the disk — ``always``
+            (fsync every appended event), ``batch`` (default; fsync at
+            segment rolls, snapshots and close) or ``never`` (leave it
+            to the OS page cache).
+        snapshot_every: journalled events between periodic snapshots
+            (None disables periodic snapshots; ``close()`` still writes
+            a final one).
+        fault_clock: a :class:`repro.durability.faults.FaultClock` for
+            crash-point testing; None (production) runs fault-free.
     """
 
     seed_corpus: bool = True
@@ -85,6 +98,10 @@ class SystemConfig:
     auto_drain: bool | None = None
     max_pending: int | None = None
     corpus_index: IndexConfig | None = None
+    data_dir: str | None = None
+    fsync: str = "batch"
+    snapshot_every: int | None = 256
+    fault_clock: object | None = None
 
 
 class ELearningSystem:
@@ -141,7 +158,19 @@ class ELearningSystem:
             auto_drain=self.config.auto_drain,
             max_pending=self.config.max_pending,
         )
-        self.server = ChatServer(self.clock, self.bus, self.runtime)
+        # Durable state (docs/durability.md): lazy import so in-memory
+        # systems never pay for the durability package.
+        self.durability = None
+        if self.config.data_dir is not None:
+            from repro.durability.manager import DurabilityManager
+
+            self.durability = DurabilityManager(
+                self.config.data_dir,
+                fsync=self.config.fsync,
+                snapshot_every=self.config.snapshot_every,
+                faults=self.config.fault_clock,
+            )
+        self.server = ChatServer(self.clock, self.bus, self.runtime, journal=self.durability)
         self.pipeline = SupervisionPipeline(
             self.learning_angel,
             self.semantic_agent,
@@ -157,6 +186,59 @@ class ELearningSystem:
     def with_defaults(cls, config: SystemConfig | None = None) -> "ELearningSystem":
         """The full system over the built-in lexicon and ontology."""
         return cls(default_dictionary(), default_ontology(), config)
+
+    @classmethod
+    def recover(
+        cls,
+        data_dir: str,
+        config: SystemConfig | None = None,
+        dictionary: Dictionary | None = None,
+        ontology: Ontology | None = None,
+    ):
+        """Resume a durable system from its data directory.
+
+        Recovery = load the newest intact snapshot, then replay the log
+        tail through the real server (re-running supervision, so agent
+        replies regenerate deterministically).  Torn log tails are
+        truncated, corrupt records quarantined to side files, damaged
+        snapshots renamed ``*.corrupt`` — every repair is listed in the
+        returned report.  Returns ``(system, RecoveryReport)``; the
+        system keeps journalling into the same directory.
+        """
+        from repro.durability.manager import (
+            DurabilityManager,
+            RecoveryReport,
+            replay_events,
+        )
+        from repro.durability.snapshot import SnapshotStore, restore_snapshot
+        from repro.durability.wal import read_log
+
+        config = config if config is not None else SystemConfig()
+        # Construct in-memory first: journalling must stay off while the
+        # snapshot restores and the tail replays (replay is not input).
+        system = cls(
+            dictionary or default_dictionary(),
+            ontology or default_ontology(),
+            replace(config, data_dir=None),
+        )
+        report = RecoveryReport(data_dir=str(data_dir))
+        snapshot = SnapshotStore(data_dir, fsync=config.fsync).load_latest(report)
+        if snapshot is not None:
+            restore_snapshot(system, snapshot)
+        events = read_log(data_dir, report, repair=True)
+        replay_events(system, events, report.snapshot_cursor, report)
+        system.drain()
+        system.config = replace(config, data_dir=str(data_dir))
+        manager = DurabilityManager(
+            data_dir,
+            fsync=config.fsync,
+            snapshot_every=config.snapshot_every,
+            faults=config.fault_clock,
+            resume=(len(events), report.snapshot_cursor),
+        )
+        system.durability = manager
+        system.server.journal = manager
+        return system, report
 
     # ------------------------------------------------------------- actions
 
@@ -175,17 +257,43 @@ class ELearningSystem:
         or ``auto_drain=False``) call :meth:`drain` to flush the queued
         agent work.
         """
-        message = self.server.post(room, user, text)
+        durability = self.durability
+        if durability is not None:
+            # Fold the advance below into the logged post event so one
+            # user input is exactly one atomic WAL record and replay
+            # reproduces every timestamp.
+            durability.note_advance(self.clock.tick)
+        try:
+            message = self.server.post(room, user, text)
+        finally:
+            if durability is not None:
+                durability.note_advance(0.0)
         self.clock.advance()
+        if durability is not None:
+            durability.maybe_snapshot(self)
         return message
 
     def drain(self) -> int:
         """Run all queued supervision work; returns items processed."""
-        return self.server.drain_supervision()
+        processed = self.server.drain_supervision()
+        if self.durability is not None:
+            self.durability.maybe_snapshot(self)
+        return processed
 
     def close(self) -> None:
-        """Release runtime resources (the ``parallel`` mode's worker
-        pool; a no-op for the cooperative modes).  Idempotent."""
+        """Shut down cleanly: flush queued supervision, write a final
+        snapshot (durable systems), release runtime resources.
+        Idempotent."""
+        durability = self.durability
+        if durability is not None and not durability.closed:
+            if self.pending_supervision:
+                # Never lose enqueued work to a clean shutdown: the
+                # deferred-drain runtimes may still hold supervision
+                # items whose corpus/profile/FAQ effects the final
+                # snapshot must include.
+                self.drain()
+            durability.snapshot(self)
+            durability.close()
         self.runtime.close()
 
     def __enter__(self) -> "ELearningSystem":

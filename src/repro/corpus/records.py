@@ -109,6 +109,17 @@ class Vocabulary:
             + sum(getsizeof(term) for term in self._terms)
         )
 
+    # --------------------------------------------------------- persistence
+
+    def dump(self) -> list[str]:
+        """The id -> term table, dense (ids are the list indices)."""
+        return list(self._terms)
+
+    def restore(self, terms: list[str]) -> None:
+        """Replace the interner's contents with a dumped table."""
+        self._terms = list(terms)
+        self._ids = {term: term_id for term_id, term in enumerate(self._terms)}
+
 
 class CorpusVocabularies:
     """The interned term tables one corpus shares between its columnar
@@ -146,6 +157,14 @@ class CorpusVocabularies:
 
     def memory_bytes(self) -> int:
         return sum(vocab.memory_bytes() for vocab in self.all())
+
+    def dump(self) -> dict[str, list[str]]:
+        """Every interner's term table, keyed by vocabulary name."""
+        return {name: getattr(self, name).dump() for name in self.__slots__}
+
+    def restore(self, data: dict[str, list[str]]) -> None:
+        for name in self.__slots__:
+            getattr(self, name).restore(data.get(name, []))
 
 
 @dataclass(slots=True)
@@ -620,6 +639,82 @@ class RecordStore:
         return [notes[note_id] for note_id in self._note_ids[
             self._note_offsets[position] : self._note_offsets[position + 1]
         ]]
+
+    # --------------------------------------------------------- persistence
+
+    #: Machine-array columns as ``attr -> typecode`` (texts are a plain
+    #: string list and live outside this table).  The dump/load pair and
+    #: the alignment check below iterate this single source of truth.
+    _ARRAY_COLUMNS: dict[str, str] = {
+        "_record_ids": "I",
+        "_user_ids": "I",
+        "_room_ids": "I",
+        "_pattern_ids": "I",
+        "_link_ids": "I",
+        "_timestamps": "d",
+        "_verdicts": "B",
+        "_costs": "i",
+        "_token_ids": "I",
+        "_token_offsets": "I",
+        "_kw_ids": "I",
+        "_kw_offsets": "I",
+        "_raw_kw_ids": "I",
+        "_raw_kw_offsets": "I",
+        "_issue_kind_ids": "I",
+        "_issue_word_ids": "I",
+        "_issue_offsets": "I",
+        "_note_ids": "I",
+        "_note_offsets": "I",
+    }
+
+    #: Offset tables (length = records + 1, leading 0) vs. per-record
+    #: scalars (length = records); flat id runs are checked against
+    #: their offset table's final entry.
+    _OFFSET_COLUMNS = (
+        ("_token_ids", "_token_offsets"),
+        ("_kw_ids", "_kw_offsets"),
+        ("_raw_kw_ids", "_raw_kw_offsets"),
+        ("_issue_kind_ids", "_issue_offsets"),
+        ("_issue_word_ids", "_issue_offsets"),
+        ("_note_ids", "_note_offsets"),
+    )
+
+    def dump_columns(self) -> dict:
+        """Every column as a JSON-ready dict (texts + machine arrays)."""
+        data: dict = {"texts": list(self._texts)}
+        for attr in self._ARRAY_COLUMNS:
+            data[attr.lstrip("_")] = getattr(self, attr).tolist()
+        return data
+
+    def load_columns(self, columns: dict) -> None:
+        """Replace the store's contents with dumped columns.
+
+        Alignment is validated (row counts, offset-table shapes) so a
+        logically inconsistent document fails loudly here instead of as
+        an index error deep inside a later query.
+        """
+        texts = list(columns["texts"])
+        loaded = {
+            attr: array(typecode, columns[attr.lstrip("_")])
+            for attr, typecode in self._ARRAY_COLUMNS.items()
+        }
+        records = len(texts)
+        for attr in ("_record_ids", "_user_ids", "_room_ids", "_pattern_ids",
+                     "_link_ids", "_timestamps", "_verdicts", "_costs"):
+            if len(loaded[attr]) != records:
+                raise ValueError(f"column {attr.lstrip('_')} misaligned with texts")
+        for flat_attr, offsets_attr in self._OFFSET_COLUMNS:
+            offsets = loaded[offsets_attr]
+            if len(offsets) != records + 1 or offsets[0] != 0:
+                raise ValueError(f"offset table {offsets_attr.lstrip('_')} malformed")
+            if offsets[-1] != len(loaded[flat_attr]):
+                raise ValueError(f"column {flat_attr.lstrip('_')} misaligned with its offsets")
+        self._texts = texts
+        for attr, column in loaded.items():
+            setattr(self, attr, column)
+        self._views.clear()
+        self._token_set_cache.clear()
+        self._keyword_set_cache.clear()
 
     # --------------------------------------------------------- diagnostics
 

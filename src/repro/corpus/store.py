@@ -48,12 +48,18 @@ from repro.linkgrammar.tokenizer import tokenize
 
 from .index import CorpusIndex, IndexConfig
 from .records import (
+    VERDICT_FOR_CODE,
     Correctness,
     CorpusRecord,
     CorpusVocabularies,
     RecordStore,
     RecordView,
 )
+
+#: Format tag of the columnar corpus document ``save`` writes (one JSON
+#: object: vocabularies + columns).  ``load`` also accepts the legacy
+#: per-record JSONL shape and re-ingests it row by row.
+CORPUS_COLUMNAR_FORMAT = "repro-corpus-columnar/1"
 
 
 class LearnerCorpus:
@@ -277,25 +283,72 @@ class LearnerCorpus:
 
     # --------------------------------------------------------- persistence
 
+    def to_columnar(self) -> dict:
+        """The whole corpus as one JSON-ready columnar document:
+        vocabularies + columns, no per-record rows.  Restoring rebuilds
+        the inverted index from the interned id runs, so neither the
+        tokenizer nor the keyword normaliser runs again."""
+        return {
+            "format": CORPUS_COLUMNAR_FORMAT,
+            "records": len(self._store),
+            "vocabularies": self._vocabs.dump(),
+            "columns": self._store.dump_columns(),
+        }
+
+    def restore_columnar(self, data: dict) -> None:
+        """Replace this corpus's contents from a columnar document.
+
+        In place — consumers holding the corpus object (agents, the QA
+        system, suggestion search) keep their reference.  The index is
+        rebuilt positionally from the stored id runs: zero tokenizer
+        calls, zero string hashing beyond vocabulary re-interning.
+        """
+        if data.get("format") != CORPUS_COLUMNAR_FORMAT:
+            raise ValueError(f"not a {CORPUS_COLUMNAR_FORMAT} document")
+        index_config = self._index.config
+        vocabs = CorpusVocabularies()
+        vocabs.restore(data["vocabularies"])
+        store = RecordStore(vocabs)
+        store.load_columns(data["columns"])
+        index = CorpusIndex(index_config, vocabularies=vocabs)
+        for position in range(len(store)):
+            index.append_ids(
+                VERDICT_FOR_CODE[store.verdict_code_at(position)],
+                store.keyword_id_run(position),
+                store.token_id_run(position),
+                store.user_id_at(position),
+            )
+        self._vocabs = vocabs
+        self._store = store
+        self._index = index
+        self._merge_floor = None
+        self._merge_keys = []
+
     def save(self, path: str | Path) -> None:
-        """Write the corpus as JSON lines."""
-        target = Path(path)
-        to_dict = self._store.to_dict
-        with target.open("w", encoding="utf-8") as handle:
-            for position in range(len(self._store)):
-                handle.write(json.dumps(to_dict(position), ensure_ascii=False) + "\n")
+        """Write the corpus as one columnar JSON document (arrays +
+        vocabularies), so :meth:`load` restores without re-tokenising."""
+        Path(path).write_text(
+            json.dumps(self.to_columnar(), ensure_ascii=False) + "\n", encoding="utf-8"
+        )
 
     @classmethod
     def load(
         cls, path: str | Path, index_config: IndexConfig | None = None
     ) -> "LearnerCorpus":
-        """Read a corpus previously written by :meth:`save`."""
+        """Read a corpus written by :meth:`save` — the columnar document,
+        or the legacy per-record JSONL shape (re-ingested row by row)."""
         corpus = cls(index_config)
-        with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    corpus.add(CorpusRecord.from_dict(json.loads(line)))
+        text = Path(path).read_text(encoding="utf-8").strip()
+        if not text:
+            return corpus
+        first = json.loads(text.splitlines()[0])
+        if isinstance(first, dict) and first.get("format") == CORPUS_COLUMNAR_FORMAT:
+            corpus.restore_columnar(first)
+            return corpus
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                corpus.add(CorpusRecord.from_dict(json.loads(line)))
         return corpus
 
 

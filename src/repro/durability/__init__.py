@@ -1,0 +1,50 @@
+"""Durable state: write-ahead event log, snapshots, crash recovery.
+
+Everything the supervision system accumulates — transcripts, the learner
+corpus, user profiles, FAQ counts — used to die with the process.  This
+package makes the system restartable:
+
+* :mod:`~repro.durability.wal` — an append-only event log of
+  length-prefixed, CRC-32-checksummed JSON records in rolling segment
+  files.  External inputs (room creation, joins/leaves, posted user
+  messages, explicit drains) are journalled in origin-seq order *before*
+  supervision runs; agent replies are never logged because deterministic
+  replay regenerates them.
+* :mod:`~repro.durability.snapshot` — periodic full-state snapshots
+  (every ``MergeableStore`` plus room transcripts, the clock and the
+  delivery sequence), written atomically and framed with the same CRC
+  envelope as log records.
+* :mod:`~repro.durability.manager` — the :class:`DurabilityManager`
+  journal a :class:`~repro.chatroom.server.ChatServer` writes through,
+  plus recovery: load the latest valid snapshot, replay the log tail,
+  truncate torn tails, quarantine corrupt records, and report what
+  happened in a :class:`RecoveryReport`.
+* :mod:`~repro.durability.faults` — the :class:`FaultClock` crash-point
+  harness: every write/sync/snapshot boundary is a numbered fault point
+  at which a test can kill the process (injected exception or real
+  ``os._exit``), proving recovery converges from *any* crash.
+
+See ``docs/durability.md`` for the log format, the recovery contract
+and the fsync trade-offs.
+"""
+
+from .faults import NO_FAULTS, FaultClock, SimulatedCrash
+from .manager import DurabilityManager, RecoveryReport, replay_events
+from .snapshot import SnapshotStore, build_snapshot, restore_snapshot
+from .wal import EventLog, encode_frame, read_log, scan_segment
+
+__all__ = [
+    "NO_FAULTS",
+    "FaultClock",
+    "SimulatedCrash",
+    "DurabilityManager",
+    "RecoveryReport",
+    "replay_events",
+    "SnapshotStore",
+    "build_snapshot",
+    "restore_snapshot",
+    "EventLog",
+    "encode_frame",
+    "read_log",
+    "scan_segment",
+]

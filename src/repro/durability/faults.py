@@ -1,0 +1,95 @@
+"""Crash-point fault injection for the durability layer.
+
+Every boundary where a crash could leave the data directory in a
+distinct on-disk state — before a log append, between the two halves of
+a frame write (the torn-tail case), after flush, after fsync, around
+every snapshot step — calls :meth:`FaultClock.step` with a label.  A
+test arms the clock with ``crash_at=k`` and the k-th boundary kills the
+process-under-test:
+
+* ``mode="raise"`` raises :class:`SimulatedCrash` — a ``BaseException``
+  so no ``except Exception`` handler on the write path can quietly
+  absorb the "process death" and keep mutating state that recovery
+  will never see.
+* ``mode="exit"`` calls ``os._exit`` — a real, no-cleanup process death
+  for subprocess-driven tests (no atexit hooks, no buffered flushes).
+
+An *unarmed* clock (``crash_at=None``) counts boundaries without ever
+firing: the harness first runs the workload once to learn how many
+boundaries exist, then crash-loops over ``crash_at = 1..N``.  Both runs
+traverse identical code paths — an active clock makes the log split
+every frame write in two (write half, flush, step, write rest) so the
+torn-tail boundary produces a *genuine* torn frame on disk, and the
+unarmed counting run splits identically to keep the numbering aligned.
+
+Production passes no clock at all and gets :data:`NO_FAULTS`, whose
+``active`` flag is false: no splitting, no counting, no overhead beyond
+one attribute check per boundary.
+"""
+
+from __future__ import annotations
+
+import os
+
+FAULT_MODES = ("raise", "exit")
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death at a durability boundary.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``): a
+    crash is not an error the write path may handle and continue from.
+    """
+
+
+class FaultClock:
+    """Counts durability boundaries; optionally kills the k-th one."""
+
+    __slots__ = ("crash_at", "mode", "exit_code", "count", "fired", "_dead")
+
+    #: Active clocks make the WAL/snapshot writers split writes so the
+    #: torn-frame boundary is a real on-disk state (see module docstring).
+    active = True
+
+    def __init__(
+        self,
+        crash_at: int | None = None,
+        mode: str = "raise",
+        exit_code: int = 23,
+    ) -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; expected one of {FAULT_MODES}")
+        if crash_at is not None and crash_at < 1:
+            raise ValueError("crash_at counts boundaries from 1")
+        self.crash_at = crash_at
+        self.mode = mode
+        self.exit_code = exit_code
+        self.count = 0
+        self.fired: list[str] = []
+        self._dead = False
+
+    def step(self, label: str) -> None:
+        """Record one boundary crossing; crash if it is the armed one."""
+        if self._dead:
+            return
+        self.count += 1
+        self.fired.append(label)
+        if self.crash_at is not None and self.count == self.crash_at:
+            self._dead = True
+            if self.mode == "exit":
+                os._exit(self.exit_code)
+            raise SimulatedCrash(f"{label} (boundary {self.count})")
+
+
+class _NoFaults:
+    """Null clock wired in production: boundaries cost one attr check."""
+
+    __slots__ = ()
+    active = False
+
+    def step(self, label: str) -> None:
+        return None
+
+
+#: Shared null instance — the default `faults` everywhere.
+NO_FAULTS = _NoFaults()

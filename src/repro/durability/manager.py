@@ -1,0 +1,312 @@
+"""The durability manager: journal hooks, snapshot cadence, recovery.
+
+``DurabilityManager`` is the object a :class:`ChatServer` journals
+through (duck-typed ``journal`` attribute — the chatroom layer never
+imports this package).  Exactly the **external inputs** are logged, in
+origin-seq order, before they take effect:
+
+========  ====================================================
+``room``   a room was created
+``join``   a user joined a room
+``leave``  a user left a room
+``post``   a user/system message was delivered (never agent
+           replies — deterministic replay regenerates them)
+``drain``  queued supervision was explicitly flushed while
+           work was pending (deferred-drain runtimes)
+========  ====================================================
+
+A ``post`` event folds in the clock advance that
+:meth:`ELearningSystem.say` performs after posting (the ``advance``
+field), so one user input is exactly one atomic log record and replay
+reproduces every timestamp.
+
+Recovery (:meth:`ELearningSystem.recover` drives it) is
+*load-latest-valid-snapshot + replay-log-tail*: restore the snapshot in
+place, re-apply ``events[snapshot.wal_count:]`` through the real
+``ChatServer`` — which re-runs supervision and regenerates the agent
+replies — and report everything unusual in a :class:`RecoveryReport`.
+Replay is idempotent: events the snapshot already covers are skipped by
+a sequence guard, so a crash *between* "snapshot committed" and "log
+synced" (or a duplicated record) cannot double-apply anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .faults import NO_FAULTS
+from .snapshot import SnapshotStore, build_snapshot
+from .wal import FSYNC_MODES, EventLog
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What recovery found and did — the operator-facing audit trail."""
+
+    data_dir: str
+    snapshot_path: str | None = None
+    snapshot_cursor: int = 0
+    snapshots_quarantined: list[str] = field(default_factory=list)
+    segments_read: int = 0
+    segments_skipped: list[str] = field(default_factory=list)
+    events_total: int = 0
+    events_replayed: int = 0
+    events_skipped: int = 0
+    truncated_bytes: int = 0
+    quarantined: list[dict] = field(default_factory=list)
+    divergences: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing beyond an expected torn tail was found."""
+        return not (
+            self.quarantined
+            or self.segments_skipped
+            or self.snapshots_quarantined
+            or self.divergences
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "data_dir": self.data_dir,
+            "snapshot_path": self.snapshot_path,
+            "snapshot_cursor": self.snapshot_cursor,
+            "snapshots_quarantined": list(self.snapshots_quarantined),
+            "segments_read": self.segments_read,
+            "segments_skipped": list(self.segments_skipped),
+            "events_total": self.events_total,
+            "events_replayed": self.events_replayed,
+            "events_skipped": self.events_skipped,
+            "truncated_bytes": self.truncated_bytes,
+            "quarantined": list(self.quarantined),
+            "divergences": list(self.divergences),
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        """A short human-readable report (the CLI prints this)."""
+        lines = [
+            f"data dir: {self.data_dir}",
+            f"snapshot: {self.snapshot_path or '(none — full replay)'}"
+            f" (cursor {self.snapshot_cursor})",
+            f"log: {self.events_total} events in {self.segments_read} segment(s);"
+            f" replayed {self.events_replayed}, skipped {self.events_skipped} duplicate(s)",
+        ]
+        if self.truncated_bytes:
+            lines.append(f"torn tail truncated: {self.truncated_bytes} byte(s)")
+        for entry in self.quarantined:
+            lines.append(
+                f"quarantined: {entry['segment']} @ {entry['offset']} ({entry['reason']})"
+            )
+        if self.segments_skipped:
+            lines.append(f"segments not replayed: {', '.join(self.segments_skipped)}")
+        if self.snapshots_quarantined:
+            lines.append(f"snapshots quarantined: {', '.join(self.snapshots_quarantined)}")
+        for divergence in self.divergences:
+            lines.append(f"divergence: {divergence}")
+        lines.append("recovery: clean" if self.clean else "recovery: degraded (see above)")
+        return "\n".join(lines)
+
+
+class DurabilityManager:
+    """Write-ahead journal + snapshot cadence for one data directory."""
+
+    __slots__ = (
+        "directory",
+        "log",
+        "snapshots",
+        "snapshot_every",
+        "total",
+        "since_snapshot",
+        "closed",
+        "_pending_advance",
+    )
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        fsync: str = "batch",
+        snapshot_every: int | None = 256,
+        segment_records: int = 1024,
+        keep_snapshots: int = 3,
+        faults=None,
+        resume: tuple[int, int] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ValueError(f"unknown fsync policy {fsync!r}; expected one of {FSYNC_MODES}")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be at least 1 (or None to disable)")
+        faults = faults if faults is not None else NO_FAULTS
+        self.directory = Path(data_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log = EventLog(
+            self.directory, fsync=fsync, segment_records=segment_records, faults=faults
+        )
+        self.snapshots = SnapshotStore(
+            self.directory, fsync=fsync, keep=keep_snapshots, faults=faults
+        )
+        if resume is None:
+            if self.log.existing_segments or self.snapshots.existing():
+                raise ValueError(
+                    f"data dir {self.directory} already holds durable state; "
+                    "open it with ELearningSystem.recover(...) instead"
+                )
+            self.total = 0
+            self.since_snapshot = 0
+        else:
+            self.total, cursor = resume
+            self.since_snapshot = max(0, self.total - cursor)
+        self.snapshot_every = snapshot_every
+        self.closed = False
+        self._pending_advance = 0.0
+
+    # ------------------------------------------------------- journal hooks
+    # (the duck-typed ``ChatServer.journal`` protocol)
+
+    def room_created(self, name: str, topic: str, now: float) -> None:
+        self._append({"type": "room", "name": name, "topic": topic, "ts": now})
+
+    def user_joined(self, room: str, user: str, role: str, now: float) -> None:
+        self._append({"type": "join", "room": room, "user": user, "role": role, "ts": now})
+
+    def user_left(self, room: str, user: str, now: float) -> None:
+        self._append({"type": "leave", "room": room, "user": user, "ts": now})
+
+    def message_posted(self, message) -> None:
+        from repro.chatroom.messages import MessageKind
+
+        if message.kind is MessageKind.AGENT:
+            return  # replay regenerates agent replies deterministically
+        advance, self._pending_advance = self._pending_advance, 0.0
+        self._append(
+            {
+                "type": "post",
+                "seq": message.seq,
+                "room": message.room,
+                "sender": message.sender,
+                "kind": message.kind.value,
+                "text": message.text,
+                "ts": message.timestamp,
+                "reply_to": message.reply_to,
+                "advance": advance,
+            }
+        )
+
+    def drained(self, now: float) -> None:
+        self._append({"type": "drain", "ts": now})
+
+    # ----------------------------------------------------------- snapshots
+
+    def note_advance(self, seconds: float) -> None:
+        """Fold the upcoming post-``say`` clock advance into the next
+        ``post`` event (one user input = one atomic log record)."""
+        self._pending_advance = float(seconds)
+
+    def maybe_snapshot(self, system) -> Path | None:
+        """Snapshot when the cadence is due *and* the system is quiescent.
+
+        The quiescence guard matters: snapshotting while supervision is
+        still queued would capture transcripts ahead of store state, and
+        replay would then re-run supervision the snapshot half-saw.
+        """
+        if (
+            self.closed
+            or self.snapshot_every is None
+            or self.since_snapshot < self.snapshot_every
+            or system.pending_supervision
+        ):
+            return None
+        return self.snapshot(system)
+
+    def snapshot(self, system) -> Path | None:
+        """Sync the log, then write one snapshot at the current cursor."""
+        if self.closed:
+            return None
+        self.log.sync()
+        path = self.snapshots.write(build_snapshot(system, self.total), self.total)
+        self.since_snapshot = 0
+        return path
+
+    def close(self) -> None:
+        """Sync and close the log.  Idempotent; journalling stops."""
+        if self.closed:
+            return
+        self.closed = True
+        self.log.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _append(self, event: dict) -> None:
+        if self.closed:
+            return
+        self.log.append(event)
+        self.total += 1
+        self.since_snapshot += 1
+
+
+def replay_events(system, events: list[dict], start: int, report: RecoveryReport) -> None:
+    """Re-apply the log tail through the real server.
+
+    Each event seeks the clock to its logged timestamp and goes through
+    the ordinary ``ChatServer`` entry points, so supervision re-runs and
+    regenerates agent replies exactly as the original process did.
+    Events the restored state already covers (sequence guard for posts,
+    existence checks for rooms/membership) count as idempotent skips;
+    anything that cannot be applied is recorded as a divergence rather
+    than aborting recovery — the operator sees it in the report.
+    """
+    from repro.chatroom.messages import MessageKind, Role
+    from repro.chatroom.room import ChatRoomError
+
+    server = system.server
+    for position in range(start, len(events)):
+        event = events[position]
+        kind = event.get("type")
+        try:
+            if kind == "post":
+                if event["seq"] < server.total_messages():
+                    report.events_skipped += 1
+                    continue
+                system.clock.seek(event["ts"])
+                message = server.post(
+                    event["room"],
+                    event["sender"],
+                    event["text"],
+                    kind=MessageKind(event["kind"]),
+                    reply_to=event.get("reply_to"),
+                )
+                if message.seq != event["seq"]:
+                    report.divergences.append(
+                        f"event {position}: replayed seq {message.seq}, logged {event['seq']}"
+                    )
+                advance = event.get("advance") or 0.0
+                if advance:
+                    system.clock.advance(advance)
+            elif kind == "room":
+                if event["name"] in server.rooms:
+                    report.events_skipped += 1
+                    continue
+                system.clock.seek(event["ts"])
+                server.create_room(event["name"], event.get("topic", ""))
+            elif kind == "join":
+                if server.get_room(event["room"]).is_member(event["user"]):
+                    report.events_skipped += 1
+                    continue
+                system.clock.seek(event["ts"])
+                server.join(event["room"], event["user"], Role(event["role"]))
+            elif kind == "leave":
+                if not server.get_room(event["room"]).is_member(event["user"]):
+                    report.events_skipped += 1
+                    continue
+                system.clock.seek(event["ts"])
+                server.leave(event["room"], event["user"])
+            elif kind == "drain":
+                system.clock.seek(event["ts"])
+                server.drain_supervision()
+            else:
+                report.divergences.append(f"event {position}: unknown type {kind!r}")
+                continue
+            report.events_replayed += 1
+        except (ChatRoomError, ValueError) as exc:
+            report.divergences.append(f"event {position} ({kind}): {exc}")

@@ -1,0 +1,185 @@
+"""Full-state snapshots: build, write atomically, restore in place.
+
+A snapshot is one CRC-framed JSON document (the same envelope as a WAL
+record, so the same scanner proves it intact) holding everything a
+fresh :class:`~repro.core.system.ELearningSystem` needs to resume:
+
+* ``wal_count`` — the replay cursor: how many WAL events the snapshot
+  already covers.  Recovery replays only ``events[wal_count:]``.
+* the delivery sequence, the simulated clock,
+* every room (topic, participants, full transcript),
+* the learner corpus as its **columnar document** (arrays +
+  vocabularies; restoring rebuilds the posting index from interned ids
+  with zero re-tokenisation — see ``docs/corpus.md``),
+* the user profiles and the FAQ pairs (their ``to_dict`` rows),
+* the merged supervision counters.
+
+Writes are crash-atomic: frame → temp file → flush → fsync → rename.
+A snapshot either exists completely and checksums clean, or it is
+ignored; ``load_latest`` walks newest-first, quarantines any damaged
+snapshot file (renamed ``*.corrupt``) and falls back to the previous
+one — worst case the empty state plus a full log replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .faults import NO_FAULTS
+from .wal import encode_frame, scan_segment
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from .manager import RecoveryReport
+
+SNAPSHOT_FORMAT = "repro-snapshot/1"
+SNAPSHOT_GLOB = "snapshot-*.json"
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def build_snapshot(system, wal_count: int) -> dict:
+    """Serialise a system's full mutable state as of ``wal_count``."""
+    from repro.chatroom.transcript_io import message_to_dict
+
+    server = system.server
+    rooms = []
+    for room in server.rooms.values():
+        rooms.append(
+            {
+                "name": room.name,
+                "topic": room.topic,
+                "participants": [
+                    {
+                        "name": participant.name,
+                        "role": participant.role.value,
+                        "joined_at": participant.joined_at,
+                        "messages_sent": participant.messages_sent,
+                    }
+                    for participant in room.participants.values()
+                ],
+                "transcript": [message_to_dict(m) for m in room.transcript],
+            }
+        )
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "wal_count": wal_count,
+        "next_seq": server.total_messages(),
+        "clock": system.clock.now(),
+        "rooms": rooms,
+        "corpus": system.corpus.to_columnar(),
+        "profiles": [profile.to_dict() for profile in system.profiles.all()],
+        "faq": [pair.to_dict() for pair in system.faq.pairs()],
+        "stats": dataclasses.asdict(system.pipeline.combined_stats()),
+    }
+
+
+def restore_snapshot(system, data: dict) -> None:
+    """Load a snapshot document into a freshly constructed system."""
+    from repro.chatroom.messages import Participant, Role
+    from repro.chatroom.supervisor import SupervisionStats
+    from repro.chatroom.transcript_io import message_from_dict
+
+    if data.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(f"not a {SNAPSHOT_FORMAT} document")
+    server = system.server
+    server._next_seq = data["next_seq"]
+    system.clock.seek(data["clock"])
+    for room_data in data["rooms"]:
+        room = server.create_room(room_data["name"], room_data.get("topic", ""))
+        for entry in room_data["participants"]:
+            room.participants[entry["name"]] = Participant(
+                name=entry["name"],
+                role=Role(entry["role"]),
+                joined_at=entry["joined_at"],
+                messages_sent=entry["messages_sent"],
+            )
+        room.transcript = [message_from_dict(m) for m in room_data["transcript"]]
+    system.corpus.restore_columnar(data["corpus"])
+    system.profiles.restore(data["profiles"])
+    system.faq.restore(data["faq"])
+    system.pipeline.stats = SupervisionStats(**data["stats"])
+
+
+class SnapshotStore:
+    """Atomic snapshot files of one data directory, named by cursor."""
+
+    __slots__ = ("directory", "fsync", "keep", "_faults")
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "batch",
+        keep: int = 3,
+        faults=NO_FAULTS,
+    ) -> None:
+        if keep < 1:
+            raise ValueError("must keep at least one snapshot")
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.keep = keep
+        self._faults = faults if faults is not None else NO_FAULTS
+
+    def existing(self) -> list[Path]:
+        """Snapshot files, oldest first (cursor order = lexicographic)."""
+        return sorted(self.directory.glob(SNAPSHOT_GLOB))
+
+    def write(self, data: dict, cursor: int) -> Path:
+        """Write one snapshot crash-atomically; prune old ones.
+
+        Fault points: ``snapshot.begin``, ``snapshot.torn`` (half the
+        temp file flushed), ``snapshot.written`` (temp durable, not yet
+        renamed), ``snapshot.committed``, ``snapshot.pruned``.
+        """
+        faults = self._faults
+        faults.step("snapshot.begin")
+        payload = json.dumps(data, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+        frame = encode_frame(payload)
+        final = self.directory / f"snapshot-{cursor:012d}.json"
+        temp = final.with_name(final.name + ".tmp")
+        with temp.open("wb") as handle:
+            if faults.active:
+                half = max(1, len(frame) // 2)
+                handle.write(frame[:half])
+                handle.flush()
+                faults.step("snapshot.torn")
+                handle.write(frame[half:])
+            else:
+                handle.write(frame)
+            handle.flush()
+            if self.fsync != "never":
+                os.fsync(handle.fileno())
+        faults.step("snapshot.written")
+        os.replace(temp, final)
+        faults.step("snapshot.committed")
+        for stale in self.existing()[: -self.keep]:
+            stale.unlink()
+        faults.step("snapshot.pruned")
+        return final
+
+    def load_latest(self, report: "RecoveryReport") -> dict | None:
+        """The newest intact snapshot document, or None.
+
+        Damaged candidates (torn temp files never become visible, but a
+        bit-flipped or truncated committed file can) are renamed to
+        ``*.corrupt`` and the walk falls back to the next-oldest.
+        """
+        for path in reversed(self.existing()):
+            frames, _end, problem = scan_segment(path.read_bytes())
+            document = None
+            if problem is None and len(frames) == 1:
+                try:
+                    candidate = json.loads(frames[0][1].decode("utf-8"))
+                except (UnicodeDecodeError, ValueError):
+                    candidate = None
+                if isinstance(candidate, dict) and candidate.get("format") == SNAPSHOT_FORMAT:
+                    document = candidate
+            if document is not None:
+                report.snapshot_path = path.name
+                report.snapshot_cursor = int(document.get("wal_count", 0))
+                return document
+            report.snapshots_quarantined.append(path.name)
+            path.rename(path.with_name(path.name + CORRUPT_SUFFIX))
+        return None

@@ -1,0 +1,276 @@
+"""The write-ahead event log: CRC-framed JSONL in rolling segments.
+
+Frame format (one journalled event)::
+
+    llllllll cccccccc {"type":"post",...}\n
+    ^8-hex   ^8-hex   ^payload (UTF-8 JSON) ^terminator
+    payload  CRC-32 of
+    length   payload bytes
+
+The 18-byte header is fixed-width ASCII hex so segments stay greppable
+and editor-openable (each record is still one JSON line), while the
+length prefix + checksum let the reader prove exactly how much of a
+crashed tail is trustworthy:
+
+* **Torn tail** — the file ends mid-frame (short header, short payload,
+  missing terminator).  That is the expected artifact of dying inside a
+  ``write()``: every byte before the torn frame is valid, so recovery
+  truncates the tail and replays the rest.
+* **Corruption** — a *complete* frame whose header is malformed, whose
+  CRC does not match, or whose payload is not JSON.  That is not a
+  crash artifact (crashes tear the tail; they do not rewrite the
+  middle), so recovery quarantines the suspect bytes to a side file and
+  refuses to replay anything at or after them — a prefix of the input
+  history is recovered, never a gap-filled guess.
+
+Segments roll at ``segment_records`` frames (``wal-00000001.log``,
+``wal-00000002.log``, ...).  A reopened log never appends to an old
+segment: each process lifetime writes fresh segments, so a torn tail
+can only ever be at the end of the newest file written by the crashed
+process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .faults import NO_FAULTS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from .manager import RecoveryReport
+
+#: ``"%08x %08x "`` — payload length, space, payload CRC-32, space.
+HEADER_LENGTH = 18
+
+SEGMENT_GLOB = "wal-*.log"
+QUARANTINE_SUFFIX = ".quarantine"
+
+#: fsync policies accepted by :class:`EventLog` (and ``SystemConfig.fsync``).
+FSYNC_MODES = ("always", "batch", "never")
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap payload bytes in the length/CRC envelope."""
+    return b"%08x %08x " % (len(payload), zlib.crc32(payload)) + payload + b"\n"
+
+
+def scan_segment(data: bytes) -> tuple[list[tuple[int, bytes]], int, tuple | None]:
+    """Walk one segment's bytes frame by frame.
+
+    Returns ``(frames, valid_end, problem)``: the ``(offset, payload)``
+    of every frame proven intact, the byte offset up to which the
+    segment is valid, and — if the walk stopped early — a
+    ``(kind, offset, reason)`` triple where ``kind`` is ``"torn"``
+    (incomplete final frame, safe to truncate) or ``"corrupt"`` (a
+    complete but invalid frame, must be quarantined).
+    """
+    frames: list[tuple[int, bytes]] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if size - offset < HEADER_LENGTH:
+            return frames, offset, ("torn", offset, "incomplete frame header")
+        header = data[offset : offset + HEADER_LENGTH]
+        try:
+            length = int(header[0:8], 16)
+            crc = int(header[9:17], 16)
+            well_formed = header[8:9] == b" " and header[17:18] == b" "
+        except ValueError:
+            well_formed = False
+        if not well_formed:
+            return frames, offset, ("corrupt", offset, "malformed frame header")
+        end = offset + HEADER_LENGTH + length + 1
+        if end > size:
+            return frames, offset, ("torn", offset, "incomplete frame payload")
+        payload = data[offset + HEADER_LENGTH : end - 1]
+        if data[end - 1 : end] != b"\n":
+            return frames, offset, ("corrupt", offset, "missing frame terminator")
+        if zlib.crc32(payload) != crc:
+            return frames, offset, ("corrupt", offset, "crc mismatch")
+        frames.append((offset, payload))
+        offset = end
+    return frames, offset, None
+
+
+def segment_paths(directory: str | Path) -> list[Path]:
+    """Existing segment files, oldest first."""
+    return sorted(Path(directory).glob(SEGMENT_GLOB))
+
+
+def read_log(
+    directory: str | Path,
+    report: "RecoveryReport | None" = None,
+    repair: bool = False,
+) -> list[dict]:
+    """Decode every trustworthy event in log order.
+
+    With ``repair=True`` (the recovery path) torn tails are truncated
+    off the segment file and corrupt bytes are moved to a
+    ``<segment>.quarantine`` side file, so a subsequent append-only
+    writer starts from a clean log.  Without it the files are left
+    untouched (inspection / tests).
+
+    Replay stops at the first corruption: events decoded before it are
+    returned, the suspect bytes and any later segments are reported,
+    nothing after the damage is replayed (prefix semantics).
+    """
+    if report is None:
+        from .manager import RecoveryReport
+
+        report = RecoveryReport(data_dir=str(directory))
+    events: list[dict] = []
+    paths = segment_paths(directory)
+    for position, path in enumerate(paths):
+        data = path.read_bytes()
+        frames, valid_end, problem = scan_segment(data)
+        decoded: list[dict] = []
+        for frame_offset, payload in frames:
+            try:
+                decoded.append(json.loads(payload.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError):
+                # A CRC-valid frame that is not JSON was *written*
+                # corrupt; same quarantine treatment as a bad CRC.
+                problem = ("corrupt", frame_offset, "payload is not valid JSON")
+                valid_end = frame_offset
+                break
+        events.extend(decoded)
+        report.segments_read = position + 1
+        final = position == len(paths) - 1
+        if problem is None:
+            continue
+        kind, bad_offset, reason = problem
+        if kind == "torn" and final:
+            # Expected crash artifact: drop the torn tail, keep the rest.
+            report.truncated_bytes += len(data) - bad_offset
+            if repair:
+                with path.open("r+b") as handle:
+                    handle.truncate(bad_offset)
+        else:
+            # Mid-log damage (corrupt frame, or a torn segment that is
+            # not the last — i.e. a hole): quarantine and stop replay.
+            report.quarantined.append(
+                {"segment": path.name, "offset": bad_offset, "reason": reason}
+            )
+            report.segments_skipped.extend(p.name for p in paths[position + 1 :])
+            if repair:
+                side = path.with_name(path.name + QUARANTINE_SUFFIX)
+                side.write_bytes(data[bad_offset:])
+                with path.open("r+b") as handle:
+                    handle.truncate(bad_offset)
+                # Segments after the damage hold events with a hole in
+                # front of them; quarantine them whole so the on-disk
+                # log is exactly the replayable prefix (a second
+                # recovery must not replay across the gap).
+                for later in paths[position + 1 :]:
+                    later.rename(later.with_name(later.name + QUARANTINE_SUFFIX))
+        break
+    report.events_total = len(events)
+    return events
+
+
+class EventLog:
+    """Append-only writer over the segment files of one data directory."""
+
+    __slots__ = (
+        "directory",
+        "fsync",
+        "segment_records",
+        "_faults",
+        "_handle",
+        "_in_segment",
+        "_next_segment",
+    )
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: str = "batch",
+        segment_records: int = 1024,
+        faults=NO_FAULTS,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ValueError(f"unknown fsync policy {fsync!r}; expected one of {FSYNC_MODES}")
+        if segment_records < 1:
+            raise ValueError("segment_records must be at least 1")
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.segment_records = segment_records
+        self._faults = faults if faults is not None else NO_FAULTS
+        self._handle = None
+        self._in_segment = 0
+        existing = segment_paths(self.directory)
+        # Never append to a previous lifetime's segment: its tail may
+        # have been repaired, and fresh segments keep torn frames
+        # attributable to exactly one writer.
+        self._next_segment = 1
+        if existing:
+            self._next_segment = int(existing[-1].stem.split("-")[1]) + 1
+
+    @property
+    def existing_segments(self) -> list[Path]:
+        return segment_paths(self.directory)
+
+    def append(self, event: dict) -> None:
+        """Frame one event and append it to the current segment.
+
+        Fault points: ``wal.append.begin`` (nothing written),
+        ``wal.append.torn`` (half the frame flushed — a genuine torn
+        tail), ``wal.append.flushed``, ``wal.append.synced`` (only with
+        ``fsync="always"``), and ``wal.segment.rolled`` after a roll.
+        """
+        faults = self._faults
+        faults.step("wal.append.begin")
+        if self._handle is None:
+            self._open_segment()
+        handle = self._handle
+        payload = json.dumps(event, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+        frame = encode_frame(payload)
+        if faults.active:
+            # Split the write so the torn boundary is a real torn frame
+            # on disk, not just a counter tick (see faults module docs).
+            half = max(1, len(frame) // 2)
+            handle.write(frame[:half])
+            handle.flush()
+            faults.step("wal.append.torn")
+            handle.write(frame[half:])
+        else:
+            handle.write(frame)
+        handle.flush()
+        faults.step("wal.append.flushed")
+        if self.fsync == "always":
+            os.fsync(handle.fileno())
+            faults.step("wal.append.synced")
+        self._in_segment += 1
+        if self._in_segment >= self.segment_records:
+            self._roll()
+
+    def sync(self) -> None:
+        """Flush and (unless ``fsync="never"``) fsync the open segment."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self.fsync != "never":
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        self.sync()
+        self._handle.close()
+        self._handle = None
+
+    # ------------------------------------------------------------ internals
+
+    def _open_segment(self) -> None:
+        path = self.directory / f"wal-{self._next_segment:08d}.log"
+        self._next_segment += 1
+        self._handle = path.open("ab")
+        self._in_segment = 0
+
+    def _roll(self) -> None:
+        self.close()
+        self._faults.step("wal.segment.rolled")

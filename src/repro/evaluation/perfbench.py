@@ -4,8 +4,9 @@
 workloads — cold parsing, cached parsing, the mixed-traffic supervision
 loop, a seeded classroom session, suggestion search, raw post latency,
 the multi-room sharded-runtime scale test, the parallel
-(shard-replica) drain test and the corpus-scale retrieval test (10k vs
-250k records, stopword-heavy queries) — and writes the numbers to
+(shard-replica) drain test, the corpus-scale retrieval test (10k vs
+250k records, stopword-heavy queries) and the durability recovery test
+(WAL replay rate, snapshot-recover wall clock) — and writes the numbers to
 ``BENCH_parse.json`` so successive PRs can track the perf trajectory
 of the parse engine and the supervision runtime.
 
@@ -512,6 +513,71 @@ def bench_corpus_memory(records: int = 250_000, repeats: int = 8) -> dict:
     }
 
 
+def bench_recovery(messages: int = 240) -> dict:
+    """Durability pricing: WAL replay rate and snapshot-recover latency.
+
+    Runs the mixed-traffic loop through a durable system with periodic
+    snapshots disabled and ``fsync="never"`` (the write-ahead cost is
+    priced by comparing ``post_latency`` runs, not here), then abandons
+    the process state without a final snapshot — the on-disk shape of a
+    crash.  Two recoveries are timed:
+
+    * **replay-only** — no snapshot exists, so recovery re-runs the full
+      supervision pipeline over every journalled message
+      (``replay_messages_per_sec`` is the disaster-case rebuild rate);
+    * **snapshot + empty tail** — after the first recovery compacts into
+      a snapshot, a second recovery restores columnar state directly
+      (``snapshot_recover_seconds`` is the ordinary restart cost, and it
+      must not scale with supervision work — the restore never
+      re-tokenises).
+
+    ``wal_bytes`` / ``snapshot_bytes`` track the durability footprint of
+    the same workload in both representations.
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-recovery-"))
+    config = SystemConfig(snapshot_every=None, fsync="never")
+    try:
+        data_dir = workdir / "state"
+        system = ELearningSystem.with_defaults(replace(config, data_dir=str(data_dir)))
+        system.open_room("rec", topic="t")
+        system.join("rec", "u")
+        for i in range(messages):
+            system.say("rec", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+        system.durability.close()  # sync the log, write NO snapshot:
+        system.runtime.close()  # the on-disk shape of a crash
+        wal_bytes = sum(p.stat().st_size for p in data_dir.glob("wal-*.log"))
+
+        start = time.perf_counter()
+        recovered, report = ELearningSystem.recover(str(data_dir), config)
+        replay_seconds = time.perf_counter() - start
+        events_replayed = report.events_replayed
+        recovered.close()  # compact: the final snapshot now covers the log
+        snapshot_bytes = max(
+            p.stat().st_size for p in data_dir.glob("snapshot-*.json")
+        )
+
+        start = time.perf_counter()
+        again, _ = ELearningSystem.recover(str(data_dir), config)
+        snapshot_recover_seconds = time.perf_counter() - start
+        again.runtime.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "messages": messages,
+        "events_replayed": events_replayed,
+        "replay_messages_per_sec": messages / replay_seconds,
+        "snapshot_recover_seconds": snapshot_recover_seconds,
+        "wal_bytes": wal_bytes,
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -538,6 +604,7 @@ def run_report(quick: bool = False) -> dict:
                 records_small=n(10_000), records_large=n(250_000)
             ),
             "corpus_memory": bench_corpus_memory(records=n(250_000)),
+            "recovery": bench_recovery(messages=n(240)),
         },
     }
 
@@ -585,12 +652,27 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "ms_per_query_reference",
         "latency_ratio_columnar_vs_reference",
     ),
+    "recovery": (
+        "messages",
+        "events_replayed",
+        "replay_messages_per_sec",
+        "snapshot_recover_seconds",
+        "wal_bytes",
+        "snapshot_bytes",
+    ),
 }
 
 #: Workloads the seed commit predates; a pinned baseline need not (and
 #: cannot) carry them.
 _POST_SEED_WORKLOADS = frozenset(
-    {"post_latency", "multi_room_scale", "parallel_drain", "corpus_scale", "corpus_memory"}
+    {
+        "post_latency",
+        "multi_room_scale",
+        "parallel_drain",
+        "corpus_scale",
+        "corpus_memory",
+        "recovery",
+    }
 )
 
 

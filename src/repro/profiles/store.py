@@ -190,6 +190,14 @@ class UserProfileStore:
         """Canonical comparable value: every profile, ordered by name."""
         return tuple(profile.to_dict() for profile in self.all())
 
+    def restore(self, profiles: list[dict]) -> None:
+        """Replace the store's contents from ``to_dict`` rows (snapshot
+        recovery) — in place, so consumers keep their reference."""
+        self._profiles = {}
+        for data in profiles:
+            profile = UserProfile.from_dict(data)
+            self._profiles[profile.name] = profile
+
     # --------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> None:

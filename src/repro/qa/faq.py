@@ -216,6 +216,18 @@ class FAQDatabase:
         """Canonical comparable value: every pair, frequency-ranked."""
         return tuple(pair.to_dict() for pair in self.pairs())
 
+    def restore(self, pairs: list[dict]) -> None:
+        """Replace the database's contents from ``to_dict`` rows
+        (snapshot recovery) — in place, resetting merge bookkeeping
+        (recovery happens at a barrier: no replicas are outstanding)."""
+        self._pairs = {}
+        self._merge_origins = {}
+        self._merge_floor = None
+        self._barrier_born = set()
+        for data in pairs:
+            pair = QAPair.from_dict(data)
+            self._pairs[pair.key] = pair
+
     # --------------------------------------------------------- persistence
 
     def save(self, path: str | Path) -> None:

@@ -1,0 +1,143 @@
+"""Columnar corpus persistence: save/load without re-tokenisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.corpus.store as corpus_store
+from repro.corpus.generator import CorporaGenerator
+from repro.corpus.index import IndexConfig
+from repro.corpus.records import Correctness, CorpusRecord
+from repro.corpus.store import CORPUS_COLUMNAR_FORMAT, LearnerCorpus
+from repro.ontology.domains import default_ontology
+from repro.state.mergeable import snapshots_equal
+
+
+@pytest.fixture(scope="module")
+def seeded_corpus():
+    corpus = LearnerCorpus()
+    CorporaGenerator(default_ontology()).populate(corpus)
+    corpus.add(
+        CorpusRecord(
+            record_id=corpus.next_id(),
+            user="alice",
+            room="ds-101",
+            text="the stack overflowed badly",
+            timestamp=7,
+            pattern="statement",
+            verdict=Correctness.SYNTAX_ERROR,
+            syntax_issues=[("agreement", "overflowed")],
+            semantic_issues=["stack is not a queue"],
+            keywords=["Stack"],
+            links="S(stack,overflowed)",
+            cost=2,
+        )
+    )
+    return corpus
+
+
+class TestColumnarRoundTrip:
+    def test_save_writes_one_columnar_document(self, seeded_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        seeded_corpus.save(path)
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 1
+        document = json.loads(lines[0])
+        assert document["format"] == CORPUS_COLUMNAR_FORMAT
+        assert document["records"] == len(seeded_corpus)
+
+    def test_load_round_trips_records_and_queries(self, seeded_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        seeded_corpus.save(path)
+        loaded = LearnerCorpus.load(path)
+        assert snapshots_equal(loaded, seeded_corpus)
+        assert loaded.index.stats() == seeded_corpus.index.stats()
+        assert loaded.verdict_counts() == seeded_corpus.verdict_counts()
+        for keyword in ("stack", "queue"):
+            assert [r.to_dict() for r in loaded.with_keyword(keyword)] == [
+                r.to_dict() for r in seeded_corpus.with_keyword(keyword)
+            ]
+        assert [r.to_dict() for r in loaded.by_user("alice")] == [
+            r.to_dict() for r in seeded_corpus.by_user("alice")
+        ]
+
+    def test_load_never_tokenises(self, seeded_corpus, tmp_path, monkeypatch):
+        """The PR-5 leftover, closed: corpus load is a columnar restore,
+        not a re-ingestion — zero tokenizer calls."""
+        path = tmp_path / "corpus.json"
+        seeded_corpus.save(path)
+
+        def forbidden(text):  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError(f"load re-tokenised {text!r}")
+
+        monkeypatch.setattr(corpus_store, "tokenize", forbidden)
+        loaded = LearnerCorpus.load(path)
+        assert snapshots_equal(loaded, seeded_corpus)
+
+    def test_loaded_corpus_accepts_new_records(self, seeded_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        seeded_corpus.save(path)
+        loaded = LearnerCorpus.load(path)
+        record = CorpusRecord(
+            record_id=loaded.next_id(),
+            user="bob",
+            room="ds-101",
+            text="a queue uses enqueue",
+            timestamp=9,
+            pattern="statement",
+            verdict=Correctness.CORRECT,
+            keywords=["Queue"],
+        )
+        loaded.add(record)
+        assert loaded.records()[-1] == record
+        assert loaded.with_keyword("queue")[-1].user == "bob"
+
+    def test_round_trip_preserves_index_config(self, tmp_path):
+        corpus = LearnerCorpus(IndexConfig(stopword_df_cap=7))
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        loaded = LearnerCorpus.load(path, IndexConfig(stopword_df_cap=7))
+        assert loaded.index.config.stopword_df_cap == 7
+
+    def test_empty_corpus_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        LearnerCorpus().save(path)
+        assert len(LearnerCorpus.load(path)) == 0
+
+    def test_empty_file_loads_as_empty_corpus(self, tmp_path):
+        path = tmp_path / "blank.json"
+        path.write_text("", encoding="utf-8")
+        assert len(LearnerCorpus.load(path)) == 0
+
+
+class TestLegacyFormat:
+    def test_legacy_jsonl_rows_still_load(self, seeded_corpus, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for position in range(len(seeded_corpus)):
+                row = seeded_corpus.columns.to_dict(position)
+                handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+        loaded = LearnerCorpus.load(path)
+        assert snapshots_equal(loaded, seeded_corpus)
+
+
+class TestColumnValidation:
+    def test_misaligned_scalar_column_fails_loudly(self, seeded_corpus, tmp_path):
+        document = seeded_corpus.to_columnar()
+        document["columns"]["verdicts"] = document["columns"]["verdicts"][:-1]
+        fresh = LearnerCorpus()
+        with pytest.raises(ValueError, match="misaligned"):
+            fresh.restore_columnar(document)
+
+    def test_malformed_offset_table_fails_loudly(self, seeded_corpus):
+        document = seeded_corpus.to_columnar()
+        document["columns"]["token_offsets"][0] = 1
+        fresh = LearnerCorpus()
+        with pytest.raises(ValueError, match="offset table"):
+            fresh.restore_columnar(document)
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ValueError, match="columnar"):
+            LearnerCorpus().restore_columnar({"format": "something-else"})

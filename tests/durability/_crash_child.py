@@ -1,0 +1,66 @@
+"""Subprocess body for the crash-point harness.
+
+Run as ``python _crash_child.py DATA_DIR CRASH_AT`` (PYTHONPATH=src):
+drives the shared scripted workload against a durable system with a
+``FaultClock(mode="exit")`` armed at boundary ``CRASH_AT``, so the
+process dies with a real ``os._exit`` — no atexit hooks, no flushes.
+Exit code 23 = the injected crash fired; 0 = the workload outran the
+boundary count.  The parent test imports :data:`OPS` / :func:`apply`
+from this file, so both modes (injected exception, subprocess) and the
+canonical run share one workload definition.
+"""
+
+from __future__ import annotations
+
+import sys
+
+# One room of mixed traffic + a second room, provoking every supervision
+# path: questions (FAQ), syntax errors, semantic violations, correct
+# statements, membership churn.
+OPS = (
+    ("room", "ds-101", "stacks"),
+    ("join", "ds-101", "alice"),
+    ("join", "ds-101", "bob"),
+    ("say", "ds-101", "alice", "What is Stack?"),
+    ("say", "ds-101", "bob", "the cat sat on the mat"),
+    ("say", "ds-101", "alice", "a queue are a structure"),
+    ("room", "ds-201", "queues"),
+    ("join", "ds-201", "carol"),
+    ("say", "ds-201", "carol", "What is Queue?"),
+    ("say", "ds-101", "bob", "stack uses pop operation"),
+    ("leave", "ds-101", "bob"),
+    ("say", "ds-201", "carol", "the stack is a queue"),
+)
+
+
+def apply(system, op) -> None:
+    if op[0] == "room":
+        system.open_room(op[1], topic=op[2])
+    elif op[0] == "join":
+        system.join(op[1], op[2])
+    elif op[0] == "leave":
+        system.server.leave(op[1], op[2])
+    elif op[0] == "say":
+        system.say(op[1], op[2], op[3])
+    else:  # pragma: no cover - guards workload typos
+        raise ValueError(f"unknown op {op!r}")
+
+
+def main(data_dir: str, crash_at: int) -> int:
+    from repro.core.system import ELearningSystem, SystemConfig
+    from repro.durability.faults import FaultClock
+
+    clock = FaultClock(crash_at=crash_at, mode="exit")
+    system = ELearningSystem.with_defaults(
+        SystemConfig(
+            data_dir=data_dir, snapshot_every=5, fsync="always", fault_clock=clock
+        )
+    )
+    for op in OPS:
+        apply(system, op)
+    system.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], int(sys.argv[2])))

@@ -1,0 +1,183 @@
+"""Log-corruption edge cases: torn tails, CRC damage, missing files.
+
+Every scenario crafts real on-disk damage and asserts the recovery
+contract: torn tails truncate, corrupt bytes quarantine to side files,
+replay stops at the damage (prefix semantics, never a gap), and the
+report says exactly what happened.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.system import ELearningSystem, SystemConfig
+from repro.durability.manager import RecoveryReport
+from repro.durability.wal import (
+    EventLog,
+    encode_frame,
+    read_log,
+    segment_paths,
+)
+
+
+def write_log(directory, events, segment_records=1024):
+    log = EventLog(directory, segment_records=segment_records)
+    for event in events:
+        log.append(event)
+    log.close()
+
+
+def events_of(n):
+    return [{"type": "post", "seq": i, "text": f"message {i}"} for i in range(n)]
+
+
+def fresh_report(directory):
+    return RecoveryReport(data_dir=str(directory))
+
+
+class TestTornTail:
+    def test_torn_final_record_is_truncated(self, tmp_path):
+        write_log(tmp_path, events_of(5))
+        segment = segment_paths(tmp_path)[0]
+        intact = segment.stat().st_size
+        frame = encode_frame(json.dumps({"seq": 5}).encode())
+        segment.open("ab").write(frame[: len(frame) // 2])
+        report = fresh_report(tmp_path)
+        assert read_log(tmp_path, report, repair=True) == events_of(5)
+        assert report.truncated_bytes == len(frame) // 2
+        assert report.clean  # a torn tail is the expected crash artifact
+        assert segment.stat().st_size == intact
+        # idempotent: a second recovery sees a clean log
+        again = fresh_report(tmp_path)
+        assert read_log(tmp_path, again, repair=True) == events_of(5)
+        assert again.truncated_bytes == 0
+
+    def test_tail_shorter_than_a_header_is_torn(self, tmp_path):
+        write_log(tmp_path, events_of(2))
+        segment = segment_paths(tmp_path)[0]
+        segment.open("ab").write(b"0000")
+        report = fresh_report(tmp_path)
+        assert read_log(tmp_path, report, repair=True) == events_of(2)
+        assert report.truncated_bytes == 4
+
+    def test_without_repair_files_stay_untouched(self, tmp_path):
+        write_log(tmp_path, events_of(3))
+        segment = segment_paths(tmp_path)[0]
+        segment.open("ab").write(b"torn")
+        size = segment.stat().st_size
+        read_log(tmp_path, fresh_report(tmp_path), repair=False)
+        assert segment.stat().st_size == size
+
+
+class TestCorruption:
+    def test_mid_segment_crc_mismatch_quarantines(self, tmp_path):
+        write_log(tmp_path, events_of(6))
+        segment = segment_paths(tmp_path)[0]
+        data = bytearray(segment.read_bytes())
+        frame_len = len(data) // 6  # six identical-length frames
+        # flip one payload byte of the third record
+        data[2 * frame_len + 25] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        report = fresh_report(tmp_path)
+        events = read_log(tmp_path, report, repair=True)
+        assert events == events_of(2)  # prefix before the damage only
+        assert not report.clean
+        assert report.quarantined[0]["reason"] == "crc mismatch"
+        side = segment.with_name(segment.name + ".quarantine")
+        assert side.exists() and len(side.read_bytes()) == 4 * frame_len
+        # the repaired segment holds exactly the replayable prefix
+        assert read_log(tmp_path, fresh_report(tmp_path)) == events_of(2)
+
+    def test_corruption_skips_later_segments(self, tmp_path):
+        write_log(tmp_path, events_of(9), segment_records=3)
+        first, second, third = segment_paths(tmp_path)
+        data = bytearray(second.read_bytes())
+        data[30] ^= 0xFF
+        second.write_bytes(bytes(data))
+        report = fresh_report(tmp_path)
+        events = read_log(tmp_path, report, repair=True)
+        assert events == events_of(3)
+        assert report.segments_skipped == [third.name]
+        # the skipped segment was quarantined whole: a second recovery
+        # must not replay across the gap
+        assert segment_paths(tmp_path) == [first, second]
+        assert read_log(tmp_path, fresh_report(tmp_path)) == events_of(3)
+
+    def test_torn_non_final_segment_is_a_hole_not_a_tail(self, tmp_path):
+        write_log(tmp_path, events_of(6), segment_records=3)
+        first, second = segment_paths(tmp_path)
+        with first.open("r+b") as handle:
+            handle.truncate(first.stat().st_size - 5)
+        report = fresh_report(tmp_path)
+        events = read_log(tmp_path, report, repair=True)
+        assert events == events_of(2)
+        assert not report.clean
+        assert report.segments_skipped == [second.name]
+
+    def test_non_json_payload_with_valid_crc_quarantines(self, tmp_path):
+        write_log(tmp_path, events_of(2))
+        segment = segment_paths(tmp_path)[0]
+        segment.open("ab").write(encode_frame(b"not json at all"))
+        report = fresh_report(tmp_path)
+        assert read_log(tmp_path, report, repair=True) == events_of(2)
+        assert report.quarantined[0]["reason"] == "payload is not valid JSON"
+
+
+class TestDegenerateFiles:
+    def test_empty_zero_length_segment(self, tmp_path):
+        (tmp_path / "wal-00000001.log").write_bytes(b"")
+        report = fresh_report(tmp_path)
+        assert read_log(tmp_path, report, repair=True) == []
+        assert report.clean
+        # a fresh writer opens a new segment rather than reusing it
+        log = EventLog(tmp_path)
+        log.append({"n": 1})
+        log.close()
+        assert [p.name for p in segment_paths(tmp_path)] == [
+            "wal-00000001.log",
+            "wal-00000002.log",
+        ]
+
+    def test_snapshot_missing_with_non_empty_log_full_replay(self, tmp_path):
+        config = SystemConfig(data_dir=str(tmp_path / "d"), snapshot_every=3)
+        system = ELearningSystem.with_defaults(config)
+        system.open_room("ds-101", topic="stacks")
+        system.join("ds-101", "alice")
+        for text in ("What is Stack?", "the cat sat on the mat", "a queue are a structure"):
+            system.say("ds-101", "alice", text)
+        canonical = (
+            system.corpus.snapshot(),
+            system.profiles.snapshot(),
+            system.faq.snapshot(),
+            list(system.server.rooms["ds-101"].transcript),
+        )
+        system.close()
+        for snapshot in (tmp_path / "d").glob("snapshot-*.json"):
+            snapshot.unlink()
+        recovered, report = ELearningSystem.recover(str(tmp_path / "d"))
+        assert report.snapshot_path is None
+        assert report.events_replayed == report.events_total > 0
+        assert recovered.corpus.snapshot() == canonical[0]
+        assert recovered.profiles.snapshot() == canonical[1]
+        assert recovered.faq.snapshot() == canonical[2]
+        assert list(recovered.server.rooms["ds-101"].transcript) == canonical[3]
+        recovered.close()
+
+    def test_duplicated_post_records_replay_idempotently(self, tmp_path):
+        config = SystemConfig(data_dir=str(tmp_path / "d"), snapshot_every=None)
+        system = ELearningSystem.with_defaults(config)
+        system.open_room("ds-101")
+        system.join("ds-101", "alice")
+        system.say("ds-101", "alice", "What is Stack?")
+        canonical = (system.corpus.snapshot(), system.faq.snapshot())
+        system.close()
+        # duplicate the whole segment's frames (a replayed-twice log)
+        segment = segment_paths(tmp_path / "d")[0]
+        segment.write_bytes(segment.read_bytes() * 2)
+        recovered, report = ELearningSystem.recover(
+            str(tmp_path / "d"), SystemConfig(snapshot_every=None)
+        )
+        assert report.clean
+        assert report.events_skipped == 3  # room + join + post, second copy
+        assert (recovered.corpus.snapshot(), recovered.faq.snapshot()) == canonical
+        recovered.close()

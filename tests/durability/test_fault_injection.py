@@ -1,0 +1,231 @@
+"""Crash-at-any-boundary fault injection.
+
+The core robustness proof: for *every* write/snapshot boundary the
+durability layer crosses during a scripted workload, kill the process
+there, recover the data directory, finish the remaining inputs on the
+recovered system, and assert the final ``snapshot()`` state of every
+store equals the canonical uncrashed run — transcripts, clock, sequence
+numbers and supervision counters included.
+
+Two kill modes: injected ``SimulatedCrash`` (fast — the whole boundary
+sweep runs in-process) and a real ``os._exit`` subprocess for a sample
+of boundaries (proving the contract holds under genuine process death,
+not just unwinding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.corpus.store as corpus_store
+from repro.core.system import ELearningSystem, SystemConfig
+from repro.durability.faults import NO_FAULTS, FaultClock, SimulatedCrash
+
+_CHILD = Path(__file__).with_name("_crash_child.py")
+_spec = importlib.util.spec_from_file_location("_crash_child", _CHILD)
+_crash_child = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_crash_child)
+OPS, apply_op = _crash_child.OPS, _crash_child.apply
+
+CONFIG_KWARGS = dict(snapshot_every=5, fsync="always")
+
+
+def make_config(data_dir, fault_clock=None):
+    return SystemConfig(
+        data_dir=str(data_dir), fault_clock=fault_clock, **CONFIG_KWARGS
+    )
+
+
+def full_state(system):
+    return (
+        system.corpus.snapshot(),
+        system.profiles.snapshot(),
+        system.faq.snapshot(),
+        {name: list(room.transcript) for name, room in system.server.rooms.items()},
+        system.clock.now(),
+        system.server.total_messages(),
+        dataclasses.asdict(system.pipeline.combined_stats()),
+    )
+
+
+@pytest.fixture(scope="module")
+def canonical(tmp_path_factory):
+    """The uncrashed reference: same durable code path, no faults."""
+    directory = tmp_path_factory.mktemp("canonical")
+    system = ELearningSystem.with_defaults(make_config(directory / "d"))
+    for op in OPS:
+        apply_op(system, op)
+    state = full_state(system)
+    system.close()
+    return state
+
+
+@pytest.fixture(scope="module")
+def boundary_count(tmp_path_factory, canonical):
+    """How many fault boundaries the workload + close() cross, measured
+    by an unarmed counting clock — which must not change semantics."""
+    directory = tmp_path_factory.mktemp("counting")
+    clock = FaultClock()  # unarmed: counts, never fires
+    system = ELearningSystem.with_defaults(make_config(directory / "d", clock))
+    for op in OPS:
+        apply_op(system, op)
+    assert full_state(system) == canonical
+    system.close()
+    assert clock.count > len(OPS)  # several boundaries per input
+    return clock.count
+
+
+def recover_and_finish(data_dir):
+    """Recover a crashed directory and apply the not-yet-durable inputs.
+
+    The log's event count *is* the durable input prefix (each workload
+    op journals exactly one event, agent replies are never journalled),
+    so ``OPS[report.events_total:]`` are the inputs the crash lost.
+    """
+    recovered, report = ELearningSystem.recover(
+        str(data_dir), SystemConfig(**CONFIG_KWARGS)
+    )
+    assert report.clean, report.summary()
+    resume = report.events_total
+    assert 0 <= resume <= len(OPS)
+    for op in OPS[resume:]:
+        apply_op(recovered, op)
+    return recovered, report
+
+
+def test_crash_at_every_boundary_recovers_to_canonical(
+    tmp_path, canonical, boundary_count
+):
+    """The tentpole sweep: every boundary, injected-exception mode."""
+    failures = []
+    for crash_at in range(1, boundary_count + 1):
+        directory = tmp_path / f"crash-{crash_at}"
+        clock = FaultClock(crash_at=crash_at)
+        try:
+            system = ELearningSystem.with_defaults(make_config(directory, clock))
+            for op in OPS:
+                apply_op(system, op)
+            system.close()
+        except SimulatedCrash:
+            pass
+        else:
+            pytest.fail(f"boundary {crash_at} never fired (count={clock.count})")
+        recovered, report = recover_and_finish(directory)
+        assert report.clean, f"crash_at={crash_at}: {report.summary()}"
+        if full_state(recovered) != canonical:
+            failures.append(crash_at)
+        recovered.close()
+    assert failures == [], f"recovery diverged after crashes at boundaries {failures}"
+
+
+def test_counting_and_armed_runs_share_boundary_numbering(tmp_path, boundary_count):
+    """crash_at=N fires at the same labelled boundary the counting run
+    numbered N — the sweep's coverage claim depends on this."""
+    counting = FaultClock()
+    system = ELearningSystem.with_defaults(make_config(tmp_path / "count", counting))
+    for op in OPS[:4]:
+        apply_op(system, op)
+    system.runtime.close()
+    target = counting.count  # mid-workload boundary
+    armed = FaultClock(crash_at=target)
+    with pytest.raises(SimulatedCrash):
+        crashed = ELearningSystem.with_defaults(make_config(tmp_path / "armed", armed))
+        for op in OPS:
+            apply_op(crashed, op)
+    assert armed.fired[-1] == counting.fired[-1]
+    assert armed.count == target
+
+
+def test_snapshot_restore_during_sweep_never_tokenises(tmp_path, canonical):
+    """Companion to the sweep: crash right after a periodic snapshot
+    commits, then assert the corpus restore ran with zero tokenizer
+    calls (the replayed tail may tokenise; the *load* may not)."""
+    # find the boundary just after the first snapshot commit
+    probe = FaultClock()
+    system = ELearningSystem.with_defaults(make_config(tmp_path / "probe", probe))
+    for op in OPS:
+        apply_op(system, op)
+    system.close()
+    commit_boundary = probe.fired.index("snapshot.committed") + 1
+
+    directory = tmp_path / "crash"
+    clock = FaultClock(crash_at=commit_boundary + 1)
+    with pytest.raises(SimulatedCrash):
+        crashed = ELearningSystem.with_defaults(make_config(directory, clock))
+        for op in OPS:
+            apply_op(crashed, op)
+        crashed.close()
+
+    calls = []
+    real = corpus_store.tokenize
+    corpus_store.tokenize = lambda text: (calls.append(text) or real(text))
+    try:
+        recovered, report = ELearningSystem.recover(
+            str(directory), SystemConfig(seed_corpus=False, **CONFIG_KWARGS)
+        )
+    finally:
+        corpus_store.tokenize = real
+    assert report.snapshot_path is not None
+    replayed_texts = {
+        op[3] for op in OPS if op[0] == "say"
+    }  # replay may tokenise tail inputs — but nothing else
+    assert set(calls) <= replayed_texts
+    resume = report.events_total
+    for op in OPS[resume:]:
+        apply_op(recovered, op)
+    assert full_state(recovered) == canonical
+    recovered.close()
+
+
+class TestSubprocessMode:
+    """Real process death (``os._exit``) for a sample of boundaries."""
+
+    @pytest.mark.parametrize("crash_at", [3, 17, 40])
+    def test_os_exit_crash_recovers_to_canonical(self, tmp_path, canonical, crash_at):
+        directory = tmp_path / "d"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, str(_CHILD), str(directory), str(crash_at)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 23, (result.returncode, result.stderr)
+        recovered, _report = recover_and_finish(directory)
+        assert full_state(recovered) == canonical
+        recovered.close()
+
+    def test_child_outruns_boundaries_and_exits_zero(self, tmp_path, canonical):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, str(_CHILD), str(tmp_path / "d"), "1000000"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        recovered, report = recover_and_finish(tmp_path / "d")
+        assert report.events_total == len(OPS)
+        assert full_state(recovered) == canonical
+        recovered.close()
+
+    def test_fault_clock_exit_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            FaultClock(mode="explode")
+        with pytest.raises(ValueError, match="crash_at"):
+            FaultClock(crash_at=0)
+        assert NO_FAULTS.active is False
+        assert NO_FAULTS.step("anything") is None

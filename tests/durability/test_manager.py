@@ -1,0 +1,148 @@
+"""DurabilityManager unit behaviour: validation, closed no-ops, the
+recovery report's renderings, and replay divergence handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import ELearningSystem, SystemConfig
+from repro.durability.manager import (
+    DurabilityManager,
+    RecoveryReport,
+    replay_events,
+)
+
+
+class TestManagerValidation:
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            DurabilityManager(tmp_path, fsync="sometimes")
+
+    def test_zero_snapshot_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="snapshot_every"):
+            DurabilityManager(tmp_path, snapshot_every=0)
+
+
+class TestClosedManager:
+    def test_close_is_idempotent_and_stops_journalling(self, tmp_path):
+        manager = DurabilityManager(tmp_path)
+        manager.room_created("r", "t", 0.0)
+        manager.close()
+        manager.close()  # second close is a no-op
+        manager.room_created("ignored", "t", 1.0)  # journalling stopped
+        assert manager.total == 1
+
+    def test_snapshot_after_close_is_a_noop(self, tmp_path):
+        manager = DurabilityManager(tmp_path)
+        manager.close()
+        assert manager.snapshot(None) is None
+        assert manager.maybe_snapshot(None) is None
+
+
+class TestRecoveryReportRendering:
+    def degraded(self):
+        return RecoveryReport(
+            data_dir="/tmp/d",
+            snapshot_path=None,
+            truncated_bytes=7,
+            quarantined=[{"segment": "wal-00000001.log", "offset": 42, "reason": "crc mismatch"}],
+            segments_skipped=["wal-00000002.log"],
+            snapshots_quarantined=["snapshot-000000000001.json.corrupt"],
+            divergences=["event 3 (post): no such room"],
+        )
+
+    def test_to_dict_round_trips_every_field(self):
+        report = self.degraded()
+        data = report.to_dict()
+        assert data["clean"] is False
+        assert data["truncated_bytes"] == 7
+        assert data["quarantined"][0]["reason"] == "crc mismatch"
+        assert data["segments_skipped"] == ["wal-00000002.log"]
+        assert data["divergences"] == ["event 3 (post): no such room"]
+
+    def test_summary_mentions_every_problem(self):
+        text = self.degraded().summary()
+        assert "(none — full replay)" in text
+        assert "torn tail truncated: 7" in text
+        assert "crc mismatch" in text
+        assert "segments not replayed: wal-00000002.log" in text
+        assert "snapshots quarantined:" in text
+        assert "divergence: event 3" in text
+        assert "degraded" in text
+
+    def test_summary_of_a_clean_report(self):
+        text = RecoveryReport(data_dir="/tmp/d", snapshot_path="snap").summary()
+        assert "recovery: clean" in text
+        assert "torn tail" not in text
+
+
+class TestReplayDivergences:
+    """Events that cannot be applied are reported, never fatal."""
+
+    def fresh(self):
+        system = ELearningSystem.with_defaults()
+        system.open_room("ds-101", topic="t")
+        system.join("ds-101", "alice")
+        return system
+
+    def test_post_to_missing_room_is_a_divergence(self):
+        system = self.fresh()
+        report = RecoveryReport(data_dir="x")
+        events = [{"type": "post", "seq": 99, "room": "nope", "sender": "alice",
+                   "kind": "user", "text": "hi", "ts": 5.0, "reply_to": None}]
+        replay_events(system, events, 0, report)
+        assert report.events_replayed == 0
+        assert "event 0 (post)" in report.divergences[0]
+
+    def test_sequence_mismatch_is_a_divergence(self):
+        system = self.fresh()
+        report = RecoveryReport(data_dir="x")
+        events = [{"type": "post", "seq": 99, "room": "ds-101", "sender": "alice",
+                   "kind": "user", "text": "What is Stack?", "ts": 5.0,
+                   "reply_to": None, "advance": 1.0}]
+        replay_events(system, events, 0, report)
+        assert report.events_replayed == 1  # applied, but flagged
+        assert "logged 99" in report.divergences[0]
+
+    def test_unknown_event_type_is_a_divergence(self):
+        system = self.fresh()
+        report = RecoveryReport(data_dir="x")
+        replay_events(system, [{"type": "widget"}], 0, report)
+        assert "unknown type 'widget'" in report.divergences[0]
+
+    def test_leave_of_a_non_member_is_skipped(self):
+        system = self.fresh()
+        report = RecoveryReport(data_dir="x")
+        replay_events(
+            system, [{"type": "leave", "room": "ds-101", "user": "ghost", "ts": 2.0}],
+            0, report,
+        )
+        assert report.events_skipped == 1
+        assert report.divergences == []
+
+
+class TestDrainEventReplay:
+    def test_journalled_drain_replays_through_the_runtime(self, tmp_path):
+        """Deferred-drain runtimes journal explicit drains; replaying one
+        re-flushes the queued supervision at the logged time."""
+        config = SystemConfig(
+            runtime_mode="queued", auto_drain=False,
+            data_dir=str(tmp_path / "d"), snapshot_every=None,
+        )
+        system = ELearningSystem.with_defaults(config)
+        system.open_room("ds-101", topic="t")
+        system.join("ds-101", "alice")
+        system.say("ds-101", "alice", "What is Stack?")
+        assert system.pending_supervision > 0
+        system.drain()
+        canonical = (system.corpus.snapshot(), system.faq.snapshot())
+        system.durability.close()  # abandon without a snapshot
+        system.runtime.close()
+        recovered, report = ELearningSystem.recover(
+            str(tmp_path / "d"),
+            SystemConfig(runtime_mode="queued", auto_drain=False, snapshot_every=None),
+        )
+        assert report.clean
+        assert report.events_replayed == 4  # room + join + post + drain
+        assert (recovered.corpus.snapshot(), recovered.faq.snapshot()) == canonical
+        recovered.close()

@@ -1,0 +1,90 @@
+"""The write-ahead log: frame codec, segments, fsync policies."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.durability.manager import RecoveryReport
+from repro.durability.wal import (
+    FSYNC_MODES,
+    HEADER_LENGTH,
+    EventLog,
+    encode_frame,
+    read_log,
+    scan_segment,
+    segment_paths,
+)
+
+
+def events_of(n):
+    return [{"type": "post", "seq": i, "text": f"message {i}"} for i in range(n)]
+
+
+class TestFrameCodec:
+    def test_frame_is_header_payload_newline(self):
+        frame = encode_frame(b'{"a":1}')
+        assert frame[:HEADER_LENGTH] == b'00000007 %08x ' % zlib.crc32(b'{"a":1}')
+        assert frame.endswith(b'{"a":1}\n')
+
+    def test_scan_round_trips_frames(self):
+        payloads = [json.dumps(e).encode() for e in events_of(5)]
+        data = b"".join(encode_frame(p) for p in payloads)
+        frames, end, problem = scan_segment(data)
+        assert problem is None
+        assert end == len(data)
+        assert [payload for _off, payload in frames] == payloads
+
+    def test_scan_empty_bytes(self):
+        assert scan_segment(b"") == ([], 0, None)
+
+
+class TestEventLog:
+    def test_append_read_round_trip(self, tmp_path):
+        log = EventLog(tmp_path)
+        for event in events_of(7):
+            log.append(event)
+        log.close()
+        assert read_log(tmp_path) == events_of(7)
+
+    def test_segments_roll_at_record_limit(self, tmp_path):
+        log = EventLog(tmp_path, segment_records=3)
+        for event in events_of(8):
+            log.append(event)
+        log.close()
+        names = [p.name for p in segment_paths(tmp_path)]
+        assert names == ["wal-00000001.log", "wal-00000002.log", "wal-00000003.log"]
+        assert read_log(tmp_path) == events_of(8)
+
+    def test_reopen_never_appends_to_old_segments(self, tmp_path):
+        first = EventLog(tmp_path)
+        first.append({"n": 1})
+        first.close()
+        second = EventLog(tmp_path)
+        second.append({"n": 2})
+        second.close()
+        assert len(segment_paths(tmp_path)) == 2
+        assert read_log(tmp_path) == [{"n": 1}, {"n": 2}]
+
+    @pytest.mark.parametrize("fsync", FSYNC_MODES)
+    def test_fsync_policies_all_write_identical_logs(self, tmp_path, fsync):
+        directory = tmp_path / fsync
+        directory.mkdir()
+        log = EventLog(directory, fsync=fsync)
+        for event in events_of(4):
+            log.append(event)
+        log.sync()
+        log.close()
+        assert read_log(directory) == events_of(4)
+
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            EventLog(tmp_path, fsync="sometimes")
+
+    def test_empty_directory_reads_as_no_events(self, tmp_path):
+        report = RecoveryReport(data_dir=str(tmp_path))
+        assert read_log(tmp_path, report) == []
+        assert report.events_total == 0
+        assert report.clean

@@ -70,6 +70,20 @@ class TestCommittedReport:
         assert memory["latency_ratio_columnar_vs_reference"] <= 1.2
 
 
+    def test_recovery_workload(self, report):
+        # The durability claim (docs/durability.md): snapshot-based
+        # restart must be much cheaper than a full-replay rebuild, which
+        # re-runs the supervision pipeline over every logged message.
+        recovery = report["workloads"]["recovery"]
+        assert recovery["messages"] >= 240
+        assert recovery["events_replayed"] >= recovery["messages"]
+        assert recovery["replay_messages_per_sec"] > 0
+        assert recovery["wal_bytes"] > 0
+        assert recovery["snapshot_bytes"] > 0
+        replay_seconds = recovery["messages"] / recovery["replay_messages_per_sec"]
+        assert recovery["snapshot_recover_seconds"] < replay_seconds / 2
+
+
 class TestValidator:
     def test_rejects_wrong_schema_id(self, report):
         broken = {**report, "schema": "repro-bench/2"}

@@ -78,6 +78,17 @@ class TestExportAndSimulate:
         out = capsys.readouterr().out
         assert "messages=" in out
 
+    @pytest.mark.slow
+    def test_simulate_durable_then_recover(self, tmp_path, capsys):
+        data_dir = str(tmp_path / "state")
+        assert main(["simulate", "--rounds", "1", "--learners", "2",
+                     "--data-dir", data_dir, "--snapshot-every", "4"]) == 0
+        capsys.readouterr()
+        assert main(["recover", data_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: clean" in out
+        assert "recovered state:" in out
+
 
 class TestArgParsing:
     def test_missing_command_errors(self):

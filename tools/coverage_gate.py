@@ -1,11 +1,22 @@
 #!/usr/bin/env python3
-"""Line-coverage gate for the corpus subsystem (stdlib-only).
+"""Line-coverage gate for the gated subsystems (stdlib-only).
 
-Runs the corpus test suites (``tests/corpus``) under a ``sys.settrace``
-line tracer scoped to ``src/repro/corpus/*.py``, computes per-file and
-aggregate line coverage, and fails when the aggregate drops below the
-committed floor — so the columnar record store, index, search,
-statistics and differential reference can't regress to untested.
+Runs the gated test suites under a ``sys.settrace`` line tracer scoped
+to the gated source directories, computes per-file and aggregate line
+coverage per subsystem, and fails when any subsystem's aggregate drops
+below its committed floor.  Gated today:
+
+* ``src/repro/corpus``     against ``tests/corpus``     (floor 95%) —
+  the columnar record store, index, search, statistics and the
+  differential reference can't regress to untested;
+* ``src/repro/durability`` against ``tests/durability`` (floor 95%) —
+  the write-ahead log, snapshots, fault clock and recovery path are
+  exactly the code that only runs when something already went wrong,
+  so untested lines there are latent data loss.
+
+One pytest run covers all suites; coverage is attributed per subsystem
+afterwards, so cross-subsystem hits (the durability tests exercising
+corpus restore, say) count for both.
 
 Executable lines are derived from the compiled code objects
 (``co_lines`` over the module and every nested function/class body), so
@@ -16,8 +27,8 @@ No third-party dependency: the sandbox image has no ``coverage``
 package, and the gate must run identically offline and in CI.
 
 Usage: ``python tools/coverage_gate.py`` (from the repo root; the
-Makefile target sets PYTHONPATH).  Exit status 0 = floor held, 1 =
-coverage regression or test failure.
+Makefile target sets PYTHONPATH).  Exit status 0 = every floor held,
+1 = coverage regression or test failure.
 """
 
 from __future__ import annotations
@@ -27,14 +38,16 @@ import threading
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-TARGET_DIR = REPO_ROOT / "src" / "repro" / "corpus"
-TEST_ARGS = ["-q", "-p", "no:cacheprovider", str(REPO_ROOT / "tests" / "corpus")]
 
-#: The gate: aggregate line coverage of src/repro/corpus under
-#: tests/corpus must not drop below this.  Measured 97% when the
-#: columnar subsystem landed (PR 5); raise it when coverage grows,
-#: never lower it to make a failing PR pass.
-FLOOR_PERCENT = 95.0
+#: The gates: (source subsystem, test suite, aggregate floor percent).
+#: Floors are raised when coverage grows, never lowered to make a
+#: failing PR pass.  corpus measured 97% when the columnar subsystem
+#: landed (PR 5); durability measured 97% when the WAL/snapshot layer
+#: landed (PR 6).
+SUBSYSTEMS: tuple[tuple[str, str, float], ...] = (
+    ("src/repro/corpus", "tests/corpus", 95.0),
+    ("src/repro/durability", "tests/durability", 95.0),
+)
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -58,14 +71,22 @@ def executable_lines(path: Path) -> set[int]:
 def main() -> int:
     import pytest
 
-    targets = sorted(TARGET_DIR.glob("*.py"))
-    target_names = {str(path) for path in targets}
+    targets_by_subsystem: dict[str, list[Path]] = {
+        source: sorted((REPO_ROOT / source).glob("*.py"))
+        for source, _tests, _floor in SUBSYSTEMS
+    }
+    target_names = {
+        str(path) for paths in targets_by_subsystem.values() for path in paths
+    }
     hit: dict[str, set[int]] = {name: set() for name in target_names}
+    test_args = ["-q", "-p", "no:cacheprovider"] + [
+        str(REPO_ROOT / tests) for _source, tests, _floor in SUBSYSTEMS
+    ]
 
     def tracer(frame, event, _arg):
         filename = frame.f_code.co_filename
         if filename not in target_names:
-            return None  # don't trace lines outside the subsystem
+            return None  # don't trace lines outside the gated subsystems
         lines = hit[filename]
 
         def local(frame, event, _arg):
@@ -85,7 +106,7 @@ def main() -> int:
     threading.settrace(tracer)
     sys.settrace(tracer)
     try:
-        exit_code = pytest.main(TEST_ARGS)
+        exit_code = pytest.main(test_args)
     finally:
         sys.settrace(None)
         threading.settrace(None)
@@ -93,28 +114,38 @@ def main() -> int:
         print(f"coverage gate: test run failed (pytest exit {exit_code})")
         return 1
 
-    total_executable = 0
-    total_hit = 0
+    failures: list[str] = []
     print(f"{'file':<44} {'lines':>6} {'hit':>6} {'cover':>7}")
-    for path in targets:
-        expected = executable_lines(path)
-        covered = hit[str(path)] & expected
-        total_executable += len(expected)
-        total_hit += len(covered)
-        percent = 100.0 * len(covered) / len(expected) if expected else 100.0
-        print(
-            f"{path.relative_to(REPO_ROOT).as_posix():<44} "
-            f"{len(expected):>6} {len(covered):>6} {percent:>6.1f}%"
+    for source, _tests, floor in SUBSYSTEMS:
+        total_executable = 0
+        total_hit = 0
+        for path in targets_by_subsystem[source]:
+            expected = executable_lines(path)
+            covered = hit[str(path)] & expected
+            total_executable += len(expected)
+            total_hit += len(covered)
+            percent = 100.0 * len(covered) / len(expected) if expected else 100.0
+            print(
+                f"{path.relative_to(REPO_ROOT).as_posix():<44} "
+                f"{len(expected):>6} {len(covered):>6} {percent:>6.1f}%"
+            )
+        aggregate = (
+            100.0 * total_hit / total_executable if total_executable else 100.0
         )
-    aggregate = 100.0 * total_hit / total_executable if total_executable else 100.0
-    print(f"{'TOTAL':<44} {total_executable:>6} {total_hit:>6} {aggregate:>6.1f}%")
-    if aggregate < FLOOR_PERCENT:
-        print(
-            f"coverage gate: {aggregate:.1f}% < floor {FLOOR_PERCENT:.1f}% — "
-            "the corpus subsystem lost test coverage"
-        )
+        label = f"TOTAL {source}"
+        print(f"{label:<44} {total_executable:>6} {total_hit:>6} {aggregate:>6.1f}%")
+        if aggregate < floor:
+            failures.append(
+                f"{source}: {aggregate:.1f}% < floor {floor:.1f}%"
+            )
+        else:
+            print(
+                f"coverage gate: {source} {aggregate:.1f}% >= floor {floor:.1f}%"
+            )
+    if failures:
+        for failure in failures:
+            print(f"coverage gate: {failure} — the subsystem lost test coverage")
         return 1
-    print(f"coverage gate: {aggregate:.1f}% >= floor {FLOOR_PERCENT:.1f}%")
     return 0
 
 
