@@ -46,6 +46,8 @@ class LearningAngelAgent:
     """
 
     name = AGENT_NAME
+    #: Resilience stage this agent backs (breaker label in ``health``).
+    stage = "parser"
 
     def __init__(
         self,

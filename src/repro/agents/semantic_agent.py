@@ -36,6 +36,8 @@ class SemanticAgent:
     """Semantic supervisor over a knowledge ontology."""
 
     name = AGENT_NAME
+    #: Resilience stage this agent backs (breaker label in ``health``).
+    stage = "semantic"
 
     def __init__(
         self,

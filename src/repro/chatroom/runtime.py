@@ -92,6 +92,7 @@ class SupervisionRuntime:
         batch_size: int = 64,
         auto_drain: bool | None = None,
         max_pending: int | None = None,
+        resilience=None,
     ) -> None:
         if mode not in RUNTIME_MODES:
             raise ValueError(f"unknown runtime mode {mode!r}; expected one of {RUNTIME_MODES}")
@@ -104,6 +105,16 @@ class SupervisionRuntime:
         self.auto_drain = (mode in ("inline", "queued")) if auto_drain is None else auto_drain
         self.max_pending = max_pending
         self.workers = [SupervisionWorker(index, max_pending) for index in range(shards)]
+        if resilience is None:
+            # Every runtime gets a controller: a supervisor error must
+            # dead-letter its item instead of aborting the drain, even
+            # on a bare runtime nobody wired fault policies into.
+            # Imported lazily — the resilience package depends on this
+            # module's siblings, never the other way around at import.
+            from repro.resilience.controller import ResilienceController
+
+            resilience = ResilienceController()
+        self.resilience = resilience
         self._prototypes: list = []
         self._draining = False
         # Parallel mode: per-worker shard-store bundles (replicas +
@@ -163,9 +174,9 @@ class SupervisionRuntime:
     def submit(self, server, item: SupervisionItem) -> None:
         """Hand one delivered user message to the runtime."""
         if self.mode == "inline":
-            for supervisor in self.workers[0].supervisors:
-                dispatch(supervisor, server, item, None)
-            self.workers[0].processed += 1
+            worker = self.workers[0]
+            if worker.supervise_item(server, item, None, self.resilience):
+                worker.processed += 1
             return
         worker = self.workers[shard_of(item.room.name, len(self.workers))]
         worker.enqueue(item)
@@ -190,7 +201,13 @@ class SupervisionRuntime:
             return 0
         self._draining = True
         done = 0
+        resilience = self.resilience
         try:
+            if resilience is not None:
+                # One drain = one cooldown tick for open breakers, so a
+                # degraded system heals from drain traffic alone even
+                # when no new messages arrive to tick it via admission.
+                resilience.on_drain()
             if self.mode == "parallel":
                 done = self._drain_parallel(server)
             else:
@@ -198,8 +215,12 @@ class SupervisionRuntime:
                 progressed = True
                 while progressed:
                     progressed = False
+                    if resilience is not None:
+                        released = resilience.take_releasable()
+                        if released:
+                            self.requeue_items(released)
                     for worker in self.workers:
-                        n = worker.drain(server, self.batch_size, memo)
+                        n = worker.drain(server, self.batch_size, memo, resilience)
                         if n:
                             done += n
                             progressed = True
@@ -228,15 +249,20 @@ class SupervisionRuntime:
                 max_workers=len(self.workers),
                 thread_name_prefix="supervision-shard",
             )
+        resilience = self.resilience
         done = 0
         while True:
+            if resilience is not None:
+                released = resilience.take_releasable()
+                if released:
+                    self.requeue_items(released)
             batches = [worker.take_batch(self.batch_size) for worker in self.workers]
             cycle_items = sum(len(batch) for batch in batches)
             if cycle_items == 0:
                 return done
             memo: dict = {}
             futures = [
-                executor.submit(worker.process_batch, server, batch, memo)
+                executor.submit(worker.process_batch, server, batch, memo, resilience)
                 for worker, batch in zip(self.workers, batches)
                 if batch
             ]
@@ -255,8 +281,9 @@ class SupervisionRuntime:
                     if worker.unprocessed:
                         worker.queue.requeue_front(worker.unprocessed)
                         worker.unprocessed = []
+            handled = 0
             for future in futures:
-                future.result()  # re-raises the first worker error
+                handled += future.result()  # re-raises the first worker error
             for bindings in self._bindings:
                 for stores in bindings:
                     stores.merge()
@@ -270,15 +297,41 @@ class SupervisionRuntime:
             replies.sort(key=lambda reply: (reply[0], reply[1]))
             for _seq, _n, room, agent, text, message, severity in replies:
                 server.post_agent_reply(room, agent, text, message, severity)
+            if resilience is not None:
+                # Quarantine rows buffered on pool threads journal here,
+                # on the caller's thread — the event log is not
+                # thread-safe and must never be written from the pool.
+                resilience.flush_journal()
             if self._barrier_supervisors:
+                deferred = resilience.deferred_seqs() if resilience is not None else ()
                 items = sorted(
-                    (item for batch in batches for item in batch),
+                    (
+                        item
+                        for batch in batches
+                        for item in batch
+                        if item.message.seq not in deferred
+                    ),
                     key=lambda item: item.message.seq,
                 )
                 for item in items:
                     for supervisor in self._barrier_supervisors:
                         dispatch(supervisor, server, item, None)
-            done += cycle_items
+            done += handled
+
+    def requeue_items(self, items: list[SupervisionItem]) -> None:
+        """Put items back at the front of their shards' queues, in seq
+        order — released deferred work, redriven quarantine rows and
+        snapshot-restored backlog all re-enter here.  Front placement
+        keeps global commit order: re-entering items always predate
+        whatever is still queued behind them."""
+        if not items:
+            return
+        shards = len(self.workers)
+        by_shard: dict[int, list[SupervisionItem]] = {}
+        for item in sorted(items, key=lambda item: item.message.seq):
+            by_shard.setdefault(shard_of(item.room.name, shards), []).append(item)
+        for index, group in by_shard.items():
+            self.workers[index].queue.requeue_front(group)
 
     # ------------------------------------------------------------- reports
 
@@ -298,6 +351,20 @@ class SupervisionRuntime:
     def shed_counts(self) -> list[int]:
         """Items shed per shard by the backpressure bound."""
         return [worker.shed for worker in self.workers]
+
+    def shed_events(self) -> list:
+        """Structured shed events across all shards, in message order.
+
+        Each event names the dropped message (room, seq) and the reason,
+        so the supervisor report and ``health`` can show *what* went
+        unsupervised, not just how much (bounded per shard — see
+        :attr:`~repro.chatroom.shard.ShardQueue.SHED_EVENT_KEEP`).
+        """
+        events = [
+            event for worker in self.workers for event in worker.queue.shed_events
+        ]
+        events.sort(key=lambda event: event.seq)
+        return events
 
     @property
     def shed(self) -> int:

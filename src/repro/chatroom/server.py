@@ -143,10 +143,16 @@ class ChatServer:
 
     def drain_supervision(self) -> int:
         """Flush all queued supervision work (deferred-drain runtimes)."""
-        if self.journal is not None and self.runtime.pending:
+        if self.journal is not None and (
+            self.runtime.pending
+            or getattr(self.runtime.resilience, "has_backlog", False)
+        ):
             # Journalled so replay drains at the same points the
             # original run did (supervision outcomes can depend on how
-            # posts are batched into drain cycles).
+            # posts are batched into drain cycles).  A drain with an
+            # empty queue still counts when deferred items are parked on
+            # the controller: it ticks breaker cooldowns and may release
+            # the backfill, which replay must reproduce.
             self.journal.drained(self.clock.now())
         return self.runtime.drain(self)
 

@@ -46,6 +46,25 @@ class SupervisionItem:
     sender_role: Role | None = None
 
 
+@dataclass(slots=True, frozen=True)
+class ShedEvent:
+    """One supervision item dropped by a shard's backpressure bound.
+
+    The shed *counter* says how much analysis was skipped; the event
+    says **what** — room, seq and why — so operators can audit exactly
+    which messages went unsupervised (the message itself was already
+    delivered; only its agent analysis is skipped).
+    """
+
+    shard: int
+    room: str
+    seq: int
+    reason: str = "backpressure"
+
+    def to_dict(self) -> dict:
+        return {"shard": self.shard, "room": self.room, "seq": self.seq, "reason": self.reason}
+
+
 class ItemSupervisor(Protocol):
     """A supervisor that accepts resolved work items (the fast path)."""
 
@@ -80,19 +99,29 @@ class ShardQueue:
             agent analysis is skipped, and :attr:`shed` counts them.
     """
 
-    __slots__ = ("items", "max_pending", "shed")
+    __slots__ = ("items", "max_pending", "shed", "shard", "shed_events")
 
-    def __init__(self, max_pending: int | None = None) -> None:
+    #: Shed events kept per shard for operator reports; bounded so a
+    #: pathologically overloaded queue can't trade message memory for
+    #: audit-trail memory.
+    SHED_EVENT_KEEP = 64
+
+    def __init__(self, max_pending: int | None = None, shard: int = 0) -> None:
         if max_pending is not None and max_pending < 1:
             raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.items: deque[SupervisionItem] = deque()
         self.max_pending = max_pending
         self.shed = 0
+        self.shard = shard
+        self.shed_events: deque[ShedEvent] = deque(maxlen=self.SHED_EVENT_KEEP)
 
     def push(self, item: SupervisionItem) -> None:
         if self.max_pending is not None and len(self.items) >= self.max_pending:
-            self.items.popleft()
+            dropped = self.items.popleft()
             self.shed += 1
+            self.shed_events.append(
+                ShedEvent(self.shard, dropped.message.room, dropped.message.seq)
+            )
         self.items.append(item)
 
     def take(self, max_items: int) -> list[SupervisionItem]:
@@ -132,7 +161,7 @@ class SupervisionWorker:
 
     def __init__(self, index: int, max_pending: int | None = None) -> None:
         self.index = index
-        self.queue = ShardQueue(max_pending)
+        self.queue = ShardQueue(max_pending, shard=index)
         self.supervisors: list = []
         self.processed = 0
         #: Tail of a failed batch (set on the pool thread when
@@ -157,49 +186,99 @@ class SupervisionWorker:
         parallel runtime keeps all queue mutation off worker threads)."""
         return self.queue.take(max_items)
 
+    def supervise_item(
+        self,
+        server,
+        item: SupervisionItem,
+        memo: dict | None,
+        resilience,
+        defer_journal: bool = False,
+    ) -> bool:
+        """Supervise one item under the resilience controller.
+
+        Returns True when the item is *handled* — fully supervised or
+        dead-lettered into quarantine — and False when the controller
+        deferred it (degraded mode; the item is parked on the deferred
+        ledger, not lost, and the runtime releases it later).  Ordinary
+        ``Exception``s never escape: a supervisor that raises routes
+        its item to quarantine and the drain continues.  Simulated
+        crashes (``BaseException``) still propagate — a dying process
+        must not be mistaken for a poison item.
+        """
+        if resilience is None:
+            for supervisor in self.supervisors:
+                dispatch(supervisor, server, item, memo)
+            return True
+        replayed = resilience.consume_replay(item.message.seq)
+        if replayed is not None:
+            # Recovery replay: the WAL says this supervision attempt
+            # ended in quarantine — reproduce it without re-analysis.
+            resilience.quarantine_replayed(replayed)
+            return True
+        if not resilience.admit(item):
+            return False
+        try:
+            for supervisor in self.supervisors:
+                dispatch(supervisor, server, item, memo)
+        except Exception as error:
+            resilience.on_item_failure(item, error, defer_journal=defer_journal)
+            return True
+        resilience.on_item_success(item)
+        return True
+
     def process_batch(
-        self, server, items: list[SupervisionItem], memo: dict | None = None
+        self,
+        server,
+        items: list[SupervisionItem],
+        memo: dict | None = None,
+        resilience=None,
     ) -> int:
         """Run one popped batch through this worker's supervisors.
 
         This is the body the parallel runtime ships to a pool thread; it
         touches only the worker's own supervisors (shard-replica-bound
         pipelines) and the shared read-only/locked collaborators.
-
-        On a supervisor error the failing item is dropped (matching the
-        cooperative path, which loses exactly the item that raised) and
-        the batch's unprocessed tail is stashed on :attr:`unprocessed`
-        for the runtime to requeue after the barrier — a failure never
-        silently skips the rest of a batch.
+        Supervisor errors are absorbed per item by :meth:`supervise_item`
+        (quarantine, journal rows buffered for the barrier flush), so a
+        batch only aborts on a simulated crash — in which case the
+        unprocessed tail is stashed on :attr:`unprocessed` for the
+        runtime to requeue after the barrier.
         """
+        handled = 0
         done = 0
         try:
             for item in items:
-                for supervisor in self.supervisors:
-                    dispatch(supervisor, server, item, memo)
+                if self.supervise_item(
+                    server, item, memo, resilience, defer_journal=True
+                ):
+                    handled += 1
                 done += 1
         except BaseException:
             self.unprocessed = items[done + 1:]
-            self.processed += done
+            self.processed += handled
             raise
-        self.processed += done
-        return done
+        self.processed += handled
+        return handled
 
-    def drain(self, server, max_items: int, memo: dict | None = None) -> int:
+    def drain(
+        self, server, max_items: int, memo: dict | None = None, resilience=None
+    ) -> int:
         """Process up to ``max_items`` queued items, FIFO.
 
         ``memo`` is the batch's shared sentence-analysis cache (see
         :class:`~repro.chatroom.supervisor.SupervisionPipeline`): one
         drain cycle passes a single dict through every worker, so a
         sentence posted to many rooms is analysed once and its results
-        fanned out.
+        fanned out.  Returns the number of items *handled* (supervised
+        or quarantined); deferred items don't count — they are parked
+        on the controller, and counting them would make the runtime's
+        progress loop spin on work it cannot do yet.
         """
         done = 0
         items = self.queue.items
         while items and done < max_items:
             item = items.popleft()
-            for supervisor in self.supervisors:
-                dispatch(supervisor, server, item, memo)
-            done += 1
+            if self.supervise_item(server, item, memo, resilience):
+                done += 1
         self.processed += done
         return done

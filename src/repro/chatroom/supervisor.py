@@ -98,6 +98,24 @@ class _SentenceAnalysis:
 
 
 @dataclass(slots=True)
+class _SentencePlan:
+    """One sentence's planned supervision: analysis done, nothing applied.
+
+    ``on_item`` plans *every* sentence of a message before committing
+    any of them.  All the fallible work — parsing, semantic review, QA
+    resolution — happens during planning under the resilience stage
+    guards; the commit phase only writes stores and posts replies.  An
+    injected or real fault therefore always strikes before the item has
+    any side effects, which is what makes retrying or redriving the
+    item exactly-once.
+    """
+
+    sentence: str
+    analysis: _SentenceAnalysis
+    resolution: object | None = None
+
+
+@dataclass(slots=True)
 class ShardStores:
     """One worker's bundle of shard replicas plus its reply outbox.
 
@@ -191,6 +209,10 @@ class SupervisionPipeline:
         # Shard-local mode (set by fork_shard): replicas + reply outbox.
         self.shard_stores: ShardStores | None = None
         self._reply_n = 0
+        # Set by the system wiring: the shared ResilienceController whose
+        # stage guards wrap the plan phase.  None = unguarded (plain
+        # calls), which bare pipelines outside a system keep.
+        self.resilience = None
 
     # ------------------------------------------------------------ sharding
 
@@ -203,6 +225,7 @@ class SupervisionPipeline:
             self.profiles,
             self.policy,
         )
+        twin.resilience = self.resilience
         self._clones.append(twin)
         return twin
 
@@ -231,6 +254,7 @@ class SupervisionPipeline:
         )
         twin.shard_stores = stores
         stores.pipeline = twin
+        twin.resilience = self.resilience
         self._clones.append(twin)
         return twin, stores
 
@@ -259,12 +283,28 @@ class SupervisionPipeline:
         item: SupervisionItem,
         memo: dict | None = None,
     ) -> None:
-        """Supervise one work item; ``memo`` shares analyses in a batch."""
+        """Supervise one work item; ``memo`` shares analyses in a batch.
+
+        Two phases.  **Plan** runs every sentence's fallible analysis —
+        parsing, semantic review, QA resolution — under the resilience
+        stage guards, touching no store.  **Commit** then applies the
+        plans: counters, corpus records, profiles, FAQ bumps, replies.
+        The single :meth:`ResilienceController.guard_commit` crossing
+        between the phases is the last point a fault can strike, so a
+        failed item is always side-effect free and safe to retry,
+        defer or redrive without double-counting.
+        """
         message = item.message
         if message.kind != MessageKind.USER:
             return
         if not self.policy.supervise_teachers and item.sender_role == Role.TEACHER:
             return
+        plans = [
+            self._plan_sentence(message, index, sentence, memo)
+            for index, sentence in enumerate(split_sentences(message.text))
+        ]
+        if self.resilience is not None:
+            self.resilience.guard_commit(str(message.seq))
         if self.shard_stores is not None:
             # Tag this item's writes (corpus records, FAQ bumps, replies)
             # with the message's global seq so the barrier merge can
@@ -273,10 +313,51 @@ class SupervisionPipeline:
             self._reply_n = 0
         self.stats.messages += 1
         replies_posted = 0
-        for sentence in split_sentences(message.text):
-            replies_posted += self._supervise_sentence(
-                server, message, sentence, replies_posted, memo
+        for index, plan in enumerate(plans):
+            replies_posted += self._commit_sentence(
+                server, message, plan, index, replies_posted
             )
+
+    def _plan_sentence(
+        self,
+        message: ChatMessage,
+        index: int,
+        sentence: str,
+        memo: dict | None,
+    ) -> _SentencePlan:
+        """Run one sentence's pure analysis under the stage guards.
+
+        The guard key ``seq:index`` makes retry backoff deterministic
+        per sentence; the guarded calls themselves are pure (memoised
+        analysis, pure QA resolution), so re-invoking them after a
+        transient fault is free of side effects by construction.
+        """
+        resilience = self.resilience
+        key = f"{message.seq}:{index}"
+        if resilience is None:
+            analysis = self._analyze_sentence(sentence, memo)
+        else:
+            analysis = resilience.guard(
+                "parser", key, lambda: self._analyze_sentence(sentence, memo)
+            )
+        plan = _SentencePlan(sentence=sentence, analysis=analysis)
+        if analysis.pattern.is_question:
+            if resilience is None:
+                plan.resolution = self._resolve_question(sentence, memo)
+            else:
+                plan.resolution = resilience.guard(
+                    "qa", key, lambda: self._resolve_question(sentence, memo)
+                )
+        elif analysis.review.is_correct:
+            # Fill the lazy semantic review now (cached on the analysis),
+            # so the commit phase's read is guaranteed fault-free.
+            if resilience is None:
+                self._semantic_review(analysis)
+            else:
+                resilience.guard(
+                    "semantic", key, lambda: self._semantic_review(analysis)
+                )
+        return plan
 
     def _analyze_sentence(
         self, sentence: str, memo: dict | None
@@ -372,27 +453,31 @@ class SupervisionPipeline:
         else:
             server.post_agent_reply(message.room, agent, text, message, severity)
 
-    def _supervise_sentence(
+    def _commit_sentence(
         self,
         server: ChatServer,
         message: ChatMessage,
-        sentence: str,
+        plan: _SentencePlan,
+        index: int,
         already_posted: int,
-        memo: dict | None = None,
     ) -> int:
+        """Apply one planned sentence: counters, stores, replies.
+
+        Commits stamp the *message's post timestamp*, not the drain
+        clock: a deferred, retried or redriven item must produce the
+        exact records the fault-free run would have, and the drain time
+        is the one input a fault changes.
+        """
         self.stats.sentences += 1
-        now = server.clock.now()
-        # Tokenise and classify exactly once (and, in a batch, once per
-        # *distinct* sentence); every stage below receives the
-        # precomputed analysis instead of re-deriving it.
-        analysis = self._analyze_sentence(sentence, memo)
+        now = message.timestamp
+        analysis = plan.analysis
         pattern = analysis.pattern
         review = analysis.review
         posted = 0
 
         if pattern.is_question:
             posted += self._handle_question(
-                server, message, sentence, review, now, already_posted, memo
+                server, message, plan, index, now, already_posted
             )
             return posted
 
@@ -458,38 +543,44 @@ class SupervisionPipeline:
         )
         return posted
 
-    def _answer_question(self, sentence: str, now: float, memo: dict | None):
-        """Answer one asking, resolving each distinct question once.
+    def _resolve_question(self, sentence: str, memo: dict | None):
+        """The pure resolution of one question, each distinct one once.
 
-        Mirrors the sentence-analysis split: the pure resolution
-        (template match + lazy ontology answer) is memoised across the
-        drain batch, keyed by the static matcher identity so pipeline
-        clones and shard forks share entries; the per-item apply (FAQ
-        lookup and bump, corpus fallback) always runs.
+        Mirrors the sentence-analysis split: the resolution (template
+        match + lazy ontology answer) is memoised across the drain
+        batch, keyed by the static matcher identity so pipeline clones
+        and shard forks share entries.  The per-item apply (FAQ lookup
+        and bump, corpus fallback) runs in the commit phase.
         """
-        resolution = None
         key = None
         if memo is not None:
             key = ("qa", id(self.qa_system.matcher), sentence)
             resolution = memo.get(key)
-        if resolution is None:
-            resolution = self.qa_system.resolve(sentence)
-            if memo is not None:
-                memo[key] = resolution
-        return self.qa_system.apply_resolution(resolution, now=now)
+            if resolution is not None:
+                return resolution
+        resolution = self.qa_system.resolve(sentence)
+        if memo is not None:
+            memo[key] = resolution
+        return resolution
 
     def _handle_question(
         self,
         server: ChatServer,
         message: ChatMessage,
-        sentence: str,
-        review,
+        plan: _SentencePlan,
+        index: int,
         now: float,
         already_posted: int,
-        memo: dict | None = None,
     ) -> int:
+        review = plan.analysis.review
         self.stats.questions += 1
-        answer = self._answer_question(sentence, now, memo)
+        # The origin (message seq, sentence index) keys FAQ merge order:
+        # a redriven or backfilled question commits late, and the origin
+        # is what keeps the FAQ's representative entry the one the
+        # fault-free, in-order run would have kept.
+        answer = self.qa_system.apply_resolution(
+            plan.resolution, now=now, origin=(message.seq, index)
+        )
         posted = 0
         if answer.answered:
             self.stats.questions_answered += 1

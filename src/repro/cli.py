@@ -7,7 +7,8 @@ Commands:
 * ``ask "question"``          — the QA subsystem's answer;
 * ``repair "sentence"``       — suggested corrections;
 * ``simulate [--rounds N]``   — run a seeded classroom and print reports;
-* ``recover DIR``             — recover a durable data directory, compact it;
+* ``recover DIR [--json]``    — recover a durable data directory, compact it;
+* ``health DIR [--json]``     — recover and print the resilience health registry;
 * ``bench [--quick]``         — run the perf harness, write BENCH_parse.json;
 * ``export-scorm DIR``        — write the SCORM content package;
 * ``ontology [--format x]``   — dump the knowledge body (xml or ddl).
@@ -105,6 +106,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"worker_messages={system.runtime.worker_loads()}")
     if system.supervision_shed:
         print(f"shed={system.supervision_shed} (max_pending={args.max_pending})")
+        for event in system.runtime.shed_events():
+            print(f"  shed room={event.room} seq={event.seq} "
+                  f"shard={event.shard} reason={event.reason}")
+    if system.quarantined:
+        for row in system.resilience.quarantine.rows():
+            print(f"  quarantined room={row.room} seq={row.seq} "
+                  f"stage={row.stage} error={row.error}")
     print(f"messages={stats.messages} sentences={stats.sentences} "
           f"syntax_errors={stats.syntax_errors} "
           f"semantic={stats.semantic_violations + stats.misconceptions} "
@@ -116,24 +124,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recovered_state(system) -> dict:
+    """The machine-readable state summary ``recover --json`` emits."""
+    stats = system.stats
+    return {
+        "rooms": len(system.server.rooms),
+        "messages": system.server.total_messages(),
+        "corpus": len(system.corpus),
+        "profiles": len(system.profiles),
+        "faq": len(system.faq),
+        "sentences": stats.sentences,
+        "syntax_errors": stats.syntax_errors,
+        "questions": stats.questions,
+        "questions_answered": stats.questions_answered,
+        "quarantined": system.quarantined,
+    }
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.system import ELearningSystem, SystemConfig
 
     system, report = ELearningSystem.recover(
         args.data_dir,
         SystemConfig(fsync=args.fsync, snapshot_every=args.snapshot_every),
     )
-    print(report.summary())
-    stats = system.stats
-    print(f"recovered state: rooms={len(system.server.rooms)} "
-          f"messages={system.server.total_messages()} "
-          f"corpus={len(system.corpus)} profiles={len(system.profiles)} "
-          f"faq={len(system.faq)}")
-    print(f"supervision: sentences={stats.sentences} "
-          f"syntax_errors={stats.syntax_errors} "
-          f"questions={stats.questions_answered}/{stats.questions}")
+    if args.json:
+        print(json.dumps(
+            {"report": report.to_dict(), "state": _recovered_state(system)},
+            indent=2,
+        ))
+    else:
+        print(report.summary())
+        stats = system.stats
+        print(f"recovered state: rooms={len(system.server.rooms)} "
+              f"messages={system.server.total_messages()} "
+              f"corpus={len(system.corpus)} profiles={len(system.profiles)} "
+              f"faq={len(system.faq)}")
+        print(f"supervision: sentences={stats.sentences} "
+              f"syntax_errors={stats.syntax_errors} "
+              f"questions={stats.questions_answered}/{stats.questions}")
     system.close()  # compacts: the fresh final snapshot covers the log
     return 0 if report.clean else 1
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.system import ELearningSystem, SystemConfig
+
+    system, report = ELearningSystem.recover(
+        args.data_dir, SystemConfig(fsync=args.fsync)
+    )
+    health = system.health()
+    if args.json:
+        print(json.dumps(
+            {"health": health.to_dict(), "recovery": report.to_dict()}, indent=2
+        ))
+    else:
+        print(health.summary())
+        print(f"recovery: {'clean' if report.clean else 'degraded'}")
+    # Inspect-only: close the stores without compacting the directory.
+    if system.durability is not None:
+        system.durability.close()
+    system.runtime.close()
+    return 0 if health.status == "ok" and report.clean else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -222,7 +278,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="fsync policy for the compacting snapshot")
     p.add_argument("--snapshot-every", type=int, default=256,
                    help="snapshot cadence for the recovered system")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report and state summary as JSON "
+                        "(exit code unchanged: 0 iff recovery was clean)")
     p.set_defaults(func=_cmd_recover)
+
+    p = commands.add_parser(
+        "health",
+        help="recover a data directory and print its resilience health "
+             "registry (breakers, quarantine, queues, counters)",
+    )
+    p.add_argument("data_dir", help="directory written by simulate --data-dir")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="batch", help="fsync policy while inspecting")
+    p.add_argument("--json", action="store_true",
+                   help="emit the health registry and recovery report as JSON")
+    p.set_defaults(func=_cmd_health)
 
     p = commands.add_parser("bench", help="run the perf harness deterministically")
     # Imported at parser-build time (not in _cmd_bench) so the flag

@@ -43,6 +43,9 @@ from repro.profiles.store import UserProfileStore
 from repro.qa.engine import QASystem
 from repro.qa.faq import FAQDatabase
 from repro.qa.mining import QAMiner
+from repro.resilience.controller import ResilienceController
+from repro.resilience.health import HealthReport, build_health
+from repro.resilience.quarantine import rebuild_item
 
 
 @dataclass(slots=True)
@@ -85,6 +88,14 @@ class SystemConfig:
             a final one).
         fault_clock: a :class:`repro.durability.faults.FaultClock` for
             crash-point testing; None (production) runs fault-free.
+        retry: a :class:`repro.resilience.RetryPolicy` for the pipeline
+            stage guards; None uses the defaults (3 attempts, seeded
+            virtual backoff).
+        breaker: a :class:`repro.resilience.BreakerPolicy` shared by the
+            per-stage circuit breakers; None uses the defaults.
+        runtime_faults: a :class:`repro.resilience.RuntimeFaultPlan`
+            injecting seeded exceptions/latency into the analysis stages
+            (chaos testing); None (production) runs fault-free.
     """
 
     seed_corpus: bool = True
@@ -102,6 +113,9 @@ class SystemConfig:
     fsync: str = "batch"
     snapshot_every: int | None = 256
     fault_clock: object | None = None
+    retry: object | None = None
+    breaker: object | None = None
+    runtime_faults: object | None = None
 
 
 class ELearningSystem:
@@ -151,12 +165,21 @@ class ELearningSystem:
         # Chat substrate.
         self.clock = SimulatedClock(tick=self.config.clock_tick)
         self.bus = EventBus()
+        # Fault tolerance (docs/resilience.md): one controller shared by
+        # the runtime (admission, quarantine) and every pipeline
+        # clone/fork (stage guards).
+        self.resilience = ResilienceController(
+            retry=self.config.retry,
+            breaker=self.config.breaker,
+            faults=self.config.runtime_faults,
+        )
         self.runtime = SupervisionRuntime(
             mode=self.config.runtime_mode,
             shards=self.config.shards,
             batch_size=self.config.supervision_batch,
             auto_drain=self.config.auto_drain,
             max_pending=self.config.max_pending,
+            resilience=self.resilience,
         )
         # Durable state (docs/durability.md): lazy import so in-memory
         # systems never pay for the durability package.
@@ -170,6 +193,7 @@ class ELearningSystem:
                 snapshot_every=self.config.snapshot_every,
                 faults=self.config.fault_clock,
             )
+        self.resilience.journal = self.durability
         self.server = ChatServer(self.clock, self.bus, self.runtime, journal=self.durability)
         self.pipeline = SupervisionPipeline(
             self.learning_angel,
@@ -178,6 +202,8 @@ class ELearningSystem:
             self.profiles,
             self.config.policy,
         )
+        # Must be set before add_supervisor: clones/forks inherit it.
+        self.pipeline.resilience = self.resilience
         self.server.add_supervisor(self.pipeline)
 
     # ----------------------------------------------------------- factories
@@ -238,6 +264,7 @@ class ELearningSystem:
         )
         system.durability = manager
         system.server.journal = manager
+        system.resilience.journal = manager
         return system, report
 
     # ------------------------------------------------------------- actions
@@ -286,11 +313,13 @@ class ELearningSystem:
         Idempotent."""
         durability = self.durability
         if durability is not None and not durability.closed:
-            if self.pending_supervision:
+            if self.supervision_backlog:
                 # Never lose enqueued work to a clean shutdown: the
                 # deferred-drain runtimes may still hold supervision
                 # items whose corpus/profile/FAQ effects the final
-                # snapshot must include.
+                # snapshot must include.  (Deferred items count too —
+                # while a breaker is open the drain parks them, and the
+                # final snapshot carries them as deferred rows.)
                 self.drain()
             durability.snapshot(self)
             durability.close()
@@ -306,6 +335,50 @@ class ELearningSystem:
     def pending_supervision(self) -> int:
         """Messages posted but not yet supervised (deferred-drain modes)."""
         return self.server.pending_supervision
+
+    @property
+    def supervision_backlog(self) -> int:
+        """Analyses still owed: queued items plus the deferred ledger.
+
+        The quiescence gate for snapshots and clean shutdown — zero
+        means every delivered message has been fully supervised,
+        quarantined or (durably) parked nowhere at all.
+        """
+        return self.pending_supervision + len(self.resilience.deferred)
+
+    @property
+    def quarantined(self) -> int:
+        """Items currently dead-lettered in the quarantine store."""
+        return len(self.resilience.quarantine)
+
+    def health(self) -> HealthReport:
+        """The component health registry (breakers, queues, quarantine,
+        durability) plus the resilience counters — see
+        docs/resilience.md and ``python -m repro health``."""
+        return build_health(self)
+
+    def redrive(self) -> int:
+        """Re-run every quarantined item after the fault healed.
+
+        Drains the quarantine store (journalling a ``requeue`` WAL event
+        per row on durable systems), force-closes the breakers, rebuilds
+        the original work items and re-queues them at the front of their
+        shards, then drains.  Returns the number of items re-driven.
+        Once the underlying fault is gone, the post-redrive state equals
+        the fault-free run's (asserted by the chaos suite).
+        """
+        rows = self.resilience.take_redrive_rows()
+        if not rows:
+            return 0
+        durability = self.durability
+        if durability is not None:
+            for row in rows:
+                durability.item_requeued(row.seq)
+        self.resilience.reset_breakers()
+        items = [rebuild_item(self.server, row) for row in rows]
+        self.runtime.requeue_items(items)
+        self.drain()
+        return len(rows)
 
     @property
     def supervision_shed(self) -> int:

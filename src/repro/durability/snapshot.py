@@ -63,6 +63,7 @@ def build_snapshot(system, wal_count: int) -> dict:
                 "transcript": [message_to_dict(m) for m in room.transcript],
             }
         )
+    resilience = getattr(system, "resilience", None)
     return {
         "format": SNAPSHOT_FORMAT,
         "wal_count": wal_count,
@@ -73,6 +74,11 @@ def build_snapshot(system, wal_count: int) -> dict:
         "profiles": [profile.to_dict() for profile in system.profiles.all()],
         "faq": [pair.to_dict() for pair in system.faq.pairs()],
         "stats": dataclasses.asdict(system.pipeline.combined_stats()),
+        # Dead-lettered items ride in snapshots like any store; deferred
+        # rows cover the degraded-mode case where close() snapshots
+        # while a breaker still holds analyses parked (zero loss).
+        "quarantine": resilience.quarantine.snapshot() if resilience is not None else [],
+        "deferred": resilience.deferred_rows() if resilience is not None else [],
     }
 
 
@@ -101,6 +107,22 @@ def restore_snapshot(system, data: dict) -> None:
     system.profiles.restore(data["profiles"])
     system.faq.restore(data["faq"])
     system.pipeline.stats = SupervisionStats(**data["stats"])
+    resilience = getattr(system, "resilience", None)
+    if resilience is not None:
+        resilience.quarantine.restore(data.get("quarantine", []))
+        deferred = data.get("deferred", [])
+        if deferred:
+            from repro.resilience.quarantine import QuarantinedItem, rebuild_item
+
+            # Deferred analyses re-enter the queues (rooms above are
+            # already restored); the next drain supervises them —
+            # breakers start closed in a recovered system.
+            system.runtime.requeue_items(
+                [
+                    rebuild_item(system.server, QuarantinedItem.from_dict(row))
+                    for row in deferred
+                ]
+            )
 
 
 class SnapshotStore:

@@ -5,8 +5,10 @@ workloads — cold parsing, cached parsing, the mixed-traffic supervision
 loop, a seeded classroom session, suggestion search, raw post latency,
 the multi-room sharded-runtime scale test, the parallel
 (shard-replica) drain test, the corpus-scale retrieval test (10k vs
-250k records, stopword-heavy queries) and the durability recovery test
-(WAL replay rate, snapshot-recover wall clock) — and writes the numbers to
+250k records, stopword-heavy queries), the durability recovery test
+(WAL replay rate, snapshot-recover wall clock) and the resilience test
+(throughput under seeded fault rates, degraded-mode post latency while
+a breaker is open) — and writes the numbers to
 ``BENCH_parse.json`` so successive PRs can track the perf trajectory
 of the parse engine and the supervision runtime.
 
@@ -578,6 +580,67 @@ def bench_recovery(messages: int = 240) -> dict:
     }
 
 
+def bench_resilience(messages: int = 240) -> dict:
+    """Fault-tolerance pricing (docs/resilience.md).
+
+    Three throughput runs of the mixed-traffic loop — fault-free, and
+    with seeded faults injected into 1% / 5% of the guarded stage
+    crossings (each absorbed by retries, occasionally a quarantine) —
+    price what the retry/breaker machinery costs when things go wrong.
+    A fourth run holds the parser stage hard-down behind a tripped
+    breaker with an effectively infinite cooldown and measures the
+    degraded-mode cost of a post: delivery plus a deferred-ledger
+    append, no analysis — it must be far cheaper than a fault-free
+    supervised message (``degraded_ms_per_post`` vs
+    ``fault_free_ms_per_message``), or degraded mode would not be
+    degrading gracefully.
+    """
+    from repro.core.system import ELearningSystem, SystemConfig
+    from repro.resilience import BreakerPolicy, RuntimeFaultPlan
+
+    def throughput(plan) -> float:
+        system = ELearningSystem.with_defaults(SystemConfig(runtime_faults=plan))
+        system.open_room("res", topic="t")
+        system.join("res", "u")
+        for i in range(8):  # warmup
+            system.say("res", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+        start = time.perf_counter()
+        for i in range(messages):
+            system.say("res", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+        elapsed = time.perf_counter() - start
+        return messages / elapsed
+
+    fault_free = throughput(None)
+    faulty_1pct = throughput(RuntimeFaultPlan(rate=0.01, seed=43))
+    faulty_5pct = throughput(RuntimeFaultPlan(rate=0.05, seed=43))
+
+    # Degraded mode: trip the parser breaker, then price a deferred post.
+    plan = RuntimeFaultPlan(permanent=("parser",))
+    system = ELearningSystem.with_defaults(
+        SystemConfig(runtime_faults=plan, breaker=BreakerPolicy(cooldown=1_000_000_000))
+    )
+    system.open_room("res", topic="t")
+    system.join("res", "u")
+    for i in range(8):  # enough traffic to trip the breaker open
+        system.say("res", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    assert system.resilience.breakers["parser"].state == "open"
+    start = time.perf_counter()
+    for i in range(messages):
+        system.say("res", "u", MIXED_MESSAGES[i % len(MIXED_MESSAGES)])
+    degraded_elapsed = time.perf_counter() - start
+
+    return {
+        "messages": messages,
+        "fault_free_messages_per_sec": fault_free,
+        "faulty_1pct_messages_per_sec": faulty_1pct,
+        "faulty_5pct_messages_per_sec": faulty_5pct,
+        "throughput_ratio_1pct": faulty_1pct / fault_free,
+        "throughput_ratio_5pct": faulty_5pct / fault_free,
+        "fault_free_ms_per_message": 1000.0 / fault_free,
+        "degraded_ms_per_post": 1000.0 * degraded_elapsed / messages,
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -605,6 +668,7 @@ def run_report(quick: bool = False) -> dict:
             ),
             "corpus_memory": bench_corpus_memory(records=n(250_000)),
             "recovery": bench_recovery(messages=n(240)),
+            "resilience": bench_resilience(messages=n(240)),
         },
     }
 
@@ -660,6 +724,16 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "wal_bytes",
         "snapshot_bytes",
     ),
+    "resilience": (
+        "messages",
+        "fault_free_messages_per_sec",
+        "faulty_1pct_messages_per_sec",
+        "faulty_5pct_messages_per_sec",
+        "throughput_ratio_1pct",
+        "throughput_ratio_5pct",
+        "fault_free_ms_per_message",
+        "degraded_ms_per_post",
+    ),
 }
 
 #: Workloads the seed commit predates; a pinned baseline need not (and
@@ -672,6 +746,7 @@ _POST_SEED_WORKLOADS = frozenset(
         "corpus_scale",
         "corpus_memory",
         "recovery",
+        "resilience",
     }
 )
 

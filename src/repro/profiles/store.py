@@ -92,9 +92,11 @@ def _apply_activity(
 ) -> None:
     """Bump one utterance's tallies on a profile (or a replica's delta —
     the single place the per-event field list lives; ``merge`` sums the
-    same fields as whole deltas)."""
+    same fields as whole deltas).  ``last_active`` is a max, not an
+    assignment: a deferred or redriven utterance commits after newer
+    traffic, and its (older) timestamp must not roll the profile back."""
     profile.messages += 1
-    profile.last_active = now
+    profile.last_active = max(profile.last_active, now)
     if syntax_error:
         profile.syntax_errors += 1
     if semantic_error:
@@ -143,6 +145,10 @@ class UserProfileStore:
     ) -> UserProfile:
         """Fold one supervised utterance into the user's profile."""
         profile = self.get_or_create(name, now=now)
+        if now < profile.joined_at:
+            # An out-of-order commit (quarantine redrive) can carry the
+            # user's true first activity; joined_at folds as a min.
+            profile.joined_at = now
         _apply_activity(
             profile,
             now,

@@ -103,14 +103,21 @@ class QASystem:
         item_ids = tuple(sorted({k.item_id for k in match.all_keywords}))
         return QAResolution(question, match, item_ids)
 
-    def apply_resolution(self, resolution: QAResolution, now: float = 0.0) -> Answer:
+    def apply_resolution(
+        self,
+        resolution: QAResolution,
+        now: float = 0.0,
+        origin: tuple[int, int] | None = None,
+    ) -> Answer:
         """Serve one asking of a resolved question (FAQ bump included).
 
         This is the per-item half: it consults the FAQ cache, falls back
         to the resolution's (lazily computed) ontology answer and then
         the learner corpus, and records the asking into the FAQ
         statistics — exactly the side effects the sequential pipeline
-        performs per question.
+        performs per question.  ``origin`` (message seq, sentence index)
+        is forwarded to the FAQ so out-of-order commits — deferred
+        backfill, quarantine redrive — converge on the in-order pair.
         """
         match = resolution.match
         question = resolution.question
@@ -119,17 +126,21 @@ class QASystem:
         if match.kind != QuestionKind.UNKNOWN:
             cached = self.faq.lookup(match)
             if cached is not None:
-                self.faq.record(match, question, cached.answer, now, source=cached.source)
+                self.faq.record(
+                    match, question, cached.answer, now, source=cached.source, origin=origin
+                )
                 return Answer(question, match.kind, cached.answer, True, "faq", item_ids)
             text = self._resolved_text(resolution)
             if text:
-                self.faq.record(match, question, text, now)
+                self.faq.record(match, question, text, now, origin=origin)
                 return Answer(question, match.kind, text, True, "ontology", item_ids)
 
         corpus_text = self._corpus_answer(match)
         if corpus_text:
             if match.kind != QuestionKind.UNKNOWN:
-                self.faq.record(match, question, corpus_text, now, source="corpus")
+                self.faq.record(
+                    match, question, corpus_text, now, source="corpus", origin=origin
+                )
             return Answer(question, match.kind, corpus_text, True, "corpus", item_ids)
         return Answer(question, match.kind, "", False, "none", item_ids)
 

@@ -121,8 +121,18 @@ class FAQDatabase:
         answer: str,
         now: float = 0.0,
         source: str = "ontology",
+        origin: tuple[int, int] | None = None,
     ) -> QAPair:
-        """Fold one answered question into the database."""
+        """Fold one answered question into the database.
+
+        ``origin`` — ``(message seq, sentence index)`` — orders askings
+        that commit out of post order (deferred backfill, quarantine
+        redrive): the smallest origin defines the representative surface
+        form/answer/source, and ``first_asked``/``last_asked`` fold with
+        min/max, so a late commit of an early asking converges on the
+        pair an in-order run would hold.  Omitted (None) for in-order
+        callers — every update below is then the plain sequential fold.
+        """
         key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
         pair = self._pairs.get(key)
         if pair is None:
@@ -137,8 +147,18 @@ class FAQDatabase:
                 first_asked=now,
             )
             self._pairs[key] = pair
+            if origin is not None:
+                self._merge_origins[key] = origin
+        else:
+            prior = self._merge_origins.get(key)
+            if origin is not None and prior is not None and origin < prior:
+                pair.question = question
+                pair.answer = answer
+                pair.source = source
+                self._merge_origins[key] = origin
+            pair.first_asked = min(pair.first_asked, now)
         pair.count += 1
-        pair.last_asked = now
+        pair.last_asked = max(pair.last_asked, now)
         return pair
 
     # ------------------------------------------------------------- queries
@@ -321,7 +341,13 @@ class FAQReplica:
         answer: str,
         now: float = 0.0,
         source: str = "ontology",
+        origin: tuple[int, int] | None = None,
     ) -> QAPair:
+        # ``origin`` is accepted for interface parity with the base
+        # database and ignored: replica ordering is owned by
+        # ``begin_origin`` (the runtime tags each item's writes), and
+        # out-of-order commits never run against a replica — degraded
+        # mode defers whole items before they reach a shard pipeline.
         key = normalise_key(match.kind, tuple(k.item_id for k in match.all_keywords))
         bump = self._pending.get(key)
         if bump is None:

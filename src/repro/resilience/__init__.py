@@ -1,0 +1,44 @@
+"""Runtime fault tolerance for the supervision pipeline.
+
+PR 6 made *state* crash-safe; this package makes the *runtime* survive
+the faults that happen while the process stays up: a flaky parser, an
+agent that starts throwing, one poison message that reliably kills its
+own analysis.  The pieces (see docs/resilience.md for the contracts):
+
+* :mod:`retry` — a deterministic, seeded :class:`RetryPolicy` whose
+  backoff accumulates on a virtual clock (tests never sleep);
+* :mod:`breaker` — failure-rate :class:`CircuitBreaker` per analysis
+  stage, with count-based cooldown and half-open probes;
+* :mod:`quarantine` — the durable dead-letter store for items whose
+  supervision kept failing (journaled to the WAL, survives recovery);
+* :mod:`controller` — :class:`ResilienceController`, the object the
+  runtime and pipeline actually talk to: per-stage guards, per-item
+  admission, the deferred ledger for degraded mode, redrive planning;
+* :mod:`health` — the component health registry behind
+  ``system.health()`` and ``python -m repro health``;
+* :mod:`faults` — seeded exception/latency injection into the pipeline
+  stages (the chaos-harness counterpart of durability's FaultClock).
+"""
+
+from .breaker import BreakerPolicy, CircuitBreaker
+from .controller import ResilienceController, StageFailure
+from .faults import NO_RUNTIME_FAULTS, InjectedFault, RuntimeFaultPlan
+from .health import HealthReport, build_health
+from .quarantine import QuarantinedItem, QuarantineStore
+from .retry import BackoffClock, RetryPolicy
+
+__all__ = [
+    "BackoffClock",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "HealthReport",
+    "InjectedFault",
+    "NO_RUNTIME_FAULTS",
+    "QuarantineStore",
+    "QuarantinedItem",
+    "ResilienceController",
+    "RetryPolicy",
+    "RuntimeFaultPlan",
+    "StageFailure",
+    "build_health",
+]

@@ -1,0 +1,127 @@
+"""Failure-rate circuit breakers for the analysis stages.
+
+One :class:`CircuitBreaker` guards one pipeline stage (parser,
+semantic agent, QA).  States and transitions:
+
+``closed``
+    Normal operation.  Stage outcomes land in a sliding window; when
+    the window holds at least ``min_calls`` outcomes and the failure
+    fraction reaches ``failure_threshold``, the breaker trips open.
+
+``open``
+    The stage is presumed down.  Item admission is refused (the
+    runtime *defers* items instead of analysing them — delivery never
+    blocks) and each refusal, plus each drain cycle, ticks the
+    cooldown down.  The cooldown is **count-based on purpose**: the
+    simulated clock only advances when messages are posted, so a
+    wall-clock cooldown could deadlock a quiet system forever.
+
+``half_open``
+    Cooldown expired; exactly one probe item is admitted at a time.
+    A successful stage call closes the breaker (window reset); a
+    failure reopens it.  A probe whose item keeps failing is
+    *quarantined* by the controller, never re-deferred — otherwise one
+    poison item could flap the breaker forever and wedge every
+    deferred item behind it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerPolicy:
+    """Trip/cooldown knobs shared by every stage breaker.
+
+    Attributes:
+        window: sliding window of recent stage outcomes.
+        min_calls: outcomes required before the breaker may trip (a
+            single poison item's retries must not open the breaker).
+        failure_threshold: failure fraction that trips it.
+        cooldown: refusals/drain-cycles an open breaker waits before
+            probing (count-based — see module docstring).
+    """
+
+    window: int = 16
+    min_calls: int = 4
+    failure_threshold: float = 0.5
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_calls < 1 or self.cooldown < 1:
+            raise ValueError("window, min_calls and cooldown must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+
+
+class CircuitBreaker:
+    """One stage's failure-rate breaker (see module docstring)."""
+
+    __slots__ = ("policy", "state", "probe_inflight", "opened_total", "_window", "_cooldown_left")
+
+    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.state = STATE_CLOSED
+        self.probe_inflight = False
+        self.opened_total = 0
+        self._window: deque[bool] = deque(maxlen=self.policy.window)
+        self._cooldown_left = 0
+
+    def record_success(self) -> None:
+        """One stage call succeeded; a half-open probe success closes."""
+        if self.state == STATE_HALF_OPEN:
+            self.force_close()
+        elif self.state == STATE_CLOSED:
+            self._window.append(True)
+
+    def record_failure(self) -> None:
+        """One stage call failed; may trip (closed) or reopen (probe)."""
+        if self.state == STATE_HALF_OPEN:
+            self._trip()
+        elif self.state == STATE_CLOSED:
+            self._window.append(False)
+            window = self._window
+            if len(window) >= self.policy.min_calls:
+                failures = sum(1 for ok in window if not ok)
+                if failures / len(window) >= self.policy.failure_threshold:
+                    self._trip()
+
+    def tick(self) -> None:
+        """One cooldown unit (a refused admission or a drain cycle)."""
+        if self.state == STATE_OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = STATE_HALF_OPEN
+                self.probe_inflight = False
+
+    def force_close(self) -> None:
+        """Close unconditionally (probe success, or operator redrive)."""
+        self.state = STATE_CLOSED
+        self.probe_inflight = False
+        self._window.clear()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self.probe_inflight = False
+        self.opened_total += 1
+        self._cooldown_left = self.policy.cooldown
+        self._window.clear()
+
+    @property
+    def window_failures(self) -> int:
+        return sum(1 for ok in self._window if not ok)
+
+    def describe(self) -> dict:
+        """Health-registry row for this breaker."""
+        return {
+            "state": self.state,
+            "opened_total": self.opened_total,
+            "window_failures": self.window_failures,
+            "window_calls": len(self._window),
+        }

@@ -1,0 +1,154 @@
+"""Seeded runtime-fault injection for the supervision pipeline.
+
+The durability layer proves crash-safety with a :class:`FaultClock`
+that kills the k-th on-disk boundary; this module is the same pattern
+lifted to *runtime* faults: every guarded pipeline stage (``parser``,
+``semantic``, ``qa``, ``stores``) calls :meth:`RuntimeFaultPlan.step`
+before it executes, and the plan decides whether that crossing raises
+an :class:`InjectedFault` or stalls on the virtual clock.
+
+Arming modes (freely combined):
+
+* ``fail_at=k, fail_times=m`` — crossings ``k .. k+m-1`` raise.  With
+  ``m=1`` the fault is transient (one retry heals it); with ``m >=``
+  the retry budget the crossing's item is poison and must quarantine.
+  An *unarmed* plan counts crossings without firing, so a chaos sweep
+  first measures how many injection points a workload has and then
+  loops ``fail_at = 1..N`` — exactly the durability sweep's shape.
+* ``stage="parser"`` — restrict the armed counter to one stage's
+  crossings (per-stage sweeps); ``None`` counts every stage.
+* ``permanent={"parser"}`` — the named stages are hard down: every
+  crossing raises until :meth:`heal`.  This is what trips breakers.
+* ``rate=0.01, seed=s`` — seeded Bernoulli faults: crossing ``n``
+  raises iff ``Random(f"{seed}:{n}")`` draws below ``rate``.  Seeding
+  with a *string* keeps the draw identical across processes (tuple
+  seeds containing strings go through salted ``hash()``).
+* ``latency=0.05, latency_rate=r`` — :meth:`stall` returns virtual
+  seconds for the controller to account (never a real sleep).
+
+Production passes no plan and gets :data:`NO_RUNTIME_FAULTS` — one
+``active`` attribute check per crossing, nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+
+class InjectedFault(Exception):
+    """A deliberately injected pipeline-stage failure.
+
+    An ordinary ``Exception`` on purpose — unlike a simulated *crash*,
+    an injected *fault* is exactly the kind of error the retry and
+    quarantine machinery exists to absorb.
+    """
+
+
+class RuntimeFaultPlan:
+    """Decides, per stage crossing, whether to fault, stall or pass."""
+
+    __slots__ = (
+        "fail_at",
+        "fail_times",
+        "stage",
+        "permanent",
+        "rate",
+        "seed",
+        "latency",
+        "latency_rate",
+        "count",
+        "fired",
+        "_stalls",
+        "_lock",
+    )
+
+    #: Active plans are consulted on every crossing; the controller
+    #: skips all plan work when this is False (see ``_NoRuntimeFaults``).
+    active = True
+
+    def __init__(
+        self,
+        fail_at: int | None = None,
+        fail_times: int = 1,
+        stage: str | None = None,
+        permanent: tuple[str, ...] = (),
+        rate: float = 0.0,
+        seed: int = 0,
+        latency: float = 0.0,
+        latency_rate: float = 1.0,
+    ) -> None:
+        if fail_at is not None and fail_at < 1:
+            raise ValueError("fail_at counts crossings from 1")
+        if fail_times < 1:
+            raise ValueError("fail_times must be >= 1")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        self.fail_at = fail_at
+        self.fail_times = fail_times
+        self.stage = stage
+        self.permanent = set(permanent)
+        self.rate = rate
+        self.seed = seed
+        self.latency = latency
+        self.latency_rate = latency_rate
+        self.count = 0
+        self.fired: list[str] = []
+        self._stalls = 0
+        self._lock = threading.Lock()
+
+    def step(self, stage: str) -> None:
+        """One guarded crossing of ``stage``; raises when armed for it."""
+        with self._lock:
+            if stage in self.permanent:
+                self.fired.append(f"{stage}#permanent")
+                raise InjectedFault(f"injected permanent fault in {stage}")
+            if self.stage is not None and stage != self.stage:
+                return
+            self.count += 1
+            n = self.count
+            if self.fail_at is not None and self.fail_at <= n < self.fail_at + self.fail_times:
+                self.fired.append(f"{stage}#{n}")
+                raise InjectedFault(f"injected fault in {stage} (crossing {n})")
+            if self.rate and random.Random(f"{self.seed}:{n}").random() < self.rate:
+                self.fired.append(f"{stage}@{n}")
+                raise InjectedFault(f"injected random fault in {stage} (crossing {n})")
+
+    def stall(self, stage: str) -> float:
+        """Virtual seconds of injected latency for this crossing."""
+        with self._lock:
+            if not self.latency:
+                return 0.0
+            self._stalls += 1
+            if self.latency_rate >= 1.0:
+                return self.latency
+            draw = random.Random(f"{self.seed}:stall:{self._stalls}").random()
+            return self.latency if draw < self.latency_rate else 0.0
+
+    def heal(self) -> None:
+        """Clear every armed fault (the chaos tests' 'fault healed')."""
+        with self._lock:
+            self.fail_at = None
+            self.permanent = set()
+            self.rate = 0.0
+            self.latency = 0.0
+
+
+class _NoRuntimeFaults:
+    """Null plan wired in production: crossings cost one attr check."""
+
+    __slots__ = ()
+    active = False
+
+    def step(self, stage: str) -> None:
+        return None
+
+    def stall(self, stage: str) -> float:
+        return 0.0
+
+    def heal(self) -> None:
+        return None
+
+
+#: Shared null instance — the default fault plan everywhere.
+NO_RUNTIME_FAULTS = _NoRuntimeFaults()

@@ -1,0 +1,105 @@
+"""The health registry: one question — "is supervision healthy?".
+
+:func:`build_health` assembles a :class:`HealthReport` from the live
+system: per-stage breaker states (labelled with the agent that backs
+the stage), the runtime's queue/deferred/shed picture including the
+structured shed events, the quarantine store, durability status and
+the controller's counters.  ``system.health()`` and ``python -m repro
+health DIR`` both return it; the overall status is ``degraded`` the
+moment any breaker is not closed, any item sits in quarantine or the
+deferred ledger, or backpressure has shed analysis work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+
+
+@dataclass(slots=True)
+class HealthReport:
+    """Per-component states plus the resilience counters."""
+
+    status: str
+    components: dict
+    counters: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "components": self.components,
+            "counters": self.counters,
+        }
+
+    def summary(self) -> str:
+        """The human-readable report ``cli.py health`` prints."""
+        lines = [f"status: {self.status}"]
+        for name in sorted(self.components):
+            detail = self.components[name]
+            rendered = " ".join(f"{key}={detail[key]}" for key in sorted(detail))
+            lines.append(f"{name}: {rendered}")
+        counters = " ".join(
+            f"{key}={value}" for key, value in sorted(self.counters.items()) if value
+        )
+        lines.append(f"counters: {counters or '(all zero)'}")
+        return "\n".join(lines)
+
+
+def _stage_labels(system) -> dict:
+    """Map breaker stages to the agent/component each one guards."""
+    labels = {"parser": "parser", "semantic": "semantic", "qa": "qa"}
+    for agent in (getattr(system, "learning_angel", None), getattr(system, "semantic_agent", None)):
+        stage = getattr(agent, "stage", None)
+        if stage in labels:
+            labels[stage] = agent.name
+    qa = getattr(system, "qa", None)
+    if qa is not None:
+        labels["qa"] = "QA_System"
+    return labels
+
+
+def build_health(system) -> HealthReport:
+    """Assemble the component health registry for one live system."""
+    resilience = system.resilience
+    runtime = system.runtime
+    labels = _stage_labels(system)
+
+    degraded = False
+    components: dict[str, dict] = {}
+    for stage, breaker in sorted(resilience.breakers.items()):
+        row = breaker.describe()
+        row["guards"] = labels.get(stage, stage)
+        components[f"breaker:{stage}"] = row
+        if row["state"] != "closed":
+            degraded = True
+
+    shed_events = runtime.shed_events()
+    components["runtime"] = {
+        "mode": runtime.mode,
+        "pending": runtime.pending,
+        "deferred": len(resilience.deferred),
+        "shed": runtime.shed,
+        "shed_events": [event.to_dict() for event in shed_events],
+    }
+    if runtime.shed or resilience.deferred:
+        degraded = True
+
+    components["quarantine"] = {"items": len(resilience.quarantine)}
+    if len(resilience.quarantine):
+        degraded = True
+
+    durability = getattr(system, "durability", None)
+    if durability is not None:
+        components["durability"] = {
+            "events": durability.total,
+            "since_snapshot": durability.since_snapshot,
+            "closed": durability.closed,
+        }
+
+    return HealthReport(
+        status=STATUS_DEGRADED if degraded else STATUS_OK,
+        components=components,
+        counters=resilience.counters.to_dict(),
+    )

@@ -1,0 +1,156 @@
+"""The dead-letter quarantine: poison items, journaled and redrivable.
+
+An item whose supervision fails on every retry attempt moves here with
+the captured exception instead of raising out of the drain.  The row
+captures everything needed to rebuild the :class:`SupervisionItem`
+later — the message fields, the sender's role snapshot, the failing
+stage and error — so an operator can :meth:`ELearningSystem.redrive`
+the store after the fault heals and end up with exactly the state the
+fault-free run would have produced.
+
+Durability: every quarantine is journaled as a WAL ``quarantine``
+event and the store rides in full-system snapshots, so quarantined
+items survive crashes the same way delivered messages do (asserted by
+the durability fault-injection suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chatroom.messages import ChatMessage, MessageKind, Role
+from repro.chatroom.shard import SupervisionItem
+
+
+@dataclass(slots=True)
+class QuarantinedItem:
+    """One dead-lettered supervision item plus its failure evidence."""
+
+    seq: int
+    room: str
+    sender: str
+    text: str
+    timestamp: float
+    reply_to: int | None = None
+    sender_role: str | None = None
+    stage: str = "dispatch"
+    error: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "room": self.room,
+            "sender": self.sender,
+            "text": self.text,
+            "ts": self.timestamp,
+            "reply_to": self.reply_to,
+            "role": self.sender_role,
+            "stage": self.stage,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantinedItem":
+        return cls(
+            seq=data["seq"],
+            room=data["room"],
+            sender=data["sender"],
+            text=data["text"],
+            timestamp=data["ts"],
+            reply_to=data.get("reply_to"),
+            sender_role=data.get("role"),
+            stage=data.get("stage", "dispatch"),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
+        )
+
+    @classmethod
+    def from_item(
+        cls,
+        item: SupervisionItem,
+        stage: str = "dispatch",
+        error: str = "",
+        attempts: int = 1,
+    ) -> "QuarantinedItem":
+        message = item.message
+        return cls(
+            seq=message.seq,
+            room=message.room,
+            sender=message.sender,
+            text=message.text,
+            timestamp=message.timestamp,
+            reply_to=message.reply_to,
+            sender_role=item.sender_role.value if item.sender_role is not None else None,
+            stage=stage,
+            error=error,
+            attempts=attempts,
+        )
+
+
+def rebuild_item(server, row: QuarantinedItem) -> SupervisionItem:
+    """Reconstruct the original work item from a quarantine row.
+
+    The message is rebuilt field-exact (seq, timestamp, reply_to), so a
+    redriven item commits with the timestamps the fault-free run would
+    have used; the room object is resolved live (rooms are never
+    deleted) and the role comes from the row's post-time snapshot.
+    """
+    message = ChatMessage(
+        seq=row.seq,
+        room=row.room,
+        sender=row.sender,
+        kind=MessageKind.USER,
+        text=row.text,
+        timestamp=row.timestamp,
+        reply_to=row.reply_to,
+    )
+    role = Role(row.sender_role) if row.sender_role is not None else None
+    return SupervisionItem(message, server.get_room(row.room), role)
+
+
+class QuarantineStore:
+    """All currently dead-lettered items, keyed by message seq."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict[int, QuarantinedItem] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._items
+
+    def add(self, row: QuarantinedItem) -> None:
+        self._items[row.seq] = row
+
+    def get(self, seq: int) -> QuarantinedItem | None:
+        return self._items.get(seq)
+
+    def remove(self, seq: int) -> QuarantinedItem | None:
+        """Pop one row (redrive / replayed requeue); None when absent."""
+        return self._items.pop(seq, None)
+
+    def rows(self) -> list[QuarantinedItem]:
+        """Every quarantined row, in message order."""
+        return [self._items[seq] for seq in sorted(self._items)]
+
+    def take_all(self) -> list[QuarantinedItem]:
+        """Drain the store (redrive), rows in message order."""
+        rows = self.rows()
+        self._items = {}
+        return rows
+
+    def snapshot(self) -> list[dict]:
+        """Serialisable rows for the full-system snapshot."""
+        return [row.to_dict() for row in self.rows()]
+
+    def restore(self, rows: list[dict]) -> None:
+        """Replace contents from snapshot rows — in place."""
+        self._items = {}
+        for data in rows:
+            row = QuarantinedItem.from_dict(data)
+            self._items[row.seq] = row

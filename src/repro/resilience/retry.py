@@ -1,0 +1,71 @@
+"""Deterministic retry with simulated-clock backoff.
+
+A transient pipeline fault (flaky parser, racy agent dependency) should
+cost one retry, not one raised drain.  :class:`RetryPolicy` decides how
+many attempts a stage call gets and how long each backoff pause is —
+and both are pure functions, so a retried run is replayable:
+
+* the jitter for ``(key, attempt)`` comes from
+  ``random.Random(f"{seed}:{key}:{attempt}")`` — seeded with a
+  *string*, because string seeding is stable across processes while
+  tuple seeds containing strings go through salted ``hash()``;
+* the pause is never slept.  :class:`BackoffClock` accumulates the
+  virtual seconds so the counters can report how long a real
+  deployment would have waited, without the simulated system (whose
+  clock only advances on posts) ever blocking or drifting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How often and how patiently a guarded stage call is retried.
+
+    Attributes:
+        attempts: total tries per stage call (1 = no retry).
+        base_delay: virtual seconds before the first retry.
+        multiplier: exponential backoff factor per further retry.
+        jitter: fraction of the delay added as seeded noise (0..1).
+        seed: jitter seed (deterministic across runs and processes).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.multiplier < 1 or not 0 <= self.jitter <= 1:
+            raise ValueError("backoff parameters out of range")
+
+    def delay(self, attempt: int, key: str) -> float:
+        """Virtual backoff before retry ``attempt`` (1-based) of ``key``."""
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        if not self.jitter:
+            return base
+        noise = random.Random(f"{self.seed}:{key}:{attempt}").random()
+        return base * (1.0 + self.jitter * noise)
+
+
+class BackoffClock:
+    """Accumulates virtual backoff seconds; never sleeps.
+
+    Deliberately independent of the chat server's simulated clock: a
+    retry pause must not move message timestamps (that would make a
+    retried run's state diverge from the fault-free run's).
+    """
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    def wait(self, seconds: float) -> None:
+        self.elapsed += seconds

@@ -311,8 +311,11 @@ class TestRuntimeConstruction:
 
 class TestFailureIsolation:
     """A supervisor error mid-batch must cost exactly the failing item:
-    the batch's unprocessed tail is requeued at the barrier and the next
-    drain supervises it (the cooperative modes' loss semantics)."""
+    it dead-letters into the quarantine store (with the captured error)
+    and the rest of the batch is supervised in the same drain.  This is
+    the regression test for the old behaviour, where the raising item
+    itself was silently *lost* — the batch aborted, only the tail after
+    it was requeued, and nothing recorded which message went down."""
 
     class _FailingSupervisor:
         def __init__(self):
@@ -339,7 +342,7 @@ class TestFailureIsolation:
 
             return Fork(), Stores()
 
-    def test_failed_batch_requeues_unprocessed_tail(self):
+    def test_failed_item_dead_letters_and_batch_continues(self):
         from repro.chatroom import ChatServer
 
         runtime = SupervisionRuntime(mode="parallel", shards=1)
@@ -348,14 +351,17 @@ class TestFailureIsolation:
         server.add_supervisor(supervisor)
         server.create_room("r")
         server.join("r", "u")
+        posted = {}
         for text in ("alpha", "boom", "gamma", "delta"):
-            server.post("r", "u", text)
-        with pytest.raises(RuntimeError, match="blew up"):
-            server.drain_supervision()
-        # alpha processed, boom dropped, the tail requeued — not lost.
-        assert supervisor.seen == ["alpha"]
-        assert runtime.pending == 2
-        server.drain_supervision()
+            posted[text] = server.post("r", "u", text)
+        server.drain_supervision()  # no raise: the drain survives
+        # boom dead-lettered, every other item supervised this drain.
         assert supervisor.seen == ["alpha", "gamma", "delta"]
         assert runtime.pending == 0
+        quarantine = runtime.resilience.quarantine
+        assert len(quarantine) == 1
+        row = quarantine.get(posted["boom"].seq)
+        assert row is not None
+        assert row.text == "boom"
+        assert "supervisor blew up" in row.error
         runtime.close()

@@ -1,0 +1,263 @@
+"""Quarantine durability: dead letters survive crashes like messages do.
+
+Extends the crash-at-every-boundary fault-injection scenario with an
+armed :class:`RuntimeFaultPlan`: a poison item dead-letters mid-workload
+(journaling a ``quarantine`` WAL event), and the process is killed at
+each on-disk boundary.  After recovery the item must be either back in
+the quarantine store (its event was durable — replay short-circuits it
+straight into the store, no re-analysis) or fully supervised (the
+crash predated the event, so replay re-ran the analysis fault-free);
+in both cases finishing the workload and redriving converges the state
+to the fault-free run's, with zero silent loss.
+
+A second scenario crashes *after* an operator ``redrive()``: the logged
+``requeue`` events must replay too, leaving the store empty and the
+redriven effects in place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chatroom import MessageKind
+from repro.core.system import ELearningSystem, SystemConfig
+from repro.durability.faults import FaultClock, SimulatedCrash
+from repro.resilience import RuntimeFaultPlan
+
+CONFIG_KWARGS = dict(snapshot_every=4, fsync="always")
+ROOM = "ds-101"
+TOPIC = "data structures"
+USERS = ("alice", "bob")
+
+SCRIPT = (
+    ("alice", "We push an element onto the stack."),  # the poison item
+    ("bob", "What is a stack?"),
+    ("alice", "The tree doesn't have pop method."),
+    ("bob", "I push the data into a tree."),
+    ("alice", "Thanks. What is Stack?"),
+    ("bob", "The stack is full."),
+)
+
+
+def poison_plan() -> RuntimeFaultPlan:
+    """Message 1's first parser crossing fails the whole retry budget."""
+    return RuntimeFaultPlan(fail_at=1, fail_times=3, stage="parser")
+
+
+def make_config(data_dir, fault_clock=None, runtime_faults=None) -> SystemConfig:
+    return SystemConfig(
+        data_dir=str(data_dir),
+        fault_clock=fault_clock,
+        runtime_faults=runtime_faults,
+        **CONFIG_KWARGS,
+    )
+
+
+def build_system(config: SystemConfig) -> ELearningSystem:
+    system = ELearningSystem.with_defaults(config)
+    system.open_room(ROOM, topic=TOPIC)
+    for user in USERS:
+        system.join(ROOM, user)
+    return system
+
+
+def apply_remaining(system: ELearningSystem) -> None:
+    """Re-apply the inputs the crash lost (delivery count = durable
+    prefix: posts are delivered in script order, quarantine/requeue
+    events never add messages)."""
+    if ROOM not in system.server.rooms:
+        system.open_room(ROOM, topic=TOPIC)
+    room = system.server.get_room(ROOM)
+    for user in USERS:
+        if user not in room.participants:
+            system.join(ROOM, user)
+    delivered = sum(1 for m in room.transcript if m.kind is MessageKind.USER)
+    for sender, text in SCRIPT[delivered:]:
+        system.say(ROOM, sender, text)
+    system.drain()
+
+
+def canonical_state(system: ELearningSystem):
+    """Order-independent converged state (same shape as the chaos
+    suite's): a redriven item commits later than its neighbours, so
+    only insertion orders may differ from the fault-free run."""
+    room = system.server.get_room(ROOM)
+    users = sorted(
+        (m.sender, m.text, m.timestamp)
+        for m in room.transcript
+        if m.kind is MessageKind.USER
+    )
+    replies = sorted(
+        (m.sender, m.text)
+        for m in room.transcript
+        if m.kind is not MessageKind.USER
+    )
+    corpus = sorted(
+        json.dumps(
+            {k: v for k, v in record.to_dict().items() if k != "record_id"},
+            sort_keys=True,
+        )
+        for record in system.corpus.records()
+    )
+    profiles = sorted(
+        json.dumps(p.to_dict(), sort_keys=True) for p in system.profiles.all()
+    )
+    faq = sorted(
+        json.dumps(pair.to_dict(), sort_keys=True) for pair in system.faq.pairs()
+    )
+    stats = dataclasses.asdict(system.pipeline.combined_stats())
+    return (users, replies, corpus, profiles, faq, stats)
+
+
+def settle(system: ELearningSystem) -> None:
+    system.redrive()
+    assert system.supervision_backlog == 0
+    assert system.quarantined == 0
+
+
+@pytest.fixture(scope="module")
+def canonical(tmp_path_factory):
+    """The fault-free durable reference run."""
+    system = build_system(make_config(tmp_path_factory.mktemp("canonical") / "d"))
+    for sender, text in SCRIPT:
+        system.say(ROOM, sender, text)
+    system.drain()
+    state = canonical_state(system)
+    system.close()
+    return state
+
+
+def run_poisoned(data_dir, fault_clock=None) -> ELearningSystem:
+    system = build_system(make_config(data_dir, fault_clock, poison_plan()))
+    for sender, text in SCRIPT:
+        system.say(ROOM, sender, text)
+    system.drain()
+    return system
+
+
+@pytest.fixture(scope="module")
+def boundary_count(tmp_path_factory, canonical):
+    clock = FaultClock()  # unarmed: counts, never fires
+    system = run_poisoned(tmp_path_factory.mktemp("counting") / "d", clock)
+    assert system.quarantined == 1
+    system.close()
+    assert clock.count > len(SCRIPT)
+    return clock.count
+
+
+def crash_and_recover(directory, crash_at, canonical):
+    clock = FaultClock(crash_at=crash_at)
+    try:
+        system = run_poisoned(directory, clock)
+        system.close()
+    except SimulatedCrash:
+        pass
+    else:
+        pytest.fail(f"boundary {crash_at} never fired (count={clock.count})")
+    recovered, report = ELearningSystem.recover(
+        str(directory), SystemConfig(**CONFIG_KWARGS)
+    )
+    assert report.clean, f"crash_at={crash_at}: {report.summary()}"
+    # Zero silent loss: the item is either dead-lettered (its WAL event
+    # was durable) or fully supervised (replay re-ran it fault-free).
+    assert recovered.quarantined in (0, 1)
+    if recovered.quarantined:
+        row = recovered.resilience.quarantine.rows()[0]
+        assert row.stage == "parser"
+        assert "InjectedFault" in row.error
+        assert row.attempts == 3
+    apply_remaining(recovered)
+    settle(recovered)
+    assert canonical_state(recovered) == canonical, f"crash_at={crash_at}"
+    recovered.close()
+
+
+def spread(n: int, points: int = 8) -> list[int]:
+    if n <= points:
+        return list(range(1, n + 1))
+    step = (n - 1) / (points - 1)
+    return sorted({round(1 + i * step) for i in range(points)})
+
+
+class TestQuarantineSurvivesCrashes:
+    def test_boundary_subset(self, tmp_path, canonical, boundary_count):
+        for crash_at in spread(boundary_count):
+            crash_and_recover(tmp_path / f"crash-{crash_at}", crash_at, canonical)
+
+    @pytest.mark.slow
+    def test_every_boundary(self, tmp_path, canonical, boundary_count):
+        for crash_at in range(1, boundary_count + 1):
+            crash_and_recover(tmp_path / f"crash-{crash_at}", crash_at, canonical)
+
+    def test_quarantine_event_is_durable_before_the_next_post(
+        self, tmp_path, canonical
+    ):
+        """Crash on the first boundary *after* message 1's supervision:
+        the quarantine event must already be on disk (fsync=always)."""
+        probe = FaultClock()
+        system = build_system(make_config(tmp_path / "probe", probe, poison_plan()))
+        system.say(ROOM, *SCRIPT[0])
+        assert system.quarantined == 1
+        after_first = probe.count
+        system.runtime.close()
+
+        directory = tmp_path / "crash"
+        crash_and_recover_at = after_first + 1  # first boundary of post 2
+        clock = FaultClock(crash_at=crash_and_recover_at)
+        with pytest.raises(SimulatedCrash):
+            crashed = run_poisoned(directory, clock)
+            crashed.close()
+        recovered, report = ELearningSystem.recover(
+            str(directory), SystemConfig(**CONFIG_KWARGS)
+        )
+        assert report.clean
+        assert recovered.quarantined == 1  # the row came back from the log
+        row = recovered.resilience.quarantine.rows()[0]
+        assert (row.stage, row.attempts) == ("parser", 3)
+        assert row.text == SCRIPT[0][1]
+        apply_remaining(recovered)
+        settle(recovered)
+        assert canonical_state(recovered) == canonical
+        recovered.close()
+
+
+class TestRequeueEventsReplay:
+    def test_crash_after_redrive_leaves_the_store_empty(self, tmp_path, canonical):
+        """An operator redrive journals ``requeue`` events; replaying
+        them must pop the store and re-commit the redriven effects."""
+        directory = tmp_path / "d"
+        system = run_poisoned(directory)
+        assert system.quarantined == 1
+        system.redrive()
+        assert system.quarantined == 0
+        # Crash: abandon the system without close() — the WAL (fsync
+        # always) is durable, the final snapshot never happens.
+        system.runtime.close()
+
+        recovered, report = ELearningSystem.recover(
+            str(directory), SystemConfig(**CONFIG_KWARGS)
+        )
+        assert report.clean, report.summary()
+        assert recovered.quarantined == 0
+        assert recovered.supervision_backlog == 0
+        assert canonical_state(recovered) == canonical
+        recovered.close()
+
+    def test_clean_shutdown_snapshot_carries_the_quarantine(self, tmp_path):
+        """close() while an item is dead-lettered: the snapshot row
+        restores on recovery without replaying the original event."""
+        directory = tmp_path / "d"
+        system = run_poisoned(directory)
+        assert system.quarantined == 1
+        system.close()  # final snapshot covers the log
+        recovered, report = ELearningSystem.recover(
+            str(directory), SystemConfig(**CONFIG_KWARGS)
+        )
+        assert report.clean
+        assert report.events_replayed == 0  # state came from the snapshot
+        assert recovered.quarantined == 1
+        assert recovered.resilience.quarantine.rows()[0].text == SCRIPT[0][1]
+        recovered.close()

@@ -70,6 +70,21 @@ class TestCommittedReport:
         assert memory["latency_ratio_columnar_vs_reference"] <= 1.2
 
 
+    def test_resilience_workload(self, report):
+        # The fault-tolerance claim (docs/resilience.md): retries and
+        # guards must not gut throughput at realistic fault rates, and a
+        # post under an open breaker (deliver + defer, no analysis) must
+        # be cheaper than a fully supervised fault-free message.
+        resilience = report["workloads"]["resilience"]
+        assert resilience["messages"] >= 240
+        assert resilience["fault_free_messages_per_sec"] > 0
+        assert resilience["throughput_ratio_1pct"] >= 0.8
+        assert resilience["throughput_ratio_5pct"] > 0
+        assert (
+            resilience["degraded_ms_per_post"]
+            < resilience["fault_free_ms_per_message"]
+        )
+
     def test_recovery_workload(self, report):
         # The durability claim (docs/durability.md): snapshot-based
         # restart must be much cheaper than a full-replay rebuild, which

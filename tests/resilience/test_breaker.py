@@ -1,0 +1,126 @@
+"""Circuit breaker state machine: trip, cooldown, probe, close."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import BreakerPolicy, CircuitBreaker
+from repro.resilience.breaker import STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN
+
+
+def tripped_breaker(policy=None) -> CircuitBreaker:
+    breaker = CircuitBreaker(policy or BreakerPolicy(window=4, min_calls=2, cooldown=2))
+    while breaker.state == STATE_CLOSED:
+        breaker.record_failure()
+    return breaker
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_calls": 0},
+            {"cooldown": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+        ],
+    )
+    def test_out_of_range_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+    def test_threshold_of_one_is_allowed(self):
+        assert BreakerPolicy(failure_threshold=1.0).failure_threshold == 1.0
+
+
+class TestTripping:
+    def test_starts_closed(self):
+        assert CircuitBreaker().state == STATE_CLOSED
+
+    def test_min_calls_guards_against_early_trip(self):
+        # One poison item's whole retry budget (3 failures) must not
+        # open a default-policy breaker from a cold window.
+        breaker = CircuitBreaker(BreakerPolicy())
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()  # 4/4 >= 0.5 with min_calls met
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 1
+
+    def test_successes_dilute_the_failure_fraction(self):
+        breaker = CircuitBreaker(BreakerPolicy(window=8, min_calls=4))
+        for _ in range(6):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED  # 2/8 < 0.5
+
+    def test_sliding_window_forgets_old_outcomes(self):
+        breaker = CircuitBreaker(BreakerPolicy(window=4, min_calls=4))
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):  # pushes both failures out of the window
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED  # [T,T,T,F]: 1/4 < 0.5
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN  # [T,T,F,F]: 2/4 >= 0.5
+
+    def test_trip_clears_window_and_counts_openings(self):
+        breaker = tripped_breaker()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 1
+        assert breaker.window_failures == 0
+
+
+class TestCooldownAndProbe:
+    def test_cooldown_ticks_to_half_open(self):
+        breaker = tripped_breaker(BreakerPolicy(window=4, min_calls=2, cooldown=2))
+        breaker.tick()
+        assert breaker.state == STATE_OPEN
+        breaker.tick()
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.probe_inflight is False
+
+    def test_tick_is_a_noop_when_not_open(self):
+        breaker = CircuitBreaker()
+        breaker.tick()
+        assert breaker.state == STATE_CLOSED
+
+    def test_probe_success_closes_and_resets_window(self):
+        breaker = tripped_breaker()
+        breaker.tick()
+        breaker.tick()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.window_failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = tripped_breaker(BreakerPolicy(window=4, min_calls=2, cooldown=2))
+        breaker.tick()
+        breaker.tick()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.opened_total == 2
+
+    def test_force_close_from_any_state(self):
+        breaker = tripped_breaker()
+        breaker.probe_inflight = True
+        breaker.force_close()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.probe_inflight is False
+
+
+class TestDescribe:
+    def test_health_row_shape(self):
+        breaker = CircuitBreaker(BreakerPolicy(window=4, min_calls=4))
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.describe() == {
+            "state": STATE_CLOSED,
+            "opened_total": 0,
+            "window_failures": 1,
+            "window_calls": 2,
+        }

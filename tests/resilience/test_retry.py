@@ -1,0 +1,68 @@
+"""RetryPolicy and BackoffClock: deterministic, virtual, validated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import BackoffClock, RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.attempts == 3
+        assert policy.base_delay > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_out_of_range_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestDelay:
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.delay(1, "42:0") == b.delay(1, "42:0")
+        assert a.delay(2, "42:0") == b.delay(2, "42:0")
+
+    def test_different_keys_draw_different_jitter(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay(1, "1:0") != policy.delay(1, "2:0")
+
+    def test_different_seeds_draw_different_jitter(self):
+        assert RetryPolicy(seed=1).delay(1, "k") != RetryPolicy(seed=2).delay(1, "k")
+
+    def test_exponential_growth_across_attempts(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert policy.delay(1, "k") == pytest.approx(0.1)
+        assert policy.delay(2, "k") == pytest.approx(0.2)
+        assert policy.delay(3, "k") == pytest.approx(0.4)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.5, seed=3)
+        for attempt in range(1, 20):
+            delay = policy.delay(attempt, "k")
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_zero_jitter_skips_the_draw(self):
+        policy = RetryPolicy(base_delay=0.25, jitter=0.0)
+        assert policy.delay(1, "anything") == 0.25
+
+
+class TestBackoffClock:
+    def test_accumulates_without_sleeping(self):
+        clock = BackoffClock()
+        assert clock.elapsed == 0.0
+        clock.wait(0.5)
+        clock.wait(0.25)
+        assert clock.elapsed == pytest.approx(0.75)

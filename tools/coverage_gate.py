@@ -12,7 +12,10 @@ below its committed floor.  Gated today:
 * ``src/repro/durability`` against ``tests/durability`` (floor 95%) —
   the write-ahead log, snapshots, fault clock and recovery path are
   exactly the code that only runs when something already went wrong,
-  so untested lines there are latent data loss.
+  so untested lines there are latent data loss;
+* ``src/repro/resilience`` against ``tests/resilience`` (floor 95%) —
+  retries, breakers and quarantine are likewise fault-path-only code:
+  a line that never ran in tests first runs during a production fault.
 
 One pytest run covers all suites; coverage is attributed per subsystem
 afterwards, so cross-subsystem hits (the durability tests exercising
@@ -43,10 +46,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Floors are raised when coverage grows, never lowered to make a
 #: failing PR pass.  corpus measured 97% when the columnar subsystem
 #: landed (PR 5); durability measured 97% when the WAL/snapshot layer
-#: landed (PR 6).
+#: landed (PR 6); resilience measured 96.7% when the
+#: fault-tolerance subsystem landed (PR 7).
 SUBSYSTEMS: tuple[tuple[str, str, float], ...] = (
     ("src/repro/corpus", "tests/corpus", 95.0),
     ("src/repro/durability", "tests/durability", 95.0),
+    ("src/repro/resilience", "tests/resilience", 95.0),
 )
 
 
