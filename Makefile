@@ -30,6 +30,9 @@ bench:
 
 # Smoke check: 10% iteration counts, written to a scratch path so the
 # committed BENCH_parse.json (and its pinned seed baseline) stays put.
+# Includes the process_drain workload, so every CI run exercises a
+# 2-worker multiprocess drain end to end (spec pickling, child cycles,
+# delta merge) on top of the unit suites.
 bench-quick:
 	$(PY) -m repro bench --quick --output $${TMPDIR:-/tmp}/BENCH_quick.json
 

@@ -11,7 +11,13 @@ from .events import (
 )
 from .messages import ChatMessage, MessageKind, Participant, Role
 from .room import ChatRoom, ChatRoomError
-from .runtime import MULTI_WORKER_MODES, RUNTIME_MODES, SupervisionRuntime
+from .runtime import (
+    DrainBudget,
+    MULTI_WORKER_MODES,
+    POOL_MODES,
+    RUNTIME_MODES,
+    SupervisionRuntime,
+)
 from .server import ChatServer
 from .shard import ShardQueue, SupervisionItem, SupervisionWorker, shard_of
 from .supervisor import (
@@ -28,12 +34,14 @@ __all__ = [
     "ChatRoom",
     "ChatRoomError",
     "ChatServer",
+    "DrainBudget",
     "Event",
     "EventBus",
     "MessageDelivered",
     "MessageKind",
     "MULTI_WORKER_MODES",
     "Participant",
+    "POOL_MODES",
     "QA_AGENT_NAME",
     "Role",
     "RUNTIME_MODES",

@@ -1,0 +1,325 @@
+"""Child-process shard workers for the ``process`` runtime mode.
+
+The ``process`` mode moves the CPU-heavy drain work (link-grammar
+parsing, semantic review, QA) out of the GIL entirely: each shard owns a
+long-lived child process that holds a **full private copy** of the
+pipeline — dictionary, ontology, agents, and base corpus/profile/FAQ
+stores — built once from a pickled :class:`ShardProcessSpec` when the
+pool spins up.  After that first dispatch the replica bundle never
+crosses the boundary again; per barrier cycle the parent ships only
+
+* the pending **item batch** (slim ``(ChatMessage, role)`` wire rows), and
+* the **sync groups** accumulated since the shard's last dispatch: every
+  shard's merged deltas from the intervening barriers, so the child can
+  replay the exact merges the parent performed and keep its private base
+  stores in lock-step;
+
+and receives back one :class:`CycleResult`: the shard's own
+:class:`StoresDelta` (the origin-tagged buffered writes of its replicas,
+as :class:`~repro.state.delta.ReplicaDelta` payloads), the buffered
+agent-reply outbox, per-cycle stats and resilience-counter deltas, and
+any dead-lettered :class:`QuarantinedItem` rows.
+
+Determinism is inherited rather than re-proven: the child applies sync
+deltas through the *same* ``merge()`` implementations the parent uses
+and in the same shard order, so child base stores evolve byte-identically
+to the parent's; analyses are therefore frozen against the same barrier
+snapshot as the thread-pool ``parallel`` mode, and the parent-side
+barrier merge of the shipped deltas is the ordinary order-independent
+origin-seq merge.  What the child deliberately does *not* do: admission
+control and recovery replay run parent-side before items are shipped
+(a child-side breaker deferring an item would strand it in the wrong
+process), and injected runtime fault plans stay parent-side too — the
+child re-arms plain retry guards from the shipped seed policies.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from repro.state.delta import ReplicaDelta, delta_of
+
+from .messages import Role
+from .shard import SupervisionItem, dispatch
+
+# -------------------------------------------------------------- wire forms
+
+
+def item_to_wire(item: SupervisionItem) -> tuple:
+    """Slim an item for shipping: the (picklable) message plus the role.
+
+    The resolved room object stays behind on purpose — the shard-store
+    pipeline never touches ``item.room`` (replies buffer to the outbox
+    keyed by the room *name* carried in the message), and a room drags
+    the whole server graph through pickle.
+    """
+    role = item.sender_role
+    return (item.message, role.value if role is not None else None)
+
+
+def item_from_wire(wire: tuple) -> SupervisionItem:
+    """Rebuild a room-less :class:`SupervisionItem` inside the child."""
+    message, role_value = wire
+    role = Role(role_value) if role_value is not None else None
+    return SupervisionItem(message, None, role)
+
+
+@dataclass(slots=True)
+class StoresDelta:
+    """One shard's buffered writes for one barrier cycle, as plain data.
+
+    The three fields mirror :class:`~repro.chatroom.supervisor.ShardStores`;
+    each is the :class:`ReplicaDelta` wire form of the corresponding
+    replica and feeds the owning base store's ``merge()`` unchanged —
+    parent-side at the barrier, child-side during sync replay.
+    """
+
+    corpus: ReplicaDelta | None
+    profiles: ReplicaDelta
+    faq: ReplicaDelta
+
+    def __len__(self) -> int:
+        corpus = len(self.corpus) if self.corpus is not None else 0
+        return corpus + len(self.profiles) + len(self.faq)
+
+
+@dataclass(slots=True)
+class CycleResult:
+    """Everything one child shard produced in one barrier cycle.
+
+    Attributes:
+        deltas: per registered supervisor, the shard's buffered store
+            writes (:class:`StoresDelta`), in registration order.
+        replies: the drained reply outboxes — ``(seq, n, room, agent,
+            text, message, severity)`` tuples, flushed by the parent in
+            post order across all shards.
+        stats: per supervisor, the cycle's stats delta (the child resets
+            its counters after extracting, so these are increments).
+        quarantined: dead-lettered rows from items whose supervision
+            raised in the child.
+        counters: the cycle's resilience-counter delta (additive).
+        handled: items supervised or quarantined this cycle.
+    """
+
+    deltas: list[StoresDelta]
+    replies: list[tuple]
+    stats: list
+    quarantined: list
+    counters: object
+    handled: int
+
+
+# ------------------------------------------------------------ pipeline spec
+
+
+@dataclass(slots=True)
+class PipelineProcessSpec:
+    """The pickled construction recipe for one pipeline's child twin.
+
+    Carries only plain data plus the stores' pickle surfaces: the
+    dictionary ships without its interned tables, build lock or shared
+    parse cache (see ``Dictionary.__getstate__``), so the child's parser
+    warms up lazily from the entry formulas exactly like a fresh parent
+    would.  :meth:`build` reconstructs the full agent wiring around the
+    shipped base-store copies and forks the shard twin from it.
+    """
+
+    dictionary: object
+    ontology: object
+    parse_options: object
+    policy: object
+    repair: bool
+    related_threshold: float
+    max_suggestions: int
+    corpus: object | None
+    profiles: object
+    faq: object
+
+    def build(self, controller) -> "ChildUnit":
+        """Construct the child-side pipeline twin over private stores."""
+        from repro.agents.learning_angel import LearningAngelAgent
+        from repro.agents.semantic_agent import SemanticAgent
+        from repro.nlp.keywords import KeywordFilter
+        from repro.qa.engine import QASystem
+
+        from .supervisor import SupervisionPipeline
+
+        keyword_filter = KeywordFilter(self.ontology)
+        prototype = SupervisionPipeline(
+            LearningAngelAgent(
+                self.dictionary,
+                corpus=self.corpus,
+                keyword_filter=keyword_filter,
+                options=self.parse_options,
+                repair=self.repair,
+            ),
+            SemanticAgent(
+                self.ontology,
+                keyword_filter=keyword_filter,
+                related_threshold=self.related_threshold,
+                max_suggestions=self.max_suggestions,
+            ),
+            QASystem(
+                self.ontology,
+                faq=self.faq,
+                corpus=self.corpus,
+                keyword_filter=keyword_filter,
+            ),
+            self.profiles,
+            self.policy,
+        )
+        prototype.resilience = controller
+        pipeline, stores = prototype.fork_shard()
+        return ChildUnit(pipeline, stores, self.corpus, self.profiles, self.faq)
+
+
+@dataclass(slots=True)
+class ShardProcessSpec:
+    """The full construction recipe for one shard's child process.
+
+    One controller (retry/breaker seeds re-armed child-side) serves all
+    of the shard's supervisor units, mirroring the parent's single
+    shared :class:`~repro.resilience.controller.ResilienceController`.
+    """
+
+    supervisors: list
+    retry: object | None = None
+    breaker: object | None = None
+
+    def build(self) -> "ChildShard":
+        from repro.resilience.controller import ResilienceController
+
+        controller = ResilienceController(retry=self.retry, breaker=self.breaker)
+        units = [spec.build(controller) for spec in self.supervisors]
+        return ChildShard(controller, units)
+
+
+# ------------------------------------------------------------- child state
+
+
+@dataclass(slots=True)
+class ChildUnit:
+    """One supervisor's child-side state: the twin and its stores."""
+
+    pipeline: object
+    stores: object
+    base_corpus: object | None
+    base_profiles: object
+    base_faq: object
+
+    def apply_sync(self, delta: StoresDelta) -> None:
+        """Replay one parent-side barrier merge onto the private bases.
+
+        Applied through the same ``merge()`` implementations the parent
+        used, so the child base stores stay byte-identical; the
+        corrections count the FAQ merge returns is parent bookkeeping
+        (it was credited to the originating worker's stats sink there)
+        and is deliberately dropped here.
+        """
+        if delta.corpus is not None and self.base_corpus is not None:
+            self.base_corpus.merge(delta.corpus)
+        self.base_profiles.merge(delta.profiles)
+        self.base_faq.merge(delta.faq)
+
+    def rebase(self) -> None:
+        self.stores.rebase()
+
+    def extract_delta(self) -> StoresDelta:
+        stores = self.stores
+        return StoresDelta(
+            corpus=delta_of(stores.corpus) if stores.corpus is not None else None,
+            profiles=delta_of(stores.profiles),
+            faq=delta_of(stores.faq),
+        )
+
+    def take_stats(self):
+        stats = self.pipeline.stats
+        self.pipeline.stats = type(stats)()
+        return stats
+
+
+class ChildShard:
+    """All of one shard's child-process state, built once per pool."""
+
+    __slots__ = ("controller", "units")
+
+    def __init__(self, controller, units: list[ChildUnit]) -> None:
+        self.controller = controller
+        self.units = units
+
+    def run_cycle(self, sync_groups: list, wire_items: list) -> CycleResult:
+        """Apply pending syncs, supervise one batch, extract the delta."""
+        # 1. Replay every barrier merge performed since this shard's last
+        #    dispatch, in barrier order and shard order within a barrier
+        #    — the exact merge sequence the parent ran.
+        for group in sync_groups:
+            for payload in group:
+                for unit, delta in zip(self.units, payload):
+                    unit.apply_sync(delta)
+        # 2. Re-snapshot the replicas onto the advanced bases.  This also
+        #    drops the replica pending buffers whose contents were shipped
+        #    (and have just been folded into the bases via their own
+        #    delta inside the sync groups).
+        for unit in self.units:
+            unit.rebase()
+        # 3. Supervise the batch.  Admission and replay already ran
+        #    parent-side; here every item is either fully supervised or
+        #    dead-lettered, mirroring SupervisionWorker.supervise_item.
+        memo: dict = {}
+        handled = 0
+        for wire in wire_items:
+            item = item_from_wire(wire)
+            try:
+                for unit in self.units:
+                    dispatch(unit.pipeline, None, item, memo)
+            except Exception as error:  # noqa: BLE001 — poison items dead-letter
+                self.controller.on_item_failure(item, error)
+            else:
+                self.controller.on_item_success(item)
+            handled += 1
+        # 4. Ship the cycle's outputs as deltas and reset local counters.
+        from repro.resilience.retry import BackoffClock
+
+        counters = self.controller.counters
+        self.controller.counters = type(counters)()
+        # Reset the backoff clock with the counters: backoff_virtual is
+        # assigned from the clock's running total, so a fresh clock per
+        # cycle makes the shipped value a per-cycle increment.
+        self.controller.backoff = BackoffClock()
+        return CycleResult(
+            deltas=[unit.extract_delta() for unit in self.units],
+            replies=[
+                reply for unit in self.units for reply in unit.stores.take_replies()
+            ],
+            stats=[unit.take_stats() for unit in self.units],
+            quarantined=self.controller.quarantine.take_all(),
+            counters=counters,
+            handled=handled,
+        )
+
+
+# ---------------------------------------------------------- child entrypoints
+
+#: The one shard living in this child process (set by the initializer).
+_SHARD: ChildShard | None = None
+
+
+def child_init(spec_blob: bytes) -> None:
+    """Pool initializer: build this process's shard from the spec.
+
+    The spec arrives as an explicit pickle blob (not as live initargs)
+    so the construction path is identical under every multiprocessing
+    start method — fork inherits parent memory, but the shard state is
+    still provably rebuilt from the pickle surface alone.
+    """
+    global _SHARD
+    spec: ShardProcessSpec = pickle.loads(spec_blob)
+    _SHARD = spec.build()
+
+
+def child_cycle(sync_groups: list, wire_items: list) -> CycleResult:
+    """Pool call: run one barrier cycle on this process's shard."""
+    if _SHARD is None:
+        raise RuntimeError("process worker used before child_init")
+    return _SHARD.run_cycle(sync_groups, wire_items)

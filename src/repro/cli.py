@@ -101,7 +101,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     finally:
         system.close()  # release the parallel worker pool
     stats = system.stats
-    if args.runtime in ("sharded", "parallel"):
+    if args.runtime in ("sharded", "parallel", "process"):
         print(f"runtime={args.runtime} workers={workers} "
               f"worker_messages={system.runtime.worker_loads()}")
     if system.supervision_shed:
@@ -246,16 +246,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--runtime",
-        choices=["inline", "queued", "sharded", "parallel"],
+        choices=["inline", "queued", "sharded", "parallel", "process"],
         default="queued",
         help="supervision scheduling mode (see docs/runtime.md)",
     )
     p.add_argument("--shards", type=int, default=4,
                    help="shard/worker count for the multi-worker "
-                        "runtimes (sharded, parallel)")
+                        "runtimes (sharded, parallel, process)")
     p.add_argument("--workers", type=int, default=None,
-                   help="alias for --shards (the parallel runtime's "
-                        "natural spelling); wins when both are given")
+                   help="alias for --shards (the parallel/process "
+                        "runtimes' natural spelling); wins when both "
+                        "are given")
     p.add_argument("--max-pending", type=int, default=None,
                    help="per-shard supervision queue bound; overloaded "
                         "shards shed their oldest pending message")

@@ -26,7 +26,7 @@ from repro.chatroom.clock import SimulatedClock
 from repro.chatroom.events import EventBus
 from repro.chatroom.messages import ChatMessage, Role
 from repro.chatroom.room import ChatRoom
-from repro.chatroom.runtime import SupervisionRuntime
+from repro.chatroom.runtime import DrainBudget, SupervisionRuntime
 from repro.chatroom.server import ChatServer
 from repro.chatroom.supervisor import SupervisionPipeline, SupervisionPolicy, SupervisionStats
 from repro.corpus.generator import CorporaGenerator
@@ -63,9 +63,9 @@ class SystemConfig:
             ``queued`` (default; drain-after-post, byte-identical to
             inline), ``sharded`` (rooms sharded across workers, agent
             work drained in deduplicated batches off the posting path)
-            or ``parallel`` (sharded with shard-local store replicas,
-            drained on a thread pool and merged at barriers — see
-            docs/runtime.md).
+            or ``parallel``/``process`` (sharded with shard-local store
+            replicas, drained on a thread pool or on per-shard child
+            processes and merged at barriers — see docs/runtime.md).
         shards: worker/shard count for the ``sharded``/``parallel``
             modes.
         supervision_batch: items per worker per drain pass.
@@ -73,6 +73,11 @@ class SystemConfig:
             (True for inline/queued, False for sharded/parallel).
         max_pending: per-shard supervision queue bound; an overloaded
             shard sheds its oldest pending item (None = unbounded).
+        drain_budget: a :class:`repro.chatroom.DrainBudget` that
+            auto-fires :meth:`ELearningSystem.drain` from ``say()`` in
+            the deferred-drain modes once the pending backlog or the
+            virtual time since the last drain crosses its thresholds;
+            None (default) leaves draining to the caller.
         corpus_index: learner-corpus index knobs (postings stopword-DF
             tiering — see docs/corpus.md); None uses the defaults.
         data_dir: durable-state directory (write-ahead event log +
@@ -108,6 +113,7 @@ class SystemConfig:
     supervision_batch: int = 64
     auto_drain: bool | None = None
     max_pending: int | None = None
+    drain_budget: DrainBudget | None = None
     corpus_index: IndexConfig | None = None
     data_dir: str | None = None
     fsync: str = "batch"
@@ -164,6 +170,10 @@ class ELearningSystem:
 
         # Chat substrate.
         self.clock = SimulatedClock(tick=self.config.clock_tick)
+        # Drain-budget bookkeeping (docs/runtime.md): virtual timestamp
+        # of the last drain, so say() can fire the periodic auto-drain.
+        self._last_budget_drain = self.clock.now()
+        self._closed = False
         self.bus = EventBus()
         # Fault tolerance (docs/resilience.md): one controller shared by
         # the runtime (admission, quarantine) and every pipeline
@@ -281,8 +291,11 @@ class ELearningSystem:
 
         In the default runtime modes supervision has already run by the
         time this returns; under a deferred-drain runtime (``sharded``,
-        or ``auto_drain=False``) call :meth:`drain` to flush the queued
-        agent work.
+        ``parallel``, ``process``, or ``auto_drain=False``) call
+        :meth:`drain` to flush the queued agent work — or set
+        ``SystemConfig.drain_budget`` and the system drains itself here
+        whenever the backlog or the virtual time since the last drain
+        crosses the budget's thresholds.
         """
         durability = self.durability
         if durability is not None:
@@ -296,6 +309,18 @@ class ELearningSystem:
             if durability is not None:
                 durability.note_advance(0.0)
         self.clock.advance()
+        budget = self.config.drain_budget
+        if (
+            budget is not None
+            and not self.runtime.auto_drain
+            and budget.due(
+                self.pending_supervision, self.clock.now() - self._last_budget_drain
+            )
+        ):
+            # Periodic auto-drain: the deferred modes normally batch work
+            # until the caller drains; the budget bounds how stale the
+            # stores may grow without the caller thinking about it.
+            self.drain()
         if durability is not None:
             durability.maybe_snapshot(self)
         return message
@@ -303,6 +328,7 @@ class ELearningSystem:
     def drain(self) -> int:
         """Run all queued supervision work; returns items processed."""
         processed = self.server.drain_supervision()
+        self._last_budget_drain = self.clock.now()
         if self.durability is not None:
             self.durability.maybe_snapshot(self)
         return processed
@@ -311,16 +337,20 @@ class ELearningSystem:
         """Shut down cleanly: flush queued supervision, write a final
         snapshot (durable systems), release runtime resources.
         Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.supervision_backlog:
+            # Never lose enqueued work to a clean shutdown: the
+            # deferred-drain runtimes may still hold supervision items
+            # whose corpus/profile/FAQ effects must land before the
+            # worker pools (and any final snapshot) go away.  (Deferred
+            # items count too — while a breaker is open the drain parks
+            # them, and a durable final snapshot carries them as
+            # deferred rows.)
+            self.drain()
         durability = self.durability
         if durability is not None and not durability.closed:
-            if self.supervision_backlog:
-                # Never lose enqueued work to a clean shutdown: the
-                # deferred-drain runtimes may still hold supervision
-                # items whose corpus/profile/FAQ effects the final
-                # snapshot must include.  (Deferred items count too —
-                # while a breaker is open the drain parks them, and the
-                # final snapshot carries them as deferred rows.)
-                self.drain()
             durability.snapshot(self)
             durability.close()
         self.runtime.close()

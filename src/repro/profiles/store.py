@@ -293,5 +293,19 @@ class ProfileReplica:
         return delta
 
     def __getattr__(self, name: str):
-        # Reads (get, all, ...) see the fork-point snapshot.
-        return getattr(self._base, name)
+        # Reads (get, all, ...) see the fork-point snapshot.  The
+        # explicit lookup keeps unpickling (which probes special methods
+        # before _base is restored) from recursing through delegation.
+        try:
+            base = object.__getattribute__(self, "_base")
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(base, name)
+
+    def __getstate__(self) -> dict:
+        """Explicit pickle surface: the slots, nothing implicit."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)

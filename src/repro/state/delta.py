@@ -1,0 +1,63 @@
+"""Picklable merge payloads: the wire form of a shard replica.
+
+The ``process`` runtime mode runs shard drains in child processes, so a
+replica's buffered writes have to cross a process boundary twice per
+barrier: child → parent (the worker ships what it wrote) and parent →
+children (the parent broadcasts every shard's writes so each child's
+private base stores evolve in lock-step with the parent's).
+
+Every ``merge(replica)`` implementation in this codebase reads exactly
+two things from the replica it is handed: ``replica.base_len`` (the
+snapshot watermark the merge interleaves behind) and ``replica.pending``
+(the origin-tagged buffered writes).  :class:`ReplicaDelta` is therefore
+a complete stand-in for the replica on the merge path — a plain
+picklable record exposing those two attributes and nothing else.  No
+base-store back-reference travels with it, which is the point: the full
+replica would drag the entire base store (and, transitively, parser
+state) through pickle on every cycle, while the delta costs only the
+writes of one batch.
+
+``delta_of`` snapshots a live replica into its wire form.  The pending
+payload is shallow-copied so the delta stays frozen even though the
+replica object lives on in the worker and is rebased at the next
+barrier.  The buffered write values themselves (corpus records + token
+sets, profile tallies, FAQ bumps) are plain data and must stay
+picklable — ``tests/state/test_pickle_surface.py`` holds that contract.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(slots=True)
+class ReplicaDelta:
+    """The merge-visible surface of one store replica, as plain data.
+
+    Attributes:
+        base_len: the replica's fork watermark — ``merge()`` uses it to
+            find the barrier floor behind which buffered writes
+            interleave.
+        pending: the replica's origin-tagged buffered writes, in the
+            exact shape the owning store's ``merge()`` expects (a list
+            for the corpus, keyed dicts for profiles and FAQ).
+    """
+
+    base_len: int
+    pending: Any
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+def delta_of(replica: Any) -> ReplicaDelta:
+    """Freeze ``replica``'s merge surface into a :class:`ReplicaDelta`.
+
+    The copy is one level deep: the pending container is duplicated (so
+    a later ``rebase()`` cannot empty the delta under the consumer) but
+    the buffered write values are shared — they are immutable by the
+    replica contract once the origin moves on.
+    """
+    return ReplicaDelta(replica.base_len, copy.copy(replica.pending))

@@ -1,0 +1,351 @@
+"""Acceptance suite for the ``process`` runtime and the drain budget.
+
+The multiprocess-shard PR's gates:
+
+* ``process`` (N shards, each drained in a long-lived child process,
+  merged-delta shipped back per barrier) must produce merged corpus,
+  profiles, FAQ and stats **bit-identical** to the ``queued``
+  deferred-drain pipeline on the same seeded workload and drain
+  schedule, for any worker count — the same contract the ``parallel``
+  thread-pool mode carries, extended across the process boundary;
+* the PR-7 failure contract survives the boundary: an item whose
+  supervision raises *in the child* dead-letters into the parent's
+  quarantine store and the rest of the batch is supervised in the same
+  drain — and a child that dies outright (``BrokenProcessPool``) costs
+  exactly the poison item, with the shard's pool rebuilt warm;
+* a :class:`DrainBudget` drains a deferred-mode system from ``say()``
+  alone: zero caller ``drain()`` calls, same final state.
+
+The fast parity subset runs in tier 1; the full worker-count × drain
+cadence sweep is ``@pytest.mark.slow``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.chatroom import ChatServer, DrainBudget, Role, SupervisionRuntime
+from repro.core.system import ELearningSystem, SystemConfig
+
+from test_parallel_runtime import (
+    ROOMS,
+    assert_transcripts_match,
+    full_state,
+    run_workload,
+    scripted_messages,
+)
+
+
+def process_config(workers: int) -> SystemConfig:
+    return SystemConfig(runtime_mode="process", shards=workers)
+
+
+@pytest.fixture(scope="module")
+def queued_reference() -> dict:
+    """Queued-runtime reference states, one per drain schedule."""
+    return {
+        drain_every: full_state(
+            run_workload(
+                SystemConfig(runtime_mode="queued", auto_drain=False), drain_every
+            )
+        )
+        for drain_every in (1, 7, None)
+    }
+
+
+def assert_state_matches(process: dict, queued: dict) -> None:
+    for surface in ("corpus", "profiles", "faq", "stats"):
+        assert process[surface] == queued[surface], surface
+    assert_transcripts_match(process["transcripts"], queued["transcripts"])
+
+
+class TestProcessParity:
+    """process == queued, bit for bit, on the canonical store surfaces."""
+
+    def test_two_worker_parity_fast(self, queued_reference):
+        process = full_state(run_workload(process_config(2), 7))
+        assert_state_matches(process, queued_reference[7])
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("drain_every", [1, 7, None])
+    def test_full_sweep_workers_and_cadences(
+        self, queued_reference, workers, drain_every
+    ):
+        process = full_state(run_workload(process_config(workers), drain_every))
+        assert_state_matches(process, queued_reference[drain_every])
+
+    @pytest.mark.slow
+    def test_single_item_batches_are_fully_byte_identical(self, queued_reference):
+        process = full_state(run_workload(process_config(3), 1))
+        assert process == queued_reference[1]  # transcripts included
+
+    def test_worker_loads_cover_every_shipped_message(self):
+        from repro.chatroom import MessageKind
+
+        system = run_workload(process_config(2), 7)
+        user_messages = sum(
+            1
+            for room in ROOMS
+            for message in system.server.get_room(room).transcript
+            if message.kind == MessageKind.USER
+        )
+        assert sum(system.runtime.worker_loads()) == user_messages
+
+
+# --------------------------------------------------------------- test double
+#
+# A minimal picklable supervisor implementing the full process-mode
+# protocol (process_spec / absorb_shard_delta parent-side; a spec whose
+# build() yields a ChildShard-compatible unit child-side).  Module-level
+# on purpose: the child resolves the classes by qualified name when the
+# shipped spec unpickles.
+
+
+@dataclass
+class _EchoPipeline:
+    """Child-side stand-in for the pipeline: echo, raise, or kill."""
+
+    outbox: list = field(default_factory=list)
+    seen: list = field(default_factory=list)
+
+    def on_item(self, server, item, memo=None):
+        text = item.message.text
+        if "hard-crash" in text:
+            os._exit(13)  # simulate a segfaulting child
+        if "boom" in text:
+            raise RuntimeError("supervisor blew up")
+        self.seen.append(text)
+        self.outbox.append(
+            (item.message.seq, 0, item.message.room, "echo-agent",
+             f"saw {text}", item.message, "info")
+        )
+
+
+@dataclass
+class _EchoStores:
+    pipeline: _EchoPipeline
+
+    def take_replies(self):
+        replies, self.pipeline.outbox = self.pipeline.outbox, []
+        return replies
+
+
+@dataclass
+class _EchoUnit:
+    pipeline: _EchoPipeline = field(default_factory=_EchoPipeline)
+
+    @property
+    def stores(self):
+        return _EchoStores(self.pipeline)
+
+    def apply_sync(self, delta):
+        pass
+
+    def rebase(self):
+        pass
+
+    def extract_delta(self):
+        seen, self.pipeline.seen = self.pipeline.seen, []
+        return seen  # the texts supervised this cycle, shipped as-is
+
+    def take_stats(self):
+        return None
+
+
+@dataclass
+class _EchoSpec:
+    def build(self, controller) -> _EchoUnit:
+        return _EchoUnit()
+
+
+class _EchoProcSupervisor:
+    """Parent half: collects the child-shipped per-cycle deltas."""
+
+    def __init__(self):
+        self.absorbed: list[str] = []
+
+    def process_spec(self) -> _EchoSpec:
+        return _EchoSpec()
+
+    def absorb_shard_delta(self, delta) -> int:
+        self.absorbed.extend(delta)
+        return 0
+
+
+def _echo_runtime(shards: int = 1):
+    runtime = SupervisionRuntime(mode="process", shards=shards)
+    server = ChatServer(runtime=runtime)
+    supervisor = _EchoProcSupervisor()
+    server.add_supervisor(supervisor)
+    server.create_room("r")
+    server.join("r", "u")
+    return runtime, server, supervisor
+
+
+class TestChildFailureContract:
+    """A child-side supervisor error costs exactly the failing item."""
+
+    def test_raising_item_dead_letters_and_batch_continues(self):
+        runtime, server, supervisor = _echo_runtime()
+        posted = {}
+        for text in ("alpha", "boom", "gamma", "delta"):
+            posted[text] = server.post("r", "u", text)
+        try:
+            server.drain_supervision()  # no raise: the drain survives
+            assert supervisor.absorbed == ["alpha", "gamma", "delta"]
+            assert runtime.pending == 0
+            quarantine = runtime.resilience.quarantine
+            assert len(quarantine) == 1
+            row = quarantine.get(posted["boom"].seq)
+            assert row is not None
+            assert row.text == "boom"
+            assert "supervisor blew up" in row.error
+        finally:
+            runtime.close()
+
+    def test_child_crash_isolates_poison_and_rebuilds_pool(self):
+        runtime, server, supervisor = _echo_runtime()
+        posted = {}
+        for text in ("alpha", "hard-crash", "gamma", "delta"):
+            posted[text] = server.post("r", "u", text)
+        try:
+            server.drain_supervision()  # no raise: the crash is contained
+            # The poison dead-lettered with the dispatch-stage marker...
+            quarantine = runtime.resilience.quarantine
+            assert len(quarantine) == 1
+            row = quarantine.get(posted["hard-crash"].seq)
+            assert row is not None
+            assert row.stage == "dispatch"
+            assert "BrokenProcessPool" in row.error
+            # ...every other item of the batch was supervised (the dead
+            # child's cycle produced no side effects; the replay redid
+            # the whole batch one item at a time on the rebuilt pool)...
+            assert supervisor.absorbed == ["alpha", "gamma", "delta"]
+            assert runtime.pending == 0
+            # ...and the rebuilt pool keeps serving post-crash traffic.
+            server.post("r", "u", "epsilon")
+            server.drain_supervision()
+            assert supervisor.absorbed[-1] == "epsilon"
+        finally:
+            runtime.close()
+
+    def test_replies_from_children_flush_in_post_order(self):
+        runtime, server, supervisor = _echo_runtime(shards=2)
+        server.create_room("r2")
+        server.join("r2", "u")
+        expected = [
+            server.post(room, "u", f"note {i}").seq
+            for i, room in enumerate(("r", "r2", "r", "r2"))
+        ]
+        try:
+            server.drain_supervision()
+            replies = [
+                m for m in server.get_room("r").transcript
+                + server.get_room("r2").transcript
+                if m.sender == "echo-agent"
+            ]
+            replies.sort(key=lambda m: m.seq)
+            assert [m.reply_to for m in replies] == expected
+        finally:
+            runtime.close()
+
+
+class TestDrainBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DrainBudget(max_pending_posts=0)
+        with pytest.raises(ValueError):
+            DrainBudget(max_interval=0.0)
+
+    def test_due_triggers(self):
+        budget = DrainBudget(max_pending_posts=3, max_interval=10.0)
+        assert not budget.due(2, 9.0)
+        assert budget.due(3, 0.0)   # post-count trigger
+        assert budget.due(0, 10.0)  # interval trigger
+        assert not DrainBudget().due(10_000, 10_000.0)  # no trigger armed
+
+    @pytest.mark.parametrize(
+        "budget",
+        [DrainBudget(max_pending_posts=5), DrainBudget(max_interval=4.0)],
+        ids=["post-count", "interval"],
+    )
+    def test_budget_reaches_explicit_drain_state_with_zero_drain_calls(
+        self, budget
+    ):
+        """A deferred system with a budget converges to the same final
+        snapshot as an explicit-drain run — without the caller ever
+        calling drain() (close() flushes the final partial batch)."""
+        reference = full_state(
+            run_workload(SystemConfig(runtime_mode="queued", auto_drain=False), 5)
+        )
+
+        config = SystemConfig(runtime_mode="process", shards=2, drain_budget=budget)
+        system = ELearningSystem.with_defaults(config)
+        drains = {"n": 0}
+        inner_drain = system.server.drain_supervision
+
+        def counting_drain():
+            drains["n"] += 1
+            return inner_drain()
+
+        system.server.drain_supervision = counting_drain
+        for room in ROOMS:
+            system.open_room(room, topic="t")
+            system.join(room, f"{room}-kid")
+            system.join(room, "prof", Role.TEACHER)
+        for index, (room, user, text) in enumerate(scripted_messages()):
+            system.say(room, user, text)
+            if index % 11 == 0:
+                system.say(room, "prof", "Good question.")
+        assert drains["n"] > 0  # the budget fired mid-traffic on its own
+        system.close()  # flushes the tail unconditionally
+        assert system.supervision_backlog == 0
+        state = full_state(system)
+        for surface in ("corpus", "profiles", "faq", "stats"):
+            assert state[surface] == reference[surface], surface
+
+    def test_budget_ignored_by_auto_drain_modes(self):
+        config = SystemConfig(
+            runtime_mode="queued", drain_budget=DrainBudget(max_pending_posts=1)
+        )
+        system = ELearningSystem.with_defaults(config)
+        system.open_room("r", topic="t")
+        system.join("r", "kid")
+        system.say("r", "kid", "What is a queue?")  # would recurse otherwise
+        assert system.stats.messages == 1
+        system.close()
+
+
+class TestLifecycle:
+    def test_runtime_close_is_idempotent(self):
+        runtime, server, _ = _echo_runtime()
+        server.post("r", "u", "alpha")
+        server.drain_supervision()
+        runtime.close()
+        runtime.close()
+
+    def test_system_close_drains_backlog_and_is_idempotent(self):
+        system = ELearningSystem.with_defaults(process_config(2))
+        system.open_room("r", topic="t")
+        system.join("r", "kid")
+        system.say("r", "kid", "I push the data into a tree.")
+        assert system.pending_supervision == 1
+        system.close()  # in-memory system: the backlog still drains
+        assert system.supervision_backlog == 0
+        assert system.stats.messages == 1
+        assert system.runtime._pools is None  # child processes released
+        system.close()  # idempotent
+
+    def test_adding_supervisors_after_pool_start_fails_loudly(self):
+        runtime, server, _ = _echo_runtime()
+        try:
+            server.post("r", "u", "alpha")
+            server.drain_supervision()  # pools are warm now
+            with pytest.raises(RuntimeError, match="process pool started"):
+                runtime.add_supervisor(_EchoProcSupervisor())
+        finally:
+            runtime.close()

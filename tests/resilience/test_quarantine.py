@@ -119,3 +119,73 @@ class TestQuarantineStore:
         # restore replaces, never merges
         restored.restore([])
         assert len(restored) == 0
+
+
+class TestWorkerResultAbsorb:
+    """Process-mode workers ship failure results across the boundary;
+    ``absorb_worker_results`` must fold them in exactly like the
+    thread-pool path would have: rows dead-letter (replacing any stale
+    deferred entry), counters arrive as additive deltas, and journal
+    writes buffer for the caller-thread flush."""
+
+    def controller(self):
+        from repro.resilience.controller import ResilienceController
+
+        return ResilienceController()
+
+    def test_rows_dead_letter_and_displace_deferred(self):
+        controller = self.controller()
+        controller.deferred[7] = object()  # stale parked entry, same seq
+        controller.absorb_worker_results([make_row(seq=7), make_row(seq=9)])
+        assert len(controller.quarantine) == 2
+        assert controller.quarantine.get(7).text == "stack the holds data."
+        assert 7 not in controller.deferred
+        # No shipped counter delta: the parent counts the rows itself.
+        assert controller.counters.quarantined == 2
+
+    def test_shipped_counter_delta_is_absorbed_without_recounting(self):
+        from repro.resilience.controller import ResilienceCounters
+
+        controller = self.controller()
+        delta = ResilienceCounters(
+            retries=3, retry_successes=1, stage_failures=2, quarantined=1,
+            backoff_virtual=0.25,
+        )
+        controller.absorb_worker_results([make_row(seq=7)], delta)
+        # The child already counted its own quarantine; no double count.
+        assert controller.counters.quarantined == 1
+        assert controller.counters.retries == 3
+        assert controller.counters.retry_successes == 1
+        assert controller.counters.stage_failures == 2
+        assert controller.counters.backoff_virtual == 0.25
+
+    def test_counters_absorb_is_field_wise_addition(self):
+        from dataclasses import fields
+
+        from repro.resilience.controller import ResilienceCounters
+
+        total = ResilienceCounters(retries=1, stall_virtual=0.5)
+        total.absorb(ResilienceCounters(retries=2, quarantined=4, stall_virtual=0.5))
+        assert total.retries == 3
+        assert total.quarantined == 4
+        assert total.stall_virtual == 1.0
+        untouched = {
+            f.name for f in fields(ResilienceCounters)
+            if f.name not in ("retries", "quarantined", "stall_virtual")
+        }
+        assert all(getattr(total, name) == 0 for name in untouched)
+
+    def test_rows_buffer_for_the_journal_flush(self):
+        class JournalSpy:
+            def __init__(self):
+                self.rows = []
+
+            def item_quarantined(self, row_dict):
+                self.rows.append(row_dict)
+
+        controller = self.controller()
+        controller.journal = JournalSpy()
+        controller.absorb_worker_results([make_row(seq=7)])
+        assert controller.journal.rows == []  # buffered, not yet written
+        controller.flush_journal()
+        assert [row["seq"] for row in controller.journal.rows] == [7]

@@ -15,7 +15,11 @@ below its committed floor.  Gated today:
   so untested lines there are latent data loss;
 * ``src/repro/resilience`` against ``tests/resilience`` (floor 95%) —
   retries, breakers and quarantine are likewise fault-path-only code:
-  a line that never ran in tests first runs during a production fault.
+  a line that never ran in tests first runs during a production fault;
+* ``src/repro/state``      against ``tests/state``      (floor 95%) —
+  the fork/merge/delta protocol is what the process runtime ships
+  across its boundary; an untested line there is silent state
+  divergence between parent and child.
 
 One pytest run covers all suites; coverage is attributed per subsystem
 afterwards, so cross-subsystem hits (the durability tests exercising
@@ -47,11 +51,13 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: failing PR pass.  corpus measured 97% when the columnar subsystem
 #: landed (PR 5); durability measured 97% when the WAL/snapshot layer
 #: landed (PR 6); resilience measured 96.7% when the
-#: fault-tolerance subsystem landed (PR 7).
+#: fault-tolerance subsystem landed (PR 7); state measured
+#: 100% when the process runtime landed (PR 8).
 SUBSYSTEMS: tuple[tuple[str, str, float], ...] = (
     ("src/repro/corpus", "tests/corpus", 95.0),
     ("src/repro/durability", "tests/durability", 95.0),
     ("src/repro/resilience", "tests/resilience", 95.0),
+    ("src/repro/state", "tests/state", 95.0),
 )
 
 
