@@ -3,11 +3,17 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench bench-quick bench-pytest simulate docs-check coverage
+.PHONY: test test-slow check bench bench-quick bench-pytest simulate docs-check coverage
 
 # Tier-1: fast, deterministic, no benchmarks (see pytest.ini).
 test:
 	$(PY) -m pytest -x -q
+
+# Just the @slow suites (CI's nightly job): full 200-seed segmented
+# parity at aggressive freeze cadence, chaos soak, process-drain
+# cadence sweep, full simulate runs.
+test-slow:
+	$(PY) -m pytest -m slow -q
 
 # CI gate: tier-1 tests, a bench smoke run (scratch output, so the
 # committed BENCH_parse.json and its pinned seed baseline stay put),

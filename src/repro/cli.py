@@ -92,6 +92,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         data_dir=args.data_dir,
         fsync=args.fsync,
         snapshot_every=args.snapshot_every,
+        corpus_segment_records=args.corpus_segment_records,
     )
     system = ELearningSystem.with_defaults(config)
     try:
@@ -148,7 +149,11 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
     system, report = ELearningSystem.recover(
         args.data_dir,
-        SystemConfig(fsync=args.fsync, snapshot_every=args.snapshot_every),
+        SystemConfig(
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+            corpus_segment_records=args.corpus_segment_records,
+        ),
     )
     if args.json:
         print(json.dumps(
@@ -175,7 +180,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
     from repro.core.system import ELearningSystem, SystemConfig
 
     system, report = ELearningSystem.recover(
-        args.data_dir, SystemConfig(fsync=args.fsync)
+        args.data_dir,
+        SystemConfig(fsync=args.fsync, corpus_segment_records=args.corpus_segment_records),
     )
     health = system.health()
     if args.json:
@@ -268,6 +274,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="when log/snapshot writes reach the disk")
     p.add_argument("--snapshot-every", type=int, default=256,
                    help="journalled events between periodic snapshots")
+    p.add_argument("--corpus-segment-records", type=int, default=None,
+                   help="corpus disk-tier freeze cadence: drain barriers "
+                        "seal this many in-RAM records into mmap-backed "
+                        "segment files (see docs/corpus.md)")
     p.set_defaults(func=_cmd_simulate)
 
     p = commands.add_parser(
@@ -279,6 +289,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                    help="fsync policy for the compacting snapshot")
     p.add_argument("--snapshot-every", type=int, default=256,
                    help="snapshot cadence for the recovered system")
+    p.add_argument("--corpus-segment-records", type=int, default=None,
+                   help="corpus disk-tier freeze cadence; required to "
+                        "recover a directory whose snapshots reference "
+                        "frozen segments")
     p.add_argument("--json", action="store_true",
                    help="emit the report and state summary as JSON "
                         "(exit code unchanged: 0 iff recovery was clean)")
@@ -292,6 +306,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("data_dir", help="directory written by simulate --data-dir")
     p.add_argument("--fsync", choices=["always", "batch", "never"],
                    default="batch", help="fsync policy while inspecting")
+    p.add_argument("--corpus-segment-records", type=int, default=None,
+                   help="corpus disk-tier freeze cadence (match the "
+                        "directory's simulate run)")
     p.add_argument("--json", action="store_true",
                    help="emit the health registry and recovery report as JSON")
     p.set_defaults(func=_cmd_health)

@@ -18,6 +18,7 @@ is the public entry point a downstream user starts from::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.agents.learning_angel import LearningAngelAgent
 from repro.agents.recommender import Recommendation, TeachingMaterialRecommender
@@ -80,6 +81,14 @@ class SystemConfig:
             None (default) leaves draining to the caller.
         corpus_index: learner-corpus index knobs (postings stopword-DF
             tiering — see docs/corpus.md); None uses the defaults.
+        corpus_segment_records: freeze cadence for the corpus disk
+            segment tier — once the in-RAM tail holds this many records
+            a drain barrier seals them into an immutable mmap-backed
+            segment file (see docs/corpus.md, "The segment tier").
+            None (default) keeps the whole corpus in RAM.
+        corpus_segment_dir: directory for the frozen segment files;
+            None places them under ``data_dir/segments`` for durable
+            systems and in an owned temporary directory otherwise.
         data_dir: durable-state directory (write-ahead event log +
             snapshots — see docs/durability.md); None (default) runs
             fully in-memory.  The directory must be empty or new; open
@@ -115,6 +124,8 @@ class SystemConfig:
     max_pending: int | None = None
     drain_budget: DrainBudget | None = None
     corpus_index: IndexConfig | None = None
+    corpus_segment_records: int | None = None
+    corpus_segment_dir: str | None = None
     data_dir: str | None = None
     fsync: str = "batch"
     snapshot_every: int | None = 256
@@ -137,8 +148,26 @@ class ELearningSystem:
         self.dictionary = dictionary
         self.ontology = ontology
 
-        # Databases (right-hand side of Fig. 3).
-        self.corpus = LearnerCorpus(self.config.corpus_index)
+        # Databases (right-hand side of Fig. 3).  With a segment cadence
+        # configured the corpus grows a disk tier: drain barriers freeze
+        # the immutable prefix into mmap-backed segment files and only
+        # the tail stays resident (docs/corpus.md, lazy import so
+        # RAM-only systems never touch the segment machinery).
+        if self.config.corpus_segment_records is not None:
+            from repro.corpus.segments import SegmentedCorpus
+
+            segment_dir = self.config.corpus_segment_dir
+            if segment_dir is None and self.config.data_dir is not None:
+                segment_dir = str(Path(self.config.data_dir) / "segments")
+            self.corpus = SegmentedCorpus(
+                self.config.corpus_index,
+                segment_records=self.config.corpus_segment_records,
+                directory=segment_dir,
+                faults=self.config.fault_clock,
+                auto_freeze=False,  # freeze only at drain barriers
+            )
+        else:
+            self.corpus = LearnerCorpus(self.config.corpus_index)
         self.profiles = UserProfileStore()
         self.faq = FAQDatabase()
         if self.config.seed_corpus:
@@ -204,6 +233,7 @@ class ELearningSystem:
                 faults=self.config.fault_clock,
             )
         self.resilience.journal = self.durability
+        self._wire_corpus_journal(self.durability)
         self.server = ChatServer(self.clock, self.bus, self.runtime, journal=self.durability)
         self.pipeline = SupervisionPipeline(
             self.learning_angel,
@@ -215,6 +245,14 @@ class ELearningSystem:
         # Must be set before add_supervisor: clones/forks inherit it.
         self.pipeline.resilience = self.resilience
         self.server.add_supervisor(self.pipeline)
+
+    def _wire_corpus_journal(self, durability) -> None:
+        """Point a segmented corpus's freeze/compact hooks at the WAL so
+        every tier boundary is journalled (no-op for plain corpora or
+        in-memory systems)."""
+        if durability is not None and hasattr(self.corpus, "freeze_to"):
+            self.corpus.on_freeze = durability.corpus_frozen
+            self.corpus.on_compact = durability.corpus_compacted
 
     # ----------------------------------------------------------- factories
 
@@ -246,10 +284,22 @@ class ELearningSystem:
             RecoveryReport,
             replay_events,
         )
-        from repro.durability.snapshot import SnapshotStore, restore_snapshot
+        from repro.corpus.segments import SegmentLoadError
+        from repro.durability.snapshot import (
+            CORRUPT_SUFFIX,
+            SnapshotStore,
+            restore_snapshot,
+        )
         from repro.durability.wal import read_log
 
         config = config if config is not None else SystemConfig()
+        if config.corpus_segment_records is not None and config.corpus_segment_dir is None:
+            # The in-memory construction below clears data_dir, so the
+            # segment directory must be pinned explicitly to where the
+            # crashed system froze its files.
+            config = replace(
+                config, corpus_segment_dir=str(Path(data_dir) / "segments")
+            )
         # Construct in-memory first: journalling must stay off while the
         # snapshot restores and the tail replays (replay is not input).
         system = cls(
@@ -258,7 +308,23 @@ class ELearningSystem:
             replace(config, data_dir=None),
         )
         report = RecoveryReport(data_dir=str(data_dir))
-        snapshot = SnapshotStore(data_dir, fsync=config.fsync).load_latest(report)
+        store = SnapshotStore(data_dir, fsync=config.fsync)
+        snapshot = store.load_latest(report)
+        while snapshot is not None:
+            # A snapshot can checksum clean yet reference a segment file
+            # that is torn or missing (e.g. the directory was tampered
+            # with) — treat it like any damaged snapshot: quarantine and
+            # fall back to the next-oldest.
+            try:
+                system.corpus.validate_columnar(snapshot["corpus"])
+                break
+            except SegmentLoadError:
+                damaged = Path(data_dir) / report.snapshot_path
+                report.snapshots_quarantined.append(report.snapshot_path)
+                damaged.rename(damaged.with_name(damaged.name + CORRUPT_SUFFIX))
+                report.snapshot_path = None
+                report.snapshot_cursor = 0
+                snapshot = store.load_latest(report)
         if snapshot is not None:
             restore_snapshot(system, snapshot)
         events = read_log(data_dir, report, repair=True)
@@ -275,6 +341,7 @@ class ELearningSystem:
         system.durability = manager
         system.server.journal = manager
         system.resilience.journal = manager
+        system._wire_corpus_journal(manager)
         return system, report
 
     # ------------------------------------------------------------- actions
@@ -321,6 +388,13 @@ class ELearningSystem:
             # until the caller drains; the budget bounds how stale the
             # stores may grow without the caller thinking about it.
             self.drain()
+        maybe_freeze = getattr(self.corpus, "maybe_freeze", None)
+        if maybe_freeze is not None and not self.supervision_backlog:
+            # Quiescent post (auto-drain runtimes): every delivered
+            # message is fully supervised, so the tail prefix is
+            # immutable and the freeze cadence may fire here too —
+            # deferred-drain runtimes freeze at their drain barriers.
+            maybe_freeze()
         if durability is not None:
             durability.maybe_snapshot(self)
         return message
@@ -329,6 +403,12 @@ class ELearningSystem:
         """Run all queued supervision work; returns items processed."""
         processed = self.server.drain_supervision()
         self._last_budget_drain = self.clock.now()
+        # A drain is the corpus tier's freeze barrier: every shard
+        # replica has just merged, so the tail prefix is immutable and
+        # safe to seal into a disk segment (no-op for plain corpora).
+        maybe_freeze = getattr(self.corpus, "maybe_freeze", None)
+        if maybe_freeze is not None:
+            maybe_freeze()
         if self.durability is not None:
             self.durability.maybe_snapshot(self)
         return processed

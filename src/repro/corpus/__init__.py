@@ -13,6 +13,18 @@ from .records import (
     Vocabulary,
 )
 from .search import SuggestionHit, SuggestionSearch
+from .segments import (
+    FrozenSegment,
+    FrozenTailError,
+    SegmentLoadError,
+    SegmentWriter,
+    SegmentedCorpus,
+    TieredPostings,
+    intersect_tiered_count,
+    intersect_tiered_iter,
+    union_tiered_iter,
+    validate_segment_file,
+)
 from .statistics import CorpusReport, StatisticAnalyzer, UserReport
 from .store import LearnerCorpus
 
@@ -24,16 +36,26 @@ __all__ = [
     "CorpusRecord",
     "CorpusReport",
     "CorpusVocabularies",
+    "FrozenSegment",
+    "FrozenTailError",
     "IndexConfig",
     "LearnerCorpus",
     "PostingList",
     "RecordStore",
     "RecordView",
+    "SegmentLoadError",
+    "SegmentWriter",
+    "SegmentedCorpus",
     "StatisticAnalyzer",
     "SuggestionHit",
     "SuggestionSearch",
+    "TieredPostings",
     "UserReport",
     "Vocabulary",
     "intersect_count",
     "intersect_iter",
+    "intersect_tiered_count",
+    "intersect_tiered_iter",
+    "union_tiered_iter",
+    "validate_segment_file",
 ]

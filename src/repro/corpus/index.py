@@ -163,6 +163,36 @@ class PostingList:
         runtime readers stream the gaps instead)."""
         return tuple(self)
 
+    def prefix_length(self, upto: int) -> int:
+        """How many leading entries hold positions ``< upto``.
+
+        The segment writer freezes the store prefix ``[0, upto)`` to
+        disk and needs each posting run split at the same boundary; the
+        skip table answers it without decoding the whole run — jump to
+        the last checkpoint below ``upto``, then linear-decode at most
+        ``_SKIP`` gaps.
+        """
+        if upto <= 0 or not self._gaps:
+            return 0
+        if self._last < upto:
+            return len(self._gaps)
+        gaps = self._gaps
+        skips = self._skips
+        block = bisect_right(skips, upto - 1)  # checkpoints strictly < upto
+        if block == 0:
+            count, position = 0, 0
+        else:
+            count = (block - 1) * _SKIP + 1
+            position = skips[block - 1]
+        while count < len(gaps):
+            step = gaps[count]
+            nxt = step if count == 0 else position + step
+            if nxt >= upto:
+                break
+            position = nxt
+            count += 1
+        return count
+
     def accumulate_into(self, counts: dict[int, int]) -> None:
         """Bump ``counts[position]`` for every posting — the tight union
         loop of candidate retrieval, straight off the gap run."""

@@ -716,6 +716,38 @@ class RecordStore:
         self._token_set_cache.clear()
         self._keyword_set_cache.clear()
 
+    def freeze_prefix(self, count: int) -> dict[str, bytes]:
+        """The raw column bytes of the first ``count`` records — the
+        disk segment tier's write payload (``repro.corpus.segments``).
+
+        Scalar columns are sliced to ``count`` rows; offset tables keep
+        their leading zero and are sliced to ``count + 1`` entries; flat
+        id runs are sliced to their offset table's ``count``-th entry
+        (prefixes need no rebasing — every offset already counts from
+        the start of the store).  Texts are packed into one UTF-8 blob
+        with a byte-offset table of the same shape.
+        """
+        if not 0 <= count <= len(self._texts):
+            raise ValueError(f"cannot freeze {count} of {len(self._texts)} records")
+        sections: dict[str, bytes] = {}
+        for attr in ("_record_ids", "_user_ids", "_room_ids", "_pattern_ids",
+                     "_link_ids", "_timestamps", "_verdicts", "_costs"):
+            sections[attr.lstrip("_")] = getattr(self, attr)[:count].tobytes()
+        for flat_attr, offsets_attr in self._OFFSET_COLUMNS:
+            offsets = getattr(self, offsets_attr)
+            sections[offsets_attr.lstrip("_")] = offsets[: count + 1].tobytes()
+            sections[flat_attr.lstrip("_")] = (
+                getattr(self, flat_attr)[: offsets[count]].tobytes()
+            )
+        blob = bytearray()
+        text_offsets = array("I", [0])
+        for text in self._texts[:count]:
+            blob += text.encode("utf-8")
+            text_offsets.append(len(blob))
+        sections["text_blob"] = bytes(blob)
+        sections["text_offsets"] = text_offsets.tobytes()
+        return sections
+
     # --------------------------------------------------------- diagnostics
 
     def memory_stats(self) -> dict[str, int]:

@@ -30,6 +30,13 @@ can never be suggested, so counting it would starve the learner of the
 suggestions the budget was meant to admit).  The retrieval contract —
 exactly when results are exact vs bounded — is documented in
 ``docs/corpus.md``.
+
+Since PR 9 the corpus may keep most of its records in mmap-backed disk
+segments (:mod:`repro.corpus.segments`).  Search never notices: the
+accumulate/intersect calls above go through posting facades that splice
+the frozen segments' delta runs in front of the in-RAM tail, and
+candidate token/keyword sets decode from whichever tier holds the row —
+no segment is ever materialised into memory to serve a query.
 """
 
 from __future__ import annotations
@@ -238,17 +245,26 @@ class SuggestionSearch:
             postings = index.token_postings(token)
             if postings is None:
                 continue
-            position = 0
-            for gap in postings.gaps:  # stream the delta run directly
-                position += gap
-                seen = get(position, 0)
-                shared_counts[position] = seen + 1
-                if not seen and is_correct(position):
-                    if query_raw and text_at(position).strip().lower() == query_raw:
-                        continue  # self-match: unusable, charge no budget
-                    budget -= 1
-                    if budget == 0:
-                        return
+            # A tiered run exposes its (base, local-run) splice; walking
+            # the parts directly keeps this hot loop on flat gap arrays
+            # instead of resuming the spliced ``gaps`` generator once
+            # per posting.  A plain in-RAM run is one part at base 0.
+            parts = getattr(postings, "parts", None) or ((0, postings),)
+            for base, part in parts:
+                position = base
+                for gap in part.gaps:  # stream the delta run directly
+                    position += gap
+                    seen = get(position, 0)
+                    shared_counts[position] = seen + 1
+                    if not seen and is_correct(position):
+                        if (
+                            query_raw
+                            and text_at(position).strip().lower() == query_raw
+                        ):
+                            continue  # self-match: unusable, charge no budget
+                        budget -= 1
+                        if budget == 0:
+                            return
 
     def best_sentence(
         self, text: str | TokenizedSentence, keywords: list[str] | None = None

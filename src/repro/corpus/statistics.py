@@ -14,6 +14,14 @@ postings (:func:`~repro.corpus.index.intersect_count`) — both sides are
 posting lists there, so skip-table seeks replace per-record reads.
 Counter insertion order follows record order exactly as the old
 record-object scan did, so ``most_common`` tie-breaking is unchanged.
+
+The same calls are tier-transparent over a
+:class:`~repro.corpus.segments.SegmentedCorpus`: the flat id-run scans
+iterate each frozen segment's mmapped columns in place and then the
+in-RAM tail, and the galloping intersections run over spliced cross-tier
+posting iterators — statistics over a million-record corpus never pull a
+frozen segment onto the heap (the 3-way parity sweep in
+``tests/corpus/test_columnar_parity.py`` pins the outputs identical).
 """
 
 from __future__ import annotations

@@ -82,16 +82,16 @@ class LearnerCorpus:
         self._merge_keys: list[tuple[int, int]] = []
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self.columns)
 
     def __iter__(self) -> Iterator[RecordView]:
-        store = self._store
-        return (store.view(position) for position in range(len(store)))
+        columns = self.columns
+        return (columns.view(position) for position in range(len(columns)))
 
     # ------------------------------------------------------------- writing
 
     def next_id(self) -> int:
-        return len(self._store)
+        return len(self)
 
     def add(
         self, record: CorpusRecord, tokens: tuple[str, ...] | None = None
@@ -129,82 +129,88 @@ class LearnerCorpus:
     # ------------------------------------------------------------- queries
 
     def records(self) -> list[RecordView]:
-        store = self._store
-        return [store.view(position) for position in range(len(store))]
+        columns = self.columns
+        return [columns.view(position) for position in range(len(columns))]
 
     def filter(self, predicate: Callable[[RecordView], bool]) -> list[RecordView]:
         return [record for record in self if predicate(record)]
 
     def by_user(self, user: str) -> list[RecordView]:
-        view = self._store.view
-        return [view(position) for position in self._index.iter_user_positions(user)]
+        view = self.columns.view
+        return [view(position) for position in self.index.iter_user_positions(user)]
 
     def by_verdict(self, verdict: Correctness) -> list[RecordView]:
-        view = self._store.view
-        return [view(position) for position in self._index.iter_verdict_positions(verdict)]
+        view = self.columns.view
+        return [view(position) for position in self.index.iter_verdict_positions(verdict)]
 
     def correct_records(self) -> list[RecordView]:
         return self.by_verdict(Correctness.CORRECT)
 
     def with_keyword(self, keyword: str) -> list[RecordView]:
-        view = self._store.view
+        view = self.columns.view
         return [
             view(position)
-            for position in self._index.iter_keyword_positions(keyword.lower())
+            for position in self.index.iter_keyword_positions(keyword.lower())
         ]
 
     def verdict_counts(self) -> dict[Correctness, int]:
         """Record count per verdict, straight off the index DFs — O(1) in
         corpus size, for the statistic analyzer's aggregate report."""
-        return self._index.verdict_counts()
+        return self.index.verdict_counts()
 
     # ----------------------------------------------------- columnar access
 
     @property
     def index(self) -> CorpusIndex:
-        """The owned inverted-index subsystem (postings, DFs, tiers)."""
+        """The owned inverted-index subsystem (postings, DFs, tiers).
+
+        Subclasses with more than one storage tier (the disk-segmented
+        corpus in :mod:`repro.corpus.segments`) override this with a
+        facade of the same query surface; every read in this class goes
+        through the property so tier routing is transparent."""
         return self._index
 
     @property
     def columns(self) -> RecordStore:
         """The columnar record backing (read-only contract: consumers
-        stream id runs and scalars; all writes go through the corpus)."""
+        stream id runs and scalars; all writes go through the corpus).
+        Overridden by tiered subclasses — see :attr:`index`."""
         return self._store
 
     def record_at(self, position: int) -> RecordView:
         """The (lazy view of the) record at ``position`` (add order)."""
-        return self._store.view(position)
+        return self.columns.view(position)
 
     def text_at(self, position: int) -> str:
         """The raw sentence at ``position`` — one list read, no view."""
-        return self._store.text_at(position)
+        return self.columns.text_at(position)
 
     def is_correct(self, position: int) -> bool:
         """O(1) verdict test for the record at ``position`` — consumers
         filtering candidate positions use this instead of re-reading
         :meth:`record_at` per candidate."""
-        return self._index.is_correct(position)
+        return self.index.is_correct(position)
 
     def verdict_at(self, position: int) -> Correctness:
         """The verdict of the record at ``position``, off the index."""
-        return self._index.verdict_at(position)
+        return self.index.verdict_at(position)
 
     def keyword_positions(self, keyword: str) -> tuple[int, ...]:
         """Positions of records tagged with ``keyword`` (add order)."""
-        return self._index.keyword_positions(keyword.lower())
+        return self.index.keyword_positions(keyword.lower())
 
     def token_positions(self, token: str) -> tuple[int, ...]:
         """Positions of records whose text contains ``token`` (add order)."""
-        return self._index.token_positions(token)
+        return self.index.token_positions(token)
 
     def token_set(self, position: int) -> frozenset[str]:
         """The token set of the record at ``position``, decoded from the
         columnar id run (bounded memo cache for hot candidates)."""
-        return self._store.token_set(position)
+        return self.columns.token_set(position)
 
     def keyword_set(self, position: int) -> frozenset[str]:
         """The lower-cased keyword set of the record at ``position``."""
-        return self._store.keyword_set(position)
+        return self.columns.keyword_set(position)
 
     def correct_positions(self) -> Iterator[tuple[int, RecordView]]:
         """(position, record) pairs for known-correct records, add order.
@@ -212,8 +218,8 @@ class LearnerCorpus:
         Positions index :meth:`token_set`/:meth:`keyword_set`, letting
         suggestion search scan candidates without touching the tokenizer.
         """
-        view = self._store.view
-        for position in self._index.iter_verdict_positions(Correctness.CORRECT):
+        view = self.columns.view
+        for position in self.index.iter_verdict_positions(Correctness.CORRECT):
             yield position, view(position)
 
     # -------------------------------------------------- partition and merge
@@ -239,20 +245,21 @@ class LearnerCorpus:
         Returns the number of records merged from ``replica``.
         """
         floor = replica.base_len
-        if floor > len(self._store):
+        if floor > len(self):
             raise ValueError(
-                f"replica forked at {floor} but corpus holds {len(self._store)} records"
+                f"replica forked at {floor} but corpus holds {len(self)} records"
             )
         if self._merge_floor != floor:
             # First replica of a new barrier: the tail (if any) belongs
             # to an older, already-finalised barrier.
             self._merge_floor = floor
             self._merge_keys = []
+        columns = self.columns
         tail: list[tuple[tuple[int, int], CorpusRecord, frozenset[str]]] = [
             (
                 key,
-                self._store.materialize(floor + offset),
-                self._store.token_set(floor + offset),
+                columns.materialize(floor + offset),
+                columns.token_set(floor + offset),
             )
             for offset, key in enumerate(self._merge_keys)
         ]
@@ -261,15 +268,15 @@ class LearnerCorpus:
         tail.sort(key=lambda entry: entry[0])
         self._evict_tail(floor)
         for _key, record, token_set in tail:
-            record.record_id = len(self._store)
+            record.record_id = len(self)
             self._ingest(record, token_set)
         self._merge_keys = [entry[0] for entry in tail]
         return merged
 
     def snapshot(self) -> tuple[dict, ...]:
         """Canonical comparable value: every record, in store order."""
-        to_dict = self._store.to_dict
-        return tuple(to_dict(position) for position in range(len(self._store)))
+        to_dict = self.columns.to_dict
+        return tuple(to_dict(position) for position in range(len(self)))
 
     # --------------------------------------------------------- diagnostics
 
@@ -295,6 +302,19 @@ class LearnerCorpus:
             "columns": self._store.dump_columns(),
         }
 
+    def validate_columnar(self, data: dict) -> None:
+        """Check ``data`` is a document this corpus can restore, without
+        mutating anything.  The segmented subclass extends this to
+        open-and-verify every referenced segment file, which is what
+        lets recovery quarantine a snapshot whose segments are gone."""
+        if data.get("format") != CORPUS_COLUMNAR_FORMAT:
+            if data.get("format") == "repro-corpus-segmented/1":
+                raise ValueError(
+                    "segmented corpus document: restore needs a SegmentedCorpus "
+                    "(configure corpus_segment_records / --corpus-segment-records)"
+                )
+            raise ValueError(f"not a {CORPUS_COLUMNAR_FORMAT} document")
+
     def restore_columnar(self, data: dict) -> None:
         """Replace this corpus's contents from a columnar document.
 
@@ -304,6 +324,11 @@ class LearnerCorpus:
         calls, zero string hashing beyond vocabulary re-interning.
         """
         if data.get("format") != CORPUS_COLUMNAR_FORMAT:
+            if data.get("format") == "repro-corpus-segmented/1":
+                raise ValueError(
+                    "segmented corpus document: restore needs a SegmentedCorpus "
+                    "(configure corpus_segment_records / --corpus-segment-records)"
+                )
             raise ValueError(f"not a {CORPUS_COLUMNAR_FORMAT} document")
         index_config = self._index.config
         vocabs = CorpusVocabularies()

@@ -510,31 +510,55 @@ def bench_corpus_scale(
     }
 
 
-def bench_corpus_memory(records: int = 250_000, repeats: int = 8) -> dict:
-    """Columnar record storage vs object records: bytes/record and
-    suggestion-query latency at the same corpus size.
+def bench_corpus_memory(
+    records: int = 250_000,
+    repeats: int = 8,
+    segmented_records: int = 1_000_000,
+    segment_records: int = 65_536,
+) -> dict:
+    """Columnar record storage vs object records vs the disk segment
+    tier: bytes/record, resident set and suggestion-query latency.
 
-    Builds the ``corpus_scale`` synthetic corpus twice — once into the
+    Builds the ``corpus_scale`` synthetic corpus three ways — into the
     columnar :class:`LearnerCorpus` (interned vocabularies, flat column
-    arrays, compacted postings) and once into the pre-columnar
+    arrays, compacted postings), into the pre-columnar
     :class:`~repro.corpus.reference.ReferenceCorpus` (one record object
-    per utterance, ``frozenset`` caches, boxed-int posting lists) — and
-    prices both layouts:
+    per utterance, ``frozenset`` caches, boxed-int posting lists), and
+    at ``segmented_records`` (default 10^6, 4× the in-RAM sizes) into a
+    :class:`~repro.corpus.segments.SegmentedCorpus` frozen to disk at
+    the ``segment_records`` cadence — and prices the layouts:
 
-    * **memory** — deep heap bytes per record of each layout (the
-      schema gate requires the columnar store to be ≥ 3× smaller);
+    * **memory** — deep heap bytes per record of each in-RAM layout
+      (the schema gate requires the columnar store to be ≥ 3× smaller
+      than object records);
     * **latency** — ms/query of the streaming suggestion search over
       the columnar store vs the tuple-decoding reference search over
       the object store, identical stopword-heavy query list (the gate
-      requires the streaming path within 1.2× of the reference).
+      requires the streaming path within 1.2× of the reference);
+    * **residency** — heap bytes per *frozen* record of the fully
+      frozen segmented corpus (mmapped segment files are reclaimable
+      page cache, not resident).  The schema gates require
+      ``resident_ratio_vs_columnar`` ≤ 0.2 (a frozen record costs at
+      most a fifth of its in-RAM columnar footprint),
+      ``residency_growth_ratio`` < 1.0 (resident bytes net of the
+      shared vocabularies — which any layout keeps on the heap — grow
+      *sublinearly* in frozen records: a second segmented build at the
+      in-RAM comparison size anchors the growth curve), and the
+      cross-tier query latency within 1.5× of the in-RAM columnar
+      search at a quarter the records.
 
-    The two stores are built and measured one after the other so peak
-    memory holds only one corpus plus the measurement.
+    The object-record reference is built, measured and released first
+    (it dwarfs everything else), then the columnar and segmented
+    corpora are held together and their timed rounds *interleaved* —
+    each columnar round is immediately followed by a segmented round —
+    so the 1.5× latency gate compares medians taken under the same
+    machine and heap state rather than minutes apart.
     """
     from random import Random
 
     from repro.corpus.reference import ReferenceCorpus, ReferenceSuggestionSearch
     from repro.corpus.search import SuggestionSearch
+    from repro.corpus.segments import SegmentedCorpus
 
     qrng = Random(29)
     queries: list[str] = []
@@ -544,26 +568,86 @@ def bench_corpus_memory(records: int = 250_000, repeats: int = 8) -> dict:
             words.append(f"w{qrng.randrange(200)}")
         queries.append(" ".join(words))
 
-    def measure(build_search, corpus) -> float:
-        search = build_search(corpus)
-        for query in queries:  # warm caches + dict internals
-            search.find(query)
+    def timed_round(search) -> float:
         start = time.perf_counter()
         for _ in range(repeats):
             for query in queries:
                 search.find(query)
-        elapsed = time.perf_counter() - start
-        return 1000.0 * elapsed / (repeats * len(queries))
+        return time.perf_counter() - start
 
-    columnar = _build_scale_corpus(records)
-    columnar_bytes = columnar.memory_stats()["total_bytes"]
-    ms_columnar = measure(SuggestionSearch, columnar)
-    del columnar
+    def median_ms(rounds: list[float]) -> float:
+        rounds = sorted(rounds)
+        return 1000.0 * rounds[len(rounds) // 2] / (repeats * len(queries))
+
+    def measure(build_search, corpus) -> float:
+        # Median of 5 timed rounds: a single noisy round (CPU
+        # frequency, co-tenant load) must not decide a latency gate.
+        search = build_search(corpus)
+        for query in queries:  # warm caches + dict internals
+            search.find(query)
+        return median_ms([timed_round(search) for _ in range(5)])
 
     reference = _build_scale_corpus(records, store_factory=ReferenceCorpus)
     reference_bytes = reference.memory_bytes()
     ms_reference = measure(ReferenceSuggestionSearch, reference)
     del reference
+
+    def build_segmented(count: int) -> SegmentedCorpus:
+        corpus = _build_scale_corpus(
+            count,
+            store_factory=lambda: SegmentedCorpus(
+                segment_records=segment_records, auto_freeze=True
+            ),
+        )
+        corpus.freeze()  # seal the tail: every record priced as frozen
+        return corpus
+
+    def tier_resident(stats: dict) -> int:
+        # What the segment tier actually controls: columns, texts,
+        # postings and caches.  The shared vocabularies stay on the
+        # heap in *any* layout (a plain corpus fed the same records
+        # holds the identical vocabularies), and this synthetic
+        # workload grows its vocabulary linearly with the corpus by
+        # construction — so the sublinearity gate measures residency
+        # net of vocab, while the headline per-frozen-record figure
+        # keeps vocab in.
+        return stats["resident_bytes"] - stats["vocab_bytes"]
+
+    # Anchor point for the sublinearity gate: the same segmented build
+    # at the in-RAM comparison size.
+    anchor = build_segmented(records)
+    anchor_resident = tier_resident(anchor.memory_stats())
+    anchor.close()
+
+    # The columnar-vs-segmented latency gate compares two measurements,
+    # so both corpora are alive at once and their rounds *interleave*:
+    # each pair of rounds runs under the same machine and heap state
+    # (resident cost of holding both: the 3-way memory gates above/below
+    # prove the pair together is far smaller than the reference corpus
+    # this function just released).
+    columnar = _build_scale_corpus(records)
+    columnar_bytes = columnar.memory_stats()["total_bytes"]
+    segmented = build_segmented(segmented_records)
+    seg_stats = segmented.memory_stats()
+    columnar_search = SuggestionSearch(columnar)
+    segmented_search = SuggestionSearch(segmented)
+    for query in queries:  # warm both before the first timed pair
+        columnar_search.find(query)
+        segmented_search.find(query)
+    columnar_rounds: list[float] = []
+    segmented_rounds: list[float] = []
+    for _ in range(5):
+        columnar_rounds.append(timed_round(columnar_search))
+        segmented_rounds.append(timed_round(segmented_search))
+    ms_columnar = median_ms(columnar_rounds)
+    ms_segmented = median_ms(segmented_rounds)
+    del columnar
+    segmented.close()
+    frozen = seg_stats["frozen_records"]
+    per_frozen = seg_stats["resident_bytes"] / frozen
+    growth = (tier_resident(seg_stats) / anchor_resident) / (
+        segmented_records / records
+    )
 
     return {
         "records": records,
@@ -574,6 +658,15 @@ def bench_corpus_memory(records: int = 250_000, repeats: int = 8) -> dict:
         "ms_per_query_columnar": ms_columnar,
         "ms_per_query_reference": ms_reference,
         "latency_ratio_columnar_vs_reference": round(ms_columnar / ms_reference, 2),
+        "records_segmented": segmented_records,
+        "records_frozen": frozen,
+        "segments": seg_stats["segments"],
+        "segment_disk_bytes": seg_stats["disk_bytes"],
+        "bytes_resident_per_frozen_record": round(per_frozen, 2),
+        "resident_ratio_vs_columnar": round(per_frozen / (columnar_bytes / records), 4),
+        "residency_growth_ratio": round(growth, 3),
+        "ms_per_query_segmented": ms_segmented,
+        "latency_ratio_segmented_vs_columnar": round(ms_segmented / ms_columnar, 2),
     }
 
 
@@ -729,7 +822,9 @@ def run_report(quick: bool = False) -> dict:
             "corpus_scale": bench_corpus_scale(
                 records_small=n(10_000), records_large=n(250_000)
             ),
-            "corpus_memory": bench_corpus_memory(records=n(250_000)),
+            "corpus_memory": bench_corpus_memory(
+                records=n(250_000), segmented_records=n(1_000_000)
+            ),
             "recovery": bench_recovery(messages=n(240)),
             "resilience": bench_resilience(messages=n(240)),
         },
@@ -787,6 +882,14 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "ms_per_query_columnar",
         "ms_per_query_reference",
         "latency_ratio_columnar_vs_reference",
+        "records_segmented",
+        "records_frozen",
+        "segments",
+        "bytes_resident_per_frozen_record",
+        "resident_ratio_vs_columnar",
+        "residency_growth_ratio",
+        "ms_per_query_segmented",
+        "latency_ratio_segmented_vs_columnar",
     ),
     "recovery": (
         "messages",

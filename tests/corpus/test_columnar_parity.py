@@ -28,6 +28,7 @@ from repro.corpus.reference import (
     reference_user_report,
 )
 from repro.corpus.search import SuggestionSearch
+from repro.corpus.segments import SegmentedCorpus
 from repro.corpus.statistics import StatisticAnalyzer
 from repro.corpus.store import LearnerCorpus
 
@@ -128,6 +129,67 @@ def drive_workload(seed: int, ops: int = 30) -> tuple[LearnerCorpus, ReferenceCo
     return columnar, reference
 
 
+def drive_workload_tiered(
+    seed: int, ops: int = 30, segment_records: int | None = None
+) -> tuple[ReferenceCorpus, LearnerCorpus, SegmentedCorpus]:
+    """One seeded interleaving driving all three layouts side by side.
+
+    The reference and the in-RAM columnar store see exactly the same
+    records as :func:`drive_workload`'s pair; the third store is a
+    :class:`SegmentedCorpus` whose immutable prefix is frozen to an
+    on-disk segment at **every** barrier boundary (and, when a small
+    ``segment_records`` cadence is given, between direct adds too), so
+    every query in the assertions crosses the RAM/disk tier seam.
+    """
+    rng = Random(seed)
+    reference = ReferenceCorpus(CONFIG)
+    columnar = LearnerCorpus(CONFIG)
+    segmented = SegmentedCorpus(
+        CONFIG,
+        segment_records=segment_records if segment_records is not None else (1 << 30),
+        auto_freeze=segment_records is not None,
+    )
+    stores = (columnar, segmented)
+    seq = 0
+    for _ in range(ops):
+        action = rng.random()
+        if action < 0.55:
+            record = random_record(rng, columnar.next_id())
+            reference.add(clone(record))
+            for store in stores:
+                store.add(clone(record))
+            seq += 1
+        else:
+            shards = rng.randrange(1, 4)
+            ref_replicas = [reference.fork() for _ in range(shards)]
+            replicas = [[store.fork() for _ in range(shards)] for store in stores]
+            for _ in range(rng.randrange(0, 6)):
+                shard = rng.randrange(shards)
+                ref_replicas[shard].begin_origin(seq)
+                for reps in replicas:
+                    reps[shard].begin_origin(seq)
+                for _ in range(rng.randrange(1, 3)):
+                    record = random_record(rng, ref_replicas[shard].next_id())
+                    ref_replicas[shard].add(clone(record))
+                    for reps in replicas:
+                        reps[shard].add(clone(record))
+                seq += 1
+            order = list(range(shards))
+            rng.shuffle(order)
+            for shard in order:
+                reference.merge(ref_replicas[shard])
+                for store, reps in zip(stores, replicas):
+                    store.merge(reps[shard])
+            for shard in range(shards):
+                ref_replicas[shard].rebase()
+                for reps in replicas:
+                    reps[shard].rebase()
+            # The tier seam under test: seal everything merged so far.
+            segmented.freeze()
+    segmented.freeze()
+    return reference, columnar, segmented
+
+
 def assert_stores_equal(columnar: LearnerCorpus, reference: ReferenceCorpus) -> None:
     assert len(columnar) == len(reference)
     # Records: snapshots, lazy views vs objects, field by field.
@@ -214,6 +276,38 @@ class TestRandomizedParity:
     def test_statistics_parity(self, seed: int):
         columnar, reference = drive_workload(seed, ops=40)
         assert_statistics_equal(columnar, reference)
+
+
+class TestSegmentedThreeWayParity:
+    """The satellite sweep: reference vs in-RAM columnar vs segmented,
+    with the segmented store's prefix frozen at every barrier — every
+    record, posting, DF, tier flag, suggestion and statistic must be
+    identical whichever side of the disk seam it lives on."""
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_workload_parity(self, seed: int):
+        reference, columnar, segmented = drive_workload_tiered(seed)
+        assert segmented.frozen_records == len(segmented)
+        assert segmented.snapshot() == columnar.snapshot()
+        assert_stores_equal(segmented, reference)
+        assert_queries_equal(segmented, reference, Random(seed * 7919 + 1))
+
+    @pytest.mark.parametrize("seed", range(0, 200, 8))
+    def test_statistics_parity(self, seed: int):
+        reference, _columnar, segmented = drive_workload_tiered(seed, ops=40)
+        assert_statistics_equal(segmented, reference)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(200))
+    def test_aggressive_cadence_parity(self, seed: int):
+        """Auto-freeze every 2 records on top of the barrier freezes:
+        maximally many segments, single-record tails, freezes landing
+        between consecutive adds."""
+        reference, _columnar, segmented = drive_workload_tiered(
+            seed, segment_records=2
+        )
+        assert len(segmented.segments) >= (1 if len(segmented) else 0)
+        assert_stores_equal(segmented, reference)
 
 
 class TestMergePermutationParity:

@@ -29,6 +29,12 @@ from repro.corpus.index import (
 )
 from repro.corpus.records import Correctness, CorpusRecord
 from repro.corpus.search import SuggestionSearch
+from repro.corpus.segments import (
+    SegmentedCorpus,
+    intersect_tiered_count,
+    intersect_tiered_iter,
+    union_tiered_iter,
+)
 from repro.corpus.store import LearnerCorpus
 from repro.linkgrammar.tokenizer import tokenize
 
@@ -219,6 +225,149 @@ def rare_pool(corpus) -> list[str]:
 
 def hit_tuples(hits):
     return [(h.record.record_id, h.keyword_overlap, h.token_overlap) for h in hits]
+
+
+def paired_fuzz_corpora(
+    rng: Random, records: int, boundaries
+) -> tuple[LearnerCorpus, SegmentedCorpus]:
+    """The same fuzzed records in a plain corpus and in a segmented one
+    frozen at every position in ``boundaries`` (ascending, 1-based)."""
+    plain = LearnerCorpus(IndexConfig(stopword_df_cap=4))
+    segmented = SegmentedCorpus(
+        IndexConfig(stopword_df_cap=4), segment_records=1 << 30, auto_freeze=False
+    )
+    cuts = set(boundaries)
+    for i in range(records):
+        words = ["the", "data"] if rng.random() < 0.6 else []
+        words += [rng.choice(CONTENT) for _ in range(rng.randrange(1, 4))]
+        rng.shuffle(words)
+        text = " ".join(words)
+        verdict = rng.choice([Correctness.CORRECT] * 3 + [Correctness.SYNTAX_ERROR])
+        keywords = [w for w in words if w not in STOPWORDS][:2]
+        make_record(plain, text, verdict=verdict, keywords=keywords)
+        make_record(segmented, text, verdict=verdict, keywords=keywords)
+        if i + 1 in cuts:
+            segmented.freeze()
+    return plain, segmented
+
+
+class TestCrossTierGallopingOracle:
+    """Satellite property tests: posting iterators straddling the
+    RAM/disk seam must equal their single-tier twins and plain set
+    algebra — whatever the freeze boundaries, including boundaries that
+    leave an empty or single-record tail and terms absent from whole
+    tiers."""
+
+    def postings_pairs(self, plain, segmented):
+        """(in-RAM postings, tiered postings) per indexed token; the
+        presence decision itself must agree across layouts."""
+        tokens = sorted(
+            {t for i in range(len(plain)) for t in plain.token_set(i)}
+        )
+        pairs = []
+        for token in tokens + ["zzz-absent"]:
+            flat = plain.index.token_postings(token)
+            tiered = segmented.index.token_postings(token)
+            assert (flat is None) == (tiered is None), token
+            if flat is not None:
+                pairs.append((token, flat, tiered))
+        return pairs
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_tiered_postings_equal_flat_postings(self, seed: int):
+        rng = Random(seed)
+        records = rng.randrange(2, 60)
+        boundaries = sorted(
+            rng.sample(range(1, records + 1), rng.randrange(0, min(6, records)))
+        )
+        plain, segmented = paired_fuzz_corpora(rng, records, boundaries)
+        for token, flat, tiered in self.postings_pairs(plain, segmented):
+            expected = list(flat.positions())
+            assert list(tiered) == expected, token
+            assert list(tiered.positions()) == expected, token
+            assert len(tiered) == len(flat) and bool(tiered) == bool(flat)
+            assert tiered.last == expected[-1]
+            # The global delta stream must rebuild the positions: it is
+            # what the budgeted capped walk consumes across the seam.
+            positions, total = [], 0
+            for gap in tiered.gaps:
+                total += gap
+                positions.append(total)
+            assert positions == expected, token
+            counts: dict[int, int] = {}
+            tiered.accumulate_into(counts)
+            assert sorted(counts) == expected and set(counts.values()) <= {1}
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_tiered_set_algebra_matches_oracle(self, seed: int):
+        rng = Random(seed)
+        records = rng.randrange(2, 60)
+        boundaries = sorted(
+            rng.sample(range(1, records + 1), rng.randrange(0, min(6, records)))
+        )
+        plain, segmented = paired_fuzz_corpora(rng, records, boundaries)
+        pairs = self.postings_pairs(plain, segmented)
+        for _ in range(12):
+            _ta, flat_a, tiered_a = rng.choice(pairs)
+            _tb, flat_b, tiered_b = rng.choice(pairs)
+            a, b = set(flat_a.positions()), set(flat_b.positions())
+            assert list(intersect_tiered_iter(tiered_a, tiered_b)) == sorted(a & b)
+            assert intersect_tiered_count(tiered_a, tiered_b) == len(a & b)
+            assert list(union_tiered_iter(tiered_a, tiered_b)) == sorted(a | b)
+
+    def test_term_absent_from_middle_tier(self):
+        # "gap" lives in segment 0 and the tail but not segment 1: the
+        # tiered walk must hop over the partless middle segment.
+        segmented = SegmentedCorpus(
+            IndexConfig(stopword_df_cap=None), segment_records=1 << 30, auto_freeze=False
+        )
+        make_record(segmented, "gap alpha")
+        segmented.freeze()
+        make_record(segmented, "beta gamma")
+        segmented.freeze()
+        make_record(segmented, "gap delta")
+        postings = segmented.index.token_postings("gap")
+        assert [base for base, _run in postings.parts] == [0, 2]
+        assert list(postings) == [0, 2] and postings.last == 2
+        other = segmented.index.token_postings("alpha")
+        assert list(intersect_tiered_iter(postings, other)) == [0]
+        assert list(union_tiered_iter(postings, other)) == [0, 2]
+
+    def test_single_record_and_empty_tails(self):
+        rng = Random(7)
+        # Freeze after every record: tail is empty at the end...
+        plain, all_frozen = paired_fuzz_corpora(rng, 9, range(1, 10))
+        assert all_frozen.frozen_records == 9 and len(all_frozen.segments) == 9
+        for _token, flat, tiered in self.postings_pairs(plain, all_frozen):
+            assert list(tiered) == list(flat.positions())
+        # ...and freezing all but the last leaves a single-record tail.
+        rng = Random(7)
+        plain, one_tail = paired_fuzz_corpora(rng, 9, range(1, 9))
+        assert one_tail.frozen_records == 8
+        for _token, flat, tiered in self.postings_pairs(plain, one_tail):
+            assert list(tiered) == list(flat.positions())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_search_across_seam_equals_flat_search(self, seed: int):
+        # End to end: SuggestionSearch streams candidate unions through
+        # the tiered iterators without materialising a segment; results
+        # must match the identical in-RAM corpus query for query.
+        rng = Random(seed)
+        records = rng.randrange(10, 50)
+        boundaries = sorted(
+            rng.sample(range(1, records + 1), rng.randrange(1, 5))
+        )
+        plain, segmented = paired_fuzz_corpora(rng, records, boundaries)
+        flat_search = SuggestionSearch(plain, max_candidates=8)
+        seam_search = SuggestionSearch(segmented, max_candidates=8)
+        for _ in range(6):
+            query = " ".join(
+                rng.choice(CONTENT + ["the", "data"])
+                for _ in range(rng.randrange(1, 4))
+            )
+            assert hit_tuples(seam_search.find(query)) == hit_tuples(
+                flat_search.find(query)
+            ), query
 
 
 class TestSearchVsBruteForceOracle:

@@ -1,0 +1,307 @@
+"""Crash-at-every-boundary sweep for the corpus segment tier.
+
+The freeze/compact path adds its own write boundaries to the durability
+story: ``segment.freeze.begin`` / ``.torn`` / ``.written`` /
+``.committed`` around the crash-atomic segment file write, plus the WAL
+append of the ``freeze`` event that follows the rename.  This module
+re-runs the fault-injection contract with a tiny freeze cadence so the
+scripted workload crosses those boundaries constantly: crash at every
+single one, recover, finish the workload, and the final state — records
+*and* tier boundaries — must equal the uncrashed run's.  Along the way:
+a committed segment file always verifies, a torn one never loads, and
+recovery leaves no stray temp files behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.system import ELearningSystem, SystemConfig
+from repro.corpus.segments import (
+    SEGMENT_SUFFIX,
+    TMP_SUFFIX,
+    SegmentLoadError,
+    validate_segment_file,
+)
+from repro.durability.faults import FaultClock, SimulatedCrash
+
+_CHILD = Path(__file__).with_name("_crash_child.py")
+_spec = importlib.util.spec_from_file_location("_crash_child", _CHILD)
+_crash_child = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_crash_child)
+OPS, apply_op = _crash_child.OPS, _crash_child.apply
+
+#: Freeze after every ~2 tail records: every workload ``say`` that adds
+#: records crosses a freeze boundary, maximising crash points.
+CONFIG_KWARGS = dict(
+    snapshot_every=5, fsync="always", corpus_segment_records=2
+)
+
+
+def make_config(data_dir, fault_clock=None):
+    return SystemConfig(
+        data_dir=str(data_dir), fault_clock=fault_clock, **CONFIG_KWARGS
+    )
+
+
+def full_state(system):
+    # Record-level state only: *where* the tier boundaries fell depends
+    # on when drains happened (recovery's final drain is one more freeze
+    # barrier than an uncrashed run crossed), exactly like snapshot
+    # cadence.  Layout-independence of every query is what the 3-way
+    # parity sweep in tests/corpus proves; here the tier must satisfy
+    # its structural invariants (below) and the records must be equal.
+    return (
+        system.corpus.snapshot(),
+        system.profiles.snapshot(),
+        system.faq.snapshot(),
+        {name: list(room.transcript) for name, room in system.server.rooms.items()},
+        system.clock.now(),
+        system.server.total_messages(),
+        dataclasses.asdict(system.pipeline.combined_stats()),
+    )
+
+
+def assert_tier_invariants(corpus) -> None:
+    """The frozen tier is structurally sound: contiguous from zero, the
+    boundary equals the segment sum and never exceeds the corpus."""
+    base = 0
+    for segment in corpus.segments:
+        assert segment.base == base
+        assert segment.count >= 1
+        base += segment.count
+    assert corpus.frozen_records == base <= len(corpus)
+
+
+def assert_segment_dir_sane(data_dir) -> None:
+    """Every committed segment file verifies end to end; torn temp files
+    are the only other thing a crash may leave, and they never load."""
+    segment_dir = Path(data_dir) / "segments"
+    if not segment_dir.exists():
+        return
+    for path in segment_dir.iterdir():
+        if path.name.endswith(TMP_SUFFIX):
+            continue  # ignorable by contract; recovery unlinks it
+        assert path.name.endswith(SEGMENT_SUFFIX), path.name
+        info = validate_segment_file(path)
+        assert info["count"] >= 1
+
+
+@pytest.fixture(scope="module")
+def canonical(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("canonical")
+    system = ELearningSystem.with_defaults(make_config(directory / "d"))
+    for op in OPS:
+        apply_op(system, op)
+    state = full_state(system)
+    assert system.corpus.frozen_records > 0  # the cadence really fired
+    assert len(system.corpus.segments) >= 2
+    system.close()
+    return state
+
+
+@pytest.fixture(scope="module")
+def boundary_count(tmp_path_factory, canonical):
+    directory = tmp_path_factory.mktemp("counting")
+    clock = FaultClock()  # unarmed: counts, never fires
+    system = ELearningSystem.with_defaults(make_config(directory / "d", clock))
+    for op in OPS:
+        apply_op(system, op)
+    assert full_state(system) == canonical
+    system.close()
+    assert any(label.startswith("segment.freeze") for label in clock.fired)
+    return clock.count
+
+
+def durable_input_prefix(data_dir) -> int:
+    """How many workload ops are already durable.
+
+    Unlike the base sweep, not every journalled event is a workload op
+    here: ``freeze`` events ride in the same WAL.  The durable *input*
+    prefix is the count of op events only."""
+    from repro.durability.manager import RecoveryReport
+    from repro.durability.wal import read_log
+
+    scratch = RecoveryReport(data_dir=str(data_dir))
+    events = read_log(data_dir, scratch, repair=False)
+    return sum(1 for event in events if event.get("type") not in ("freeze", "compact"))
+
+
+def test_crash_at_every_boundary_recovers_to_canonical(
+    tmp_path, canonical, boundary_count
+):
+    failures = []
+    for crash_at in range(1, boundary_count + 1):
+        directory = tmp_path / f"crash-{crash_at}"
+        clock = FaultClock(crash_at=crash_at)
+        try:
+            system = ELearningSystem.with_defaults(make_config(directory, clock))
+            for op in OPS:
+                apply_op(system, op)
+            system.close()
+        except SimulatedCrash:
+            pass
+        else:
+            pytest.fail(f"boundary {crash_at} never fired (count={clock.count})")
+        assert_segment_dir_sane(directory)
+        resume = durable_input_prefix(directory)
+        assert 0 <= resume <= len(OPS)
+        recovered, report = ELearningSystem.recover(
+            str(directory), SystemConfig(**CONFIG_KWARGS)
+        )
+        assert report.clean, f"crash_at={crash_at}: {report.summary()}"
+        for op in OPS[resume:]:
+            apply_op(recovered, op)
+        assert_tier_invariants(recovered.corpus)
+        assert recovered.corpus.frozen_records > 0
+        if full_state(recovered) != canonical:
+            failures.append(crash_at)
+        # Recovery reconstructed the writer, which sweeps temp files.
+        assert not list((directory / "segments").glob(f"*{TMP_SUFFIX}"))
+        recovered.close()
+    assert failures == [], f"recovery diverged after crashes at boundaries {failures}"
+
+
+def test_mid_freeze_crash_leaves_no_loadable_torn_segment(tmp_path):
+    """Crash exactly at ``segment.freeze.torn`` (half the file flushed):
+    the committed tier is untouched and the half-written file can never
+    be opened as a segment."""
+    probe = FaultClock()
+    system = ELearningSystem.with_defaults(make_config(tmp_path / "probe", probe))
+    for op in OPS:
+        apply_op(system, op)
+    system.close()
+    torn_boundary = probe.fired.index("segment.freeze.torn") + 1
+
+    directory = tmp_path / "crash"
+    clock = FaultClock(crash_at=torn_boundary)
+    with pytest.raises(SimulatedCrash):
+        crashed = ELearningSystem.with_defaults(make_config(directory, clock))
+        for op in OPS:
+            apply_op(crashed, op)
+        crashed.close()
+    temps = list((directory / "segments").glob(f"*{TMP_SUFFIX}"))
+    assert temps, "the torn boundary should leave a temp file behind"
+    for temp in temps:
+        with pytest.raises(SegmentLoadError):
+            validate_segment_file(temp)
+    assert_segment_dir_sane(directory)
+
+
+def test_orphan_segment_from_pre_journal_crash_is_rewritten(tmp_path):
+    """Crash between the segment rename and the WAL append of its
+    ``freeze`` event: the orphan file is fully committed but
+    unreferenced.  Recovery replays the workload tail, the deterministic
+    re-freeze atomically overwrites the identical file, and the final
+    state matches an uncrashed run."""
+    probe = FaultClock()
+    system = ELearningSystem.with_defaults(make_config(tmp_path / "probe", probe))
+    for op in OPS:
+        apply_op(system, op)
+    canonical_state = full_state(system)
+    system.close()
+    committed = probe.fired.index("segment.freeze.committed") + 1
+
+    directory = tmp_path / "crash"
+    clock = FaultClock(crash_at=committed)
+    with pytest.raises(SimulatedCrash):
+        crashed = ELearningSystem.with_defaults(make_config(directory, clock))
+        for op in OPS:
+            apply_op(crashed, op)
+        crashed.close()
+    # The crash landed after os.replace — the segment file exists...
+    orphans = sorted((directory / "segments").glob(f"*{SEGMENT_SUFFIX}"))
+    assert orphans
+    # ...but no freeze event reached the log for it.
+    resume = durable_input_prefix(directory)
+    recovered, report = ELearningSystem.recover(
+        str(directory), SystemConfig(**CONFIG_KWARGS)
+    )
+    assert report.clean, report.summary()
+    for op in OPS[resume:]:
+        apply_op(recovered, op)
+    assert full_state(recovered) == canonical_state
+    recovered.close()
+
+
+# Bare-log replay: with snapshots pushed out of the way, recovery must
+# rebuild the tier from the journalled ``freeze``/``compact`` events
+# alone (idempotently — replay's own auto-freezes may run ahead of the
+# logged boundaries).
+BARE_LOG_KWARGS = dict(
+    snapshot_every=10_000, fsync="always", corpus_segment_records=2
+)
+
+
+def _crashed_dir_with_freeze_and_compact(tmp_path):
+    """A data dir whose log holds posts, freezes and one compact, with
+    no snapshot: the crash lands on the first boundary after the
+    compact event is durable."""
+    split = len(OPS) // 2
+    probe = FaultClock()
+    system = ELearningSystem.with_defaults(
+        SystemConfig(
+            data_dir=str(tmp_path / "probe"), fault_clock=probe, **BARE_LOG_KWARGS
+        )
+    )
+    for op in OPS[:split]:
+        apply_op(system, op)
+    assert len(system.corpus.segments) >= 2
+    assert system.corpus.compact() is not None
+    after_compact = probe.count
+    for op in OPS[split:]:
+        apply_op(system, op)
+    canonical_state = full_state(system)
+    system.close()
+
+    directory = tmp_path / "crash"
+    clock = FaultClock(crash_at=after_compact + 1)
+    with pytest.raises(SimulatedCrash):
+        crashed = ELearningSystem.with_defaults(
+            SystemConfig(
+                data_dir=str(directory), fault_clock=clock, **BARE_LOG_KWARGS
+            )
+        )
+        for op in OPS[:split]:
+            apply_op(crashed, op)
+        crashed.corpus.compact()
+        for op in OPS[split:]:
+            apply_op(crashed, op)
+        crashed.close()
+    assert not list(Path(directory).glob("snapshot-*.json"))
+    return directory, canonical_state
+
+
+def test_freeze_and_compact_events_replay_from_bare_log(tmp_path):
+    directory, canonical_state = _crashed_dir_with_freeze_and_compact(tmp_path)
+    resume = durable_input_prefix(directory)
+    recovered, report = ELearningSystem.recover(
+        str(directory), SystemConfig(**BARE_LOG_KWARGS)
+    )
+    assert report.clean, report.summary()
+    assert report.events_replayed > 0
+    assert_tier_invariants(recovered.corpus)
+    assert recovered.corpus.frozen_records > 0
+    for op in OPS[resume:]:
+        apply_op(recovered, op)
+    assert full_state(recovered) == canonical_state
+    recovered.close()
+
+
+def test_freeze_and_compact_events_diverge_without_segmented_corpus(tmp_path):
+    """The same log recovered under a config without
+    ``corpus_segment_records``: tier events cannot apply to a plain
+    corpus, and recovery must say so instead of silently dropping
+    them."""
+    directory, _canonical = _crashed_dir_with_freeze_and_compact(tmp_path)
+    recovered, report = ELearningSystem.recover(
+        str(directory),
+        SystemConfig(snapshot_every=10_000, fsync="always"),
+    )
+    assert any("not segmented" in d for d in report.divergences), report.divergences
+    assert not hasattr(recovered.corpus, "segments") or not recovered.corpus.segments
+    recovered.close()

@@ -250,3 +250,27 @@ class TestSnapshotOnlyRecovery:
         assert report.events_total == 10
         assert report.events_replayed == 10
         _recovered.close()
+
+
+class TestSnapshotStoreValidation:
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            SnapshotStore(tmp_path, keep=0)
+
+    def test_restore_rejects_foreign_document(self, tmp_path):
+        from repro.durability.snapshot import restore_snapshot
+
+        system = ELearningSystem.with_defaults(SystemConfig())
+        with pytest.raises(ValueError, match="not a"):
+            restore_snapshot(system, {"format": "someone-elses-format/9"})
+        system.close()
+
+    def test_latest_skips_non_json_payload(self, tmp_path):
+        from repro.durability.wal import encode_frame
+
+        store = SnapshotStore(tmp_path, keep=3)
+        bogus = tmp_path / "snapshot-000001.json"
+        bogus.write_bytes(encode_frame(b"\xff\xfenot json at all"))
+        report = RecoveryReport(data_dir=str(tmp_path))
+        assert store.load_latest(report) is None
+        assert bogus.with_suffix(".json.corrupt").exists()

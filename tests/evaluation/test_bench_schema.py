@@ -84,6 +84,22 @@ class TestCommittedReport:
         assert memory["memory_ratio_objects_vs_columnar"] >= 3.0
         assert memory["latency_ratio_columnar_vs_reference"] <= 1.2
 
+    def test_corpus_segment_tier_residency(self, report):
+        # The disk-tier claim (docs/corpus.md): at 10^6 records fully
+        # frozen into mmap-backed segments, a frozen record's heap
+        # footprint is at most 0.2x its in-RAM columnar cost, total
+        # resident bytes grow sublinearly in frozen records, and the
+        # cross-tier suggestion search stays within 1.5x of the in-RAM
+        # columnar search at a quarter the corpus.
+        memory = report["workloads"]["corpus_memory"]
+        assert memory["records_segmented"] >= 1_000_000
+        assert memory["records_frozen"] == memory["records_segmented"]
+        assert memory["segments"] >= 2
+        assert memory["bytes_resident_per_frozen_record"] > 0
+        assert memory["resident_ratio_vs_columnar"] <= 0.2
+        assert memory["residency_growth_ratio"] < 1.0
+        assert memory["latency_ratio_segmented_vs_columnar"] <= 1.5
+
 
     def test_resilience_workload(self, report):
         # The fault-tolerance claim (docs/resilience.md): retries and
