@@ -38,7 +38,9 @@ bench:
 # committed BENCH_parse.json (and its pinned seed baseline) stays put.
 # Includes the process_drain workload, so every CI run exercises a
 # 2-worker multiprocess drain end to end (spec pickling, child cycles,
-# delta merge) on top of the unit suites.
+# delta merge), and the serving workload, so every CI run boots the
+# live HTTP front door under 4 concurrent clients, on top of the unit
+# suites.
 bench-quick:
 	$(PY) -m repro bench --quick --output $${TMPDIR:-/tmp}/BENCH_quick.json
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from .messages import ChatMessage, Participant, Role
@@ -33,10 +34,16 @@ class ChatRoom:
         if participant is None:
             participant = Participant(name=name, role=role, joined_at=now)
             self.participants[name] = participant
+        elif participant.role is not role:
+            # Re-joining under a different role is a role change, not a
+            # fresh membership: the original joined_at and message count
+            # survive, only the role updates.
+            participant.role = role
         return participant
 
-    def leave(self, name: str) -> None:
-        self.participants.pop(name, None)
+    def leave(self, name: str) -> bool:
+        """Remove a member; returns whether the user was actually present."""
+        return self.participants.pop(name, None) is not None
 
     def is_member(self, name: str) -> bool:
         return name in self.participants
@@ -55,6 +62,17 @@ class ChatRoom:
 
     def messages_from(self, sender: str) -> list[ChatMessage]:
         return [message for message in self.transcript if message.sender == sender]
+
+    def messages_since(self, seq: int) -> list[ChatMessage]:
+        """Messages with seq strictly greater than ``seq``.
+
+        The transcript is seq-sorted by construction (:meth:`deliver`
+        rejects out-of-order deliveries), so the resume point is a
+        bisect, not a scan — the read path the serving layer's long-poll
+        and SSE cursors lean on.  ``seq=-1`` returns the full transcript.
+        """
+        start = bisect_right(self.transcript, seq, key=lambda message: message.seq)
+        return self.transcript[start:]
 
     def last_messages(self, count: int) -> list[ChatMessage]:
         return self.transcript[-count:]

@@ -76,19 +76,42 @@ class ChatServer:
             raise ChatRoomError(f"no room named {name!r}")
         return room
 
-    def join(self, room_name: str, user: str, role: Role = Role.STUDENT) -> None:
+    def join(self, room_name: str, user: str, role: Role = Role.STUDENT) -> bool:
+        """Add (or re-role) a member; returns whether anything changed.
+
+        Joining a room the user is already in under the same role is a
+        pure no-op: nothing is journalled (re-joins used to bloat the
+        WAL with duplicate events) and no ``UserJoined`` is published.
+        Re-joining under a *different* role is a role change — it
+        journals and publishes like a fresh join, and replay re-applies
+        it, so a student promoted to teacher stays a teacher.
+        """
         room = self.get_room(room_name)
+        participant = room.participants.get(user)
+        if participant is not None and participant.role is role:
+            return False
         if self.journal is not None:
             self.journal.user_joined(room_name, user, role.value, self.clock.now())
         room.join(user, role, self.clock.now())
         self.bus.publish(UserJoined(room_name, user, role.value, self.clock.now()))
+        return True
 
-    def leave(self, room_name: str, user: str) -> None:
+    def leave(self, room_name: str, user: str) -> bool:
+        """Remove a member; returns whether the user was actually present.
+
+        A non-member leave is a no-op everywhere: no journal event, no
+        ``UserLeft`` on the bus (publishing it unconditionally used to
+        diverge the bus history from WAL replay, which has always
+        skipped non-member leaves).
+        """
         room = self.get_room(room_name)
-        if self.journal is not None and room.is_member(user):
+        if not room.is_member(user):
+            return False
+        if self.journal is not None:
             self.journal.user_left(room_name, user, self.clock.now())
         room.leave(user)
         self.bus.publish(UserLeft(room_name, user, self.clock.now()))
+        return True
 
     # ------------------------------------------------------------ delivery
 

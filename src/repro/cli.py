@@ -7,6 +7,7 @@ Commands:
 * ``ask "question"``          — the QA subsystem's answer;
 * ``repair "sentence"``       — suggested corrections;
 * ``simulate [--rounds N]``   — run a seeded classroom and print reports;
+* ``serve [--port N]``        — HTTP front door over the live system;
 * ``recover DIR [--json]``    — recover a durable data directory, compact it;
 * ``health DIR [--json]``     — recover and print the resilience health registry;
 * ``bench [--quick]``         — run the perf harness, write BENCH_parse.json;
@@ -122,6 +123,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  mistake {kind}: {count}")
     for pair in system.faq_top(3):
         print(f"  faq [{pair.count}x] {pair.question}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.chatroom.runtime import DrainBudget
+    from repro.core.system import ELearningSystem, SystemConfig
+    from repro.serving import ChatGateway, ChatHTTPServer
+
+    budget = None
+    if args.drain_pending is not None or args.drain_interval is not None:
+        budget = DrainBudget(
+            max_pending_posts=args.drain_pending, max_interval=args.drain_interval
+        )
+    elif args.runtime not in ("inline", "queued"):
+        # A deferred-drain runtime behind a network front door must
+        # drain itself — nobody is calling drain() from a socket.
+        budget = DrainBudget(max_pending_posts=32, max_interval=8.0)
+    config = SystemConfig(
+        runtime_mode=args.runtime,
+        shards=args.shards,
+        drain_budget=budget,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+    )
+    system = ELearningSystem.with_defaults(config)
+    try:
+        for name in args.room or []:
+            system.open_room(name)
+        gateway = ChatGateway(system)
+        httpd = ChatHTTPServer(
+            gateway, host=args.host, port=args.port, verbose=args.verbose
+        )
+        host, port = httpd.server_address[:2]
+        print(f"serving on http://{host}:{port} (runtime={args.runtime}, "
+              f"rooms={len(system.server.rooms)})")
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            httpd.server_close()
+    finally:
+        system.close()  # flush queued supervision, final snapshot, pools
     return 0
 
 
@@ -279,6 +324,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         "seal this many in-RAM records into mmap-backed "
                         "segment files (see docs/corpus.md)")
     p.set_defaults(func=_cmd_simulate)
+
+    p = commands.add_parser(
+        "serve",
+        help="HTTP front door: POST messages, long-poll transcripts, SSE "
+             "verdict stream (see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listening port (0 binds an ephemeral port)")
+    p.add_argument("--room", action="append", default=None, metavar="NAME",
+                   help="pre-create a room at startup (repeatable); rooms "
+                        "can also be created over HTTP (POST /rooms)")
+    p.add_argument(
+        "--runtime",
+        choices=["inline", "queued", "sharded", "parallel", "process"],
+        default="queued",
+        help="supervision scheduling mode behind the front door",
+    )
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard/worker count for the multi-worker runtimes")
+    p.add_argument("--drain-pending", type=int, default=None,
+                   help="auto-drain once this many supervision items are "
+                        "pending (deferred runtimes default to 32)")
+    p.add_argument("--drain-interval", type=float, default=None,
+                   help="auto-drain once this much virtual time passed "
+                        "since the last drain (deferred default: 8.0)")
+    p.add_argument("--data-dir", default=None,
+                   help="durable-state directory (write-ahead log + "
+                        "snapshots; see docs/durability.md)")
+    p.add_argument("--fsync", choices=["always", "batch", "never"],
+                   default="batch",
+                   help="when log/snapshot writes reach the disk")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   help="journalled events between periodic snapshots")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request line to stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = commands.add_parser(
         "recover", help="recover a durable data directory and compact it"

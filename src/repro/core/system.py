@@ -350,8 +350,13 @@ class ELearningSystem:
         """Create a supervised chat room."""
         return self.server.create_room(name, topic)
 
-    def join(self, room: str, user: str, role: Role = Role.STUDENT) -> None:
-        self.server.join(room, user, role)
+    def join(self, room: str, user: str, role: Role = Role.STUDENT) -> bool:
+        """Add (or re-role) a member; returns whether anything changed."""
+        return self.server.join(room, user, role)
+
+    def leave(self, room: str, user: str) -> bool:
+        """Remove a member; returns whether the user was actually present."""
+        return self.server.leave(room, user)
 
     def say(self, room: str, user: str, text: str) -> ChatMessage:
         """Post a user message.

@@ -6,9 +6,11 @@ loop, a seeded classroom session, suggestion search, raw post latency,
 the multi-room sharded-runtime scale test, the parallel
 (shard-replica) drain test, the corpus-scale retrieval test (10k vs
 250k records, stopword-heavy queries), the durability recovery test
-(WAL replay rate, snapshot-recover wall clock) and the resilience test
+(WAL replay rate, snapshot-recover wall clock), the resilience test
 (throughput under seeded fault rates, degraded-mode post latency while
-a breaker is open) — and writes the numbers to
+a breaker is open) and the serving test (concurrent HTTP clients
+against the live front door: posts per second, reply-latency
+percentiles) — and writes the numbers to
 ``BENCH_parse.json`` so successive PRs can track the perf trajectory
 of the parse engine and the supervision runtime.
 
@@ -796,6 +798,115 @@ def bench_resilience(messages: int = 240) -> dict:
     }
 
 
+#: Question traffic for the serving workload: every one of these draws a
+#: QA reply (asserted by the schema gate via ``replies_observed``), so
+#: reply latency is measurable on every post.
+SERVING_QUESTIONS = [
+    "What is a queue?",
+    "What is Stack?",
+    "Does the stack have the pop operation?",
+    "What is a binary tree?",
+]
+
+
+def bench_serving(clients: int = 4, posts_per_client: int = 25) -> dict:
+    """HTTP front-door throughput and reply latency under concurrency.
+
+    Boots the real serving stack — ``ELearningSystem`` behind a
+    :class:`~repro.serving.ChatGateway` and a live
+    :class:`~repro.serving.ChatHTTPServer` on an ephemeral port — and
+    drives it with ``clients`` concurrent threads, each on its own
+    keep-alive connection posting questions to its own room.  Every post
+    is followed by a seq-cursor transcript read that long-polls until
+    the QA reply (``reply_to`` = the posted seq) is visible, so
+    ``reply_p50_ms`` / ``reply_p95_ms`` price the full round trip the
+    paper's learner experiences: HTTP admission, supervision, the
+    agent's reply, and the indexed read back out.  ``posts_per_sec`` is
+    aggregate across all clients, admission lock included.
+    """
+    import http.client
+    import threading
+
+    from repro.core.system import ELearningSystem
+    from repro.serving import ChatGateway, ChatHTTPServer
+
+    system = ELearningSystem.with_defaults()
+    gateway = ChatGateway(system)
+    httpd = ChatHTTPServer(gateway)
+    threading.Thread(target=httpd.serve_forever, daemon=True).start()
+    host, port = httpd.server_address[:2]
+
+    def req(conn, method: str, path: str, body: dict | None = None) -> dict:
+        conn.request(method, path, json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        if response.status >= 400:
+            raise RuntimeError(f"{method} {path} -> {response.status}: {payload}")
+        return payload
+
+    barrier = threading.Barrier(clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[Exception] = []
+
+    def client(index: int) -> None:
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            room, user = f"serve-{index}", f"learner-{index}"
+            req(conn, "POST", "/rooms", {"name": room, "topic": "bench"})
+            req(conn, "POST", f"/rooms/{room}/join", {"user": user})
+            # Warm the parse caches outside the timed window.
+            req(conn, "POST", f"/rooms/{room}/messages",
+                {"user": user, "text": SERVING_QUESTIONS[0]})
+            barrier.wait()
+            for i in range(posts_per_client):
+                text = SERVING_QUESTIONS[(index + i) % len(SERVING_QUESTIONS)]
+                started = time.perf_counter()
+                posted = req(conn, "POST", f"/rooms/{room}/messages",
+                             {"user": user, "text": text})
+                seq = posted["message"]["seq"]
+                cursor = seq
+                while True:
+                    page = req(conn, "GET",
+                               f"/rooms/{room}/transcript?since={cursor}&wait=10")
+                    if any(m["kind"] == "agent" and m["reply_to"] == seq
+                           for m in page["messages"]):
+                        break
+                    cursor = page["next"]
+                latencies[index].append(1000.0 * (time.perf_counter() - started))
+            conn.close()
+        except Exception as exc:
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # all clients warmed: the timed window opens together
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    httpd.shutdown()
+    httpd.server_close()
+    system.close()
+    if errors:
+        raise errors[0]
+    observed = sorted(ms for per_client in latencies for ms in per_client)
+    messages = clients * posts_per_client
+
+    def percentile(p: float) -> float:
+        return observed[min(len(observed) - 1, int(p * len(observed)))]
+
+    return {
+        "clients": clients,
+        "messages": messages,
+        "posts_per_sec": messages / elapsed,
+        "reply_p50_ms": percentile(0.50),
+        "reply_p95_ms": percentile(0.95),
+        "replies_observed": len(observed),
+    }
+
+
 def run_report(quick: bool = False) -> dict:
     """Run every workload and return the structured report."""
     scale = 0.1 if quick else 1.0
@@ -827,6 +938,9 @@ def run_report(quick: bool = False) -> dict:
             ),
             "recovery": bench_recovery(messages=n(240)),
             "resilience": bench_resilience(messages=n(240)),
+            # Always >= 4 concurrent clients (the acceptance floor);
+            # quick mode shrinks only the per-client post count.
+            "serving": bench_serving(posts_per_client=max(2, n(25))),
         },
     }
 
@@ -909,6 +1023,14 @@ REQUIRED_WORKLOAD_METRICS: dict[str, tuple[str, ...]] = {
         "fault_free_ms_per_message",
         "degraded_ms_per_post",
     ),
+    "serving": (
+        "clients",
+        "messages",
+        "posts_per_sec",
+        "reply_p50_ms",
+        "reply_p95_ms",
+        "replies_observed",
+    ),
 }
 
 #: Workloads the seed commit predates; a pinned baseline need not (and
@@ -923,6 +1045,7 @@ _POST_SEED_WORKLOADS = frozenset(
         "corpus_memory",
         "recovery",
         "resilience",
+        "serving",
     }
 )
 

@@ -1,0 +1,22 @@
+"""The network front door: HTTP serving over the e-learning system.
+
+``python -m repro serve`` (see :mod:`repro.cli`) builds an
+:class:`~repro.core.system.ELearningSystem`, wraps it in a
+:class:`ChatGateway` (the admission layer that serializes mutations into
+the single-writer core) and listens with a :class:`ChatHTTPServer`
+(stdlib ``ThreadingHTTPServer``: JSON endpoints, seq-indexed long-poll
+transcript reads, an SSE stream of supervision verdicts and agent
+replies).  See docs/serving.md.
+"""
+
+from .gateway import MAX_POLL_WAIT, ApiError, ChatGateway
+from .http import SSE_KEEPALIVE, ChatHTTPServer, ChatRequestHandler
+
+__all__ = [
+    "ApiError",
+    "ChatGateway",
+    "ChatHTTPServer",
+    "ChatRequestHandler",
+    "MAX_POLL_WAIT",
+    "SSE_KEEPALIVE",
+]

@@ -1,0 +1,261 @@
+"""The HTTP front door: stdlib ``ThreadingHTTPServer`` over a gateway.
+
+Endpoints (all bodies and responses are JSON unless noted):
+
+=========================================  ====================================
+``POST /rooms``                            create a room
+                                           (``{"name", "topic"?}`` → 201)
+``POST /rooms/<id>/join``                  join / change role
+                                           (``{"user", "role"?}``)
+``POST /rooms/<id>/leave``                 leave (``{"user"}``; ``left`` is
+                                           false for a non-member no-op)
+``POST /rooms/<id>/messages``              post a message (``{"user",
+                                           "text"}`` → 202 with the delivered
+                                           message + queue depth)
+``GET /rooms/<id>/transcript``             seq-indexed read; ``?since=<seq>``
+                                           resumes after a cursor and
+                                           ``&wait=<s>`` long-polls for new
+                                           traffic
+``GET /events``                            ``text/event-stream`` of supervision
+                                           verdicts and agent replies
+                                           (``?room=`` filters; ``?limit=`` /
+                                           ``?timeout=`` bound the stream)
+``GET /healthz``                           liveness counters
+=========================================  ====================================
+
+Each request runs on its own server thread; mutations serialize through
+the gateway's admission lock, long-polls park on its delivery condition,
+and SSE streams drain a per-subscriber queue — so a slow reader never
+blocks a poster.  Handler errors map to status codes (:class:`ApiError`
+carries its own; anything else is a 500) instead of tearing down the
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .gateway import ApiError, ChatGateway, MAX_POLL_WAIT
+
+#: Seconds between SSE keep-alive comments when no events flow.
+SSE_KEEPALIVE = 15.0
+
+
+class ChatHTTPServer(ThreadingHTTPServer):
+    """One listening socket over one :class:`ChatGateway`.
+
+    ``port=0`` binds an ephemeral port (tests and benches); the bound
+    address is ``server_address`` as usual.  ``verbose`` re-enables the
+    stdlib per-request log lines (quiet by default: the serving bench
+    would otherwise spam stderr with thousands of them).
+    """
+
+    daemon_threads = True  # in-flight handlers never block shutdown
+
+    def __init__(
+        self,
+        gateway: ChatGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.gateway = gateway
+        self.verbose = verbose
+        super().__init__((host, port), ChatRequestHandler)
+
+
+class ChatRequestHandler(BaseHTTPRequestHandler):
+    # Keep-alive: responses carry Content-Length, so one client
+    # connection can pipeline its whole session (the bench does).
+    protocol_version = "HTTP/1.1"
+    # Responses go out as two segments (header flush, then body); with
+    # Nagle on, the body write stalls until the client's delayed ACK
+    # (~40ms per request on Linux).  TCP_NODELAY removes the stall.
+    disable_nagle_algorithm = True
+    server: ChatHTTPServer
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ApiError(400, "request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise ApiError(400, "request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return body
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _query(self) -> dict[str, str]:
+        from urllib.parse import parse_qsl, urlsplit
+
+        return dict(parse_qsl(urlsplit(self.path).query))
+
+    def _route(self) -> list[str]:
+        from urllib.parse import unquote, urlsplit
+
+        return [unquote(part) for part in urlsplit(self.path).path.strip("/").split("/")]
+
+    # -------------------------------------------------------------- methods
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            handled = self._handle(method, self._route())
+            if not handled:
+                raise ApiError(404, f"no such resource: {self.path}")
+        except ApiError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client went away mid-response
+        except Exception as exc:  # never tear down the connection
+            self._send_json({"error": f"internal error: {exc}"}, status=500)
+
+    def _handle(self, method: str, route: list[str]) -> bool:
+        gateway = self.server.gateway
+        if route == ["healthz"]:
+            self._require(method, "GET")
+            self._send_json(gateway.health())
+            return True
+        if route == ["events"]:
+            self._require(method, "GET")
+            self._stream_events(gateway)
+            return True
+        if route == ["rooms"]:
+            self._require(method, "POST")
+            body = self._read_json()
+            payload = gateway.create_room(
+                str(body.get("name", "")), topic=str(body.get("topic", ""))
+            )
+            self._send_json(payload, status=201)
+            return True
+        if len(route) == 3 and route[0] == "rooms":
+            room, action = route[1], route[2]
+            if action == "messages":
+                self._require(method, "POST")
+                body = self._read_json()
+                payload = gateway.post(
+                    room, str(body.get("user", "")), str(body.get("text", ""))
+                )
+                self._send_json(payload, status=202)
+                return True
+            if action == "join":
+                self._require(method, "POST")
+                body = self._read_json()
+                payload = gateway.join(
+                    room, str(body.get("user", "")), str(body.get("role", "student"))
+                )
+                self._send_json(payload)
+                return True
+            if action == "leave":
+                self._require(method, "POST")
+                body = self._read_json()
+                payload = gateway.leave(room, str(body.get("user", "")))
+                self._send_json(payload)
+                return True
+            if action == "transcript":
+                self._require(method, "GET")
+                params = self._query()
+                payload = gateway.transcript_since(
+                    room,
+                    since=self._int_param(params, "since", -1),
+                    wait=self._float_param(params, "wait", 0.0),
+                    limit=self._int_param(params, "limit", 0) or None,
+                )
+                self._send_json(payload)
+                return True
+        return False
+
+    def _require(self, method: str, expected: str) -> None:
+        if method != expected:
+            raise ApiError(405, f"use {expected} for {self.path}")
+
+    @staticmethod
+    def _int_param(params: dict, key: str, default: int) -> int:
+        try:
+            return int(params.get(key, default))
+        except ValueError:
+            raise ApiError(400, f"query parameter {key!r} must be an integer") from None
+
+    @staticmethod
+    def _float_param(params: dict, key: str, default: float) -> float:
+        try:
+            return float(params.get(key, default))
+        except ValueError:
+            raise ApiError(400, f"query parameter {key!r} must be a number") from None
+
+    # ------------------------------------------------------------------ SSE
+
+    def _stream_events(self, gateway: ChatGateway) -> None:
+        """Serve ``text/event-stream`` off a gateway subscriber queue.
+
+        The stream ends when the client disconnects, after ``?limit=``
+        events, or once ``?timeout=`` seconds pass (clamped like a
+        long-poll) — the bounded forms are what tests and the bench
+        use; an interactive client just keeps reading.
+        """
+        params = self._query()
+        room = params.get("room")
+        limit = self._int_param(params, "limit", 0)
+        timeout = self._float_param(params, "timeout", 0.0)
+        deadline = time.monotonic() + min(timeout, MAX_POLL_WAIT) if timeout else None
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length: the stream closes the connection when done.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        stream = gateway.open_stream()
+        sent = 0
+        try:
+            while True:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        return
+                else:
+                    remaining = SSE_KEEPALIVE
+                try:
+                    event, data = stream.get(timeout=min(remaining, SSE_KEEPALIVE))
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                if room is not None and data.get("room") != room:
+                    continue
+                payload = json.dumps(data).encode("utf-8")
+                self.wfile.write(
+                    b"event: " + event.encode("ascii") + b"\ndata: " + payload + b"\n\n"
+                )
+                self.wfile.flush()
+                sent += 1
+                if limit and sent >= limit:
+                    return
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # subscriber hung up; nothing to answer
+        finally:
+            gateway.close_stream(stream)

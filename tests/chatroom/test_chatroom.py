@@ -15,6 +15,7 @@ from repro.chatroom import (
     Role,
     SimulatedClock,
     UserJoined,
+    UserLeft,
 )
 
 
@@ -182,3 +183,92 @@ class TestSupervisors:
         server.post("a", "u", "two")
         assert server.total_messages() == 2
         assert server.get_room("a").participants["u"].messages_sent == 2
+
+
+class TestMembershipRegressions:
+    """Regression coverage for the join/leave bookkeeping fixes:
+    phantom UserLeft on non-member leaves and role changes that were
+    silently dropped on rejoin."""
+
+    def test_leave_of_non_member_publishes_nothing(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(UserLeft, events.append)
+        server.create_room("a")
+        assert server.leave("a", "ghost") is False
+        assert events == []
+
+    def test_leave_of_member_publishes_once_and_returns_true(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(UserLeft, events.append)
+        server.create_room("a")
+        server.join("a", "alice")
+        assert server.leave("a", "alice") is True
+        assert [event.user for event in events] == ["alice"]
+        # The second leave is the no-op case again.
+        assert server.leave("a", "alice") is False
+        assert len(events) == 1
+
+    def test_rejoin_same_role_is_a_noop(self):
+        server = ChatServer()
+        events = []
+        server.bus.subscribe(UserJoined, events.append)
+        server.create_room("a")
+        assert server.join("a", "alice") is True
+        assert server.join("a", "alice") is False
+        assert len(events) == 1
+
+    def test_rejoin_with_new_role_changes_role_in_place(self):
+        clock = SimulatedClock()
+        server = ChatServer(clock)
+        events = []
+        server.bus.subscribe(UserJoined, events.append)
+        server.create_room("a")
+        server.join("a", "alice")
+        joined_at = server.get_room("a").participants["alice"].joined_at
+        server.post("a", "alice", "hi")
+        clock.advance(5.0)
+        assert server.join("a", "alice", Role.TEACHER) is True
+        participant = server.get_room("a").participants["alice"]
+        # Role change, not a fresh membership: tenure and counters survive.
+        assert participant.role is Role.TEACHER
+        assert participant.joined_at == joined_at
+        assert participant.messages_sent == 1
+        assert [event.role for event in events] == ["student", "teacher"]
+
+
+class TestMessagesSince:
+    def room_with(self, seqs):
+        from repro.chatroom.room import ChatRoom
+
+        room = ChatRoom(name="x")
+        for seq in seqs:
+            room.deliver(ChatMessage(seq, "x", "u", MessageKind.USER, f"m{seq}", 0.0))
+        return room
+
+    def test_minus_one_returns_full_transcript(self):
+        room = self.room_with([0, 1, 2])
+        assert [m.seq for m in room.messages_since(-1)] == [0, 1, 2]
+
+    def test_cursor_is_strictly_greater_than(self):
+        room = self.room_with([0, 1, 2, 3])
+        assert [m.seq for m in room.messages_since(1)] == [2, 3]
+
+    def test_cursor_between_gapped_seqs(self):
+        # Global seqs interleave across rooms, so a room's transcript has
+        # gaps; a cursor inside a gap resumes at the next delivered seq.
+        room = self.room_with([2, 5, 9])
+        assert [m.seq for m in room.messages_since(3)] == [5, 9]
+        assert [m.seq for m in room.messages_since(5)] == [9]
+
+    def test_cursor_past_end_is_empty(self):
+        room = self.room_with([0, 1])
+        assert room.messages_since(1) == []
+        assert room.messages_since(99) == []
+
+    def test_matches_linear_scan(self):
+        room = self.room_with(list(range(0, 40, 3)))
+        for cursor in range(-1, 45):
+            expected = [m for m in room.transcript if m.seq > cursor]
+            assert room.messages_since(cursor) == expected

@@ -146,3 +146,64 @@ class TestDrainEventReplay:
         assert report.events_replayed == 4  # room + join + post + drain
         assert (recovered.corpus.snapshot(), recovered.faq.snapshot()) == canonical
         recovered.close()
+
+
+class TestMembershipReplayParity:
+    """Regression: journalled membership churn must replay to the same
+    state it produced live — role changes included, duplicate joins
+    excluded."""
+
+    def recover_after(self, tmp_path, drive):
+        config = SystemConfig(data_dir=str(tmp_path / "d"), snapshot_every=None)
+        system = ELearningSystem.with_defaults(config)
+        drive(system)
+        live = {
+            name: {u: p.role.value for u, p in room.participants.items()}
+            for name, room in system.server.rooms.items()
+        }
+        system.durability.close()  # abandon without a snapshot: WAL-only recovery
+        system.runtime.close()
+        recovered, report = ELearningSystem.recover(
+            str(tmp_path / "d"), SystemConfig(snapshot_every=None)
+        )
+        return live, recovered, report
+
+    def test_role_change_survives_replay(self, tmp_path):
+        from repro.chatroom.messages import Role
+
+        def drive(system):
+            system.open_room("ds-101", topic="t")
+            system.join("ds-101", "alice")
+            system.join("ds-101", "alice", Role.TEACHER)
+
+        live, recovered, report = self.recover_after(tmp_path, drive)
+        assert report.clean
+        assert live == {"ds-101": {"alice": "teacher"}}
+        replayed = {
+            name: {u: p.role.value for u, p in room.participants.items()}
+            for name, room in recovered.server.rooms.items()
+        }
+        assert replayed == live
+        recovered.close()
+
+    def test_duplicate_join_is_not_journalled(self, tmp_path):
+        def drive(system):
+            system.open_room("ds-101", topic="t")
+            assert system.join("ds-101", "alice") is True
+            assert system.join("ds-101", "alice") is False  # same role: no-op
+
+        live, recovered, report = self.recover_after(tmp_path, drive)
+        assert report.clean
+        assert report.events_replayed == 2  # room + one join, not two
+        assert recovered.server.get_room("ds-101").is_member("alice")
+        recovered.close()
+
+    def test_noop_leave_is_not_journalled(self, tmp_path):
+        def drive(system):
+            system.open_room("ds-101", topic="t")
+            assert system.leave("ds-101", "ghost") is False
+
+        live, recovered, report = self.recover_after(tmp_path, drive)
+        assert report.clean
+        assert report.events_replayed == 1  # the room only
+        recovered.close()

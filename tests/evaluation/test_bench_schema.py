@@ -116,6 +116,18 @@ class TestCommittedReport:
             < resilience["fault_free_ms_per_message"]
         )
 
+    def test_serving_workload(self, report):
+        # The front-door claim (docs/serving.md): the HTTP serving layer
+        # sustains concurrent clients (>= 4, the acceptance floor) with
+        # every question drawing an observable QA reply, and the reply
+        # percentiles are sane (p95 >= p50 > 0).
+        serving = report["workloads"]["serving"]
+        assert serving["clients"] >= 4
+        assert serving["messages"] >= serving["clients"]
+        assert serving["posts_per_sec"] > 0
+        assert serving["replies_observed"] == serving["messages"]
+        assert 0 < serving["reply_p50_ms"] <= serving["reply_p95_ms"]
+
     def test_recovery_workload(self, report):
         # The durability claim (docs/durability.md): snapshot-based
         # restart must be much cheaper than a full-replay rebuild, which

@@ -1,0 +1,204 @@
+"""Concurrency hammer: N client threads against the live HTTP server.
+
+The serving layer's whole claim is that an admission lock turns
+concurrent socket traffic into the single-writer sequence the core
+requires.  The hammer drives real threads through real sockets —
+posting, joining, leaving, re-roling and reading at once — and then
+checks the two properties that claim rests on:
+
+* **ordering** — no lost posts, no per-client seq reordering, every
+  room transcript strictly seq-sorted;
+* **parity** — replaying the *admitted* input sequence (captured off
+  the event bus, which publishes under the admission lock) through an
+  in-process system produces a byte-identical ``build_snapshot``:
+  the network front door adds no state of its own.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.chatroom.events import MessageDelivered, UserJoined, UserLeft
+from repro.chatroom.messages import MessageKind, Role
+from repro.core.system import ELearningSystem
+from repro.durability.snapshot import build_snapshot
+from repro.serving import ChatGateway, ChatHTTPServer
+
+CLIENTS = 6
+POSTS_PER_CLIENT = 12
+ROOMS = ("ham-0", "ham-1", "ham-2")
+
+#: Deterministic per-client traffic: questions, clean claims, violations.
+TEXTS = (
+    "What is a queue?",
+    "We push an element onto the stack.",
+    "I push the data into a tree.",
+    "A binary tree is a tree.",
+)
+
+
+class Client(threading.Thread):
+    """One user: joins its rooms, posts, reads, re-roles, leaves one room."""
+
+    def __init__(self, index: int, address) -> None:
+        super().__init__(name=f"hammer-{index}")
+        self.index = index
+        self.user = f"user-{index}"
+        self.address = address
+        self.seqs: list[int] = []
+        self.error: Exception | None = None
+
+    def request(self, conn, method: str, path: str, body: dict | None = None):
+        conn.request(method, path, json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status < 400, f"{method} {path} -> {response.status}: {payload}"
+        return payload
+
+    def run(self) -> None:
+        try:
+            host, port = self.address
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                for room in ROOMS:
+                    self.request(conn, "POST", f"/rooms/{room}/join", {"user": self.user})
+                cursor = -1
+                for i in range(POSTS_PER_CLIENT):
+                    room = ROOMS[(self.index + i) % len(ROOMS)]
+                    text = TEXTS[(self.index + i) % len(TEXTS)]
+                    payload = self.request(
+                        conn,
+                        "POST",
+                        f"/rooms/{room}/messages",
+                        {"user": self.user, "text": text},
+                    )
+                    self.seqs.append(payload["message"]["seq"])
+                    if i % 3 == 0:
+                        # Interleave reads with the writes: the page must
+                        # contain this client's just-delivered message.
+                        page = self.request(
+                            conn, "GET", f"/rooms/{room}/transcript?since={cursor}"
+                        )
+                        seqs = [m["seq"] for m in page["messages"]]
+                        assert seqs == sorted(seqs)
+                        assert payload["message"]["seq"] in seqs
+                        cursor = page["next"]
+                    if i == POSTS_PER_CLIENT // 2:
+                        # Mid-run role churn: re-join one room as teacher.
+                        self.request(
+                            conn,
+                            "POST",
+                            f"/rooms/{ROOMS[self.index % len(ROOMS)]}/join",
+                            {"user": self.user, "role": "teacher"},
+                        )
+                self.request(
+                    conn,
+                    "POST",
+                    f"/rooms/{ROOMS[(self.index + 1) % len(ROOMS)]}/leave",
+                    {"user": self.user},
+                )
+            finally:
+                conn.close()
+        except Exception as exc:  # surfaced by the main thread's assert
+            self.error = exc
+
+
+@pytest.fixture(scope="module")
+def hammered():
+    """One hammer run shared by every assertion below."""
+    system = ELearningSystem.with_defaults()
+    for room in ROOMS:
+        system.open_room(room, topic="hammer")
+    # Record the admitted input order off the bus: publishes happen under
+    # the gateway's admission lock, so this list IS the serialization the
+    # core observed.
+    ops: list[tuple] = []
+    system.bus.subscribe(
+        UserJoined, lambda e: ops.append(("join", e.room, e.user, e.role))
+    )
+    system.bus.subscribe(UserLeft, lambda e: ops.append(("leave", e.room, e.user)))
+    system.bus.subscribe(
+        MessageDelivered,
+        lambda e: ops.append(("say", e.message.room, e.message.sender, e.message.text))
+        if e.message.kind is MessageKind.USER
+        else None,
+    )
+    gateway = ChatGateway(system)
+    httpd = ChatHTTPServer(gateway)
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+    clients = [Client(i, httpd.server_address[:2]) for i in range(CLIENTS)]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join(timeout=300)
+    httpd.shutdown()
+    httpd.server_close()
+    yield system, clients, ops
+    system.close()
+
+
+class TestOrdering:
+    def test_every_client_finished(self, hammered):
+        _, clients, _ = hammered
+        for client in clients:
+            assert not client.is_alive(), f"{client.name} hung"
+            assert client.error is None, f"{client.name}: {client.error!r}"
+            assert len(client.seqs) == POSTS_PER_CLIENT
+
+    def test_no_client_sees_its_posts_reordered(self, hammered):
+        _, clients, _ = hammered
+        for client in clients:
+            assert client.seqs == sorted(client.seqs)
+            assert len(set(client.seqs)) == POSTS_PER_CLIENT
+
+    def test_no_posts_lost_and_no_seqs_shared(self, hammered):
+        system, clients, _ = hammered
+        posted = [seq for client in clients for seq in client.seqs]
+        assert len(set(posted)) == len(posted), "two clients share a seq"
+        delivered = {
+            message.seq
+            for room in ROOMS
+            for message in system.server.get_room(room).transcript
+            if message.kind is MessageKind.USER
+        }
+        assert delivered == set(posted)
+
+    def test_transcripts_strictly_seq_sorted(self, hammered):
+        system, _, _ = hammered
+        for room in ROOMS:
+            seqs = [m.seq for m in system.server.get_room(room).transcript]
+            assert seqs == sorted(set(seqs))
+
+    def test_role_churn_landed(self, hammered):
+        system, clients, _ = hammered
+        for client in clients:
+            room = ROOMS[client.index % len(ROOMS)]
+            assert system.server.role_of(room, client.user) is Role.TEACHER
+
+
+class TestSnapshotParity:
+    def test_http_run_snapshot_equals_in_process_replay(self, hammered):
+        """The acceptance-criteria check: drive the admitted sequence
+        in-process and require byte-identical full-system snapshots."""
+        system, _, ops = hammered
+        replay = ELearningSystem.with_defaults()
+        try:
+            for room in ROOMS:
+                replay.open_room(room, topic="hammer")
+            for op in ops:
+                if op[0] == "join":
+                    replay.join(op[1], op[2], Role(op[3]))
+                elif op[0] == "leave":
+                    replay.leave(op[1], op[2])
+                else:
+                    replay.say(op[1], op[2], op[3])
+            served_bytes = json.dumps(build_snapshot(system, 0), sort_keys=True)
+            replayed_bytes = json.dumps(build_snapshot(replay, 0), sort_keys=True)
+            assert served_bytes == replayed_bytes
+        finally:
+            replay.close()

@@ -1,0 +1,329 @@
+"""The HTTP front door: routes, status mapping, long-poll, SSE.
+
+Every test drives a live ``ThreadingHTTPServer`` on an ephemeral port
+through real sockets — the serving layer has no request-object seam to
+fake, on purpose.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.system import ELearningSystem
+from repro.serving import ApiError, ChatGateway, ChatHTTPServer
+
+
+@pytest.fixture(scope="module")
+def served():
+    system = ELearningSystem.with_defaults()
+    gateway = ChatGateway(system)
+    httpd = ChatHTTPServer(gateway)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield system, gateway, httpd
+    httpd.shutdown()
+    httpd.server_close()
+    system.close()
+
+
+def request(httpd, method: str, path: str, body: dict | None = None):
+    host, port = httpd.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, path, json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    return response.status, json.loads(raw) if raw else None
+
+
+class TestRoomLifecycle:
+    def test_create_room(self, served):
+        _, _, httpd = served
+        status, body = request(httpd, "POST", "/rooms", {"name": "api", "topic": "stacks"})
+        assert status == 201
+        assert body == {"room": "api", "topic": "stacks"}
+
+    def test_duplicate_room_is_409(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "dup"})
+        status, body = request(httpd, "POST", "/rooms", {"name": "dup"})
+        assert status == 409
+        assert "already exists" in body["error"]
+
+    def test_join_leave_roundtrip(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "jl"})
+        status, body = request(httpd, "POST", "/rooms/jl/join", {"user": "alice"})
+        assert (status, body["joined"], body["role"]) == (200, True, "student")
+        status, body = request(httpd, "POST", "/rooms/jl/leave", {"user": "alice"})
+        assert (status, body["left"]) == (200, True)
+
+    def test_non_member_leave_surfaces_noop(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "noop"})
+        status, body = request(httpd, "POST", "/rooms/noop/leave", {"user": "ghost"})
+        assert (status, body["left"]) == (200, False)
+
+    def test_rejoin_with_new_role_reports_change(self, served):
+        system, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "roles"})
+        request(httpd, "POST", "/rooms/roles/join", {"user": "prof"})
+        status, body = request(
+            httpd, "POST", "/rooms/roles/join", {"user": "prof", "role": "teacher"}
+        )
+        assert (status, body["joined"]) == (200, True)
+        assert system.server.role_of("roles", "prof").value == "teacher"
+        status, body = request(
+            httpd, "POST", "/rooms/roles/join", {"user": "prof", "role": "teacher"}
+        )
+        assert (status, body["joined"]) == (200, False)  # same-role rejoin: no-op
+
+
+class TestMessagesAndTranscript:
+    def test_post_returns_delivered_message(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "msg"})
+        request(httpd, "POST", "/rooms/msg/join", {"user": "u"})
+        status, body = request(
+            httpd, "POST", "/rooms/msg/messages", {"user": "u", "text": "What is a queue?"}
+        )
+        assert status == 202
+        assert body["message"]["room"] == "msg"
+        assert body["message"]["text"] == "What is a queue?"
+        # Queued runtime auto-drains: the QA reply already landed.
+        status, page = request(
+            httpd, "GET", f"/rooms/msg/transcript?since={body['message']['seq']}"
+        )
+        assert status == 200
+        assert [m["kind"] for m in page["messages"]] == ["agent"]
+        assert page["next"] == page["messages"][-1]["seq"]
+
+    def test_since_cursor_resumes_after_seq(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "cursor"})
+        request(httpd, "POST", "/rooms/cursor/join", {"user": "u"})
+        seqs = []
+        for text in ("A stack supports push.", "A binary tree is a tree."):
+            _, body = request(
+                httpd, "POST", "/rooms/cursor/messages", {"user": "u", "text": text}
+            )
+            seqs.append(body["message"]["seq"])
+        _, page = request(httpd, "GET", f"/rooms/cursor/transcript?since={seqs[0]}")
+        assert [m["seq"] for m in page["messages"]] == [seqs[1]]
+        _, page = request(httpd, "GET", f"/rooms/cursor/transcript?since={seqs[1]}")
+        assert page["messages"] == []
+        assert page["next"] == seqs[1]  # cursor unchanged on an empty page
+
+    def test_long_poll_wakes_on_new_traffic(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "poll"})
+        request(httpd, "POST", "/rooms/poll/join", {"user": "u"})
+        _, page = request(httpd, "GET", "/rooms/poll/transcript")
+        cursor = page["next"]
+        result = {}
+
+        def poll():
+            result["page"] = request(
+                httpd, "GET", f"/rooms/poll/transcript?since={cursor}&wait=20"
+            )
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        time.sleep(0.2)  # park the poller on the delivery condition
+        request(
+            httpd, "POST", "/rooms/poll/messages", {"user": "u", "text": "What is Stack?"}
+        )
+        poller.join(timeout=20)
+        assert not poller.is_alive()
+        status, page = result["page"]
+        assert status == 200
+        assert page["messages"], "long-poll returned an empty page despite new traffic"
+        assert page["messages"][0]["text"] == "What is Stack?"
+
+    def test_expired_long_poll_returns_empty_page(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "idle"})
+        start = time.monotonic()
+        status, page = request(httpd, "GET", "/rooms/idle/transcript?since=10000&wait=0.2")
+        assert status == 200
+        assert page["messages"] == []
+        assert time.monotonic() - start >= 0.2
+
+
+class TestErrorMapping:
+    def test_unknown_room_is_404(self, served):
+        _, _, httpd = served
+        status, body = request(httpd, "GET", "/rooms/ghost/transcript")
+        assert status == 404
+        status, body = request(httpd, "POST", "/rooms/ghost/join", {"user": "u"})
+        assert status == 404
+        assert "no room named" in body["error"]
+
+    def test_post_while_absent_is_403(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "guarded"})
+        status, body = request(
+            httpd, "POST", "/rooms/guarded/messages", {"user": "stranger", "text": "hi"}
+        )
+        assert status == 403
+        assert "not in room" in body["error"]
+
+    def test_malformed_json_is_400(self, served):
+        _, _, httpd = served
+        host, port = httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("POST", "/rooms", "{not json")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert "JSON" in body["error"]
+
+    def test_unknown_role_is_400(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "badrole"})
+        status, body = request(
+            httpd, "POST", "/rooms/badrole/join", {"user": "u", "role": "wizard"}
+        )
+        assert status == 400
+        assert "role" in body["error"]
+
+    def test_wrong_method_is_405(self, served):
+        _, _, httpd = served
+        status, _ = request(httpd, "GET", "/rooms")
+        assert status == 405
+        status, _ = request(httpd, "POST", "/rooms/ghost/transcript", {})
+        assert status == 405
+
+    def test_unknown_path_is_404(self, served):
+        _, _, httpd = served
+        status, _ = request(httpd, "GET", "/nothing/here")
+        assert status == 404
+
+    def test_bad_query_parameter_is_400(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "badq"})
+        status, body = request(httpd, "GET", "/rooms/badq/transcript?since=abc")
+        assert status == 400
+        assert "since" in body["error"]
+
+    def test_handler_errors_do_not_kill_the_connection(self, served):
+        _, _, httpd = served
+        host, port = httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            # Three failing requests, then a good one, all on one
+            # keep-alive connection: an error response must leave the
+            # connection serviceable.
+            for path in ("/rooms/ghost/transcript", "/nothing", "/rooms/ghost/transcript"):
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                assert response.status in (404, 405)
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 200
+            assert body["status"] == "ok"
+        finally:
+            conn.close()
+
+
+class TestHealth:
+    def test_healthz_counters(self, served):
+        system, _, httpd = served
+        status, body = request(httpd, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["rooms"] == len(system.server.rooms)
+        assert body["messages"] == system.server.total_messages()
+        assert body["runtime"] == "queued"
+
+
+class TestEventStream:
+    def test_sse_streams_replies_and_verdicts(self, served):
+        _, _, httpd = served
+        request(httpd, "POST", "/rooms", {"name": "sse"})
+        request(httpd, "POST", "/rooms/sse/join", {"user": "u"})
+        host, port = httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", "/events?limit=3&timeout=20&room=sse")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+
+        def post_violation():
+            time.sleep(0.2)  # let the stream subscribe first
+            request(
+                httpd,
+                "POST",
+                "/rooms/sse/messages",
+                {"user": "u", "text": "I push the data into a tree."},
+            )
+
+        threading.Thread(target=post_violation, daemon=True).start()
+        raw = response.read().decode("utf-8")
+        conn.close()
+        events = [line.split(": ", 1)[1] for line in raw.splitlines() if line.startswith("event: ")]
+        datas = [
+            json.loads(line.split(": ", 1)[1])
+            for line in raw.splitlines()
+            if line.startswith("data: ")
+        ]
+        assert "reply" in events
+        assert "verdict" in events
+        assert all(data["room"] == "sse" for data in datas)
+
+    def test_sse_timeout_ends_an_idle_stream(self, served):
+        _, _, httpd = served
+        host, port = httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", "/events?timeout=0.2")
+        response = conn.getresponse()
+        raw = response.read()  # returns once the stream times out
+        conn.close()
+        assert response.status == 200
+        assert b"event:" not in raw
+
+    def test_stream_unsubscribes_when_done(self, served):
+        _, gateway, httpd = served
+        before = len(gateway._streams)
+        host, port = httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request("GET", "/events?timeout=0.1")
+        conn.getresponse().read()
+        conn.close()
+        assert len(gateway._streams) == before
+
+
+class TestGatewayUnit:
+    def test_api_error_carries_status(self):
+        error = ApiError(404, "gone")
+        assert error.status == 404
+        assert str(error) == "gone"
+
+    def test_empty_text_rejected(self, served):
+        _, gateway, _ = served
+        gateway.create_room("empty-text")
+        gateway.join("empty-text", "u")
+        with pytest.raises(ApiError) as excinfo:
+            gateway.post("empty-text", "u", "")
+        assert excinfo.value.status == 400
+
+    def test_stalled_stream_sheds_its_oldest_events(self, served):
+        _, gateway, _ = served
+        stream = gateway.open_stream(max_events=2)
+        try:
+            for index in range(4):  # nobody drains: queue keeps newest 2
+                gateway._fan_out("reply", {"seq": index})
+            kept = [stream.get_nowait()[1]["seq"] for _ in range(2)]
+            assert kept == [2, 3]
+        finally:
+            gateway.close_stream(stream)
